@@ -1,0 +1,99 @@
+//! Criterion micro-benchmark: Algorithm 2 bid computation as the number
+//! of running applications (suspension candidates) grows.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meryn_core::app::{AppPhase, Application};
+use meryn_core::bidding::{compute_bid, BidRequest};
+use meryn_core::cluster_manager::VirtualCluster;
+use meryn_core::{AppId, Placement, VcId};
+use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::pricing::PricingParams;
+use meryn_sla::{AppTimes, Money, SlaContract, SlaTerms, VmRate};
+use meryn_vmm::{HostTag, ImageId, Location, VmId};
+
+fn fixture(apps_running: usize) -> (VirtualCluster, BTreeMap<AppId, Application>) {
+    let pricing = PricingParams::new(VmRate::per_vm_second(4), 1);
+    let mut vc = VirtualCluster::new(
+        VcId(0),
+        "VC",
+        FrameworkKind::Batch,
+        ImageId(0),
+        Box::new(BatchFramework::new()),
+        pricing,
+    );
+    let mut apps = BTreeMap::new();
+    for i in 0..apps_running {
+        vc.add_slave(
+            VmId::new(HostTag(1), i as u64),
+            1.0,
+            Location::Private,
+            VmRate::per_vm_second(2),
+        )
+        .unwrap();
+    }
+    for i in 0..apps_running {
+        let spec = JobSpec::Batch {
+            work: SimDuration::from_secs(1000 + i as u64),
+            nb_vms: 1,
+            scaling: ScalingLaw::Fixed,
+        };
+        let job = vc.framework.submit(spec, SimTime::ZERO).unwrap();
+        vc.framework.try_dispatch(SimTime::ZERO);
+        let id = AppId(i as u64);
+        vc.job_to_app.insert(job, id);
+        let deadline = SimDuration::from_secs(1200 + 10 * i as u64);
+        let mut times = AppTimes::submitted(SimTime::ZERO, SimDuration::from_secs(1000), deadline);
+        times.start(SimTime::ZERO);
+        apps.insert(
+            id,
+            Application {
+                id,
+                vc: VcId(0),
+                spec,
+                contract: SlaContract::sign(
+                    SlaTerms::new(deadline, Money::from_units(4000), 1),
+                    SimTime::ZERO,
+                    pricing,
+                ),
+                times,
+                job: Some(job),
+                placement: Placement::Local,
+                phase: AppPhase::Submitted,
+                framework_submitted_at: Some(SimTime::ZERO),
+                cost: Money::ZERO,
+                negotiation_rounds: 1,
+                suspensions: 0,
+                violation_detected: None,
+            },
+        );
+    }
+    (vc, apps)
+}
+
+fn bench_bid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_compute_bid");
+    for &n in &[10usize, 50, 200, 1000] {
+        let (vc, apps) = fixture(n);
+        group.bench_with_input(BenchmarkId::new("running_apps", n), &n, |b, _| {
+            b.iter(|| {
+                compute_bid(
+                    &vc,
+                    &apps,
+                    BidRequest {
+                        nb_vms: 1,
+                        duration: SimDuration::from_secs(1754),
+                    },
+                    SimTime::from_secs(100),
+                    VmRate::from_micro(500_000),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bid);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion macro-benchmarks: event-queue throughput and whole paper
+//! scenarios end-to-end (events/second of the simulation kernel and the
+//! full platform).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meryn_bench::run_paper;
+use meryn_core::config::PolicyMode;
+use meryn_sim::{EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Scatter times deterministically.
+                    q.push(SimTime::from_millis(((i * 2654435761) % n) as u64), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_scenario_end_to_end");
+    group.sample_size(10);
+    for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+            b.iter(|| run_paper(mode, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_paper_scenario);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Criterion micro-benchmark: Algorithm 1 resource selection latency as
+//! the number of sibling VCs (and hence bid requests) grows. The paper
+//! argues the decentralized protocol avoids "prohibitive communication
+//! and computation costs" — this measures the computation side.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meryn_core::app::{AppPhase, Application};
+use meryn_core::bidding::BidRequest;
+use meryn_core::cluster_manager::VirtualCluster;
+use meryn_core::config::PolicyMode;
+use meryn_core::protocol::select_resources;
+use meryn_core::{AppId, Placement, VcId};
+use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
+use meryn_sim::{SimDuration, SimRng, SimTime};
+use meryn_sla::pricing::PricingParams;
+use meryn_sla::{AppTimes, Money, SlaContract, SlaTerms, VmRate};
+use meryn_vmm::{CloudId, HostTag, ImageId, LatencyModel, Location, PriceModel, PublicCloud, VmId};
+
+fn pricing() -> PricingParams {
+    PricingParams::new(VmRate::per_vm_second(4), 1)
+}
+
+/// Builds `n_vcs` fully loaded VCs with `apps_per_vc` running apps each.
+fn fixture(
+    n_vcs: usize,
+    apps_per_vc: usize,
+) -> (Vec<VirtualCluster>, BTreeMap<AppId, Application>, Vec<PublicCloud>) {
+    let mut apps = BTreeMap::new();
+    let mut next = 0u64;
+    let mut vcs = Vec::with_capacity(n_vcs);
+    for v in 0..n_vcs {
+        let mut vc = VirtualCluster::new(
+            VcId(v),
+            format!("VC{v}"),
+            FrameworkKind::Batch,
+            ImageId(0),
+            Box::new(BatchFramework::new()),
+            pricing(),
+        );
+        for i in 0..apps_per_vc {
+            let vm = VmId::new(HostTag(v as u16 + 1), i as u64);
+            vc.add_slave(vm, 1.0, Location::Private, VmRate::per_vm_second(2))
+                .unwrap();
+        }
+        for _ in 0..apps_per_vc {
+            let spec = JobSpec::Batch {
+                work: SimDuration::from_secs(1000),
+                nb_vms: 1,
+                scaling: ScalingLaw::Fixed,
+            };
+            let job = vc.framework.submit(spec, SimTime::ZERO).unwrap();
+            vc.framework.try_dispatch(SimTime::ZERO);
+            let id = AppId(next);
+            next += 1;
+            vc.job_to_app.insert(job, id);
+            let mut times =
+                AppTimes::submitted(SimTime::ZERO, SimDuration::from_secs(1000), SimDuration::from_secs(1200));
+            times.start(SimTime::ZERO);
+            apps.insert(
+                id,
+                Application {
+                    id,
+                    vc: VcId(v),
+                    spec,
+                    contract: SlaContract::sign(
+                        SlaTerms::new(SimDuration::from_secs(1200), Money::from_units(4000), 1),
+                        SimTime::ZERO,
+                        pricing(),
+                    ),
+                    times,
+                    job: Some(job),
+                    placement: Placement::Local,
+                    phase: AppPhase::Submitted,
+                    framework_submitted_at: Some(SimTime::ZERO),
+                    cost: Money::ZERO,
+                    negotiation_rounds: 1,
+                    suspensions: 0,
+                    violation_detected: None,
+                },
+            );
+        }
+        vcs.push(vc);
+    }
+    let mut cloud = PublicCloud::new(
+        CloudId(0),
+        "bench-cloud",
+        PriceModel::Static(VmRate::per_vm_second(4)),
+        LatencyModel::ZERO,
+        LatencyModel::ZERO,
+        1.0,
+        None,
+        SimRng::new(1),
+    );
+    cloud.stage_image(ImageId(0));
+    (vcs, apps, vec![cloud])
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_select_resources");
+    for &n_vcs in &[2usize, 4, 8, 16] {
+        let (vcs, apps, clouds) = fixture(n_vcs, 25);
+        group.bench_with_input(BenchmarkId::new("vcs", n_vcs), &n_vcs, |b, _| {
+            b.iter(|| {
+                select_resources(
+                    PolicyMode::Meryn,
+                    VcId(0),
+                    &vcs,
+                    &apps,
+                    &clouds,
+                    BidRequest {
+                        nb_vms: 1,
+                        duration: SimDuration::from_secs(1754),
+                    },
+                    SimTime::from_secs(100),
+                    meryn_core::protocol::ProtocolParams::new(VmRate::from_micro(500_000)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_vs_meryn(c: &mut Criterion) {
+    let (vcs, apps, clouds) = fixture(4, 25);
+    let mut group = c.benchmark_group("policy_decision_cost");
+    for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    select_resources(
+                        mode,
+                        VcId(0),
+                        &vcs,
+                        &apps,
+                        &clouds,
+                        BidRequest {
+                            nb_vms: 1,
+                            duration: SimDuration::from_secs(1754),
+                        },
+                        SimTime::from_secs(100),
+                        meryn_core::protocol::ProtocolParams::new(VmRate::from_micro(500_000)),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select, bench_static_vs_meryn);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **Ablation A8** — Client Manager bottleneck (§3.2).
+//!
+//! "Meryn may have several Client Managers in order to avoid a potential
+//! bottleneck, which could happen in peak periods." This sweep hammers
+//! the front door with 1 s inter-arrivals and varies the number of
+//! Client Manager instances: with one CM, every arrival waits for the
+//! previous submission's 7–15 s of handling, processing times balloon
+//! past the SLA allowance and deadlines start falling; a handful of CMs
+//! restores the uncontended Table 1 latencies.
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin ablation_clientmanagers
+//! ```
+
+use meryn_bench::section;
+use meryn_core::config::{PlatformConfig, PolicyMode};
+use meryn_core::Platform;
+use meryn_sim::stats::Summary;
+use meryn_sim::SimDuration;
+use meryn_workloads::{paper_workload, PaperWorkloadParams};
+use rayon::prelude::*;
+
+fn main() {
+    section("Ablation A8 — Client Manager instances under a 1 s arrival burst");
+    println!(
+        "{:>6} {:>22} {:>14} {:>12}",
+        "CMs", "processing mean/max [s]", "completion [s]", "violations"
+    );
+    let workload = paper_workload(PaperWorkloadParams {
+        interarrival: SimDuration::from_secs(1),
+        ..Default::default()
+    });
+    let variants: [Option<usize>; 5] = [Some(1), Some(2), Some(4), Some(8), None];
+    let rows: Vec<String> = variants
+        .par_iter()
+        .map(|&cms| {
+            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+            cfg.client_managers = cms;
+            let r = Platform::new(cfg).run(&workload);
+            let mut proc = Summary::new();
+            for a in &r.apps {
+                if let Some(p) = a.processing {
+                    proc.push(p.as_secs_f64());
+                }
+            }
+            format!(
+                "{:>6} {:>13.1} /{:>6.0} {:>14.0} {:>12}",
+                cms.map_or("∞".to_owned(), |k| k.to_string()),
+                proc.mean(),
+                proc.max(),
+                r.completion_secs(),
+                r.violations()
+            )
+        })
+        .collect();
+    for row in rows {
+        println!("{row}");
+    }
+    println!(
+        "\nReading: a single Client Manager serializes the burst — the \
+         65th arrival waits behind ~64 × 11 s of handling, blowing the \
+         84 s processing allowance; a few instances absorb the peak, \
+         matching §3.2's motivation for replicating the entry point."
+    );
+}

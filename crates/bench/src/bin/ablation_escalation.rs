@@ -1,0 +1,107 @@
+//! **Ablation A7** — SLA violation handling.
+//!
+//! §3.3: when the Application Controller detects a violation, "the
+//! Cluster Manager proceeds to address the SLA violation according to
+//! specific policies that are not treated in this paper". This ablation
+//! compares the paper's implicit policy (report and carry on) against an
+//! enforcement policy that withdraws at-risk *queued* jobs from the
+//! framework and bursts them to the cheapest cloud.
+//!
+//! Scenario: a small private estate with a quota-limited cloud, so load
+//! spikes leave jobs waiting in the queue with their deadlines burning.
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin ablation_escalation
+//! ```
+
+use meryn_bench::section;
+use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig, ViolationPolicy};
+use meryn_core::Platform;
+use meryn_frameworks::{JobSpec, ScalingLaw};
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::negotiation::UserStrategy;
+use meryn_workloads::{Submission, VcTarget};
+
+fn workload() -> Vec<Submission> {
+    // 24 jobs in quick succession against 4 private VMs: a deep queue.
+    (0..24)
+        .map(|i| {
+            Submission::new(
+                SimTime::from_secs(5 + i * 15),
+                VcTarget::Index(0),
+                JobSpec::Batch {
+                    work: SimDuration::from_secs(600),
+                    nb_vms: 1,
+                    scaling: ScalingLaw::Fixed,
+                },
+                UserStrategy::AcceptCheapest,
+            )
+        })
+        .collect()
+}
+
+fn run(policy: ViolationPolicy) -> meryn_core::RunReport {
+    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    cfg.private_capacity = 4;
+    cfg.vcs = vec![VcConfig::batch("VC1", 4)];
+    // A tight cloud quota: the initial bursting saturates it, later
+    // arrivals queue; the quota frees up as bursted jobs finish.
+    // Suspension is disabled so waiting happens in the queue (held
+    // lending victims cannot be escalated).
+    cfg.clouds[0].quota = Some(4);
+    cfg.suspension_enabled = false;
+    cfg.controller_check_interval = Some(SimDuration::from_secs(15));
+    cfg.violation_policy = policy;
+    Platform::new(cfg).run(&workload())
+}
+
+fn main() {
+    section("Ablation A7 — violation policy: report vs escalate-to-cloud");
+    let report_only = run(ViolationPolicy::Report);
+    let escalate = run(ViolationPolicy::EscalateToCloud);
+
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "", "report-only", "escalate"
+    );
+    for (label, a, b) in [
+        ("violations", report_only.violations() as f64, escalate.violations() as f64),
+        ("escalations", report_only.escalations as f64, escalate.escalations as f64),
+        ("bursts", report_only.bursts as f64, escalate.bursts as f64),
+        (
+            "completion [s]",
+            report_only.completion_secs(),
+            escalate.completion_secs(),
+        ),
+        (
+            "total cost [u]",
+            report_only.total_cost().as_units_f64(),
+            escalate.total_cost().as_units_f64(),
+        ),
+        (
+            "total penalties [u]",
+            report_only
+                .apps
+                .iter()
+                .map(|x| x.penalty.as_units_f64())
+                .sum(),
+            escalate.apps.iter().map(|x| x.penalty.as_units_f64()).sum(),
+        ),
+        (
+            "profit [u]",
+            report_only.profit().as_units_f64(),
+            escalate.profit().as_units_f64(),
+        ),
+    ] {
+        println!("{label:<26} {a:>12.0} {b:>12.0}");
+    }
+    println!(
+        "\nReading: escalation buys back lateness with cloud spend — the \
+         workload finishes ~10 minutes sooner and penalties shrink, but \
+         in this deep-overload scenario the extra leases cost more than \
+         the refunded penalties, so report-only keeps more profit while \
+         escalation keeps the users happier. Which side wins pivots on \
+         the penalty factor N, the cloud price and how early the \
+         controller intervenes."
+    );
+}

@@ -1,0 +1,63 @@
+//! **Ablation A6** — initial VC partitioning: fair vs trace-based.
+//!
+//! §3.1: "The initial division of resources among VCs could be fair or
+//! based on past traces." The paper's evaluation splits 25/25; a
+//! trace-informed split matching the 50:15 demand would be ~38/12.
+//! This sweep shows how much the exchange protocol compensates for a
+//! bad initial split — the closer the split to demand, the fewer
+//! transfers are needed, but the final cost barely moves under Meryn
+//! (the protocol fixes the partitioning), while static pays dearly.
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin ablation_partitioning
+//! ```
+
+use meryn_bench::{run_paper_with, section};
+use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
+use rayon::prelude::*;
+
+fn main() {
+    section("Ablation A6 — initial partitioning sweep (50/15 demand)");
+    println!(
+        "{:>9} {:>7} {:>17} {:>10} {:>9} {:>17}",
+        "split", "mode", "cost [u]", "transfers", "bursts", "peak cloud VMs"
+    );
+    let splits: [(u64, u64, &str); 4] = [
+        (25, 25, "fair"),
+        (38, 12, "trace-based"),
+        (10, 40, "inverted"),
+        (45, 5, "skewed-to-vc1"),
+    ];
+    let rows: Vec<Vec<String>> = splits
+        .par_iter()
+        .map(|&(a, b, label)| {
+            let mut out = Vec::new();
+            for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+                let mut cfg = PlatformConfig::paper(mode);
+                cfg.vcs = vec![VcConfig::batch("VC1", a), VcConfig::batch("VC2", b)];
+                let r = run_paper_with(cfg);
+                out.push(format!(
+                    "{:>4}/{:<4} {:>7} {:>13.0} ({label}) {:>6} {:>9} {:>17.0}",
+                    a,
+                    b,
+                    mode.label(),
+                    r.total_cost().as_units_f64(),
+                    r.transfers,
+                    r.bursts,
+                    r.peak_cloud
+                ));
+            }
+            out
+        })
+        .collect();
+    for pair in rows {
+        for row in pair {
+            println!("{row}");
+        }
+    }
+    println!(
+        "\nReading: under Meryn the initial split barely matters — the \
+         zero-bid exchange re-balances VMs toward demand. Static pays \
+         the full cloud premium for any mismatch."
+    );
+}

@@ -1,0 +1,50 @@
+//! **Ablation A2** — cloud/private price ratio sweep.
+//!
+//! The paper fixes cloud VM cost at 2× private. This sweep varies the
+//! ratio and locates where bursting stops paying off against suspension
+//! lending (and where the static approach's over-bursting hurts most).
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin ablation_price_ratio
+//! ```
+
+use meryn_bench::{run_paper_with, section};
+use meryn_core::config::{PlatformConfig, PolicyMode};
+use rayon::prelude::*;
+
+fn main() {
+    section("Ablation A2 — cloud price factor sweep (paper workload)");
+    println!(
+        "{:>7} {:>16} {:>16} {:>13} {:>10}",
+        "factor", "meryn cost [u]", "static cost [u]", "meryn saves", "suspends"
+    );
+    let factors = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+    let rows: Vec<String> = factors
+        .par_iter()
+        .map(|&f| {
+            let meryn = run_paper_with(
+                PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(f),
+            );
+            let stat = run_paper_with(
+                PlatformConfig::paper(PolicyMode::Static).with_cloud_price_factor(f),
+            );
+            let mc = meryn.total_cost().as_units_f64();
+            let sc = stat.total_cost().as_units_f64();
+            format!(
+                "{:>7.1} {:>16.0} {:>16.0} {:>12.1}% {:>10}",
+                f,
+                mc,
+                sc,
+                (sc - mc) / sc * 100.0,
+                meryn.suspensions
+            )
+        })
+        .collect();
+    for row in rows {
+        println!("{row}");
+    }
+    println!(
+        "\nReading: the pricier the cloud, the more Meryn's exchange \
+         (and eventually suspension) pays off against static bursting."
+    );
+}

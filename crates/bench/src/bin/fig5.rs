@@ -1,0 +1,53 @@
+//! Regenerates **Figure 5** — "The proportion of the used private and
+//! cloud VMs in (a) Meryn and (b) the Static Approach": the used-VM
+//! step series over the paper workload, as CSV plus an ASCII shape.
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin fig5 -- meryn    # Fig 5(a)
+//! cargo run --release -p meryn-bench --bin fig5 -- static   # Fig 5(b)
+//! cargo run --release -p meryn-bench --bin fig5             # both
+//! ```
+
+use meryn_bench::{run_paper, section};
+use meryn_core::config::PolicyMode;
+use meryn_sim::SimDuration;
+
+fn emit(mode: PolicyMode) {
+    let label = match mode {
+        PolicyMode::Meryn => "Figure 5(a) — Meryn",
+        PolicyMode::Static => "Figure 5(b) — Static Approach",
+    };
+    let report = run_paper(mode, 0xC0FFEE);
+    section(label);
+    println!(
+        "peak private VMs: {:.0} | peak cloud VMs: {:.0} (paper: {} / {})",
+        report.peak_private,
+        report.peak_cloud,
+        match mode {
+            PolicyMode::Meryn => "50",
+            PolicyMode::Static => "40",
+        },
+        match mode {
+            PolicyMode::Meryn => "15",
+            PolicyMode::Static => "25",
+        },
+    );
+    println!("\nCSV series (60 s grid):");
+    print!("{}", report.series.to_csv(SimDuration::from_secs(60)));
+    println!("\nShape:");
+    print!(
+        "{}",
+        report.series.to_ascii_chart(60, SimDuration::from_secs(120))
+    );
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("meryn") => emit(PolicyMode::Meryn),
+        Some("static") => emit(PolicyMode::Static),
+        _ => {
+            emit(PolicyMode::Meryn);
+            emit(PolicyMode::Static);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Machine-readable variant of the Figure 5 regeneration: emits the
+//! used-VM series for both policies as one merged CSV on stdout, ready
+//! for plotting (`time_s,meryn_private,meryn_cloud,static_private,
+//! static_cloud`).
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin fig5_csv > fig5.csv
+//! ```
+
+use meryn_bench::run_paper;
+use meryn_core::config::PolicyMode;
+use meryn_sim::{SimDuration, SimTime};
+
+fn main() {
+    let meryn = run_paper(PolicyMode::Meryn, 0xC0FFEE);
+    let stat = run_paper(PolicyMode::Static, 0xC0FFEE);
+    let horizon = meryn.series.horizon().max_of(stat.series.horizon());
+    let step = SimDuration::from_secs(10);
+
+    println!("time_s,meryn_private,meryn_cloud,static_private,static_cloud");
+    let mut t = SimTime::ZERO;
+    loop {
+        println!(
+            "{},{},{},{},{}",
+            t.as_secs(),
+            meryn.series.get(0).value_at(t),
+            meryn.series.get(1).value_at(t),
+            stat.series.get(0).value_at(t),
+            stat.series.get(1).value_at(t),
+        );
+        if t >= horizon {
+            break;
+        }
+        t += step;
+    }
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 6** — "(a) the overall workload completion time
+//! and the average execution time of applications, and (b) the overall
+//! workload cost and the average cost of applications", Meryn vs the
+//! static approach on the paper workload.
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin fig6
+//! ```
+
+use meryn_bench::{run_paper, section};
+use meryn_core::config::PolicyMode;
+use meryn_core::report::compare;
+use meryn_core::VcId;
+
+fn main() {
+    let meryn = run_paper(PolicyMode::Meryn, 0xC0FFEE);
+    let stat = run_paper(PolicyMode::Static, 0xC0FFEE);
+
+    section("Figure 6(a) — Completion Time Comparison [s]");
+    println!("{:<16} {:>10} {:>10}", "", "Meryn", "Static");
+    println!(
+        "{:<16} {:>10.0} {:>10.0}   (paper: 2021 vs 2091)",
+        "Workload",
+        meryn.completion_secs(),
+        stat.completion_secs()
+    );
+    for (label, vc) in [("All applis", None), ("VC1 applis", Some(VcId(0))), ("VC2 applis", Some(VcId(1)))] {
+        println!(
+            "{:<16} {:>10.0} {:>10.0}",
+            label,
+            meryn.group(vc).avg_exec_secs,
+            stat.group(vc).avg_exec_secs
+        );
+    }
+
+    section("Figure 6(b) — Cost Comparison [units]");
+    println!("{:<16} {:>10} {:>10}", "", "Meryn", "Static");
+    println!(
+        "{:<16} {:>10.0} {:>10.0}   (×100 in the paper's axis)",
+        "Workload (x100)",
+        meryn.total_cost().as_units_f64() / 100.0,
+        stat.total_cost().as_units_f64() / 100.0
+    );
+    for (label, vc) in [("All applis", None), ("VC1 applis", Some(VcId(0))), ("VC2 applis", Some(VcId(1)))] {
+        println!(
+            "{:<16} {:>10.0} {:>10.0}",
+            label,
+            meryn.group(vc).avg_cost_units,
+            stat.group(vc).avg_cost_units
+        );
+    }
+
+    let cmp = compare(&meryn, &stat);
+    section("Headline deltas (Meryn vs Static)");
+    println!(
+        "completion improvement : {:>6.2}%   (paper:  3.34%)",
+        cmp.completion_improvement_pct
+    );
+    let vc1_m = meryn.group(Some(VcId(0))).avg_cost_units;
+    let vc1_s = stat.group(Some(VcId(0))).avg_cost_units;
+    println!(
+        "VC1 avg cost improve   : {:>6.2}%   (paper: 16.72%)",
+        (vc1_s - vc1_m) / vc1_s * 100.0
+    );
+    println!(
+        "overall cost improve   : {:>6.2}%   (paper: 14.07%)",
+        cmp.cost_improvement_pct
+    );
+    println!(
+        "workload cost saved    : {}   (paper: 41158 units)",
+        cmp.cost_saved
+    );
+    println!(
+        "cloud VM peak          : {:.0} vs {:.0} (paper: 15 vs 25)",
+        cmp.peak_cloud_a, cmp.peak_cloud_b
+    );
+    println!(
+        "violations             : {} vs {} (paper: 0 vs 0)",
+        meryn.violations(),
+        stat.violations()
+    );
+    println!(
+        "revenue (equal ⇒ profit follows cost): {} vs {}",
+        meryn.total_revenue(),
+        stat.total_revenue()
+    );
+}

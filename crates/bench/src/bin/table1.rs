@@ -1,0 +1,58 @@
+//! Regenerates **Table 1** — "Processing Time Measurement": the
+//! end-to-end submission processing time for each of the five placement
+//! cases, measured over many seeded micro-scenarios, against the
+//! paper's measured ranges.
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin table1 [samples-per-case]
+//! ```
+
+use meryn_bench::{fmt_summary, measure_case, paper_range, section, TABLE1_CASES};
+use meryn_sim::stats::Summary;
+use rayon::prelude::*;
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+
+    section("Table 1 — Processing Time Measurement");
+    println!(
+        "{:<28} {:>12} {:>30}",
+        "Case", "Paper [s]", "Measured (this reproduction)"
+    );
+
+    for case in TABLE1_CASES {
+        let secs: Vec<f64> = (0..samples)
+            .into_par_iter()
+            .map(|seed| measure_case(case, seed))
+            .collect();
+        let summary = Summary::from_slice(&secs);
+        let (lo, hi) = paper_range(case);
+        println!(
+            "{:<28} {:>7.0}~{:<4.0} {:>30}",
+            case,
+            lo,
+            hi,
+            fmt_summary(&summary)
+        );
+    }
+
+    println!(
+        "\nOrdering check (paper: local < local-susp < vc < vc-susp ≈ cloud):"
+    );
+    let means: Vec<(String, f64)> = TABLE1_CASES
+        .iter()
+        .map(|&case| {
+            let secs: Vec<f64> = (0..samples.min(30))
+                .into_par_iter()
+                .map(|seed| measure_case(case, seed + 1000))
+                .collect();
+            (case.to_owned(), Summary::from_slice(&secs).mean())
+        })
+        .collect();
+    for (case, mean) in &means {
+        println!("  {case:<28} mean {mean:6.1} s");
+    }
+}

@@ -1,0 +1,361 @@
+//! Algorithm 2 — bid computation.
+//!
+//! When another Cluster Manager requests `nb_vms` for `duration`, a VC
+//! answers with a **bid**: zero if it has idle VMs to spare, otherwise
+//! the smallest estimated loss of revenue from suspending one of its
+//! running applications for the duration. The loss is a minimal
+//! suspension cost (data kept in storage while the VMs are lent) plus
+//! the delay penalty of eq. 3 if the suspension eats through the
+//! application's free time (Fig. 4).
+//!
+//! The computation uses only the VC's own SLA contracts and performance
+//! models — this is the decentralization the paper leans on: no central
+//! component ever needs a framework's internals.
+
+use std::collections::BTreeMap;
+
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::{Money, VmRate};
+
+use crate::app::Application;
+use crate::cluster_manager::VirtualCluster;
+use crate::ids::AppId;
+
+/// A request for VMs, as circulated by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BidRequest {
+    /// VMs needed.
+    pub nb_vms: u64,
+    /// "The period during which the VMs are used and possibly given
+    /// back" — we use the requester's conservative deadline horizon.
+    pub duration: SimDuration,
+}
+
+/// A VC's answer to a bid request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bid {
+    /// The VC has enough idle VMs: it can provide them at no cost.
+    Free,
+    /// The VC would have to suspend `victim`; doing so costs `cost` in
+    /// expected lost revenue.
+    Suspension {
+        /// The cheapest application to suspend.
+        victim: AppId,
+        /// Estimated loss of revenue.
+        cost: Money,
+    },
+    /// The VC cannot provide the requested VMs at all (no idle VMs and
+    /// no running application holds enough).
+    Unable,
+}
+
+impl Bid {
+    /// The monetary amount of the bid; `None` when unable.
+    pub fn amount(&self) -> Option<Money> {
+        match self {
+            Bid::Free => Some(Money::ZERO),
+            Bid::Suspension { cost, .. } => Some(*cost),
+            Bid::Unable => None,
+        }
+    }
+
+    /// True for the zero bid.
+    pub fn is_free(&self) -> bool {
+        matches!(self, Bid::Free)
+    }
+}
+
+/// Computes this VC's bid for `req` (paper Algorithm 2).
+///
+/// `storage_rate` prices the minimal suspension cost: keeping one VM's
+/// worth of application data staged for the lending duration.
+pub fn compute_bid(
+    vc: &VirtualCluster,
+    apps: &BTreeMap<AppId, Application>,
+    req: BidRequest,
+    now: SimTime,
+    storage_rate: VmRate,
+) -> Bid {
+    // "if available_vms > nb_vms then bid = 0"
+    if vc.available() >= req.nb_vms {
+        return Bid::Free;
+    }
+    let mut best: Option<(AppId, Money)> = None;
+    for job in vc.framework.running_jobs() {
+        // "selects only the running applications that hold a number of
+        // VMs greater or equal to the requested VMs".
+        if job.nb_vms() < req.nb_vms {
+            continue;
+        }
+        let app_id = vc.app_of(job.id);
+        let app = &apps[&app_id];
+        // Cloud-hosted applications are never suspension victims:
+        // their VMs are leased, so "freeing" them provides no private
+        // capacity and keeps the meter running on idle leases.
+        if !app.placement.is_private() {
+            continue;
+        }
+        let cost = suspension_cost(app, req, now, storage_rate);
+        let better = match best {
+            None => true,
+            Some((_, c)) => cost < c,
+        };
+        if better {
+            best = Some((app_id, cost));
+        }
+    }
+    match best {
+        Some((victim, cost)) => Bid::Suspension { victim, cost },
+        None => Bid::Unable,
+    }
+}
+
+/// The estimated cost of suspending `app` for `req.duration` starting
+/// now: minimal suspension cost plus (if the free time is shorter than
+/// the duration) the eq. 3 delay penalty.
+pub fn suspension_cost(
+    app: &Application,
+    req: BidRequest,
+    now: SimTime,
+    storage_rate: VmRate,
+) -> Money {
+    let min_suspension = storage_rate.cost_for(req.duration);
+    let free = app.times.free_t(now);
+    if free > req.duration {
+        return min_suspension;
+    }
+    let delay = app.times.delay_if_suspended(now, req.duration);
+    let penalty = app.contract.pricing.delay_penalty(
+        delay,
+        app.contract.terms.nb_vms,
+        app.contract.terms.price,
+    );
+    min_suspension + penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppPhase;
+    use crate::ids::{Placement, VcId};
+    use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
+    use meryn_sla::pricing::PricingParams;
+    use meryn_sla::{AppTimes, SlaContract, SlaTerms};
+    use meryn_vmm::{HostTag, ImageId, Location, VmId};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+    fn vid(n: u64) -> VmId {
+        VmId::new(HostTag::PRIVATE, n)
+    }
+
+    fn pricing() -> PricingParams {
+        PricingParams::new(VmRate::per_vm_second(4), 1)
+    }
+
+    /// A VC with `slaves` slave VMs and one running app per entry in
+    /// `running`, each holding (nb_vms, deadline_secs) and started at 0.
+    fn vc_with_running(
+        slaves: u64,
+        running: &[(u64, u64)],
+    ) -> (VirtualCluster, BTreeMap<AppId, Application>) {
+        let mut vc = VirtualCluster::new(
+            VcId(1),
+            "VC2",
+            FrameworkKind::Batch,
+            ImageId(0),
+            Box::new(BatchFramework::new()),
+            pricing(),
+        );
+        for i in 0..slaves {
+            vc.add_slave(vid(i), 1.0, Location::Private, VmRate::per_vm_second(2))
+                .unwrap();
+        }
+        let mut apps = BTreeMap::new();
+        for (i, &(nb_vms, deadline)) in running.iter().enumerate() {
+            let spec = JobSpec::Batch {
+                work: d(1000),
+                nb_vms,
+                scaling: ScalingLaw::Fixed,
+            };
+            let job = vc.framework.submit(spec, t(0)).unwrap();
+            let dispatched = vc.framework.try_dispatch(t(0));
+            assert!(
+                dispatched.iter().any(|x| x.job == job),
+                "fixture job must start"
+            );
+            let app_id = AppId(i as u64);
+            vc.job_to_app.insert(job, app_id);
+            let terms = SlaTerms::new(d(deadline), Money::from_units(4000), nb_vms);
+            let mut times = AppTimes::submitted(t(0), d(1000), d(deadline));
+            times.start(t(0));
+            apps.insert(
+                app_id,
+                Application {
+                    id: app_id,
+                    vc: VcId(1),
+                    spec,
+                    contract: SlaContract::sign(terms, t(0), pricing()),
+                    times,
+                    job: Some(job),
+                    placement: Placement::Local,
+                    phase: AppPhase::Submitted,
+                    framework_submitted_at: Some(t(0)),
+                    cost: Money::ZERO,
+                    negotiation_rounds: 1,
+                    suspensions: 0,
+                    violation_detected: None,
+                },
+            );
+        }
+        (vc, apps)
+    }
+
+    const STORAGE: VmRate = VmRate::from_micro(500_000);
+
+    #[test]
+    fn idle_vms_bid_zero() {
+        let (vc, apps) = vc_with_running(3, &[(1, 2000)]);
+        // 3 slaves, 1 busy → 2 idle ≥ 1 requested.
+        let bid = compute_bid(
+            &vc,
+            &apps,
+            BidRequest {
+                nb_vms: 1,
+                duration: d(500),
+            },
+            t(100),
+            STORAGE,
+        );
+        assert!(bid.is_free());
+        assert_eq!(bid.amount(), Some(Money::ZERO));
+    }
+
+    #[test]
+    fn reservation_blocks_free_bid() {
+        let (mut vc, apps) = vc_with_running(3, &[(1, 2000)]);
+        vc.reserved = 2;
+        let bid = compute_bid(
+            &vc,
+            &apps,
+            BidRequest {
+                nb_vms: 1,
+                duration: d(500),
+            },
+            t(100),
+            STORAGE,
+        );
+        assert!(!bid.is_free(), "reserved VMs must not be re-promised");
+    }
+
+    #[test]
+    fn generous_deadline_means_cheap_suspension() {
+        // App with deadline 10000 s: free time ≈ 10000−1000 = 9000 s
+        // at t=0, far above a 500 s lending → only storage cost.
+        let (vc, apps) = vc_with_running(1, &[(1, 10_000)]);
+        let req = BidRequest {
+            nb_vms: 1,
+            duration: d(500),
+        };
+        let bid = compute_bid(&vc, &apps, req, t(100), STORAGE);
+        match bid {
+            Bid::Suspension { victim, cost } => {
+                assert_eq!(victim, AppId(0));
+                assert_eq!(cost, STORAGE.cost_for(d(500))); // 250 u
+            }
+            other => panic!("expected suspension bid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_deadline_adds_delay_penalty() {
+        // Deadline 1100 s: free ≈ 100 s at t=0; lending 500 s delays by
+        // 400 s → penalty 400×1×4/1 = 1600 u + storage 250 u.
+        let (vc, apps) = vc_with_running(1, &[(1, 1100)]);
+        let req = BidRequest {
+            nb_vms: 1,
+            duration: d(500),
+        };
+        let bid = compute_bid(&vc, &apps, req, t(0), STORAGE);
+        match bid {
+            Bid::Suspension { cost, .. } => {
+                assert_eq!(cost, Money::from_units(1600 + 250));
+            }
+            other => panic!("expected suspension bid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_victim() {
+        // Two candidates: tight deadline (expensive) and loose (cheap).
+        let (vc, apps) = vc_with_running(2, &[(1, 1100), (1, 9000)]);
+        let req = BidRequest {
+            nb_vms: 1,
+            duration: d(500),
+        };
+        let bid = compute_bid(&vc, &apps, req, t(0), STORAGE);
+        match bid {
+            Bid::Suspension { victim, .. } => assert_eq!(victim, AppId(1)),
+            other => panic!("expected suspension bid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_holders_cannot_serve_large_requests() {
+        // One running app holding 1 VM; request needs 2 → unable.
+        let (vc, apps) = vc_with_running(1, &[(1, 2000)]);
+        let bid = compute_bid(
+            &vc,
+            &apps,
+            BidRequest {
+                nb_vms: 2,
+                duration: d(500),
+            },
+            t(0),
+            STORAGE,
+        );
+        assert_eq!(bid, Bid::Unable);
+        assert_eq!(bid.amount(), None);
+    }
+
+    #[test]
+    fn multi_vm_holder_serves_smaller_request() {
+        let (vc, apps) = vc_with_running(4, &[(4, 9000)]);
+        let bid = compute_bid(
+            &vc,
+            &apps,
+            BidRequest {
+                nb_vms: 2,
+                duration: d(100),
+            },
+            t(0),
+            STORAGE,
+        );
+        assert!(matches!(bid, Bid::Suspension { .. }));
+    }
+
+    #[test]
+    fn longer_duration_never_cheapens_the_bid() {
+        let (vc, apps) = vc_with_running(1, &[(1, 1500)]);
+        let mut last = Money::ZERO;
+        for dur in [100u64, 400, 800, 1600, 3200] {
+            let bid = compute_bid(
+                &vc,
+                &apps,
+                BidRequest {
+                    nb_vms: 1,
+                    duration: d(dur),
+                },
+                t(0),
+                STORAGE,
+            );
+            let amount = bid.amount().unwrap();
+            assert!(amount >= last, "bid should grow with duration");
+            last = amount;
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The Client Manager: routing and negotiation front door (§3.2–3.3).
+//!
+//! "It is the entry point of the system … responsible for receiving
+//! submission requests and transferring them to the corresponding
+//! Cluster Manager." Routing is by explicit VC index or by application
+//! type; negotiation delegates to the target VC's
+//! [`crate::cluster_manager::VcQuoter`].
+
+use std::fmt;
+
+use meryn_frameworks::JobSpec;
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::negotiation::{negotiate, NegotiationFailure, UserStrategy};
+use meryn_sla::{SlaContract, SlaTerms};
+use meryn_workloads::{Submission, VcTarget};
+
+use crate::cluster_manager::{VcQuoter, VirtualCluster};
+use crate::ids::VcId;
+
+/// Why a submission could not be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The explicit VC index does not exist.
+    UnknownVc(usize),
+    /// No deployed VC hosts this application type.
+    NoVcForKind,
+    /// The job description does not match the target VC's type.
+    TypeMismatch,
+    /// SLA negotiation failed.
+    Negotiation(NegotiationFailure),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::UnknownVc(i) => write!(f, "no VC with index {i}"),
+            AdmissionError::NoVcForKind => write!(f, "no VC hosts this application type"),
+            AdmissionError::TypeMismatch => {
+                write!(f, "job description does not match the target VC's type")
+            }
+            AdmissionError::Negotiation(e) => write!(f, "negotiation failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Resolves a submission's routing target to a VC id.
+pub fn route(target: VcTarget, vcs: &[VirtualCluster]) -> Result<VcId, AdmissionError> {
+    match target {
+        VcTarget::Index(i) => {
+            if i < vcs.len() {
+                Ok(VcId(i))
+            } else {
+                Err(AdmissionError::UnknownVc(i))
+            }
+        }
+        VcTarget::Kind(kind) => vcs
+            .iter()
+            .find(|vc| vc.kind == kind)
+            .map(|vc| vc.id)
+            .ok_or(AdmissionError::NoVcForKind),
+    }
+}
+
+/// Routes and negotiates a submission: returns the target VC, the
+/// (possibly re-allocated) job spec and the signed contract.
+pub fn admit(
+    sub: &Submission,
+    vcs: &[VirtualCluster],
+    now: SimTime,
+    quote_speed: f64,
+    allowance: SimDuration,
+    max_rounds: u32,
+    max_vms: u64,
+) -> Result<(VcId, JobSpec, SlaContract, u32), AdmissionError> {
+    let vc_id = route(sub.target, vcs)?;
+    let vc = &vcs[vc_id.0];
+    if sub.spec.type_name() != vc.kind.type_name() {
+        return Err(AdmissionError::TypeMismatch);
+    }
+    let quoter = VcQuoter {
+        framework: vc.framework.as_ref(),
+        spec: sub.spec,
+        pricing: vc.pricing,
+        quote_speed,
+        allowance,
+        max_vms,
+    };
+    let outcome =
+        negotiate(&quoter, sub.strategy, max_rounds).map_err(AdmissionError::Negotiation)?;
+    let spec = sub.spec.with_nb_vms(outcome.quote.nb_vms);
+    let terms = SlaTerms::from(outcome.quote);
+    let contract = SlaContract::sign(terms, now, vc.pricing);
+    Ok((vc_id, spec, contract, outcome.rounds))
+}
+
+/// How a user strategy applies to the paper's workload users.
+pub fn default_strategy() -> UserStrategy {
+    UserStrategy::AcceptCheapest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meryn_frameworks::{BatchFramework, FrameworkKind, MapReduceFramework, ScalingLaw};
+    use meryn_sla::pricing::PricingParams;
+    use meryn_sla::{Money, VmRate};
+    use meryn_vmm::ImageId;
+
+    fn vcs() -> Vec<VirtualCluster> {
+        let pricing = PricingParams::new(VmRate::per_vm_second(4), 1);
+        vec![
+            VirtualCluster::new(
+                VcId(0),
+                "VC1",
+                FrameworkKind::Batch,
+                ImageId(0),
+                Box::new(BatchFramework::new()),
+                pricing,
+            ),
+            VirtualCluster::new(
+                VcId(1),
+                "MR",
+                FrameworkKind::MapReduce,
+                ImageId(1),
+                Box::new(MapReduceFramework::new()),
+                pricing,
+            ),
+        ]
+    }
+
+    fn batch_spec() -> JobSpec {
+        JobSpec::Batch {
+            work: SimDuration::from_secs(1550),
+            nb_vms: 1,
+            scaling: ScalingLaw::Fixed,
+        }
+    }
+
+    #[test]
+    fn route_by_index_and_kind() {
+        let vcs = vcs();
+        assert_eq!(route(VcTarget::Index(1), &vcs), Ok(VcId(1)));
+        assert_eq!(
+            route(VcTarget::Kind(FrameworkKind::MapReduce), &vcs),
+            Ok(VcId(1))
+        );
+        assert_eq!(
+            route(VcTarget::Index(5), &vcs),
+            Err(AdmissionError::UnknownVc(5))
+        );
+    }
+
+    #[test]
+    fn route_missing_kind_fails() {
+        let vcs: Vec<VirtualCluster> = vcs().into_iter().take(1).collect();
+        assert_eq!(
+            route(VcTarget::Kind(FrameworkKind::MapReduce), &vcs),
+            Err(AdmissionError::NoVcForKind)
+        );
+    }
+
+    #[test]
+    fn admit_signs_paper_contract() {
+        let vcs = vcs();
+        let sub = Submission::new(
+            SimTime::from_secs(5),
+            VcTarget::Index(0),
+            batch_spec(),
+            UserStrategy::AcceptCheapest,
+        );
+        let (vc, spec, contract, rounds) = admit(
+            &sub,
+            &vcs,
+            SimTime::from_secs(5),
+            1550.0 / 1670.0,
+            SimDuration::from_secs(84),
+            8,
+            25,
+        )
+        .unwrap();
+        assert_eq!(vc, VcId(0));
+        assert_eq!(spec.nb_vms(), 1);
+        assert_eq!(rounds, 1);
+        assert_eq!(contract.terms.deadline, SimDuration::from_secs(1754));
+        assert_eq!(contract.terms.price, Money::from_units(6680));
+        assert_eq!(contract.agreed_at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn admit_rejects_type_mismatch() {
+        let vcs = vcs();
+        let sub = Submission::new(
+            SimTime::ZERO,
+            VcTarget::Index(1), // MapReduce VC
+            batch_spec(),
+            UserStrategy::AcceptCheapest,
+        );
+        let err = admit(
+            &sub,
+            &vcs,
+            SimTime::ZERO,
+            1.0,
+            SimDuration::from_secs(84),
+            8,
+            25,
+        )
+        .unwrap_err();
+        assert_eq!(err, AdmissionError::TypeMismatch);
+    }
+
+    #[test]
+    fn admit_negotiation_failure_propagates() {
+        let vcs = vcs();
+        let sub = Submission::new(
+            SimTime::ZERO,
+            VcTarget::Index(0),
+            batch_spec(),
+            UserStrategy::ImposePrice {
+                cap: Money::from_units(1),
+                concession_pct: 1,
+            },
+        );
+        let err = admit(
+            &sub,
+            &vcs,
+            SimTime::ZERO,
+            1.0,
+            SimDuration::from_secs(84),
+            2,
+            25,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AdmissionError::Negotiation(_)));
+        assert!(err.to_string().contains("negotiation failed"));
+    }
+
+    #[test]
+    fn default_strategy_is_cheapest() {
+        assert_eq!(default_strategy(), UserStrategy::AcceptCheapest);
+    }
+}

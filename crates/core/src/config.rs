@@ -1,0 +1,324 @@
+//! Platform configuration.
+//!
+//! [`PlatformConfig::paper`] reproduces the evaluation deployment: 50
+//! private VM slots split fairly between two batch VCs, one public cloud
+//! with infinite capacity, private VM cost 2 units/VM·s, cloud VM cost 4
+//! units/VM·s, and operation latencies calibrated so the end-to-end
+//! submission processing times land in the paper's Table 1 ranges.
+
+use meryn_frameworks::FrameworkKind;
+use meryn_sim::SimDuration;
+use meryn_sla::pricing::PenaltyBound;
+use meryn_sla::VmRate;
+use meryn_vmm::{LatencyModel, PriceModel, VmSpec};
+use serde::{Deserialize, Serialize};
+
+/// What the Cluster Manager does when an Application Controller reports
+/// a *queued* application whose SLA is at risk (§3.3 leaves these
+/// policies open; the paper's evaluation uses [`ViolationPolicy::Report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationPolicy {
+    /// Record the violation and do nothing else (the paper's behaviour).
+    Report,
+    /// Withdraw the waiting job from the framework queue and burst it to
+    /// the cheapest cloud that can serve it.
+    EscalateToCloud,
+}
+
+/// Which placement policy the platform runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyMode {
+    /// The full Meryn resource selection protocol (Algorithm 1).
+    Meryn,
+    /// The paper's baseline: static VC partitions; a VC may only burst
+    /// to public clouds, never exchange VMs with siblings.
+    Static,
+}
+
+impl PolicyMode {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyMode::Meryn => "meryn",
+            PolicyMode::Static => "static",
+        }
+    }
+}
+
+/// Configuration of one Virtual Cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcConfig {
+    /// Display name (e.g. `"VC1"`).
+    pub name: String,
+    /// Hosted application type.
+    pub kind: FrameworkKind,
+    /// Private VMs booted for this VC at deployment.
+    pub initial_vms: u64,
+    /// Whether the framework scheduler backfills.
+    pub backfill: bool,
+    /// MapReduce only: map-phase penalty when all slaves are remote.
+    pub locality_penalty_pct: u32,
+}
+
+impl VcConfig {
+    /// A batch VC with `initial_vms` slaves and FIFO dispatch.
+    pub fn batch(name: impl Into<String>, initial_vms: u64) -> Self {
+        VcConfig {
+            name: name.into(),
+            kind: FrameworkKind::Batch,
+            initial_vms,
+            backfill: false,
+            locality_penalty_pct: 0,
+        }
+    }
+
+    /// A MapReduce VC with `initial_vms` slaves.
+    pub fn mapreduce(name: impl Into<String>, initial_vms: u64) -> Self {
+        VcConfig {
+            name: name.into(),
+            kind: FrameworkKind::MapReduce,
+            initial_vms,
+            backfill: false,
+            locality_penalty_pct: 30,
+        }
+    }
+}
+
+/// Configuration of one public cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudConfig {
+    /// Display name (e.g. `"edel"`).
+    pub name: String,
+    /// Price model quoted to the protocol and charged on leases.
+    pub price: PriceModel,
+    /// Relative CPU speed of its VMs (1.0 = private reference).
+    pub speed: f64,
+    /// Max concurrent VMs, `None` = the paper's "infinite".
+    pub quota: Option<u64>,
+}
+
+/// Operation latency models; defaults are calibrated against Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Latencies {
+    /// Client/Cluster Manager submission handling (the whole local-vm
+    /// path: negotiate, translate, upload).
+    pub base: LatencyModel,
+    /// Extra time to suspend a local application before reusing its VMs.
+    pub suspend_local: LatencyModel,
+    /// Extra time for a *remote* VC to suspend one of its applications
+    /// during a lending exchange (cross-master coordination).
+    pub suspend_remote: LatencyModel,
+    /// Shutting down a private VM for a transfer (§3.4 step 1–2).
+    pub transfer_stop: LatencyModel,
+    /// Booting a private VM with the destination framework's image
+    /// (§3.4 step 3–4).
+    pub transfer_boot: LatencyModel,
+    /// Provisioning + configuring a leased cloud VM (§3.5).
+    pub cloud_provision: LatencyModel,
+    /// Stopping a leased cloud VM.
+    pub cloud_release: LatencyModel,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            // Table 1: local-vm 7–15 s is pure CM handling.
+            base: LatencyModel::uniform_secs(7, 15),
+            // local-vm after suspension 10–17 s ⇒ suspension adds ~2–4 s.
+            suspend_local: LatencyModel::uniform_secs(2, 4),
+            // vc-vm after suspension 60–68 s ⇒ remote suspension adds
+            // much more (cross-master round-trips).
+            suspend_remote: LatencyModel::uniform_secs(16, 20),
+            // vc-vm 40–58 s ⇒ stop + boot ≈ 33–43 s on top of base.
+            transfer_stop: LatencyModel::uniform_secs(13, 17),
+            transfer_boot: LatencyModel::uniform_secs(20, 26),
+            // cloud-vm 60–84 s ⇒ provisioning ≈ 53–69 s on top of base.
+            cloud_provision: LatencyModel::uniform_secs(53, 69),
+            cloud_release: LatencyModel::uniform_secs(5, 10),
+        }
+    }
+}
+
+/// Full platform configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Placement policy.
+    pub mode: PolicyMode,
+    /// Master RNG seed; every latency and price draw descends from it.
+    pub seed: u64,
+    /// Fixed private VM hosting capacity (the evaluation: 50).
+    pub private_capacity: u64,
+    /// Uniform VM instance shape.
+    pub vm_spec: VmSpec,
+    /// Cost of a private VM to the provider, per VM-second (paper: 2).
+    pub private_cost: VmRate,
+    /// VM price charged to users per VM-second (paper keeps it ≥ the
+    /// cloud VM cost; default 4).
+    pub vm_price: VmRate,
+    /// The penalty divisor N of eq. 3.
+    pub penalty_factor: u64,
+    /// Bound on delay penalties.
+    pub penalty_bound: PenaltyBound,
+    /// Storage cost rate behind the "minimal suspension cost" of
+    /// Algorithm 2, per VM-second of lending duration.
+    pub storage_rate: VmRate,
+    /// Whether Algorithm 2 suspension bids participate at all
+    /// (the hard off switch of ablation A3).
+    pub suspension_enabled: bool,
+    /// Submission-processing allowance added to quoted deadlines
+    /// (the paper uses its worst measured case: 84 s).
+    pub processing_allowance: SimDuration,
+    /// The conservative CPU speed used when quoting execution times
+    /// (the paper quotes with the *cloud* execution time, the slowest).
+    pub quote_speed: f64,
+    /// Virtual clusters to deploy.
+    pub vcs: Vec<VcConfig>,
+    /// Public clouds available for bursting.
+    pub clouds: Vec<CloudConfig>,
+    /// Operation latencies.
+    pub latencies: Latencies,
+    /// Maximum SLA negotiation rounds before rejecting a submission.
+    pub max_negotiation_rounds: u32,
+    /// Period of Application Controller SLA checks; `None` disables the
+    /// periodic monitor (violations are still assessed at completion).
+    pub controller_check_interval: Option<SimDuration>,
+    /// What to do when a queued application's SLA is reported at risk.
+    pub violation_policy: ViolationPolicy,
+    /// Number of Client Manager instances handling submissions.
+    /// Each submission occupies one Client Manager for its base
+    /// processing latency; concurrent arrivals queue for a free one
+    /// (§3.2: "Meryn may have several Client Managers in order to avoid
+    /// a potential bottleneck, which could happen in peak periods").
+    /// `None` models unbounded front-end concurrency (the paper's
+    /// Table 1 measurements are uncontended, so this is the default).
+    pub client_managers: Option<usize>,
+}
+
+impl PlatformConfig {
+    /// The evaluation deployment (§5.2–5.3), parameterized by policy.
+    ///
+    /// * 50 private VM slots, two batch VCs with 25 each;
+    /// * one public cloud, infinite capacity, static price 4 units/VM·s,
+    ///   VMs 1550/1670 ≈ 7.2 % slower than private ones;
+    /// * private cost 2 units/VM·s; user VM price 4 units/VM·s;
+    /// * penalty factor N = 1, penalties capped at the price;
+    /// * quoted deadlines assume cloud-speed execution + 84 s processing.
+    pub fn paper(mode: PolicyMode) -> Self {
+        PlatformConfig {
+            mode,
+            seed: 0xC0FFEE,
+            private_capacity: 50,
+            vm_spec: VmSpec::EC2_MEDIUM_LIKE,
+            private_cost: VmRate::per_vm_second(2),
+            vm_price: VmRate::per_vm_second(4),
+            penalty_factor: 1,
+            penalty_bound: PenaltyBound::AtPrice,
+            storage_rate: VmRate::from_micro(500_000), // 0.5 units/VM·s
+            suspension_enabled: true,
+            processing_allowance: SimDuration::from_secs(84),
+            quote_speed: 1550.0 / 1670.0,
+            vcs: vec![VcConfig::batch("VC1", 25), VcConfig::batch("VC2", 25)],
+            clouds: vec![CloudConfig {
+                name: "edel".into(),
+                price: PriceModel::Static(VmRate::per_vm_second(4)),
+                speed: 1550.0 / 1670.0,
+                quota: None,
+            }],
+            latencies: Latencies::default(),
+            max_negotiation_rounds: 8,
+            controller_check_interval: Some(SimDuration::from_secs(30)),
+            violation_policy: ViolationPolicy::Report,
+            client_managers: None,
+        }
+    }
+
+    /// Replaces the seed (builder style, for replica sweeps).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the penalty factor N.
+    pub fn with_penalty_factor(mut self, n: u64) -> Self {
+        self.penalty_factor = n;
+        self
+    }
+
+    /// Scales every cloud's price by `factor` (ablation A2).
+    pub fn with_cloud_price_factor(mut self, factor: f64) -> Self {
+        for c in &mut self.clouds {
+            if let PriceModel::Static(r) = &mut c.price {
+                *r = r.scale(factor);
+            }
+        }
+        self
+    }
+
+    /// Validates internal consistency; called by the platform at start.
+    pub fn validate(&self) {
+        assert!(!self.vcs.is_empty(), "need at least one VC");
+        assert!(self.penalty_factor > 0, "penalty factor N must be positive");
+        assert!(
+            self.quote_speed > 0.0 && self.quote_speed <= 1.0,
+            "quote speed must be in (0, 1]"
+        );
+        let initial: u64 = self.vcs.iter().map(|v| v.initial_vms).sum();
+        assert!(
+            initial <= self.private_capacity,
+            "initial VC allocation ({initial}) exceeds private capacity ({})",
+            self.private_capacity
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_evaluation_setup() {
+        let cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        cfg.validate();
+        assert_eq!(cfg.private_capacity, 50);
+        assert_eq!(cfg.vcs.len(), 2);
+        assert_eq!(cfg.vcs[0].initial_vms, 25);
+        assert_eq!(cfg.private_cost, VmRate::per_vm_second(2));
+        assert_eq!(cfg.clouds.len(), 1);
+        assert_eq!(cfg.processing_allowance, SimDuration::from_secs(84));
+        // Quoted exec for the Pascal app must be the paper's 1670 s.
+        let quoted = SimDuration::from_secs(1550).scale(1.0 / cfg.quote_speed);
+        assert_eq!(quoted, SimDuration::from_secs(1670));
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = PlatformConfig::paper(PolicyMode::Static)
+            .with_seed(9)
+            .with_penalty_factor(4)
+            .with_cloud_price_factor(1.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.penalty_factor, 4);
+        match &cfg.clouds[0].price {
+            PriceModel::Static(r) => assert_eq!(*r, VmRate::per_vm_second(6)),
+            _ => panic!("static price expected"),
+        }
+        assert_eq!(cfg.mode.label(), "static");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds private capacity")]
+    fn overcommitted_initial_allocation_rejected() {
+        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        cfg.vcs[0].initial_vms = 40;
+        cfg.validate();
+    }
+
+    #[test]
+    fn vc_config_constructors() {
+        let b = VcConfig::batch("b", 3);
+        assert_eq!(b.kind, FrameworkKind::Batch);
+        let m = VcConfig::mapreduce("m", 4);
+        assert_eq!(m.kind, FrameworkKind::MapReduce);
+        assert_eq!(m.locality_penalty_pct, 30);
+    }
+}

@@ -1,0 +1,87 @@
+//! The platform's discrete events.
+//!
+//! Every paper interaction with a real-world latency becomes one event
+//! variant: submissions arriving, the Cluster Manager finishing its
+//! processing pipeline, VM transfer steps (§3.4), cloud VM provisioning
+//! (§3.5), job completions predicted by the frameworks, lent-VM returns
+//! and Application Controller checks.
+
+use meryn_frameworks::JobId;
+use meryn_vmm::{CloudId, VmId};
+use meryn_workloads::Submission;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, VcId};
+
+/// One scheduled event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A user submission reaches the Client Manager.
+    Arrival(Submission),
+    /// The Cluster Manager finished processing the submission: the job
+    /// enters the framework (possibly after suspension/transfer delays
+    /// already elapsed).
+    SubmitToFramework {
+        /// The application being submitted.
+        app: AppId,
+    },
+    /// One VM of an inbound transfer finished shutting down at the
+    /// source (§3.4: source CM removes VMs, Resource Manager stops them).
+    TransferVmStopped {
+        /// The acquiring application.
+        app: AppId,
+        /// The stopped VM.
+        vm: VmId,
+    },
+    /// One replacement VM finished booting with the destination VC's
+    /// image (§3.4: destination CM starts and configures new VMs).
+    TransferVmBooted {
+        /// The acquiring application.
+        app: AppId,
+        /// The freshly booted VM.
+        vm: VmId,
+    },
+    /// One leased cloud VM finished provisioning (§3.5).
+    CloudVmReady {
+        /// The acquiring application.
+        app: AppId,
+        /// The leased VM.
+        vm: VmId,
+    },
+    /// A framework predicted this completion when it dispatched the job;
+    /// stale epochs are dropped.
+    JobFinished {
+        /// The hosting VC.
+        vc: VcId,
+        /// The framework job.
+        job: JobId,
+        /// Dispatch epoch at scheduling time.
+        epoch: u64,
+    },
+    /// One VM of a lent-VM return finished stopping at the borrower.
+    ReturnVmStopped {
+        /// Return choreography id.
+        ret: u64,
+        /// The stopped VM.
+        vm: VmId,
+    },
+    /// One VM of a lent-VM return finished booting at the lender.
+    ReturnVmBooted {
+        /// Return choreography id.
+        ret: u64,
+        /// The freshly booted VM.
+        vm: VmId,
+    },
+    /// A cloud VM finished releasing; the lease closes and is billed.
+    CloudVmReleased {
+        /// The cloud it belonged to.
+        cloud: CloudId,
+        /// The released VM.
+        vm: VmId,
+    },
+    /// Periodic Application Controller SLA check.
+    ControllerCheck {
+        /// The monitored application.
+        app: AppId,
+    },
+}

@@ -1,0 +1,129 @@
+//! Platform-level identifiers and placement taxonomy.
+
+use std::fmt;
+
+use meryn_vmm::CloudId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an application across the whole platform.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AppId(pub u64);
+
+impl fmt::Debug for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a Virtual Cluster.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VcId(pub usize);
+
+impl fmt::Debug for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{}", self.0)
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Where an application's VMs came from — the five outcomes of
+/// Algorithm 1, which are also the five rows of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// The VC's own free private VMs.
+    Local,
+    /// The VC's own VMs, freed by suspending a running application.
+    LocalAfterSuspension,
+    /// VMs transferred from another VC that had them idle (bid = 0);
+    /// the transfer is permanent — VCs are elastic.
+    VcVms {
+        /// The lending VC.
+        from: VcId,
+    },
+    /// VMs lent by another VC after suspending one of its applications;
+    /// they are given back when this application completes.
+    VcVmsAfterSuspension {
+        /// The lending VC.
+        from: VcId,
+    },
+    /// VMs leased from a public cloud (cloud bursting).
+    Cloud {
+        /// The chosen cloud.
+        cloud: CloudId,
+    },
+}
+
+impl Placement {
+    /// The Table 1 row this placement corresponds to.
+    pub fn table1_case(&self) -> &'static str {
+        match self {
+            Placement::Local => "local-vm",
+            Placement::LocalAfterSuspension => "local-vm after suspension",
+            Placement::VcVms { .. } => "vc-vm",
+            Placement::VcVmsAfterSuspension { .. } => "vc-vm after suspension",
+            Placement::Cloud { .. } => "cloud-vm",
+        }
+    }
+
+    /// True when the VMs are private-pool VMs.
+    pub fn is_private(&self) -> bool {
+        !matches!(self, Placement::Cloud { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AppId(3).to_string(), "app3");
+        assert_eq!(VcId(1).to_string(), "vc1");
+    }
+
+    #[test]
+    fn table1_rows() {
+        assert_eq!(Placement::Local.table1_case(), "local-vm");
+        assert_eq!(
+            Placement::VcVms { from: VcId(1) }.table1_case(),
+            "vc-vm"
+        );
+        assert_eq!(
+            Placement::Cloud {
+                cloud: CloudId(0)
+            }
+            .table1_case(),
+            "cloud-vm"
+        );
+        assert_eq!(
+            Placement::LocalAfterSuspension.table1_case(),
+            "local-vm after suspension"
+        );
+        assert_eq!(
+            Placement::VcVmsAfterSuspension { from: VcId(0) }.table1_case(),
+            "vc-vm after suspension"
+        );
+    }
+
+    #[test]
+    fn privateness() {
+        assert!(Placement::Local.is_private());
+        assert!(Placement::VcVms { from: VcId(0) }.is_private());
+        assert!(!Placement::Cloud { cloud: CloudId(1) }.is_private());
+    }
+}

@@ -1,0 +1,554 @@
+//! Algorithm 1 — the resource selection protocol.
+//!
+//! "The objective of the resource selection protocol is to find the VMs
+//! with the cheapest cost to run a new application." The five outcomes,
+//! in the paper's order:
+//!
+//! 1. the local VC has enough free VMs → run on *local-vms*;
+//! 2. some other VC bids **zero** (it has idle VMs) → take its *vc-vms*;
+//! 3. the local suspension bid is the global minimum → suspend a local
+//!    application and reuse its VMs;
+//! 4. another VC's suspension bid is the minimum → that VC suspends and
+//!    lends;
+//! 5. the cheapest cloud offer is the minimum → lease *cloud-vms*.
+//!
+//! The **static** baseline short-circuits to: local if free, otherwise
+//! cloud — no inter-VC exchange, matching the paper's comparison system.
+
+use std::collections::BTreeMap;
+
+use meryn_sim::SimTime;
+use meryn_sla::{Money, VmRate};
+use meryn_vmm::{CloudId, PublicCloud};
+
+use crate::app::Application;
+use crate::bidding::{compute_bid, Bid, BidRequest};
+use crate::cluster_manager::VirtualCluster;
+use crate::config::PolicyMode;
+use crate::ids::{AppId, VcId};
+
+/// What Algorithm 1 decided for a new application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run on the local VC's free VMs (option 1).
+    Local,
+    /// Suspend `victim` locally and reuse its VMs (option 3).
+    LocalAfterSuspension {
+        /// The application to suspend.
+        victim: AppId,
+    },
+    /// Take idle VMs from `src` at zero cost (option 2).
+    FromVc {
+        /// The providing VC.
+        src: VcId,
+    },
+    /// Have `src` suspend `victim` and lend its VMs (option 4).
+    FromVcAfterSuspension {
+        /// The providing VC.
+        src: VcId,
+        /// The application it suspends.
+        victim: AppId,
+    },
+    /// Lease from the cheapest cloud (option 5).
+    Cloud {
+        /// The chosen cloud.
+        cloud: CloudId,
+        /// Its current market rate (locked for the lease).
+        rate: VmRate,
+    },
+    /// Nothing can provide the VMs now: queue in the local framework and
+    /// wait for capacity (not in the paper's pseudocode, which assumes a
+    /// cloud is always available; needed for cloudless deployments).
+    Queue,
+}
+
+/// Protocol-wide knobs threaded from the platform configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolParams {
+    /// Rate pricing Algorithm 2's minimal suspension cost.
+    pub storage_rate: VmRate,
+    /// When `false`, suspension bids are treated as `Unable` — the
+    /// platform never suspends (ablation A3's hard off switch).
+    pub suspension_enabled: bool,
+}
+
+impl ProtocolParams {
+    /// Default knobs with the given storage rate and suspension on.
+    pub fn new(storage_rate: VmRate) -> Self {
+        ProtocolParams {
+            storage_rate,
+            suspension_enabled: true,
+        }
+    }
+}
+
+/// Runs the protocol for a request by VC `local` (the "local cluster
+/// manager") at instant `now`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's protocol inputs
+pub fn select_resources(
+    mode: PolicyMode,
+    local: VcId,
+    vcs: &[VirtualCluster],
+    apps: &BTreeMap<AppId, Application>,
+    clouds: &[PublicCloud],
+    req: BidRequest,
+    now: SimTime,
+    params: ProtocolParams,
+) -> Decision {
+    let storage_rate = params.storage_rate;
+    let local_vc = &vcs[local.0];
+
+    // Option 1: enough local VMs.
+    if local_vc.available() >= req.nb_vms {
+        return Decision::Local;
+    }
+
+    // The cheapest cloud offer: price for nb_vms over the duration,
+    // among clouds whose quota can actually serve the request.
+    let cloud_offer: Option<(CloudId, VmRate, Money)> = clouds
+        .iter()
+        .filter(|c| c.can_lease(req.nb_vms))
+        .map(|c| {
+            let rate = c.price_at(now);
+            (c.id, rate, rate.cost_for_vms(req.nb_vms, req.duration))
+        })
+        .min_by_key(|&(_, _, cost)| cost);
+
+    if mode == PolicyMode::Static {
+        // The baseline only bursts.
+        return match cloud_offer {
+            Some((cloud, rate, _)) => Decision::Cloud { cloud, rate },
+            None => Decision::Queue,
+        };
+    }
+
+    // "Request all Cluster Managers to propose a bid."
+    let mut vc_bids: Vec<(VcId, Bid)> = Vec::with_capacity(vcs.len() - 1);
+    for vc in vcs.iter().filter(|vc| vc.id != local) {
+        vc_bids.push((vc.id, compute_bid(vc, apps, req, now, storage_rate)));
+    }
+
+    // Option 2: any zero bid wins immediately.
+    if let Some(&(src, _)) = vc_bids.iter().find(|(_, b)| b.is_free()) {
+        return Decision::FromVc { src };
+    }
+
+    if !params.suspension_enabled {
+        // Suspension switched off: the remaining options are bursting
+        // or waiting in the local queue.
+        return match cloud_offer {
+            Some((cloud, rate, _)) => Decision::Cloud { cloud, rate },
+            None => Decision::Queue,
+        };
+    }
+
+    // Local bid, "in the same way as the other Cluster Managers".
+    let local_bid = compute_bid(local_vc, apps, req, now, storage_rate);
+
+    // Smallest remote suspension bid.
+    let best_vc: Option<(VcId, AppId, Money)> = vc_bids
+        .iter()
+        .filter_map(|&(src, bid)| match bid {
+            Bid::Suspension { victim, cost } => Some((src, victim, cost)),
+            _ => None,
+        })
+        .min_by_key(|&(_, _, cost)| cost);
+
+    // Assemble the three candidate amounts; ties prefer local, then VC,
+    // then cloud (cheapest operationally at equal money).
+    let local_amount = local_bid.amount();
+    let vc_amount = best_vc.map(|(_, _, c)| c);
+    let cloud_amount = cloud_offer.map(|(_, _, c)| c);
+
+    let min_amount = [local_amount, vc_amount, cloud_amount]
+        .into_iter()
+        .flatten()
+        .min();
+
+    match min_amount {
+        None => Decision::Queue,
+        Some(min) => {
+            if local_amount == Some(min) {
+                match local_bid {
+                    Bid::Suspension { victim, .. } => {
+                        Decision::LocalAfterSuspension { victim }
+                    }
+                    // `Free` is impossible (option 1 would have fired);
+                    // `Unable` has no amount.
+                    _ => unreachable!("local bid with an amount is a suspension"),
+                }
+            } else if vc_amount == Some(min) {
+                let (src, victim, _) = best_vc.expect("vc amount implies a bid");
+                Decision::FromVcAfterSuspension { src, victim }
+            } else {
+                let (cloud, rate, _) = cloud_offer.expect("cloud amount implies an offer");
+                Decision::Cloud { cloud, rate }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppPhase;
+    use crate::ids::Placement;
+    use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
+    use meryn_sim::{SimDuration, SimRng};
+    use meryn_sla::pricing::PricingParams;
+    use meryn_sla::{AppTimes, SlaContract, SlaTerms};
+    use meryn_vmm::{HostTag, ImageId, LatencyModel, Location, PriceModel, VmId};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    const STORAGE: VmRate = VmRate::from_micro(500_000);
+
+    fn pricing() -> PricingParams {
+        PricingParams::new(VmRate::per_vm_second(4), 1)
+    }
+
+    /// Builds a VC with `idle` idle slaves and `running` one-VM apps
+    /// with the given deadlines. Returns the VC; apps are appended to
+    /// the shared map with sequential ids starting at `next_app`.
+    fn build_vc(
+        id: usize,
+        idle: u64,
+        running_deadlines: &[u64],
+        apps: &mut BTreeMap<AppId, Application>,
+        next_app: &mut u64,
+    ) -> VirtualCluster {
+        let mut vc = VirtualCluster::new(
+            VcId(id),
+            format!("VC{id}"),
+            FrameworkKind::Batch,
+            ImageId(0),
+            Box::new(BatchFramework::new()),
+            pricing(),
+        );
+        let total = idle + running_deadlines.len() as u64;
+        for i in 0..total {
+            vc.add_slave(
+                VmId::new(HostTag(id as u16 + 10), i),
+                1.0,
+                Location::Private,
+                VmRate::per_vm_second(2),
+            )
+            .unwrap();
+        }
+        for &deadline in running_deadlines {
+            let spec = JobSpec::Batch {
+                work: d(1000),
+                nb_vms: 1,
+                scaling: ScalingLaw::Fixed,
+            };
+            let job = vc.framework.submit(spec, t(0)).unwrap();
+            assert!(!vc.framework.try_dispatch(t(0)).is_empty());
+            let app_id = AppId(*next_app);
+            *next_app += 1;
+            vc.job_to_app.insert(job, app_id);
+            let mut times = AppTimes::submitted(t(0), d(1000), d(deadline));
+            times.start(t(0));
+            apps.insert(
+                app_id,
+                Application {
+                    id: app_id,
+                    vc: VcId(id),
+                    spec,
+                    contract: SlaContract::sign(
+                        // Price high enough that the AtPrice penalty cap
+                        // never interferes with bid comparisons here.
+                        SlaTerms::new(d(deadline), Money::from_units(10_000), 1),
+                        t(0),
+                        pricing(),
+                    ),
+                    times,
+                    job: Some(job),
+                    placement: Placement::Local,
+                    phase: AppPhase::Submitted,
+                    framework_submitted_at: Some(t(0)),
+                    cost: Money::ZERO,
+                    negotiation_rounds: 1,
+                    suspensions: 0,
+                    violation_detected: None,
+                },
+            );
+        }
+        vc
+    }
+
+    fn cloud(price_units: i64) -> PublicCloud {
+        let mut c = PublicCloud::new(
+            CloudId(0),
+            "test-cloud",
+            PriceModel::Static(VmRate::per_vm_second(price_units)),
+            LatencyModel::ZERO,
+            LatencyModel::ZERO,
+            1.0,
+            None,
+            SimRng::new(1),
+        );
+        c.stage_image(ImageId(0));
+        c
+    }
+
+    fn req(nb: u64, dur: u64) -> BidRequest {
+        BidRequest {
+            nb_vms: nb,
+            duration: d(dur),
+        }
+    }
+
+    #[test]
+    fn option1_local_vms_win_when_free() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 2, &[], &mut apps, &mut n),
+            build_vc(1, 0, &[], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(4)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert_eq!(dec, Decision::Local);
+    }
+
+    #[test]
+    fn option2_zero_bid_from_sibling() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[], &mut apps, &mut n),
+            build_vc(1, 3, &[], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(4)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert_eq!(dec, Decision::FromVc { src: VcId(1) });
+    }
+
+    #[test]
+    fn option3_local_suspension_when_cheapest() {
+        // Local running app has a huge deadline (cheap to suspend);
+        // sibling is empty-handed; cloud is expensive.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[100_000], &mut apps, &mut n),
+            build_vc(1, 0, &[], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(40)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert_eq!(dec, Decision::LocalAfterSuspension { victim: AppId(0) });
+    }
+
+    #[test]
+    fn option4_sibling_suspension_when_cheapest() {
+        // Local app is tight (expensive), sibling app is slack (cheap),
+        // cloud expensive.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[1_050], &mut apps, &mut n),
+            build_vc(1, 0, &[100_000], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(40)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert_eq!(
+            dec,
+            Decision::FromVcAfterSuspension {
+                src: VcId(1),
+                victim: AppId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn option5_cloud_when_cheapest() {
+        // Both VCs full with tight deadlines; cheap cloud.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[1_050], &mut apps, &mut n),
+            build_vc(1, 0, &[1_050], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(1)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        match dec {
+            Decision::Cloud { rate, .. } => assert_eq!(rate, VmRate::per_vm_second(1)),
+            other => panic!("expected cloud, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cheapest_cloud_is_selected() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![build_vc(0, 0, &[], &mut apps, &mut n)];
+        let mut c0 = cloud(8);
+        let mut c1 = PublicCloud::new(
+            CloudId(1),
+            "cheap",
+            PriceModel::Static(VmRate::per_vm_second(3)),
+            LatencyModel::ZERO,
+            LatencyModel::ZERO,
+            1.0,
+            None,
+            SimRng::new(2),
+        );
+        c1.stage_image(ImageId(0));
+        c0.stage_image(ImageId(0));
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[c0, c1],
+            req(2, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert_eq!(
+            dec,
+            Decision::Cloud {
+                cloud: CloudId(1),
+                rate: VmRate::per_vm_second(3)
+            }
+        );
+    }
+
+    #[test]
+    fn static_mode_never_exchanges() {
+        // Sibling has plenty of idle VMs, but static must burst.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[], &mut apps, &mut n),
+            build_vc(1, 10, &[], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Static,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(4)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert!(matches!(dec, Decision::Cloud { .. }));
+    }
+
+    #[test]
+    fn static_mode_still_uses_local_vms() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![build_vc(0, 1, &[], &mut apps, &mut n)];
+        let dec = select_resources(
+            PolicyMode::Static,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(4)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert_eq!(dec, Decision::Local);
+    }
+
+    #[test]
+    fn queue_when_nothing_available() {
+        // No idle VMs, no running apps to suspend, no clouds.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[], &mut apps, &mut n),
+            build_vc(1, 0, &[], &mut apps, &mut n),
+        ];
+        for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+            let dec = select_resources(
+                mode,
+                VcId(0),
+                &vcs,
+                &apps,
+                &[],
+                req(1, 1000),
+                t(10),
+                ProtocolParams::new(STORAGE),
+            );
+            assert_eq!(dec, Decision::Queue, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn paper_scenario_no_suspension_cloud_wins() {
+        // Reproduces the evaluation's decision point: both VCs full of
+        // near-deadline apps (free ≈ 200 s), cloud at 4 u/s, duration
+        // 1754 s. Suspension bids ≈ storage 877 + (1754−200)×4 ≈ 7093;
+        // cloud = 1754×4 = 7016 → cloud wins, no suspension.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        // deadline 1200 on exec 1000 started at 0 → free = 200 at t=0.
+        let vcs = vec![
+            build_vc(0, 0, &[1200], &mut apps, &mut n),
+            build_vc(1, 0, &[1200], &mut apps, &mut n),
+        ];
+        let dec = select_resources(
+            PolicyMode::Meryn,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(4)],
+            req(1, 1754),
+            t(0),
+            ProtocolParams::new(STORAGE),
+        );
+        assert!(
+            matches!(dec, Decision::Cloud { .. }),
+            "suspension must be costlier than bursting here, got {dec:?}"
+        );
+    }
+}

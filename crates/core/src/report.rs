@@ -1,0 +1,314 @@
+//! Run reports — the measurements behind Table 1 and Figures 5–6.
+
+use meryn_sim::metrics::SeriesSet;
+use meryn_sim::stats::{improvement_pct, Summary};
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::Money;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, VcId};
+
+/// One completed (or rejected) application's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRecord {
+    /// The application.
+    pub id: AppId,
+    /// Hosting VC.
+    pub vc: VcId,
+    /// Hosting VC's name.
+    pub vc_name: String,
+    /// Placement case (Table 1 row label).
+    pub placement: String,
+    /// Submission instant.
+    pub submitted: SimTime,
+    /// Framework hand-off instant.
+    pub framework_submitted: Option<SimTime>,
+    /// Completion instant.
+    pub completed: Option<SimTime>,
+    /// Table 1 processing time.
+    pub processing: Option<SimDuration>,
+    /// Actual execution duration (Fig. 6(a) quantity).
+    pub exec: SimDuration,
+    /// Provider cost (Fig. 6(b) quantity).
+    pub cost: Money,
+    /// Agreed price.
+    pub price: Money,
+    /// Revenue (price − penalty).
+    pub revenue: Money,
+    /// Delay penalty paid.
+    pub penalty: Money,
+    /// Whether the deadline was missed.
+    pub violated: bool,
+    /// Times the app was suspended to lend its VMs.
+    pub suspensions: u32,
+    /// Negotiation rounds to sign.
+    pub negotiation_rounds: u32,
+}
+
+/// Aggregates over a group of applications (a VC, or all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Number of applications.
+    pub count: usize,
+    /// Mean execution time in seconds.
+    pub avg_exec_secs: f64,
+    /// Mean provider cost in units.
+    pub avg_cost_units: f64,
+    /// Total provider cost.
+    pub total_cost: Money,
+    /// Total revenue.
+    pub total_revenue: Money,
+    /// Deadline violations.
+    pub violations: usize,
+}
+
+/// Everything one platform run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy label (`"meryn"` / `"static"`).
+    pub mode: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Per-application records, submission order.
+    pub apps: Vec<AppRecord>,
+    /// Rejected submissions (negotiation/routing failures).
+    pub rejected: usize,
+    /// Instant the last application completed.
+    pub completion_time: SimTime,
+    /// Used-VM step series: `used_private_vms`, `used_cloud_vms`
+    /// (Figure 5).
+    pub series: SeriesSet,
+    /// Peak concurrent private VMs in use.
+    pub peak_private: f64,
+    /// Peak concurrent cloud VMs in use (the paper's headline: 15 for
+    /// Meryn vs 25 for static).
+    pub peak_cloud: f64,
+    /// Zero-bid VM transfers performed.
+    pub transfers: u64,
+    /// Cloud VMs leased.
+    pub bursts: u64,
+    /// Application suspensions performed.
+    pub suspensions: u64,
+    /// Queued jobs escalated to the cloud by the violation policy.
+    pub escalations: u64,
+    /// What the cloud actually billed for the leases (boot-to-release).
+    pub cloud_bill: Money,
+    /// Events the simulation processed.
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// Aggregates over all apps (`None`) or one VC's apps.
+    pub fn group(&self, vc: Option<VcId>) -> GroupStats {
+        let apps: Vec<&AppRecord> = self
+            .apps
+            .iter()
+            .filter(|a| vc.is_none_or(|v| a.vc == v))
+            .collect();
+        let count = apps.len();
+        let mut exec = Summary::new();
+        let mut cost = Summary::new();
+        for a in &apps {
+            exec.push(a.exec.as_secs_f64());
+            cost.push(a.cost.as_units_f64());
+        }
+        GroupStats {
+            count,
+            avg_exec_secs: exec.mean(),
+            avg_cost_units: cost.mean(),
+            total_cost: apps.iter().map(|a| a.cost).sum(),
+            total_revenue: apps.iter().map(|a| a.revenue).sum(),
+            violations: apps.iter().filter(|a| a.violated).count(),
+        }
+    }
+
+    /// Total provider cost across all applications.
+    pub fn total_cost(&self) -> Money {
+        self.apps.iter().map(|a| a.cost).sum()
+    }
+
+    /// Total revenue across all applications.
+    pub fn total_revenue(&self) -> Money {
+        self.apps.iter().map(|a| a.revenue).sum()
+    }
+
+    /// Provider profit: revenue − cost.
+    pub fn profit(&self) -> Money {
+        self.total_revenue() - self.total_cost()
+    }
+
+    /// Number of deadline violations.
+    pub fn violations(&self) -> usize {
+        self.apps.iter().filter(|a| a.violated).count()
+    }
+
+    /// Workload completion time (the Fig. 6(a) "Workload" bar).
+    pub fn completion_secs(&self) -> f64 {
+        self.completion_time.as_secs_f64()
+    }
+
+    /// Processing-time summary for one Table 1 case label.
+    pub fn processing_summary(&self, case: &str) -> Summary {
+        let mut s = Summary::new();
+        for a in &self.apps {
+            if a.placement == case {
+                if let Some(p) = a.processing {
+                    s.push(p.as_secs_f64());
+                }
+            }
+        }
+        s
+    }
+
+    /// Placement histogram: (case label, count), label order.
+    pub fn placement_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for a in &self.apps {
+            *counts.entry(a.placement.as_str()).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect()
+    }
+}
+
+/// Side-by-side comparison of two runs (the shape of Figure 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Completion-time improvement of the first run over the second, %.
+    pub completion_improvement_pct: f64,
+    /// All-apps mean-cost improvement, %.
+    pub cost_improvement_pct: f64,
+    /// Total cost saved (second minus first).
+    pub cost_saved: Money,
+    /// Peak cloud VMs: first run.
+    pub peak_cloud_a: f64,
+    /// Peak cloud VMs: second run.
+    pub peak_cloud_b: f64,
+}
+
+/// Compares run `a` (typically Meryn) against `b` (typically static).
+pub fn compare(a: &RunReport, b: &RunReport) -> Comparison {
+    Comparison {
+        completion_improvement_pct: improvement_pct(b.completion_secs(), a.completion_secs()),
+        cost_improvement_pct: improvement_pct(
+            b.group(None).avg_cost_units,
+            a.group(None).avg_cost_units,
+        ),
+        cost_saved: b.total_cost() - a.total_cost(),
+        peak_cloud_a: a.peak_cloud,
+        peak_cloud_b: b.peak_cloud,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(vc: usize, exec: u64, cost: i64, violated: bool) -> AppRecord {
+        AppRecord {
+            id: AppId(0),
+            vc: VcId(vc),
+            vc_name: format!("VC{vc}"),
+            placement: "local-vm".into(),
+            submitted: SimTime::ZERO,
+            framework_submitted: Some(SimTime::from_secs(10)),
+            completed: Some(SimTime::from_secs(exec + 10)),
+            processing: Some(SimDuration::from_secs(10)),
+            exec: SimDuration::from_secs(exec),
+            cost: Money::from_units(cost),
+            price: Money::from_units(cost * 2),
+            revenue: Money::from_units(cost * 2),
+            penalty: Money::ZERO,
+            violated,
+            suspensions: 0,
+            negotiation_rounds: 1,
+        }
+    }
+
+    fn report(apps: Vec<AppRecord>) -> RunReport {
+        RunReport {
+            mode: "meryn".into(),
+            seed: 0,
+            apps,
+            rejected: 0,
+            completion_time: SimTime::from_secs(2000),
+            series: SeriesSet::new(),
+            peak_private: 50.0,
+            peak_cloud: 15.0,
+            transfers: 10,
+            bursts: 15,
+            suspensions: 0,
+            escalations: 0,
+            cloud_bill: Money::ZERO,
+            events_processed: 100,
+        }
+    }
+
+    #[test]
+    fn group_stats_split_by_vc() {
+        let r = report(vec![
+            record(0, 1550, 3100, false),
+            record(0, 1670, 6680, false),
+            record(1, 1550, 3100, true),
+        ]);
+        let all = r.group(None);
+        assert_eq!(all.count, 3);
+        assert_eq!(all.violations, 1);
+        let vc0 = r.group(Some(VcId(0)));
+        assert_eq!(vc0.count, 2);
+        assert!((vc0.avg_exec_secs - 1610.0).abs() < 1e-9);
+        assert!((vc0.avg_cost_units - 4890.0).abs() < 1e-9);
+        let vc1 = r.group(Some(VcId(1)));
+        assert_eq!(vc1.count, 1);
+        assert_eq!(vc1.total_cost, Money::from_units(3100));
+    }
+
+    #[test]
+    fn profit_is_revenue_minus_cost() {
+        let r = report(vec![record(0, 100, 500, false)]);
+        assert_eq!(r.total_cost(), Money::from_units(500));
+        assert_eq!(r.total_revenue(), Money::from_units(1000));
+        assert_eq!(r.profit(), Money::from_units(500));
+    }
+
+    #[test]
+    fn processing_summary_filters_by_case() {
+        let mut a = record(0, 100, 100, false);
+        a.placement = "cloud-vm".into();
+        a.processing = Some(SimDuration::from_secs(70));
+        let r = report(vec![a, record(0, 100, 100, false)]);
+        let s = r.processing_summary("cloud-vm");
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 70.0);
+        assert_eq!(r.processing_summary("vc-vm").count(), 0);
+    }
+
+    #[test]
+    fn placement_counts() {
+        let mut b = record(0, 1, 1, false);
+        b.placement = "cloud-vm".into();
+        let r = report(vec![record(0, 1, 1, false), b.clone(), b]);
+        let counts = r.placement_counts();
+        assert!(counts.contains(&("cloud-vm".to_owned(), 2)));
+        assert!(counts.contains(&("local-vm".to_owned(), 1)));
+    }
+
+    #[test]
+    fn comparison_matches_paper_shape() {
+        // Meryn-like vs static-like.
+        let meryn = report(vec![record(0, 1550, 4174, false)]);
+        let mut stat = report(vec![record(0, 1610, 4890, false)]);
+        stat.peak_cloud = 25.0;
+        stat.completion_time = SimTime::from_secs(2091);
+        let mut meryn = meryn;
+        meryn.completion_time = SimTime::from_secs(2021);
+        let c = compare(&meryn, &stat);
+        assert!(c.completion_improvement_pct > 3.0);
+        assert!(c.cost_improvement_pct > 14.0);
+        assert_eq!(c.cost_saved, Money::from_units(716));
+        assert_eq!(c.peak_cloud_a, 15.0);
+        assert_eq!(c.peak_cloud_b, 25.0);
+    }
+}

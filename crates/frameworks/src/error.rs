@@ -1,0 +1,72 @@
+//! Framework error types.
+
+use std::fmt;
+
+use meryn_vmm::VmId;
+
+use crate::job::JobId;
+
+/// Errors surfaced by the framework schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkError {
+    /// The job id is not known to this framework.
+    UnknownJob(JobId),
+    /// The slave VM is not registered with this framework.
+    UnknownSlave(VmId),
+    /// The slave VM is already registered.
+    DuplicateSlave(VmId),
+    /// The slave is currently executing a job and cannot be removed; the
+    /// Cluster Manager must suspend the job first (§3.4).
+    SlaveBusy(VmId, JobId),
+    /// The operation needs the job to be running, and it is not.
+    NotRunning(JobId),
+    /// The job spec's type does not match this framework
+    /// (e.g. a MapReduce description submitted to the batch framework).
+    WrongJobType {
+        /// What the framework expected.
+        expected: &'static str,
+        /// What it received.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::UnknownJob(j) => write!(f, "unknown job {j:?}"),
+            FrameworkError::UnknownSlave(v) => write!(f, "unknown slave {v}"),
+            FrameworkError::DuplicateSlave(v) => write!(f, "slave {v} already registered"),
+            FrameworkError::SlaveBusy(v, j) => {
+                write!(f, "slave {v} is busy running job {j:?}")
+            }
+            FrameworkError::NotRunning(j) => write!(f, "job {j:?} is not running"),
+            FrameworkError::WrongJobType { expected, got } => {
+                write!(f, "expected a {expected} job, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meryn_vmm::HostTag;
+
+    #[test]
+    fn display_messages() {
+        let vm = VmId::new(HostTag::PRIVATE, 1);
+        assert!(FrameworkError::SlaveBusy(vm, JobId(3))
+            .to_string()
+            .contains("busy"));
+        assert_eq!(
+            FrameworkError::WrongJobType {
+                expected: "batch",
+                got: "mapreduce"
+            }
+            .to_string(),
+            "expected a batch job, got mapreduce"
+        );
+    }
+}

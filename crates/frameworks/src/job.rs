@@ -1,0 +1,191 @@
+//! Job descriptions and lifecycle state.
+
+use std::fmt;
+
+use meryn_sim::{SimDuration, SimTime};
+use meryn_vmm::VmId;
+use serde::{Deserialize, Serialize};
+
+use crate::perf::ScalingLaw;
+
+/// Identifier of a job within one framework instance.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// What a submitted application asks the framework to run.
+///
+/// This is the framework-side translation of the user's submission
+/// template (§3.3): the Cluster Manager "translates the application
+/// description template to another template compatible with its
+/// programming framework".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobSpec {
+    /// A batch job: a volume of sequential-equivalent work spread over a
+    /// dedicated VM allocation under a scaling law.
+    Batch {
+        /// Work volume: execution time on one reference-speed VM.
+        work: SimDuration,
+        /// Dedicated VMs the scheduler attributes to this job.
+        nb_vms: u64,
+        /// How execution time scales with the allocation.
+        scaling: ScalingLaw,
+    },
+    /// A MapReduce job: map and reduce task waves over slot-bearing
+    /// slaves.
+    MapReduce {
+        /// Number of map tasks.
+        map_tasks: u32,
+        /// Work per map task on a reference-speed slot.
+        map_work: SimDuration,
+        /// Number of reduce tasks.
+        reduce_tasks: u32,
+        /// Work per reduce task on a reference-speed slot.
+        reduce_work: SimDuration,
+        /// Dedicated VMs the scheduler attributes to this job.
+        nb_vms: u64,
+        /// Task slots each VM contributes.
+        slots_per_vm: u32,
+    },
+}
+
+impl JobSpec {
+    /// The dedicated VM count this job requires — the quantity
+    /// Algorithm 1 negotiates for.
+    pub fn nb_vms(&self) -> u64 {
+        match *self {
+            JobSpec::Batch { nb_vms, .. } | JobSpec::MapReduce { nb_vms, .. } => nb_vms,
+        }
+    }
+
+    /// Short type name, for error messages and routing.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JobSpec::Batch { .. } => "batch",
+            JobSpec::MapReduce { .. } => "mapreduce",
+        }
+    }
+
+    /// Returns the same job with a different VM allocation — used when
+    /// SLA negotiation settles on an allocation other than the one the
+    /// user first described.
+    pub fn with_nb_vms(mut self, k: u64) -> JobSpec {
+        assert!(k > 0, "job must be allocated at least one VM");
+        match &mut self {
+            JobSpec::Batch { nb_vms, .. } | JobSpec::MapReduce { nb_vms, .. } => *nb_vms = k,
+        }
+        self
+    }
+}
+
+/// Lifecycle of a job inside a framework.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the framework queue.
+    Queued,
+    /// Executing on a set of slave VMs.
+    Running {
+        /// The dedicated slaves.
+        vms: Vec<VmId>,
+        /// When this stint started.
+        started: SimTime,
+        /// Predicted execution time of this stint (remaining work on
+        /// these slaves).
+        exec_total: SimDuration,
+        /// Predicted completion instant.
+        finish_at: SimTime,
+    },
+    /// Suspended with work remaining; back in the queue for re-dispatch.
+    Suspended {
+        /// When the suspension happened.
+        since: SimTime,
+    },
+    /// Completed.
+    Done {
+        /// Completion instant.
+        at: SimTime,
+    },
+}
+
+impl JobState {
+    /// Short state name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "Queued",
+            JobState::Running { .. } => "Running",
+            JobState::Suspended { .. } => "Suspended",
+            JobState::Done { .. } => "Done",
+        }
+    }
+}
+
+/// A dispatch decision returned by `try_dispatch`: the driver must
+/// schedule a completion event at `finish_at` carrying `epoch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dispatch {
+    /// The job that started.
+    pub job: JobId,
+    /// The slaves it occupies.
+    pub vms: Vec<VmId>,
+    /// Predicted execution duration of this stint.
+    pub exec_total: SimDuration,
+    /// Predicted completion instant.
+    pub finish_at: SimTime,
+    /// Dispatch epoch — completions with a stale epoch are ignored
+    /// (the job was suspended or re-dispatched in the meantime).
+    pub epoch: u64,
+}
+
+/// A confirmed completion returned by `on_finished`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobDone {
+    /// The finished job.
+    pub job: JobId,
+    /// The slaves it released.
+    pub vms: Vec<VmId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors() {
+        let b = JobSpec::Batch {
+            work: SimDuration::from_secs(100),
+            nb_vms: 3,
+            scaling: ScalingLaw::Linear,
+        };
+        assert_eq!(b.nb_vms(), 3);
+        assert_eq!(b.type_name(), "batch");
+        let m = JobSpec::MapReduce {
+            map_tasks: 10,
+            map_work: SimDuration::from_secs(30),
+            reduce_tasks: 2,
+            reduce_work: SimDuration::from_secs(60),
+            nb_vms: 4,
+            slots_per_vm: 2,
+        };
+        assert_eq!(m.nb_vms(), 4);
+        assert_eq!(m.type_name(), "mapreduce");
+    }
+
+    #[test]
+    fn state_names() {
+        assert_eq!(JobState::Queued.name(), "Queued");
+        assert_eq!(
+            JobState::Done {
+                at: SimTime::from_secs(1)
+            }
+            .name(),
+            "Done"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # meryn-frameworks — simulated programming frameworks
+//!
+//! Meryn assigns each Virtual Cluster to one programming framework
+//! (the prototype: Oracle Grid Engine for batch jobs, Hadoop for
+//! MapReduce), and deliberately leaves "most of the resource management
+//! decisions" to those frameworks. This crate provides the two framework
+//! substrates as deterministic schedulers over slave VMs:
+//!
+//! * [`batch`] — an OGE-like batch scheduler: FIFO queue (optional
+//!   backfill), a fixed number of dedicated VMs per application
+//!   (the paper configures OGE exactly this way), suspend/resume;
+//! * [`mapreduce`] — a Hadoop-like framework: map/reduce task waves over
+//!   slot-bearing slaves, with a locality penalty when waves span cloud
+//!   VMs;
+//! * [`scheduler`] — the generic dedicated-VM scheduler both are built
+//!   on, exposing the begin/complete style used across the workspace:
+//!   `try_dispatch` returns predicted completions for the driver to
+//!   schedule, and stale completions are rejected by per-job epochs;
+//! * [`perf`] — execution-time models (linear, Amdahl) that also back
+//!   SLA quoting;
+//! * [`traits`] — the [`traits::Framework`] object-safe
+//!   facade the PaaS layer talks to, keeping it framework-agnostic the
+//!   way the paper's generic Cluster Manager part is.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod error;
+pub mod job;
+pub mod mapreduce;
+pub mod perf;
+pub mod scheduler;
+pub mod traits;
+
+pub use batch::BatchFramework;
+pub use error::FrameworkError;
+pub use job::{Dispatch, JobId, JobSpec, JobState};
+pub use mapreduce::MapReduceFramework;
+pub use perf::ScalingLaw;
+pub use traits::{Framework, FrameworkKind};

@@ -1,0 +1,184 @@
+//! Execution-time models.
+//!
+//! The paper assumes "the batch Cluster Manager may deduce the application
+//! execution time based on its dedicated number of VMs and vice versa" —
+//! i.e. each framework owns a performance model. These models back both
+//! dispatch-time completion prediction and SLA quoting.
+
+use meryn_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How a batch job's execution time scales with its VM allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingLaw {
+    /// `exec = work / k` — embarrassingly parallel.
+    Linear,
+    /// Amdahl's law with the given serial percentage:
+    /// `exec = work × (serial + (1 − serial)/k)`.
+    Amdahl {
+        /// Serial fraction in percent (0–100).
+        serial_pct: u32,
+    },
+    /// `exec = work` regardless of allocation — a rigid job that cannot
+    /// use more than its natural parallelism (the paper's evaluation jobs
+    /// run on exactly one VM, where every law degenerates to this).
+    Fixed,
+}
+
+impl ScalingLaw {
+    /// Execution time for `work` (reference-VM seconds) on `k` VMs of
+    /// reference speed.
+    pub fn exec_time(&self, work: SimDuration, k: u64) -> SimDuration {
+        let k = k.max(1);
+        match *self {
+            ScalingLaw::Linear => work / k,
+            ScalingLaw::Amdahl { serial_pct } => {
+                let s = f64::from(serial_pct.min(100)) / 100.0;
+                work.scale(s + (1.0 - s) / k as f64)
+            }
+            ScalingLaw::Fixed => work,
+        }
+    }
+}
+
+/// Effective speed of a slave set for a tightly coupled job: the slowest
+/// member gates progress (BSP semantics). With the paper's single-VM
+/// jobs this is just the VM's own speed.
+pub fn effective_speed(speeds: &[f64]) -> f64 {
+    speeds.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Execution time of a batch stint: the scaling law at the allocation
+/// size, slowed by the gating member of the actual slave set.
+pub fn batch_exec_time(
+    work: SimDuration,
+    scaling: ScalingLaw,
+    speeds: &[f64],
+) -> SimDuration {
+    assert!(!speeds.is_empty(), "batch job dispatched on zero VMs");
+    let base = scaling.exec_time(work, speeds.len() as u64);
+    base.scale(1.0 / effective_speed(speeds))
+}
+
+/// Execution time of a MapReduce job on a slave set: map waves then
+/// reduce waves over the total slot count, gated by the slowest slave,
+/// with a locality penalty on the map phase when the set spans remote
+/// (cloud) slaves that must pull input over the WAN.
+#[allow(clippy::too_many_arguments)]
+pub fn mapreduce_exec_time(
+    map_tasks: u32,
+    map_work: SimDuration,
+    reduce_tasks: u32,
+    reduce_work: SimDuration,
+    speeds: &[f64],
+    slots_per_vm: u32,
+    remote_vms: usize,
+    locality_penalty_pct: u32,
+) -> SimDuration {
+    assert!(!speeds.is_empty(), "MapReduce job dispatched on zero VMs");
+    assert!(slots_per_vm > 0, "slots_per_vm must be positive");
+    let slots = speeds.len() as u64 * u64::from(slots_per_vm);
+    let map_waves = u64::from(map_tasks).div_ceil(slots);
+    let reduce_waves = u64::from(reduce_tasks).div_ceil(slots);
+    let speed = effective_speed(speeds);
+    let mut map_phase = (map_work * map_waves).scale(1.0 / speed);
+    if remote_vms > 0 {
+        // Remote slaves lose data locality: scale the map phase by the
+        // fraction of remote VMs times the penalty.
+        let remote_frac = remote_vms as f64 / speeds.len() as f64;
+        let penalty = 1.0 + remote_frac * f64::from(locality_penalty_pct) / 100.0;
+        map_phase = map_phase.scale(penalty);
+    }
+    let reduce_phase = (reduce_work * reduce_waves).scale(1.0 / speed);
+    map_phase + reduce_phase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn linear_scaling_divides() {
+        assert_eq!(ScalingLaw::Linear.exec_time(d(1200), 4), d(300));
+        assert_eq!(ScalingLaw::Linear.exec_time(d(1200), 1), d(1200));
+    }
+
+    #[test]
+    fn amdahl_flattens() {
+        let law = ScalingLaw::Amdahl { serial_pct: 50 };
+        // 50% serial: 2 VMs → 0.5 + 0.25 = 0.75×.
+        assert_eq!(law.exec_time(d(1000), 2), d(750));
+        // Infinite VMs would floor at 500; 100 VMs is already close.
+        assert_eq!(law.exec_time(d(1000), 100), d(505));
+    }
+
+    #[test]
+    fn fixed_ignores_allocation() {
+        assert_eq!(ScalingLaw::Fixed.exec_time(d(1550), 10), d(1550));
+    }
+
+    #[test]
+    fn zero_vms_clamps_to_one() {
+        assert_eq!(ScalingLaw::Linear.exec_time(d(100), 0), d(100));
+    }
+
+    #[test]
+    fn effective_speed_is_min() {
+        assert_eq!(effective_speed(&[1.0, 0.928, 1.2]), 0.928);
+    }
+
+    #[test]
+    fn batch_exec_reproduces_paper_cloud_slowdown() {
+        // Private: 1550 s at speed 1.0. Cloud: same work at speed
+        // 1550/1670 ≈ 0.9281 → 1670 s.
+        let work = d(1550);
+        assert_eq!(batch_exec_time(work, ScalingLaw::Fixed, &[1.0]), d(1550));
+        let cloud = batch_exec_time(work, ScalingLaw::Fixed, &[1550.0 / 1670.0]);
+        assert_eq!(cloud, d(1670));
+    }
+
+    #[test]
+    fn batch_exec_gated_by_slowest() {
+        let work = d(1000);
+        let mixed = batch_exec_time(work, ScalingLaw::Linear, &[1.0, 0.5]);
+        // 2 VMs linear → 500 s of reference work, gated at 0.5 → 1000 s.
+        assert_eq!(mixed, d(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero VMs")]
+    fn batch_exec_empty_panics() {
+        batch_exec_time(d(1), ScalingLaw::Linear, &[]);
+    }
+
+    #[test]
+    fn mapreduce_waves() {
+        // 10 maps on 2 VMs × 2 slots = 4 slots → 3 waves × 30 s = 90 s;
+        // 2 reduces → 1 wave × 60 s. Total 150 s.
+        let t = mapreduce_exec_time(10, d(30), 2, d(60), &[1.0, 1.0], 2, 0, 50);
+        assert_eq!(t, d(150));
+    }
+
+    #[test]
+    fn mapreduce_locality_penalty_applies_to_maps_only() {
+        // Same job, both VMs remote, 50% penalty: maps 90 → 135 s.
+        let t = mapreduce_exec_time(10, d(30), 2, d(60), &[1.0, 1.0], 2, 2, 50);
+        assert_eq!(t, d(195));
+        // Half remote: penalty 25% → maps 112.5 s.
+        let t2 = mapreduce_exec_time(10, d(30), 2, d(60), &[1.0, 1.0], 2, 1, 50);
+        assert_eq!(t2, SimDuration::from_millis(172_500));
+    }
+
+    #[test]
+    fn mapreduce_more_vms_fewer_waves() {
+        let small = mapreduce_exec_time(16, d(30), 0, d(0), &[1.0; 2], 2, 0, 0);
+        let large = mapreduce_exec_time(16, d(30), 0, d(0), &[1.0; 8], 2, 0, 0);
+        assert!(large < small);
+        assert_eq!(large, d(30)); // one wave
+        assert_eq!(small, d(120)); // four waves
+    }
+}

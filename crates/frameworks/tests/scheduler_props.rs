@@ -1,0 +1,96 @@
+//! Property tests for the dedicated-VM scheduler: slave accounting and
+//! work-fraction invariants hold under arbitrary operation sequences.
+
+use meryn_frameworks::batch::BatchFramework;
+use meryn_frameworks::{Dispatch, Framework, JobSpec, ScalingLaw};
+use meryn_sim::{SimDuration, SimTime};
+use meryn_vmm::{HostTag, VmId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Submit { work: u64, nb_vms: u64 },
+    Dispatch,
+    Finish(usize),
+    Suspend(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (10u64..500, 1u64..4).prop_map(|(work, nb_vms)| Op::Submit { work, nb_vms }),
+        Just(Op::Dispatch),
+        (0usize..32).prop_map(Op::Finish),
+        (0usize..32).prop_map(Op::Suspend),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn scheduler_accounting_invariants(
+        slaves in 1u64..8,
+        ops in prop::collection::vec(op_strategy(), 1..100)
+    ) {
+        let mut fw = BatchFramework::new();
+        for i in 0..slaves {
+            fw.add_slave(VmId::new(HostTag::PRIVATE, i), 1.0, false).unwrap();
+        }
+        let mut live: Vec<Dispatch> = Vec::new();
+        let mut t = 0u64;
+        let mut submitted = 0usize;
+        let mut finished = 0usize;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            match op {
+                Op::Submit { work, nb_vms } => {
+                    fw.submit(
+                        JobSpec::Batch {
+                            work: SimDuration::from_secs(work),
+                            nb_vms,
+                            scaling: ScalingLaw::Fixed,
+                        },
+                        now,
+                    )
+                    .unwrap();
+                    submitted += 1;
+                }
+                Op::Dispatch => {
+                    live.extend(fw.try_dispatch(now));
+                }
+                Op::Finish(i) if !live.is_empty() => {
+                    let d = live.remove(i % live.len());
+                    // Finish events land at the predicted instant or
+                    // later; both must be accepted for live epochs.
+                    let at = d.finish_at.max_of(now);
+                    if fw.on_finished(d.job, d.epoch, at).unwrap().is_some() {
+                        finished += 1;
+                    }
+                }
+                Op::Suspend(i) if !live.is_empty() => {
+                    let d = live.remove(i % live.len());
+                    // Only suspend if still running under this epoch
+                    // (a Finish may have raced it in our shuffled order).
+                    if fw.job(d.job).map(|j| j.is_running() && j.epoch == d.epoch) == Some(true) {
+                        let freed = fw.suspend(d.job, now).unwrap();
+                        prop_assert_eq!(freed.len(), d.vms.len());
+                    }
+                }
+                _ => {}
+            }
+            // Accounting invariants after every operation:
+            let busy: u64 = fw
+                .running_jobs()
+                .iter()
+                .map(|j| j.nb_vms())
+                .sum();
+            prop_assert_eq!(fw.idle_count() + busy, slaves);
+            for job in fw.running_jobs() {
+                prop_assert!(job.remaining_fraction >= 0.0);
+                prop_assert!(job.remaining_fraction <= 1.0);
+            }
+        }
+        prop_assert!(finished <= submitted);
+    }
+}

@@ -1,0 +1,460 @@
+//! Time-series metric recording.
+//!
+//! The paper's Figure 5 plots "used private VMs" and "used cloud VMs" as
+//! step functions of time. [`StepSeries`] records exactly that: a
+//! piecewise-constant signal sampled whenever it changes, queryable at any
+//! instant, resampleable onto a regular grid for plotting, and integrable
+//! (the time integral of "used cloud VMs" × price is a cross-check on the
+//! billing ledger).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// One observation: the signal takes `value` from `at` (inclusive) until
+/// the next sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Instant at which the signal changed.
+    pub at: SimTime,
+    /// New value of the signal.
+    pub value: f64,
+}
+
+/// A piecewise-constant time series.
+///
+/// Values before the first sample are taken to be the `initial` value
+/// given at construction (zero for [`StepSeries::new`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepSeries {
+    name: String,
+    initial: f64,
+    samples: Vec<Sample>,
+}
+
+impl StepSeries {
+    /// Creates an empty series starting at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_initial(name, 0.0)
+    }
+
+    /// Creates an empty series with an explicit initial value.
+    pub fn with_initial(name: impl Into<String>, initial: f64) -> Self {
+        StepSeries {
+            name: name.into(),
+            initial,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series name (used as the CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records that the signal takes `value` from instant `at` onward.
+    ///
+    /// Samples must arrive in nondecreasing time order (they come from a
+    /// simulation clock, so this is free). A second sample at the same
+    /// instant overwrites the first — only the final value of an instant
+    /// is observable.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(last) = self.samples.last_mut() {
+            assert!(
+                at >= last.at,
+                "samples must be time-ordered: got {at:?} after {:?}",
+                last.at
+            );
+            if last.at == at {
+                last.value = value;
+                return;
+            }
+            if last.value == value {
+                return; // no change; keep the series minimal
+            }
+        } else if self.initial == value {
+            // Recording the initial value explicitly is a no-op.
+            return;
+        }
+        self.samples.push(Sample { at, value });
+    }
+
+    /// Current (latest) value of the signal.
+    pub fn last(&self) -> f64 {
+        self.samples.last().map_or(self.initial, |s| s.value)
+    }
+
+    /// Value of the signal at instant `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.samples.binary_search_by(|s| s.at.cmp(&t)) {
+            Ok(i) => self.samples[i].value,
+            Err(0) => self.initial,
+            Err(i) => self.samples[i - 1].value,
+        }
+    }
+
+    /// Maximum value ever taken (including the initial value).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(self.initial, f64::max)
+    }
+
+    /// Minimum value ever taken (including the initial value).
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(self.initial, f64::min)
+    }
+
+    /// The raw change points.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Time of the last change, if any.
+    pub fn last_change(&self) -> Option<SimTime> {
+        self.samples.last().map(|s| s.at)
+    }
+
+    /// Integral of the signal over `[from, to)` (value × seconds).
+    ///
+    /// For a "used cloud VMs" series this is VM-seconds, which times the
+    /// per-second VM cost must equal the billing ledger's total.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut cursor = from;
+        let mut current = self.value_at(from);
+        for s in &self.samples {
+            if s.at <= from {
+                continue;
+            }
+            if s.at >= to {
+                break;
+            }
+            acc += current * (s.at - cursor).as_secs_f64();
+            cursor = s.at;
+            current = s.value;
+        }
+        acc += current * (to - cursor).as_secs_f64();
+        acc
+    }
+
+    /// Time-weighted mean over `[from, to)`.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = (to - from).as_secs_f64();
+        if span == 0.0 {
+            return self.value_at(from);
+        }
+        self.integral(from, to) / span
+    }
+
+    /// Resamples the series onto a regular grid from zero to `until`
+    /// (inclusive) with the given step, for plotting.
+    pub fn resample(&self, until: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "resample step must be positive");
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            out.push((t, self.value_at(t)));
+            if t >= until {
+                break;
+            }
+            t += step;
+        }
+        out
+    }
+}
+
+/// A set of step series sharing a time axis, renderable as CSV or a crude
+/// ASCII chart. This is what the figure-regeneration binaries print.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SeriesSet {
+    series: Vec<StepSeries>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a series and returns its index.
+    pub fn add(&mut self, series: StepSeries) -> usize {
+        self.series.push(series);
+        self.series.len() - 1
+    }
+
+    /// Mutable access to a series by index.
+    pub fn get_mut(&mut self, idx: usize) -> &mut StepSeries {
+        &mut self.series[idx]
+    }
+
+    /// Immutable access by index.
+    pub fn get(&self, idx: usize) -> &StepSeries {
+        &self.series[idx]
+    }
+
+    /// All series.
+    pub fn iter(&self) -> impl Iterator<Item = &StepSeries> {
+        self.series.iter()
+    }
+
+    /// Number of series in the set.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if the set holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Latest change instant across all series.
+    pub fn horizon(&self) -> SimTime {
+        self.series
+            .iter()
+            .filter_map(StepSeries::last_change)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Renders all series resampled on a common grid as CSV
+    /// (`time_s,<name>,<name>,…`).
+    pub fn to_csv(&self, step: SimDuration) -> String {
+        let until = self.horizon();
+        let mut out = String::from("time_s");
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.name());
+        }
+        out.push('\n');
+        let mut t = SimTime::ZERO;
+        loop {
+            let _ = write!(out, "{}", t.as_secs());
+            for s in &self.series {
+                let _ = write!(out, ",{}", s.value_at(t));
+            }
+            out.push('\n');
+            if t >= until {
+                break;
+            }
+            t += step;
+        }
+        out
+    }
+
+    /// Renders a crude fixed-width ASCII chart of every series on a shared
+    /// scale — enough to eyeball the shape of Figure 5 in a terminal.
+    pub fn to_ascii_chart(&self, width: usize, step: SimDuration) -> String {
+        let until = self.horizon();
+        let peak = self
+            .series
+            .iter()
+            .map(StepSeries::max)
+            .fold(1.0_f64, f64::max);
+        let mut out = String::new();
+        for s in &self.series {
+            let _ = writeln!(out, "{} (max {:.0}, scale 0..{:.0})", s.name(), s.max(), peak);
+            let mut t = SimTime::ZERO;
+            loop {
+                let v = s.value_at(t);
+                let bars = ((v / peak) * width as f64).round() as usize;
+                let _ = writeln!(out, "{:>7}s |{}", t.as_secs(), "#".repeat(bars));
+                if t >= until {
+                    break;
+                }
+                t += step;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A monotonically increasing event counter with a name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            count: 0,
+        }
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut s = StepSeries::new("vms");
+        s.record(t(10), 5.0);
+        s.record(t(20), 8.0);
+        assert_eq!(s.value_at(t(0)), 0.0);
+        assert_eq!(s.value_at(t(10)), 5.0);
+        assert_eq!(s.value_at(t(15)), 5.0);
+        assert_eq!(s.value_at(t(20)), 8.0);
+        assert_eq!(s.value_at(t(1000)), 8.0);
+        assert_eq!(s.last(), 8.0);
+    }
+
+    #[test]
+    fn initial_value_respected() {
+        let s = StepSeries::with_initial("g", 25.0);
+        assert_eq!(s.value_at(t(5)), 25.0);
+        assert_eq!(s.max(), 25.0);
+        assert_eq!(s.min(), 25.0);
+    }
+
+    #[test]
+    fn duplicate_instant_overwrites() {
+        let mut s = StepSeries::new("x");
+        s.record(t(5), 1.0);
+        s.record(t(5), 2.0);
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.value_at(t(5)), 2.0);
+    }
+
+    #[test]
+    fn unchanged_value_is_deduplicated() {
+        let mut s = StepSeries::new("x");
+        s.record(t(5), 1.0);
+        s.record(t(9), 1.0);
+        assert_eq!(s.samples().len(), 1);
+        // Recording the initial value before any change is also a no-op.
+        let mut z = StepSeries::new("z");
+        z.record(t(1), 0.0);
+        assert!(z.samples().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_record_panics() {
+        let mut s = StepSeries::new("x");
+        s.record(t(10), 1.0);
+        s.record(t(5), 2.0);
+    }
+
+    #[test]
+    fn max_min_track_extremes() {
+        let mut s = StepSeries::new("x");
+        s.record(t(1), 5.0);
+        s.record(t(2), -3.0);
+        s.record(t(3), 2.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.min(), -3.0);
+    }
+
+    #[test]
+    fn integral_of_rectangle() {
+        let mut s = StepSeries::new("x");
+        s.record(t(10), 4.0);
+        s.record(t(20), 0.0);
+        // 4.0 for 10 seconds.
+        assert_eq!(s.integral(t(0), t(30)), 40.0);
+        assert_eq!(s.integral(t(10), t(20)), 40.0);
+        assert_eq!(s.integral(t(12), t(15)), 12.0);
+        assert_eq!(s.integral(t(20), t(20)), 0.0);
+    }
+
+    #[test]
+    fn integral_with_initial_value() {
+        let mut s = StepSeries::with_initial("x", 2.0);
+        s.record(t(5), 6.0);
+        // 2.0*5 + 6.0*5 over [0,10).
+        assert_eq!(s.integral(t(0), t(10)), 40.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_matches_hand_calc() {
+        let mut s = StepSeries::new("x");
+        s.record(t(0), 10.0);
+        s.record(t(5), 20.0);
+        // [0,10): 10 for 5s, 20 for 5s → mean 15.
+        assert_eq!(s.time_weighted_mean(t(0), t(10)), 15.0);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut s = StepSeries::new("x");
+        s.record(t(3), 7.0);
+        let grid = s.resample(t(6), SimDuration::from_secs(2));
+        assert_eq!(
+            grid,
+            vec![(t(0), 0.0), (t(2), 0.0), (t(4), 7.0), (t(6), 7.0)]
+        );
+    }
+
+    #[test]
+    fn series_set_csv() {
+        let mut set = SeriesSet::new();
+        let a = set.add(StepSeries::new("private"));
+        let b = set.add(StepSeries::new("cloud"));
+        set.get_mut(a).record(t(0), 25.0);
+        set.get_mut(b).record(t(2), 5.0);
+        let csv = set.to_csv(SimDuration::from_secs(1));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,private,cloud");
+        assert_eq!(lines[1], "0,25,0");
+        assert_eq!(lines[3], "2,25,5");
+    }
+
+    #[test]
+    fn series_set_horizon_and_chart() {
+        let mut set = SeriesSet::new();
+        let a = set.add(StepSeries::new("x"));
+        set.get_mut(a).record(t(9), 3.0);
+        assert_eq!(set.horizon(), t(9));
+        let chart = set.to_ascii_chart(10, SimDuration::from_secs(3));
+        assert!(chart.contains("x (max 3"));
+        assert!(!set.is_empty());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("events");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.name(), "events");
+    }
+}

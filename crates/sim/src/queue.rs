@@ -1,0 +1,255 @@
+//! The event queue: a time-ordered priority queue with deterministic
+//! FIFO tie-breaking.
+//!
+//! Determinism matters here: the Meryn protocols are full of events
+//! scheduled at the same instant (e.g. several Cluster Managers answering a
+//! bid request "immediately"). A plain binary heap would pop equal-priority
+//! items in an unspecified order; this queue tags every insertion with a
+//! sequence number so replays are exact.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event together with its due time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within an
+        // instant, the first-inserted) event is popped first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events are popped in nondecreasing time order; events scheduled for the
+/// same instant are popped in the order they were pushed.
+///
+/// ```
+/// use meryn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5), "later");
+/// q.push(SimTime::from_secs(1), "first");
+/// q.push(SimTime::from_secs(5), "even later");
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert_eq!(q.pop().unwrap().1, "even later");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with capacity for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// The current simulation instant: the due time of the most recently
+    /// popped event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress/complexity
+    /// metric for benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute instant `due`.
+    ///
+    /// Scheduling in the past is a logic error in a discrete-event
+    /// simulation (it would make time run backwards), so this panics if
+    /// `due` is earlier than the current instant. Scheduling *at* the
+    /// current instant is fine and common (zero-latency hops).
+    pub fn push(&mut self, due: SimTime, event: E) {
+        assert!(
+            due >= self.now,
+            "cannot schedule event in the past: due={due:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { due, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current instant.
+    pub fn push_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        let due = self.now + delay;
+        self.push(due, event);
+    }
+
+    /// Pops the next event, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let sched = self.heap.pop()?;
+        debug_assert!(sched.due >= self.now);
+        self.now = sched.due;
+        self.popped += 1;
+        Some((sched.due, sched.event))
+    }
+
+    /// Due time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.due)
+    }
+
+    /// Drops every pending event, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(30), 3);
+        q.push(SimTime::from_secs(10), 1);
+        q.push(SimTime::from_secs(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(4), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn push_after_uses_current_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), "a");
+        q.pop();
+        q.push_after(SimDuration::from_secs(5), "b");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(e, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), ());
+        q.pop();
+        q.push(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 1);
+        q.pop();
+        q.push(SimTime::from_secs(10), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(10), 2));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 5);
+    }
+}

@@ -1,0 +1,319 @@
+//! Summary statistics for experiment reporting.
+//!
+//! The evaluation binaries need means, spreads and percentiles over small
+//! sample sets (65 applications, 100 latency probes). Two flavours are
+//! provided: [`OnlineStats`] (Welford, single pass, no storage) for running
+//! aggregates, and [`Summary`] (stores the samples) when percentiles are
+//! needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass running mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (zero for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free: +∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A stored-sample summary with percentile support.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "summary samples must be finite, got {x}");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt()
+    }
+
+    /// Smallest observation (zero when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest observation (zero when empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank on the sorted
+    /// samples. Panics when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "percentile of empty summary");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median, i.e. the 50th percentile.
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Read-only view of the raw samples (insertion order not guaranteed
+    /// once a percentile has been queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Relative improvement of `new` over `old` in percent, as the paper
+/// reports ("16.72% better"): positive when `new` is smaller.
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    (old - new) / old * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_empty_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn online_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn online_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(3.0);
+        let b = OnlineStats::new();
+        let mut a2 = a;
+        a2.merge(&b);
+        assert_eq!(a2.mean(), 3.0);
+        let mut c = OnlineStats::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn summary_basic_stats() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.sum(), 10.0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let mut s = Summary::from_slice(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(20.0), 1.0);
+        assert_eq!(s.percentile(80.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty")]
+    fn percentile_empty_panics() {
+        Summary::new().percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn summary_rejects_nan() {
+        Summary::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn improvement_percent() {
+        assert!((improvement_pct(2091.0, 2021.0) - 3.348).abs() < 0.01);
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+        assert!(improvement_pct(100.0, 120.0) < 0.0);
+    }
+}

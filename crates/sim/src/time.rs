@@ -1,0 +1,380 @@
+//! Virtual time: fixed-point millisecond instants and durations.
+//!
+//! The paper reports all measurements in seconds (execution times around
+//! 1550 s, processing times of 7–84 s). Millisecond resolution is fine
+//! enough to order every event the protocols generate while keeping all
+//! arithmetic in exact `u64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant of virtual time, in milliseconds since the start of the
+/// simulation.
+///
+/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`]. Subtracting
+/// two instants yields a [`SimDuration`]; subtraction saturates at zero
+/// rather than panicking because the protocols routinely compute "margin
+/// left" quantities (paper Fig. 4) that can be negative conceptually but are
+/// clamped in every use site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in milliseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "unset deadline" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ms` milliseconds after the origin.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Milliseconds since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the origin (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Seconds since the origin as a float, for reporting only.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is actually later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction returning `None` when `earlier > self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// The later of two instants.
+    pub fn max_of(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable duration; used as an "infinite lease".
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// Creates a duration from fractional seconds (rounds to the nearest
+    /// millisecond). Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1000.0).round() as u64)
+    }
+
+    /// Length in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Length in seconds as a float, for reporting only.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// True if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+
+    /// Multiplies by an integer factor, saturating at the maximum.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Scales by a non-negative float factor (e.g. a VM speed ratio),
+    /// rounding to the nearest millisecond.
+    ///
+    /// Panics if `factor` is negative or non-finite: speed ratios in this
+    /// workspace are always small positive constants and anything else is a
+    /// configuration bug worth failing loudly on.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The larger of two durations.
+    pub fn max_of(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    pub fn min_of(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ms(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ms(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ms(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ms(self.0))
+    }
+}
+
+fn format_ms(ms: u64) -> String {
+    if ms == u64::MAX {
+        return "∞".to_owned();
+    }
+    if ms % 1000 == 0 {
+        format!("{}s", ms / 1000)
+    } else {
+        format!("{}.{:03}s", ms / 1000, ms % 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(5).as_millis(), 5000);
+        assert_eq!(SimTime::from_millis(5000).as_secs(), 5);
+        assert_eq!(SimDuration::from_secs(3).as_millis(), 3000);
+        assert_eq!(SimDuration::from_millis(1500).as_secs(), 1);
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_secs(5);
+        let late = SimTime::from_secs(8);
+        assert_eq!(late.since(early), SimDuration::from_secs(3));
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(early.checked_since(late), None);
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let a = SimDuration::from_secs(2);
+        let b = SimDuration::from_secs(5);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(b - a, SimDuration::from_secs(3));
+        assert_eq!(SimDuration::MAX + a, SimDuration::MAX);
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest_ms() {
+        let d = SimDuration::from_millis(1000);
+        assert_eq!(d.scale(1.0777), SimDuration::from_millis(1078));
+        assert_eq!(d.scale(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn scale_rejects_negative() {
+        SimDuration::from_secs(1).scale(-0.5);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1.2345).as_millis(), 1235);
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(84).to_string(), "84s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimDuration::MAX.to_string(), "∞");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_secs(2);
+        assert_eq!(a.max_of(b), b);
+        assert_eq!(a.min_of(b), a);
+        assert_eq!(
+            SimTime::from_secs(4).max_of(SimTime::from_secs(9)),
+            SimTime::from_secs(9)
+        );
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn mul_div() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 4, SimDuration::from_millis(2500));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SimTime::from_millis(12345);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SimTime = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the metrics kernel: step-series integrals are
+//! additive and consistent with point queries.
+
+use meryn_sim::metrics::StepSeries;
+use meryn_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ∫[a,c) = ∫[a,b) + ∫[b,c) for any split point.
+    #[test]
+    fn integral_is_additive(
+        points in prop::collection::vec((0u64..1000, -50i32..50), 0..40),
+        split in 0u64..1000
+    ) {
+        let mut sorted = points;
+        sorted.sort();
+        let mut s = StepSeries::new("x");
+        for &(t, v) in &sorted {
+            s.record(SimTime::from_secs(t), f64::from(v));
+        }
+        let a = SimTime::ZERO;
+        let b = SimTime::from_secs(split);
+        let c = SimTime::from_secs(1000);
+        let whole = s.integral(a, c);
+        let parts = s.integral(a, b) + s.integral(b, c);
+        prop_assert!((whole - parts).abs() < 1e-6, "{whole} vs {parts}");
+    }
+
+    /// The integral of a constant-by-parts signal equals the sum of
+    /// value_at over unit steps.
+    #[test]
+    fn integral_matches_riemann_sum(
+        points in prop::collection::vec((0u64..50, 0i32..20), 0..10)
+    ) {
+        let mut sorted = points;
+        sorted.sort();
+        let mut s = StepSeries::new("x");
+        for &(t, v) in &sorted {
+            s.record(SimTime::from_secs(t), f64::from(v));
+        }
+        let until = 50u64;
+        let integral = s.integral(SimTime::ZERO, SimTime::from_secs(until));
+        let riemann: f64 = (0..until)
+            .map(|t| s.value_at(SimTime::from_secs(t)))
+            .sum();
+        prop_assert!((integral - riemann).abs() < 1e-6);
+    }
+
+    /// value_at never exceeds max() nor undercuts min().
+    #[test]
+    fn extremes_bound_every_query(
+        points in prop::collection::vec((0u64..1000, -100i32..100), 1..40),
+        queries in prop::collection::vec(0u64..1200, 1..20)
+    ) {
+        let mut sorted = points;
+        sorted.sort();
+        let mut s = StepSeries::new("x");
+        for &(t, v) in &sorted {
+            s.record(SimTime::from_secs(t), f64::from(v));
+        }
+        for q in queries {
+            let v = s.value_at(SimTime::from_secs(q));
+            prop_assert!(v <= s.max() && v >= s.min());
+        }
+    }
+
+    /// Resampling preserves point queries on grid instants.
+    #[test]
+    fn resample_agrees_with_value_at(
+        points in prop::collection::vec((0u64..100, 0i32..50), 0..20),
+        step in 1u64..10
+    ) {
+        let mut sorted = points;
+        sorted.sort();
+        let mut s = StepSeries::new("x");
+        for &(t, v) in &sorted {
+            s.record(SimTime::from_secs(t), f64::from(v));
+        }
+        for (t, v) in s.resample(SimTime::from_secs(100), SimDuration::from_secs(step)) {
+            prop_assert_eq!(v, s.value_at(t));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! SLA terms and signed contracts.
+//!
+//! For batch applications the paper's SLA has exactly two user-visible
+//! metrics — a **deadline** and a **price** — plus the penalty regime
+//! (eq. 3) that kicks in when the platform misses the deadline.
+
+use meryn_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+use crate::pricing::PricingParams;
+
+/// The two negotiated SLA metrics plus the resources they assume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaTerms {
+    /// Overall time allowed from submission to result delivery (eq. 1).
+    pub deadline: SimDuration,
+    /// Amount the user pays for the run (eq. 2).
+    pub price: Money,
+    /// Number of VMs the framework dedicates to the application — the
+    /// quantity Algorithm 1 asks the other Cluster Managers to bid on.
+    pub nb_vms: u64,
+}
+
+impl SlaTerms {
+    /// Creates terms.
+    pub fn new(deadline: SimDuration, price: Money, nb_vms: u64) -> Self {
+        assert!(nb_vms > 0, "an SLA must dedicate at least one VM");
+        SlaTerms {
+            deadline,
+            price,
+            nb_vms,
+        }
+    }
+}
+
+/// A signed agreement between a user and a Cluster Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaContract {
+    /// The agreed metrics.
+    pub terms: SlaTerms,
+    /// Instant the contract was signed (= the application's submission
+    /// instant; the deadline counts from here).
+    pub agreed_at: SimTime,
+    /// Pricing regime used to assess penalties on this contract.
+    pub pricing: PricingParams,
+}
+
+impl SlaContract {
+    /// Signs `terms` at `agreed_at` under `pricing`.
+    pub fn sign(terms: SlaTerms, agreed_at: SimTime, pricing: PricingParams) -> Self {
+        SlaContract {
+            terms,
+            agreed_at,
+            pricing,
+        }
+    }
+
+    /// Absolute instant the deadline falls due.
+    pub fn deadline_at(&self) -> SimTime {
+        self.agreed_at + self.terms.deadline
+    }
+
+    /// Delay relative to the deadline for a completion at `finished_at`
+    /// (zero when on time).
+    pub fn delay_at(&self, finished_at: SimTime) -> SimDuration {
+        finished_at.since(self.deadline_at())
+    }
+
+    /// The penalty owed for completing at `finished_at` (eq. 3, bounded).
+    pub fn penalty_at(&self, finished_at: SimTime) -> Money {
+        self.pricing
+            .delay_penalty(self.delay_at(finished_at), self.terms.nb_vms, self.terms.price)
+    }
+
+    /// Provider revenue for completing at `finished_at`: price − penalty.
+    pub fn revenue_at(&self, finished_at: SimTime) -> Money {
+        self.terms.price - self.penalty_at(finished_at)
+    }
+
+    /// True when completing at `finished_at` would violate the SLA.
+    pub fn violated_at(&self, finished_at: SimTime) -> bool {
+        finished_at > self.deadline_at()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::VmRate;
+
+    fn contract() -> SlaContract {
+        // Signed at t=50 s: exec 1000 s + processing 84 s = deadline 1084 s,
+        // price 1000 s × 1 VM × 2 u = 2000 u, N = 2.
+        let pricing = PricingParams::new(VmRate::per_vm_second(2), 2);
+        let terms = SlaTerms::new(
+            SimDuration::from_secs(1084),
+            Money::from_units(2000),
+            1,
+        );
+        SlaContract::sign(terms, SimTime::from_secs(50), pricing)
+    }
+
+    #[test]
+    fn deadline_is_absolute() {
+        let c = contract();
+        assert_eq!(c.deadline_at(), SimTime::from_secs(1134));
+    }
+
+    #[test]
+    fn on_time_full_revenue() {
+        let c = contract();
+        let done = SimTime::from_secs(1100);
+        assert!(!c.violated_at(done));
+        assert_eq!(c.delay_at(done), SimDuration::ZERO);
+        assert_eq!(c.penalty_at(done), Money::ZERO);
+        assert_eq!(c.revenue_at(done), Money::from_units(2000));
+    }
+
+    #[test]
+    fn exactly_at_deadline_is_not_violated() {
+        let c = contract();
+        assert!(!c.violated_at(c.deadline_at()));
+        assert_eq!(c.revenue_at(c.deadline_at()), c.terms.price);
+    }
+
+    #[test]
+    fn late_completion_pays_penalty() {
+        let c = contract();
+        // 100 s late × 1 VM × 2 u/s ÷ 2 = 100 u penalty.
+        let done = SimTime::from_secs(1234);
+        assert!(c.violated_at(done));
+        assert_eq!(c.delay_at(done), SimDuration::from_secs(100));
+        assert_eq!(c.penalty_at(done), Money::from_units(100));
+        assert_eq!(c.revenue_at(done), Money::from_units(1900));
+    }
+
+    #[test]
+    fn penalty_capped_at_price() {
+        let c = contract();
+        let way_late = SimTime::from_secs(10_000_000);
+        assert_eq!(c.penalty_at(way_late), c.terms.price);
+        assert_eq!(c.revenue_at(way_late), Money::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM")]
+    fn zero_vms_rejected() {
+        SlaTerms::new(SimDuration::from_secs(1), Money::ZERO, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = contract();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SlaContract = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,36 @@
+//! # meryn-sla — SLA contracts and platform economics
+//!
+//! This crate implements the economic layer of the Meryn reproduction:
+//!
+//! * [`money`] — exact fixed-point money ([`Money`]) and per-VM-second
+//!   rates ([`VmRate`]); all revenue/cost comparisons in the resource
+//!   selection protocol are `Ord` comparisons on integers, never floats;
+//! * [`pricing`] — the paper's equations 1–3 (deadline, price, delay
+//!   penalty) and the revenue function they induce;
+//! * [`contract`] — SLA terms and signed contracts for submitted
+//!   applications;
+//! * [`times`] — the spent/progress/finish/free time accounting of paper
+//!   Figure 4, on which Algorithm 2's suspension-cost estimate rests;
+//! * [`negotiation`] — the (deadline, price) proposal/counter-proposal
+//!   loop of §4.2.1, with pluggable user strategies;
+//! * [`violation`] — SLA status tracking and penalty assessment.
+//!
+//! The crate is deliberately independent of the VM and framework
+//! substrates: everything here is arithmetic over times and money, which is
+//! exactly the boundary the paper draws ("the cost computation method
+//! depends on the application's performance model and SLA").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod contract;
+pub mod money;
+pub mod negotiation;
+pub mod pricing;
+pub mod times;
+pub mod violation;
+
+pub use contract::{SlaContract, SlaTerms};
+pub use money::{Money, VmRate};
+pub use pricing::PricingParams;
+pub use times::AppTimes;

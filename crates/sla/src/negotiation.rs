@@ -1,0 +1,384 @@
+//! SLA negotiation (§4.2.1).
+//!
+//! The Cluster Manager "provides the user with a set of pairs (deadline,
+//! price) and lets her choose one of them. If the user does not agree with
+//! any proposed pairs she may impose one of the SLA metrics" — a price cap
+//! when she has a budget, a deadline when the application is urgent. The
+//! provider answers with the counterpart metric; if the user still
+//! disagrees she concedes a little and launches another round, "and so on
+//! until she agrees with the two metrics".
+//!
+//! The provider side is abstracted behind [`Quoter`] so each framework's
+//! Cluster Manager can price with its own performance model; the user side
+//! is a [`UserStrategy`] value, which keeps simulated users deterministic
+//! and composable in workloads.
+
+use meryn_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::contract::{SlaContract, SlaTerms};
+use crate::money::Money;
+use crate::pricing::PricingParams;
+
+/// One (deadline, price) proposal for a given VM allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quote {
+    /// Offered deadline (relative to submission).
+    pub deadline: SimDuration,
+    /// Offered price.
+    pub price: Money,
+    /// VM allocation behind this quote.
+    pub nb_vms: u64,
+}
+
+impl From<Quote> for SlaTerms {
+    fn from(q: Quote) -> SlaTerms {
+        SlaTerms::new(q.deadline, q.price, q.nb_vms)
+    }
+}
+
+/// The provider side of a negotiation: prices quotes from its performance
+/// model.
+pub trait Quoter {
+    /// The opening set of (deadline, price) pairs, typically one per
+    /// feasible VM allocation, cheapest first.
+    fn proposals(&self) -> Vec<Quote>;
+
+    /// Best quote meeting `deadline`, if any allocation can.
+    fn quote_for_deadline(&self, deadline: SimDuration) -> Option<Quote>;
+
+    /// Best (fastest) quote costing at most `price`, if any.
+    fn quote_for_price(&self, price: Money) -> Option<Quote>;
+}
+
+/// How a simulated user behaves in the negotiation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UserStrategy {
+    /// Takes the cheapest opening proposal (the paper's evaluation users:
+    /// one VM per application, standard deadline).
+    AcceptCheapest,
+    /// Takes the opening proposal with the earliest deadline.
+    AcceptFastest,
+    /// Budget-constrained: imposes a price cap, conceding by
+    /// `concession_pct` percent each round if the provider cannot meet it.
+    ImposePrice {
+        /// Initial price cap.
+        cap: Money,
+        /// Per-round concession, in percent of the current cap.
+        concession_pct: u32,
+    },
+    /// Urgent application: imposes a deadline, conceding by
+    /// `concession_pct` percent each round.
+    ImposeDeadline {
+        /// Initial deadline demand.
+        deadline: SimDuration,
+        /// Per-round concession, in percent of the current demand.
+        concession_pct: u32,
+    },
+}
+
+/// Why a negotiation ended without agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NegotiationFailure {
+    /// The provider had no feasible quote at all.
+    NoProposals,
+    /// The round limit was reached before the parties converged.
+    RoundLimit,
+}
+
+/// The result of a negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NegotiationOutcome {
+    /// The quote both parties accepted.
+    pub quote: Quote,
+    /// Number of rounds it took (1 = accepted an opening proposal).
+    pub rounds: u32,
+}
+
+/// Runs the negotiation loop between `quoter` and a user following
+/// `strategy`, allowing at most `max_rounds` rounds.
+pub fn negotiate(
+    quoter: &dyn Quoter,
+    strategy: UserStrategy,
+    max_rounds: u32,
+) -> Result<NegotiationOutcome, NegotiationFailure> {
+    assert!(max_rounds > 0, "need at least one negotiation round");
+    let proposals = quoter.proposals();
+    match strategy {
+        UserStrategy::AcceptCheapest => {
+            let quote = proposals
+                .into_iter()
+                .min_by_key(|q| q.price)
+                .ok_or(NegotiationFailure::NoProposals)?;
+            Ok(NegotiationOutcome { quote, rounds: 1 })
+        }
+        UserStrategy::AcceptFastest => {
+            let quote = proposals
+                .into_iter()
+                .min_by_key(|q| q.deadline)
+                .ok_or(NegotiationFailure::NoProposals)?;
+            Ok(NegotiationOutcome { quote, rounds: 1 })
+        }
+        UserStrategy::ImposePrice {
+            cap,
+            concession_pct,
+        } => {
+            // Check the opening set first; a proposal within budget ends
+            // the negotiation in one round.
+            if let Some(q) = proposals
+                .iter()
+                .filter(|q| q.price <= cap)
+                .min_by_key(|q| q.deadline)
+            {
+                return Ok(NegotiationOutcome {
+                    quote: *q,
+                    rounds: 1,
+                });
+            }
+            let mut cap = cap;
+            for round in 1..=max_rounds {
+                if let Some(q) = quoter.quote_for_price(cap) {
+                    return Ok(NegotiationOutcome {
+                        quote: q,
+                        rounds: round,
+                    });
+                }
+                // Concede: raise the budget.
+                let bump = cap.as_micro() / 100 * concession_pct.max(1) as i64;
+                cap = Money::from_micro(cap.as_micro().saturating_add(bump.max(1)));
+            }
+            Err(NegotiationFailure::RoundLimit)
+        }
+        UserStrategy::ImposeDeadline {
+            deadline,
+            concession_pct,
+        } => {
+            if let Some(q) = proposals
+                .iter()
+                .filter(|q| q.deadline <= deadline)
+                .min_by_key(|q| q.price)
+            {
+                // The user imposed this deadline: it becomes the signed
+                // metric. Signing the looser user value (rather than the
+                // tighter internal estimate) gives the platform the slack
+                // the user explicitly granted.
+                return Ok(NegotiationOutcome {
+                    quote: Quote {
+                        deadline,
+                        ..*q
+                    },
+                    rounds: 1,
+                });
+            }
+            let mut demand = deadline;
+            for round in 1..=max_rounds {
+                if let Some(q) = quoter.quote_for_deadline(demand) {
+                    return Ok(NegotiationOutcome {
+                        quote: q,
+                        rounds: round,
+                    });
+                }
+                // Concede: relax the deadline.
+                let bump = demand.as_millis() / 100 * concession_pct.max(1) as u64;
+                demand += SimDuration::from_millis(bump.max(1));
+            }
+            Err(NegotiationFailure::RoundLimit)
+        }
+    }
+}
+
+/// Convenience: negotiates and signs the resulting contract at `now`.
+pub fn negotiate_and_sign(
+    quoter: &dyn Quoter,
+    strategy: UserStrategy,
+    max_rounds: u32,
+    now: SimTime,
+    pricing: PricingParams,
+) -> Result<(SlaContract, u32), NegotiationFailure> {
+    let outcome = negotiate(quoter, strategy, max_rounds)?;
+    Ok((
+        SlaContract::sign(outcome.quote.into(), now, pricing),
+        outcome.rounds,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::VmRate;
+
+    /// A toy quoter with linear speedup: `nb_vms` halves the time,
+    /// doubles nothing — price is work × vm_price regardless (perfect
+    /// scaling), so faster costs the same total, but we add a 10% premium
+    /// per extra VM to make the trade-off real.
+    struct ToyQuoter {
+        work: SimDuration,
+        max_vms: u64,
+        rate: VmRate,
+    }
+
+    impl ToyQuoter {
+        fn quote(&self, vms: u64) -> Quote {
+            let exec = self.work / vms;
+            let base = self.rate.cost_for_vms(vms, exec);
+            let premium = base.as_micro() / 10 * (vms as i64 - 1);
+            Quote {
+                deadline: exec + SimDuration::from_secs(84),
+                price: Money::from_micro(base.as_micro() + premium),
+                nb_vms: vms,
+            }
+        }
+    }
+
+    impl Quoter for ToyQuoter {
+        fn proposals(&self) -> Vec<Quote> {
+            (1..=self.max_vms).map(|v| self.quote(v)).collect()
+        }
+        fn quote_for_deadline(&self, deadline: SimDuration) -> Option<Quote> {
+            (1..=self.max_vms)
+                .map(|v| self.quote(v))
+                .filter(|q| q.deadline <= deadline)
+                .min_by_key(|q| q.price)
+        }
+        fn quote_for_price(&self, price: Money) -> Option<Quote> {
+            (1..=self.max_vms)
+                .map(|v| self.quote(v))
+                .filter(|q| q.price <= price)
+                .min_by_key(|q| q.deadline)
+        }
+    }
+
+    fn quoter() -> ToyQuoter {
+        ToyQuoter {
+            work: SimDuration::from_secs(1600),
+            max_vms: 8,
+            rate: VmRate::per_vm_second(2),
+        }
+    }
+
+    #[test]
+    fn accept_cheapest_takes_one_vm() {
+        let out = negotiate(&quoter(), UserStrategy::AcceptCheapest, 5).unwrap();
+        assert_eq!(out.quote.nb_vms, 1);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.quote.price, Money::from_units(3200));
+    }
+
+    #[test]
+    fn accept_fastest_takes_max_vms() {
+        let out = negotiate(&quoter(), UserStrategy::AcceptFastest, 5).unwrap();
+        assert_eq!(out.quote.nb_vms, 8);
+        assert_eq!(out.quote.deadline, SimDuration::from_secs(284));
+    }
+
+    #[test]
+    fn impose_deadline_picks_cheapest_fast_enough() {
+        // 1600/4 + 84 = 484 s with 4 VMs; demand 500 s.
+        let out = negotiate(
+            &quoter(),
+            UserStrategy::ImposeDeadline {
+                deadline: SimDuration::from_secs(500),
+                concession_pct: 10,
+            },
+            5,
+        )
+        .unwrap();
+        assert_eq!(out.quote.nb_vms, 4);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn impose_impossible_deadline_concedes_over_rounds() {
+        // Even 8 VMs needs 284 s; demand 200 s → concessions at 20%/round:
+        // 200, 240, 288 ✓ (third round).
+        let out = negotiate(
+            &quoter(),
+            UserStrategy::ImposeDeadline {
+                deadline: SimDuration::from_secs(200),
+                concession_pct: 20,
+            },
+            10,
+        )
+        .unwrap();
+        assert_eq!(out.quote.nb_vms, 8);
+        assert!(out.rounds > 1, "should have taken concession rounds");
+    }
+
+    #[test]
+    fn impose_price_within_budget() {
+        let out = negotiate(
+            &quoter(),
+            UserStrategy::ImposePrice {
+                cap: Money::from_units(3300),
+                concession_pct: 10,
+            },
+            5,
+        )
+        .unwrap();
+        assert!(out.quote.price <= Money::from_units(3300));
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn impossible_budget_hits_round_limit() {
+        let err = negotiate(
+            &quoter(),
+            UserStrategy::ImposePrice {
+                cap: Money::from_units(1),
+                concession_pct: 1,
+            },
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(err, NegotiationFailure::RoundLimit);
+    }
+
+    #[test]
+    fn tight_budget_concedes_until_feasible() {
+        let out = negotiate(
+            &quoter(),
+            UserStrategy::ImposePrice {
+                cap: Money::from_units(3000),
+                concession_pct: 5,
+            },
+            10,
+        )
+        .unwrap();
+        assert!(out.rounds > 1);
+        assert_eq!(out.quote.nb_vms, 1);
+    }
+
+    #[test]
+    fn empty_quoter_fails_cleanly() {
+        struct Mute;
+        impl Quoter for Mute {
+            fn proposals(&self) -> Vec<Quote> {
+                Vec::new()
+            }
+            fn quote_for_deadline(&self, _: SimDuration) -> Option<Quote> {
+                None
+            }
+            fn quote_for_price(&self, _: Money) -> Option<Quote> {
+                None
+            }
+        }
+        let err = negotiate(&Mute, UserStrategy::AcceptCheapest, 3).unwrap_err();
+        assert_eq!(err, NegotiationFailure::NoProposals);
+    }
+
+    #[test]
+    fn negotiate_and_sign_produces_contract() {
+        let pricing = PricingParams::new(VmRate::per_vm_second(2), 2);
+        let (contract, rounds) = negotiate_and_sign(
+            &quoter(),
+            UserStrategy::AcceptCheapest,
+            3,
+            SimTime::from_secs(42),
+            pricing,
+        )
+        .unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(contract.agreed_at, SimTime::from_secs(42));
+        assert_eq!(contract.terms.nb_vms, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! The paper's pricing equations (§4.2.1).
+//!
+//! * eq. 1 — `deadline = execution_time + processing_time`
+//! * eq. 2 — `price = execution_time × nb_vms × vm_price`
+//! * eq. 3 — `delay_penalty = (delay × nb_vms × vm_price) ÷ N,  N > 0`
+//!
+//! The provider's revenue for a completed application is its agreed price
+//! minus the delay penalty (if any), with the penalty optionally bounded
+//! "to limit the platform losses".
+
+use meryn_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::money::{Money, VmRate};
+
+/// How the delay penalty of eq. 3 is bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PenaltyBound {
+    /// Penalty can grow without limit (revenue may go negative).
+    Unbounded,
+    /// Penalty is capped at the agreed price (revenue floors at zero).
+    /// This matches the paper's N=1 illustration where "the user will pay
+    /// nothing" — not less than nothing.
+    AtPrice,
+    /// Penalty is capped at a fixed amount.
+    Fixed(Money),
+}
+
+/// Pricing knobs shared by every SLA a Cluster Manager proposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingParams {
+    /// The platform's VM price charged to users, per VM-second (the paper
+    /// keeps it location-independent and ≥ the public cloud VM cost).
+    pub vm_price: VmRate,
+    /// The penalty divisor N of eq. 3; higher favours the provider.
+    pub penalty_factor: u64,
+    /// Bound on the delay penalty.
+    pub penalty_bound: PenaltyBound,
+}
+
+impl PricingParams {
+    /// Creates pricing parameters with the given VM price and N, capping
+    /// penalties at the agreed price (the paper's illustrated behaviour).
+    pub fn new(vm_price: VmRate, penalty_factor: u64) -> Self {
+        assert!(penalty_factor > 0, "penalty factor N must be positive");
+        PricingParams {
+            vm_price,
+            penalty_factor,
+            penalty_bound: PenaltyBound::AtPrice,
+        }
+    }
+
+    /// Replaces the penalty bound.
+    pub fn with_bound(mut self, bound: PenaltyBound) -> Self {
+        self.penalty_bound = bound;
+        self
+    }
+
+    /// eq. 1: the deadline offered for a predicted execution time and a
+    /// submission-processing allowance.
+    pub fn deadline(&self, execution_time: SimDuration, processing_time: SimDuration) -> SimDuration {
+        execution_time + processing_time
+    }
+
+    /// eq. 2: the price offered for a predicted execution time on
+    /// `nb_vms` VMs.
+    pub fn price(&self, execution_time: SimDuration, nb_vms: u64) -> Money {
+        self.vm_price.cost_for_vms(nb_vms, execution_time)
+    }
+
+    /// eq. 3: the delay penalty for finishing `delay` past the deadline,
+    /// bounded per [`PenaltyBound`] (`agreed_price` is the cap for
+    /// [`PenaltyBound::AtPrice`]).
+    pub fn delay_penalty(&self, delay: SimDuration, nb_vms: u64, agreed_price: Money) -> Money {
+        let raw = self
+            .vm_price
+            .cost_for_vms(nb_vms, delay)
+            .div_int(self.penalty_factor);
+        match self.penalty_bound {
+            PenaltyBound::Unbounded => raw,
+            PenaltyBound::AtPrice => raw.min_of(agreed_price),
+            PenaltyBound::Fixed(cap) => raw.min_of(cap),
+        }
+    }
+
+    /// Provider revenue for an application that took `total_time` from
+    /// submission to completion against `deadline`, at `agreed_price` on
+    /// `nb_vms` VMs: price minus the (bounded) delay penalty.
+    pub fn revenue(
+        &self,
+        agreed_price: Money,
+        nb_vms: u64,
+        deadline: SimDuration,
+        total_time: SimDuration,
+    ) -> Money {
+        let delay = total_time.saturating_sub(deadline);
+        agreed_price - self.delay_penalty(delay, nb_vms, agreed_price)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meryn_sim::SimDuration;
+
+    fn params(n: u64) -> PricingParams {
+        PricingParams::new(VmRate::per_vm_second(2), n)
+    }
+
+    #[test]
+    fn eq1_deadline() {
+        let p = params(2);
+        let d = p.deadline(SimDuration::from_secs(1670), SimDuration::from_secs(84));
+        assert_eq!(d, SimDuration::from_secs(1754));
+    }
+
+    #[test]
+    fn eq2_price_matches_paper() {
+        // Private VM cost example: 1550 s × 1 VM × 2 u = 3100 u.
+        let p = params(2);
+        assert_eq!(
+            p.price(SimDuration::from_secs(1550), 1),
+            Money::from_units(3100)
+        );
+        // Multi-VM: 100 s × 8 VM × 2 u = 1600 u.
+        assert_eq!(
+            p.price(SimDuration::from_secs(100), 8),
+            Money::from_units(1600)
+        );
+    }
+
+    #[test]
+    fn eq3_penalty_divides_by_n() {
+        let p = params(2);
+        let price = p.price(SimDuration::from_secs(1000), 1); // 2000 u
+        // Delay equal to the execution time, N=2 → penalty = price / 2.
+        let pen = p.delay_penalty(SimDuration::from_secs(1000), 1, price);
+        assert_eq!(pen, Money::from_units(1000));
+    }
+
+    #[test]
+    fn paper_n1_example_user_pays_nothing() {
+        // "With N=1 the delay penalty will equal the price … the user will
+        // pay nothing."
+        let p = params(1);
+        let exec = SimDuration::from_secs(1550);
+        let price = p.price(exec, 1);
+        let revenue = p.revenue(price, 1, exec, exec + exec); // delay == exec
+        assert_eq!(revenue, Money::ZERO);
+    }
+
+    #[test]
+    fn paper_n2_example_halves_revenue() {
+        let p = params(2);
+        let exec = SimDuration::from_secs(1550);
+        let price = p.price(exec, 1);
+        let revenue = p.revenue(price, 1, exec, exec + exec);
+        assert_eq!(revenue, price.div_int(2));
+    }
+
+    #[test]
+    fn no_delay_no_penalty() {
+        let p = params(3);
+        let price = Money::from_units(500);
+        let rev = p.revenue(price, 2, SimDuration::from_secs(100), SimDuration::from_secs(90));
+        assert_eq!(rev, price);
+    }
+
+    #[test]
+    fn penalty_bounded_at_price_keeps_revenue_nonnegative() {
+        let p = params(1);
+        let exec = SimDuration::from_secs(100);
+        let price = p.price(exec, 1);
+        // Enormous delay: penalty would exceed price if unbounded.
+        let rev = p.revenue(price, 1, exec, SimDuration::from_secs(100_000));
+        assert_eq!(rev, Money::ZERO);
+    }
+
+    #[test]
+    fn unbounded_penalty_can_go_negative() {
+        let p = params(1).with_bound(PenaltyBound::Unbounded);
+        let exec = SimDuration::from_secs(100);
+        let price = p.price(exec, 1);
+        let rev = p.revenue(price, 1, exec, SimDuration::from_secs(400));
+        assert!(rev.is_negative(), "revenue {rev} should be negative");
+    }
+
+    #[test]
+    fn fixed_penalty_cap() {
+        let cap = Money::from_units(10);
+        let p = params(1).with_bound(PenaltyBound::Fixed(cap));
+        let price = Money::from_units(1000);
+        let pen = p.delay_penalty(SimDuration::from_secs(10_000), 4, price);
+        assert_eq!(pen, cap);
+    }
+
+    #[test]
+    fn higher_n_lower_penalty() {
+        let price = Money::from_units(100_000);
+        let delay = SimDuration::from_secs(500);
+        let pens: Vec<Money> = [1u64, 2, 5, 10]
+            .iter()
+            .map(|&n| params(n).delay_penalty(delay, 1, price))
+            .collect();
+        assert!(pens.windows(2).all(|w| w[0] > w[1]), "penalty must decrease with N: {pens:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty factor N must be positive")]
+    fn n_zero_rejected() {
+        PricingParams::new(VmRate::per_vm_second(1), 0);
+    }
+}

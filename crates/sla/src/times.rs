@@ -1,0 +1,245 @@
+//! Application time accounting (paper Figure 4).
+//!
+//! Algorithm 2 prices a potential suspension by how much *slack* an
+//! application has before its deadline:
+//!
+//! * **spent time** — time in the system since submission;
+//! * **progress time** — time actually executing so far;
+//! * **finish time** — predicted remaining execution;
+//! * **free time** — the margin between the deadline and the predicted
+//!   completion: `deadline − (spent + finish)`.
+//!
+//! If a requested lending duration exceeds the free time, the app will be
+//! late by the difference, and eq. 3 turns that delay into money.
+
+use meryn_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Progress-time bookkeeping for one application.
+///
+/// `AppTimes` tracks when the application was submitted, when it (last)
+/// started running, how much execution it has already banked across
+/// suspensions, and the predicted total execution time. All the Fig. 4
+/// quantities are derived from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppTimes {
+    /// Instant the application entered the system.
+    pub submit_t: SimTime,
+    /// Instant the current execution stint began; `None` when not running.
+    running_since: Option<SimTime>,
+    /// Execution time banked in previous stints (before suspensions).
+    banked: SimDuration,
+    /// Predicted total execution time (on the currently assigned VMs).
+    pub exec_t: SimDuration,
+    /// Agreed deadline, relative to submission (paper eq. 1).
+    pub deadline: SimDuration,
+}
+
+impl AppTimes {
+    /// Creates the record at submission time.
+    pub fn submitted(submit_t: SimTime, exec_t: SimDuration, deadline: SimDuration) -> Self {
+        AppTimes {
+            submit_t,
+            running_since: None,
+            banked: SimDuration::ZERO,
+            exec_t,
+            deadline,
+        }
+    }
+
+    /// Marks the application as running from `now`.
+    ///
+    /// Panics if it is already running — that is a scheduler state-machine
+    /// bug the simulation should fail loudly on.
+    pub fn start(&mut self, now: SimTime) {
+        assert!(
+            self.running_since.is_none(),
+            "application started twice without suspension"
+        );
+        self.running_since = Some(now);
+    }
+
+    /// Marks the application as suspended at `now`, banking the progress
+    /// of the stint that just ended.
+    pub fn suspend(&mut self, now: SimTime) {
+        let since = self
+            .running_since
+            .take()
+            .expect("suspended an application that was not running");
+        self.banked += now.since(since);
+    }
+
+    /// True while the application is executing.
+    pub fn is_running(&self) -> bool {
+        self.running_since.is_some()
+    }
+
+    /// Instant of the first/current start, if any stint ever began.
+    pub fn running_since(&self) -> Option<SimTime> {
+        self.running_since
+    }
+
+    /// Paper: "the duration that the application spent in the system, from
+    /// the submission time until the current time".
+    pub fn spent_t(&self, now: SimTime) -> SimDuration {
+        now.since(self.submit_t)
+    }
+
+    /// Paper: "the current execution duration of the application" —
+    /// banked progress plus the live stint.
+    pub fn progress_t(&self, now: SimTime) -> SimDuration {
+        let live = self
+            .running_since
+            .map_or(SimDuration::ZERO, |s| now.since(s));
+        self.banked + live
+    }
+
+    /// Paper: "the remaining time to the end of the execution" —
+    /// predicted execution time minus progress, floored at zero.
+    pub fn finish_t(&self, now: SimTime) -> SimDuration {
+        self.exec_t.saturating_sub(self.progress_t(now))
+    }
+
+    /// Paper: "the margin between the deadline and the predicted end of
+    /// the application's execution": `deadline − (spent + finish)`,
+    /// floored at zero.
+    pub fn free_t(&self, now: SimTime) -> SimDuration {
+        self.deadline
+            .saturating_sub(self.spent_t(now) + self.finish_t(now))
+    }
+
+    /// Estimated delay if the application is suspended for `duration`
+    /// starting now (Algorithm 2): `duration − free_t`, floored at zero.
+    pub fn delay_if_suspended(&self, now: SimTime, duration: SimDuration) -> SimDuration {
+        duration.saturating_sub(self.free_t(now))
+    }
+
+    /// Absolute deadline instant.
+    pub fn deadline_at(&self) -> SimTime {
+        self.submit_t + self.deadline
+    }
+
+    /// Predicted completion instant as of `now` (assuming uninterrupted
+    /// execution from now on; meaningless if never started).
+    pub fn predicted_completion(&self, now: SimTime) -> SimTime {
+        now + self.finish_t(now)
+    }
+
+    /// Updates the predicted execution time (e.g. after the VM set
+    /// changed and the performance model re-estimated the remaining work).
+    pub fn set_exec_t(&mut self, exec_t: SimDuration) {
+        self.exec_t = exec_t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn sample() -> AppTimes {
+        // Submitted at 100 s, exec 1000 s, deadline 1200 s.
+        AppTimes::submitted(t(100), d(1000), d(1200))
+    }
+
+    #[test]
+    fn before_start_all_progress_is_zero() {
+        let a = sample();
+        assert_eq!(a.progress_t(t(150)), d(0));
+        assert_eq!(a.spent_t(t(150)), d(50));
+        assert_eq!(a.finish_t(t(150)), d(1000));
+        // free = 1200 − (50 + 1000) = 150.
+        assert_eq!(a.free_t(t(150)), d(150));
+    }
+
+    #[test]
+    fn fig4_identities_while_running() {
+        let mut a = sample();
+        a.start(t(180)); // waited 80 s in queue
+        let now = t(480); // 300 s into execution
+        assert_eq!(a.spent_t(now), d(380));
+        assert_eq!(a.progress_t(now), d(300));
+        assert_eq!(a.finish_t(now), d(700));
+        // free = 1200 − (380 + 700) = 120.
+        assert_eq!(a.free_t(now), d(120));
+        assert!(a.is_running());
+    }
+
+    #[test]
+    fn suspension_banks_progress() {
+        let mut a = sample();
+        a.start(t(100));
+        a.suspend(t(400)); // 300 s banked
+        assert!(!a.is_running());
+        assert_eq!(a.progress_t(t(500)), d(300)); // frozen while suspended
+        a.start(t(500));
+        assert_eq!(a.progress_t(t(600)), d(400));
+        assert_eq!(a.finish_t(t(600)), d(600));
+    }
+
+    #[test]
+    fn free_time_floors_at_zero_when_late() {
+        let mut a = sample();
+        a.start(t(1000)); // started very late
+        let now = t(1400);
+        // spent = 1300, finish = 600 → deadline blown.
+        assert_eq!(a.free_t(now), d(0));
+    }
+
+    #[test]
+    fn delay_if_suspended_uses_free_time() {
+        let mut a = sample();
+        a.start(t(180));
+        let now = t(480); // free = 120 (see above)
+        assert_eq!(a.delay_if_suspended(now, d(100)), d(0));
+        assert_eq!(a.delay_if_suspended(now, d(120)), d(0));
+        assert_eq!(a.delay_if_suspended(now, d(500)), d(380));
+    }
+
+    #[test]
+    fn deadline_and_completion_instants() {
+        let mut a = sample();
+        assert_eq!(a.deadline_at(), t(1300));
+        a.start(t(200));
+        assert_eq!(a.predicted_completion(t(200)), t(1200));
+        assert_eq!(a.predicted_completion(t(700)), t(1200));
+    }
+
+    #[test]
+    fn set_exec_t_updates_finish() {
+        let mut a = sample();
+        a.start(t(100));
+        a.set_exec_t(d(2000));
+        assert_eq!(a.finish_t(t(100)), d(2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn double_start_panics() {
+        let mut a = sample();
+        a.start(t(100));
+        a.start(t(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn suspend_not_running_panics() {
+        let mut a = sample();
+        a.suspend(t(100));
+    }
+
+    #[test]
+    fn progress_never_exceeds_spent() {
+        let mut a = sample();
+        a.start(t(100));
+        for s in [100u64, 300, 900, 2000] {
+            assert!(a.progress_t(t(s)) <= a.spent_t(t(s)));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! SLA status tracking and violation detection.
+//!
+//! Each Application Controller "monitors the progress of its application
+//! and checks the satisfaction of its SLA contract until the end of its
+//! execution" (§3.3). This module classifies a contract + progress pair
+//! into an [`SlaStatus`], which the controller reports to its Cluster
+//! Manager.
+
+use meryn_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::contract::SlaContract;
+use crate::money::Money;
+use crate::times::AppTimes;
+
+/// Health of a running application's SLA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlaStatus {
+    /// Predicted to complete with margin to spare.
+    OnTrack {
+        /// The free time (Fig. 4) remaining.
+        margin: SimDuration,
+    },
+    /// Predicted to complete at or past the deadline but not yet late;
+    /// the Cluster Manager may still act (burst, re-prioritize).
+    AtRisk {
+        /// Predicted overshoot beyond the deadline.
+        predicted_delay: SimDuration,
+    },
+    /// The deadline has already passed without completion.
+    Violated {
+        /// Lateness accrued so far (still growing).
+        delay: SimDuration,
+    },
+}
+
+impl SlaStatus {
+    /// True for the `Violated` state.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, SlaStatus::Violated { .. })
+    }
+
+    /// True for `AtRisk` or `Violated`.
+    pub fn needs_attention(&self) -> bool {
+        !matches!(self, SlaStatus::OnTrack { .. })
+    }
+}
+
+/// Classifies the SLA health of an application at `now`.
+pub fn check(contract: &SlaContract, times: &AppTimes, now: SimTime) -> SlaStatus {
+    let deadline_at = contract.deadline_at();
+    if now > deadline_at {
+        return SlaStatus::Violated {
+            delay: now.since(deadline_at),
+        };
+    }
+    let predicted = times.predicted_completion(now);
+    if predicted > deadline_at {
+        SlaStatus::AtRisk {
+            predicted_delay: predicted.since(deadline_at),
+        }
+    } else {
+        SlaStatus::OnTrack {
+            margin: deadline_at.since(predicted),
+        }
+    }
+}
+
+/// A violation record kept by the platform for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// When the violation was detected.
+    pub detected_at: SimTime,
+    /// Final lateness once the application completed.
+    pub final_delay: SimDuration,
+    /// Penalty paid out (eq. 3, bounded).
+    pub penalty: Money,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::SlaTerms;
+    use crate::money::VmRate;
+    use crate::pricing::PricingParams;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn fixture() -> (SlaContract, AppTimes) {
+        let pricing = PricingParams::new(VmRate::per_vm_second(2), 2);
+        // Submitted at 0, exec 1000 s, deadline 1100 s.
+        let contract =
+            SlaContract::sign(SlaTerms::new(d(1100), Money::from_units(2000), 1), t(0), pricing);
+        let times = AppTimes::submitted(t(0), d(1000), d(1100));
+        (contract, times)
+    }
+
+    #[test]
+    fn on_track_when_started_promptly() {
+        let (c, mut times) = fixture();
+        times.start(t(50));
+        let status = check(&c, &times, t(100));
+        // Predicted completion: 100 + 950 remaining = 1050; margin 50.
+        assert_eq!(status, SlaStatus::OnTrack { margin: d(50) });
+        assert!(!status.needs_attention());
+    }
+
+    #[test]
+    fn at_risk_when_started_late() {
+        let (c, mut times) = fixture();
+        times.start(t(200));
+        let status = check(&c, &times, t(200));
+        // Predicted completion 1200 vs deadline 1100.
+        assert_eq!(
+            status,
+            SlaStatus::AtRisk {
+                predicted_delay: d(100)
+            }
+        );
+        assert!(status.needs_attention());
+        assert!(!status.is_violated());
+    }
+
+    #[test]
+    fn violated_after_deadline_passes() {
+        let (c, mut times) = fixture();
+        times.start(t(500));
+        let status = check(&c, &times, t(1200));
+        assert_eq!(status, SlaStatus::Violated { delay: d(100) });
+        assert!(status.is_violated());
+    }
+
+    #[test]
+    fn suspension_moves_app_to_at_risk() {
+        let (c, mut times) = fixture();
+        times.start(t(0));
+        // Margin is 100 s; suspend for 150 s.
+        times.suspend(t(100));
+        times.start(t(250));
+        let status = check(&c, &times, t(250));
+        assert_eq!(
+            status,
+            SlaStatus::AtRisk {
+                predicted_delay: d(50)
+            }
+        );
+    }
+
+    #[test]
+    fn never_started_app_is_classified_by_queue_wait() {
+        let (c, times) = fixture();
+        // Still queued at t=50: predicted completion 50+1000=1050 ≤ 1100.
+        assert!(matches!(check(&c, &times, t(50)), SlaStatus::OnTrack { .. }));
+        // Still queued at t=200: predicted 1200 > 1100.
+        assert!(matches!(check(&c, &times, t(200)), SlaStatus::AtRisk { .. }));
+    }
+}

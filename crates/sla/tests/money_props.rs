@@ -1,0 +1,90 @@
+//! Property tests for the economics kernel: money arithmetic and the
+//! pricing equations behave like the exact algebra they claim to be.
+
+use meryn_sim::SimDuration;
+use meryn_sla::pricing::{PenaltyBound, PricingParams};
+use meryn_sla::{Money, VmRate};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Addition is commutative/associative within the domain.
+    #[test]
+    fn money_addition_algebra(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000, c in -1_000_000i64..1_000_000) {
+        let (ma, mb, mc) = (Money::from_units(a), Money::from_units(b), Money::from_units(c));
+        prop_assert_eq!(ma + mb, mb + ma);
+        prop_assert_eq!((ma + mb) + mc, ma + (mb + mc));
+        prop_assert_eq!(ma - ma, Money::ZERO);
+    }
+
+    /// Rate × duration distributes over duration addition exactly.
+    #[test]
+    fn rate_distributes_over_duration(
+        rate in 1i64..100,
+        d1 in 0u64..100_000,
+        d2 in 0u64..100_000
+    ) {
+        let r = VmRate::per_vm_second(rate);
+        let (a, b) = (SimDuration::from_secs(d1), SimDuration::from_secs(d2));
+        prop_assert_eq!(r.cost_for(a + b), r.cost_for(a) + r.cost_for(b));
+    }
+
+    /// div_int then times never exceeds the original (truncation only
+    /// loses, never gains).
+    #[test]
+    fn division_truncates_down(units in 0i64..10_000_000, n in 1u64..1000) {
+        let m = Money::from_units(units);
+        let back = m.div_int(n).times(n);
+        prop_assert!(back <= m);
+        prop_assert!(m - back < Money::from_micro(1_000_000 * n as i64));
+    }
+
+    /// eq. 2 price equals eq. 3 penalty with N=1 when delay == exec —
+    /// the paper's "user pays nothing" identity, for any job size.
+    #[test]
+    fn n1_delay_equal_exec_zeroes_revenue(
+        exec in 1u64..100_000,
+        nb_vms in 1u64..64,
+        rate in 1i64..20
+    ) {
+        let p = PricingParams::new(VmRate::per_vm_second(rate), 1);
+        let exec = SimDuration::from_secs(exec);
+        let price = p.price(exec, nb_vms);
+        let revenue = p.revenue(price, nb_vms, exec, exec + exec);
+        prop_assert_eq!(revenue, Money::ZERO);
+    }
+
+    /// Revenue is monotonically nonincreasing in the completion time.
+    #[test]
+    fn revenue_never_rises_with_lateness(
+        exec in 1u64..10_000,
+        n in 1u64..8,
+        t1 in 0u64..30_000,
+        t2 in 0u64..30_000
+    ) {
+        let p = PricingParams::new(VmRate::per_vm_second(4), n);
+        let deadline = SimDuration::from_secs(exec + 84);
+        let price = p.price(SimDuration::from_secs(exec), 1);
+        let (early, late) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let r_early = p.revenue(price, 1, deadline, SimDuration::from_secs(early));
+        let r_late = p.revenue(price, 1, deadline, SimDuration::from_secs(late));
+        prop_assert!(r_early >= r_late);
+    }
+
+    /// The AtPrice bound keeps revenue in [0, price] whatever happens.
+    #[test]
+    fn bounded_revenue_stays_in_range(
+        exec in 1u64..10_000,
+        n in 1u64..8,
+        total in 0u64..1_000_000
+    ) {
+        let p = PricingParams::new(VmRate::per_vm_second(4), n)
+            .with_bound(PenaltyBound::AtPrice);
+        let deadline = SimDuration::from_secs(exec + 84);
+        let price = p.price(SimDuration::from_secs(exec), 2);
+        let r = p.revenue(price, 2, deadline, SimDuration::from_secs(total));
+        prop_assert!(r >= Money::ZERO);
+        prop_assert!(r <= price);
+    }
+}

@@ -1,0 +1,220 @@
+//! The platform cost ledger.
+//!
+//! The evaluation's Figure 6(b) sums "the cost of running the
+//! applications": each VM-interval an application occupies is charged at
+//! the VM's location cost (private 2 units/VM·s, cloud 4 units/VM·s in the
+//! paper). The ledger records those intervals and answers the aggregate
+//! queries the report needs.
+
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::{Money, VmRate};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{Location, VmId};
+
+/// One billed VM interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// The VM used.
+    pub vm: VmId,
+    /// Where it ran (determines the rate).
+    pub location: Location,
+    /// Interval start.
+    pub from: SimTime,
+    /// Interval end.
+    pub to: SimTime,
+    /// Rate applied.
+    pub rate: VmRate,
+    /// `rate × (to − from)`.
+    pub cost: Money,
+}
+
+impl LedgerEntry {
+    /// Length of the billed interval.
+    pub fn duration(&self) -> SimDuration {
+        self.to.since(self.from)
+    }
+}
+
+/// An append-only cost ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges the interval `[from, to)` on `vm` at `rate` and records
+    /// the entry. Returns the charged amount.
+    pub fn charge(
+        &mut self,
+        vm: VmId,
+        location: Location,
+        from: SimTime,
+        to: SimTime,
+        rate: VmRate,
+    ) -> Money {
+        assert!(to >= from, "billing interval must not be negative");
+        let cost = rate.cost_for(to.since(from));
+        self.entries.push(LedgerEntry {
+            vm,
+            location,
+            from,
+            to,
+            rate,
+            cost,
+        });
+        cost
+    }
+
+    /// All recorded entries, in charge order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total of all charges.
+    pub fn total(&self) -> Money {
+        self.entries.iter().map(|e| e.cost).sum()
+    }
+
+    /// Total of charges on private VMs.
+    pub fn total_private(&self) -> Money {
+        self.total_where(|e| e.location.is_private())
+    }
+
+    /// Total of charges on cloud VMs.
+    pub fn total_cloud(&self) -> Money {
+        self.total_where(|e| !e.location.is_private())
+    }
+
+    /// Total of charges matching a predicate.
+    pub fn total_where(&self, pred: impl Fn(&LedgerEntry) -> bool) -> Money {
+        self.entries.iter().filter(|e| pred(e)).map(|e| e.cost).sum()
+    }
+
+    /// Total billed VM-seconds matching a predicate.
+    pub fn vm_seconds_where(&self, pred: impl Fn(&LedgerEntry) -> bool) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.duration().as_secs_f64())
+            .sum()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was charged yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudId;
+    use crate::spec::HostTag;
+
+    fn vid(n: u64) -> VmId {
+        VmId::new(HostTag::PRIVATE, n)
+    }
+
+    #[test]
+    fn charge_computes_cost() {
+        let mut l = Ledger::new();
+        let cost = l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::from_secs(100),
+            SimTime::from_secs(1650),
+            VmRate::per_vm_second(2),
+        );
+        // 1550 s × 2 u/s = 3100 u — the paper's private-run app cost.
+        assert_eq!(cost, Money::from_units(3100));
+        assert_eq!(l.total(), cost);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.entries()[0].duration(), SimDuration::from_secs(1550));
+    }
+
+    #[test]
+    fn split_by_location() {
+        let mut l = Ledger::new();
+        l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            VmRate::per_vm_second(2),
+        );
+        l.charge(
+            VmId::new(HostTag(1), 0),
+            Location::Cloud(CloudId(0)),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            VmRate::per_vm_second(4),
+        );
+        assert_eq!(l.total_private(), Money::from_units(200));
+        assert_eq!(l.total_cloud(), Money::from_units(400));
+        assert_eq!(l.total(), Money::from_units(600));
+    }
+
+    #[test]
+    fn vm_seconds_aggregation() {
+        let mut l = Ledger::new();
+        l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::ZERO,
+            SimTime::from_secs(50),
+            VmRate::per_vm_second(2),
+        );
+        l.charge(
+            vid(1),
+            Location::Private,
+            SimTime::ZERO,
+            SimTime::from_secs(25),
+            VmRate::per_vm_second(2),
+        );
+        assert_eq!(l.vm_seconds_where(|_| true), 75.0);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let l = Ledger::new();
+        assert!(l.is_empty());
+        assert_eq!(l.total(), Money::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be negative")]
+    fn negative_interval_panics() {
+        let mut l = Ledger::new();
+        l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::from_secs(10),
+            SimTime::from_secs(5),
+            VmRate::per_vm_second(1),
+        );
+    }
+
+    #[test]
+    fn zero_length_interval_is_free() {
+        let mut l = Ledger::new();
+        let cost = l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+            VmRate::per_vm_second(2),
+        );
+        assert_eq!(cost, Money::ZERO);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for VM management operations.
+
+use std::fmt;
+
+use crate::image::ImageId;
+use crate::spec::VmId;
+
+/// Errors surfaced by the pool and cloud state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmmError {
+    /// No node (or cloud quota) can fit another VM.
+    CapacityExhausted {
+        /// Capacity of the domain that refused the request.
+        capacity: u64,
+    },
+    /// The VM id is not known to this host domain.
+    UnknownVm(VmId),
+    /// The operation is invalid in the VM's current lifecycle state.
+    InvalidTransition {
+        /// The VM in question.
+        vm: VmId,
+        /// Current state name.
+        state: &'static str,
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+    /// The disk image has not been registered.
+    UnknownImage(ImageId),
+    /// The image exists but was never staged to this cloud (§3.5 requires
+    /// pre-saving framework images in every cloud that may be used).
+    ImageNotStaged(ImageId),
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::CapacityExhausted { capacity } => {
+                write!(f, "capacity exhausted ({capacity} VMs)")
+            }
+            VmmError::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            VmmError::InvalidTransition { vm, state, op } => {
+                write!(f, "cannot {op} VM {vm} in state {state}")
+            }
+            VmmError::UnknownImage(id) => write!(f, "unknown image {id:?}"),
+            VmmError::ImageNotStaged(id) => {
+                write!(f, "image {id:?} not staged to this cloud")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HostTag;
+
+    #[test]
+    fn messages_are_informative() {
+        let vm = VmId::new(HostTag(0), 3);
+        assert_eq!(
+            VmmError::CapacityExhausted { capacity: 50 }.to_string(),
+            "capacity exhausted (50 VMs)"
+        );
+        assert!(VmmError::UnknownVm(vm).to_string().contains("vm0.3"));
+        let e = VmmError::InvalidTransition {
+            vm,
+            state: "Starting",
+            op: "stop",
+        };
+        assert_eq!(e.to_string(), "cannot stop VM vm0.3 in state Starting");
+    }
+}

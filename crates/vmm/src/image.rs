@@ -1,0 +1,128 @@
+//! Framework disk images.
+//!
+//! "For each framework there is a customized VM disk image that contains
+//! all the necessary software and libraries" (§3.5), and those images must
+//! be saved into every public cloud before bursting can use it. The
+//! registry tracks the images; each [`crate::cloud::PublicCloud`] tracks
+//! which of them have been staged to it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a registered disk image.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ImageId(pub u32);
+
+impl fmt::Debug for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img{}", self.0)
+    }
+}
+
+/// Metadata of a framework disk image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// The image's id.
+    pub id: ImageId,
+    /// Human-readable name, e.g. `"oge-6.2u7"` or `"hadoop-0.20.2"`.
+    pub name: String,
+    /// Image size in MiB (drives staging/boot costs in finer models).
+    pub size_mb: u32,
+}
+
+/// The platform-wide image catalogue.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ImageRegistry {
+    images: BTreeMap<ImageId, Image>,
+    next: u32,
+}
+
+impl ImageRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an image and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, size_mb: u32) -> ImageId {
+        let id = ImageId(self.next);
+        self.next += 1;
+        self.images.insert(
+            id,
+            Image {
+                id,
+                name: name.into(),
+                size_mb,
+            },
+        );
+        id
+    }
+
+    /// Looks an image up.
+    pub fn get(&self, id: ImageId) -> Option<&Image> {
+        self.images.get(&id)
+    }
+
+    /// True if the id is registered.
+    pub fn contains(&self, id: ImageId) -> bool {
+        self.images.contains_key(&id)
+    }
+
+    /// Number of registered images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no image is registered.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Iterates over images in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Image> {
+        self.images.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get() {
+        let mut reg = ImageRegistry::new();
+        let oge = reg.register("oge-6.2u7", 4096);
+        let hadoop = reg.register("hadoop-0.20.2", 6144);
+        assert_ne!(oge, hadoop);
+        assert_eq!(reg.get(oge).unwrap().name, "oge-6.2u7");
+        assert_eq!(reg.get(hadoop).unwrap().size_mb, 6144);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains(oge));
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn unknown_image_is_none() {
+        let reg = ImageRegistry::new();
+        assert!(reg.get(ImageId(9)).is_none());
+        assert!(!reg.contains(ImageId(9)));
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut reg = ImageRegistry::new();
+        let a = reg.register("a", 1);
+        let b = reg.register("b", 1);
+        let ids: Vec<ImageId> = reg.iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", ImageId(4)), "img4");
+    }
+}

@@ -1,0 +1,129 @@
+//! Operation latency models.
+//!
+//! The paper reports measured operation times as ranges (Table 1:
+//! "7~15 s", "60~84 s"). A [`LatencyModel`] reproduces such a range as a
+//! seeded distribution so every simulated operation takes a plausible,
+//! reproducible amount of virtual time.
+
+use meryn_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// A distribution of operation durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly this long.
+    Fixed(SimDuration),
+    /// Uniform over `[lo, hi]` — the shape of the paper's measured ranges.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: SimDuration,
+        /// Upper bound (inclusive).
+        hi: SimDuration,
+    },
+    /// Normal with the given mean and standard deviation, truncated at
+    /// zero.
+    Normal {
+        /// Mean duration.
+        mean: SimDuration,
+        /// Standard deviation.
+        sd: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// A uniform model from a `lo..=hi` range in whole seconds — reads
+    /// like the paper's tables: `LatencyModel::uniform_secs(7, 15)`.
+    pub const fn uniform_secs(lo: u64, hi: u64) -> Self {
+        LatencyModel::Uniform {
+            lo: SimDuration::from_secs(lo),
+            hi: SimDuration::from_secs(hi),
+        }
+    }
+
+    /// A fixed model from whole seconds.
+    pub const fn fixed_secs(secs: u64) -> Self {
+        LatencyModel::Fixed(SimDuration::from_secs(secs))
+    }
+
+    /// Instantaneous (for tests and idealized ablations).
+    pub const ZERO: LatencyModel = LatencyModel::Fixed(SimDuration::ZERO);
+
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency with lo > hi");
+                rng.uniform_duration(lo, hi)
+            }
+            LatencyModel::Normal { mean, sd } => rng.normal(mean, sd),
+        }
+    }
+
+    /// The largest duration the model can produce (mean+4σ for normal),
+    /// for worst-case deadline sizing — the paper uses the maximum
+    /// measured processing time (84 s) when computing deadlines.
+    pub fn worst_case(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { hi, .. } => hi,
+            LatencyModel::Normal { mean, sd } => mean + sd * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = SimRng::new(1);
+        let m = LatencyModel::fixed_secs(9);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_secs(9));
+        }
+        assert_eq!(m.worst_case(), SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_varies() {
+        let mut rng = SimRng::new(2);
+        let m = LatencyModel::uniform_secs(7, 15);
+        let samples: Vec<SimDuration> = (0..200).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples
+            .iter()
+            .all(|&d| d >= SimDuration::from_secs(7) && d <= SimDuration::from_secs(15)));
+        assert!(samples.windows(2).any(|w| w[0] != w[1]), "should vary");
+        assert_eq!(m.worst_case(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn normal_truncated_and_bounded_worst_case() {
+        let mut rng = SimRng::new(3);
+        let m = LatencyModel::Normal {
+            mean: SimDuration::from_secs(10),
+            sd: SimDuration::from_secs(3),
+        };
+        for _ in 0..500 {
+            let _ = m.sample(&mut rng); // must not panic
+        }
+        assert_eq!(m.worst_case(), SimDuration::from_secs(22));
+    }
+
+    #[test]
+    fn zero_model() {
+        let mut rng = SimRng::new(4);
+        assert_eq!(LatencyModel::ZERO.sample(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_equal_seeds() {
+        let m = LatencyModel::uniform_secs(40, 58);
+        let mut a = SimRng::new(77);
+        let mut b = SimRng::new(77);
+        for _ in 0..50 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Physical nodes of the private infrastructure.
+//!
+//! The evaluation's private side is 9 parapluie nodes (2×6 cores, 48 GB)
+//! hosting 50 EC2-medium-like VMs. A [`Node`] tracks core/memory headroom;
+//! the pool places VMs on nodes first-fit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::VmSpec;
+
+/// Identifier of a physical node within the private pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// A physical machine with core and memory capacity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// Total cores.
+    pub cores: u32,
+    /// Total memory in MiB.
+    pub memory_mb: u32,
+    used_cores: u32,
+    used_memory_mb: u32,
+}
+
+impl Node {
+    /// Creates an empty node.
+    pub fn new(id: NodeId, cores: u32, memory_mb: u32) -> Self {
+        Node {
+            id,
+            cores,
+            memory_mb,
+            used_cores: 0,
+            used_memory_mb: 0,
+        }
+    }
+
+    /// A parapluie-like node: 12 cores, 48 GiB (the paper's private
+    /// cluster hardware).
+    pub fn parapluie(id: NodeId) -> Self {
+        Node::new(id, 12, 48 * 1024)
+    }
+
+    /// Cores currently allocated to VMs.
+    pub fn used_cores(&self) -> u32 {
+        self.used_cores
+    }
+
+    /// Memory currently allocated to VMs, in MiB.
+    pub fn used_memory_mb(&self) -> u32 {
+        self.used_memory_mb
+    }
+
+    /// True when a VM of `spec` fits in the remaining headroom.
+    pub fn can_fit(&self, spec: VmSpec) -> bool {
+        self.used_cores + spec.cpus <= self.cores
+            && self.used_memory_mb + spec.memory_mb <= self.memory_mb
+    }
+
+    /// How many VMs of `spec` fit on an *empty* node of this shape.
+    pub fn capacity_for(&self, spec: VmSpec) -> u64 {
+        if spec.cpus == 0 || spec.memory_mb == 0 {
+            return 0;
+        }
+        u64::from((self.cores / spec.cpus).min(self.memory_mb / spec.memory_mb))
+    }
+
+    /// Reserves resources for a VM of `spec`. Returns `false` (and
+    /// changes nothing) when it does not fit.
+    pub fn allocate(&mut self, spec: VmSpec) -> bool {
+        if !self.can_fit(spec) {
+            return false;
+        }
+        self.used_cores += spec.cpus;
+        self.used_memory_mb += spec.memory_mb;
+        true
+    }
+
+    /// Releases the resources of a VM of `spec`.
+    ///
+    /// Panics if more is released than was allocated — that is a
+    /// double-free in the placement bookkeeping.
+    pub fn release(&mut self, spec: VmSpec) {
+        assert!(
+            self.used_cores >= spec.cpus && self.used_memory_mb >= spec.memory_mb,
+            "node {:?}: releasing more than allocated",
+            self.id
+        );
+        self.used_cores -= spec.cpus;
+        self.used_memory_mb -= spec.memory_mb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEDIUM: VmSpec = VmSpec::EC2_MEDIUM_LIKE;
+
+    #[test]
+    fn parapluie_hosts_six_medium_vms() {
+        // 12 cores / 2 = 6; 49152 MB / 3840 MB = 12 → core-bound at 6.
+        let n = Node::parapluie(NodeId(0));
+        assert_eq!(n.capacity_for(MEDIUM), 6);
+    }
+
+    #[test]
+    fn allocate_until_full() {
+        let mut n = Node::parapluie(NodeId(0));
+        let mut placed = 0;
+        while n.allocate(MEDIUM) {
+            placed += 1;
+        }
+        assert_eq!(placed, 6);
+        assert!(!n.can_fit(MEDIUM));
+        assert_eq!(n.used_cores(), 12);
+    }
+
+    #[test]
+    fn release_restores_headroom() {
+        let mut n = Node::parapluie(NodeId(0));
+        assert!(n.allocate(MEDIUM));
+        n.release(MEDIUM);
+        assert_eq!(n.used_cores(), 0);
+        assert_eq!(n.used_memory_mb(), 0);
+        assert!(n.can_fit(MEDIUM));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more than allocated")]
+    fn double_release_panics() {
+        let mut n = Node::parapluie(NodeId(0));
+        n.release(MEDIUM);
+    }
+
+    #[test]
+    fn memory_bound_capacity() {
+        // Tiny-memory node: memory-bound despite many cores.
+        let n = Node::new(NodeId(1), 64, 4000);
+        assert_eq!(n.capacity_for(MEDIUM), 1);
+    }
+
+    #[test]
+    fn zero_spec_capacity_is_zero() {
+        let n = Node::parapluie(NodeId(0));
+        assert_eq!(n.capacity_for(VmSpec::new(0, 0)), 0);
+    }
+}

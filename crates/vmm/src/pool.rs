@@ -1,0 +1,300 @@
+//! The private VM pool.
+//!
+//! "Private resources consist of a fixed number of VMs shared between
+//! multiple elastic Virtual Clusters" (§3.1). The pool owns the physical
+//! nodes, places VMs first-fit, enforces the fixed hosting capacity (the
+//! evaluation pins it to 50) and drives each VM's lifecycle through the
+//! begin/complete protocol.
+
+use std::collections::BTreeMap;
+
+use meryn_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::error::VmmError;
+use crate::image::ImageId;
+use crate::latency::LatencyModel;
+use crate::node::{Node, NodeId};
+use crate::spec::{HostTag, Location, VmId, VmSpec};
+use crate::vm::Vm;
+
+/// The provider-owned VM pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivatePool {
+    tag: HostTag,
+    nodes: Vec<Node>,
+    vms: BTreeMap<VmId, Vm>,
+    serial: u64,
+    spec: VmSpec,
+    max_vms: u64,
+    boot: LatencyModel,
+    stop: LatencyModel,
+    speed: f64,
+    #[serde(skip, default = "default_rng")]
+    rng: SimRng,
+}
+
+fn default_rng() -> SimRng {
+    SimRng::new(0)
+}
+
+impl PrivatePool {
+    /// Creates a pool over explicit nodes, hosting VMs of the uniform
+    /// `spec`, with the given boot/stop latency models, a relative CPU
+    /// `speed` (1.0 = reference) and its own RNG stream.
+    pub fn new(
+        nodes: Vec<Node>,
+        spec: VmSpec,
+        max_vms: u64,
+        boot: LatencyModel,
+        stop: LatencyModel,
+        speed: f64,
+        rng: SimRng,
+    ) -> Self {
+        assert!(speed > 0.0, "pool speed factor must be positive");
+        PrivatePool {
+            tag: HostTag::PRIVATE,
+            nodes,
+            vms: BTreeMap::new(),
+            serial: 0,
+            spec,
+            max_vms,
+            boot,
+            stop,
+            speed,
+            rng,
+        }
+    }
+
+    /// Convenience: a pool of parapluie-like nodes with exactly
+    /// `capacity` VM slots of `spec` (the evaluation's "VM hosting
+    /// capacity … fixed to 50 VMs").
+    pub fn with_vm_capacity(
+        capacity: u64,
+        spec: VmSpec,
+        boot: LatencyModel,
+        stop: LatencyModel,
+        speed: f64,
+        rng: SimRng,
+    ) -> Self {
+        let per_node = Node::parapluie(NodeId(0)).capacity_for(spec).max(1);
+        let node_count = capacity.div_ceil(per_node).max(1);
+        let nodes = (0..node_count)
+            .map(|i| Node::parapluie(NodeId(i as u32)))
+            .collect();
+        Self::new(nodes, spec, capacity, boot, stop, speed, rng)
+    }
+
+    /// The uniform VM shape this pool hosts.
+    pub fn spec(&self) -> VmSpec {
+        self.spec
+    }
+
+    /// The pool's relative CPU speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Fixed hosting capacity in VMs (the smaller of the configured cap
+    /// and what the nodes physically fit).
+    pub fn capacity(&self) -> u64 {
+        let physical: u64 = self.nodes.iter().map(|n| n.capacity_for(self.spec)).sum();
+        physical.min(self.max_vms)
+    }
+
+    /// VMs currently holding resources (starting, running or stopping).
+    pub fn active_count(&self) -> u64 {
+        self.vms
+            .values()
+            .filter(|v| v.state().holds_resources())
+            .count() as u64
+    }
+
+    /// VMs currently usable by frameworks.
+    pub fn running_count(&self) -> u64 {
+        self.vms.values().filter(|v| v.is_running()).count() as u64
+    }
+
+    /// Free VM slots.
+    pub fn available(&self) -> u64 {
+        self.capacity() - self.active_count()
+    }
+
+    /// Looks a VM up.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// Iterates over all VMs (terminated included) in id order.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// Begins booting a new VM from `image`. Returns the new id and the
+    /// boot duration; the caller schedules [`PrivatePool::complete_start`]
+    /// that far in the future.
+    pub fn begin_start(
+        &mut self,
+        image: ImageId,
+        now: SimTime,
+    ) -> Result<(VmId, SimDuration), VmmError> {
+        let capacity = self.capacity();
+        if self.active_count() >= capacity {
+            return Err(VmmError::CapacityExhausted { capacity });
+        }
+        let spec = self.spec;
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.can_fit(spec))
+            .ok_or(VmmError::CapacityExhausted { capacity })?;
+        assert!(node.allocate(spec), "can_fit then allocate must succeed");
+        let node_id = node.id;
+        let id = VmId::new(self.tag, self.serial);
+        self.serial += 1;
+        let vm = Vm::starting(id, spec, image, Location::Private, Some(node_id), self.speed, now);
+        self.vms.insert(id, vm);
+        Ok((id, self.boot.sample(&mut self.rng)))
+    }
+
+    /// Completes a boot begun earlier.
+    pub fn complete_start(&mut self, id: VmId, now: SimTime) -> Result<(), VmmError> {
+        self.vms
+            .get_mut(&id)
+            .ok_or(VmmError::UnknownVm(id))?
+            .complete_start(now)
+    }
+
+    /// Begins shutting a VM down; returns the shutdown duration.
+    pub fn begin_stop(&mut self, id: VmId, now: SimTime) -> Result<SimDuration, VmmError> {
+        self.vms
+            .get_mut(&id)
+            .ok_or(VmmError::UnknownVm(id))?
+            .begin_stop(now)?;
+        Ok(self.stop.sample(&mut self.rng))
+    }
+
+    /// Completes a shutdown, releasing the VM's node resources.
+    pub fn complete_stop(&mut self, id: VmId, now: SimTime) -> Result<(), VmmError> {
+        let spec = self.spec;
+        let vm = self.vms.get_mut(&id).ok_or(VmmError::UnknownVm(id))?;
+        vm.complete_stop(now)?;
+        let node_id = vm.node.expect("private VM must sit on a node");
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == node_id)
+            .expect("VM's node must exist");
+        node.release(spec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: u64) -> PrivatePool {
+        PrivatePool::with_vm_capacity(
+            capacity,
+            VmSpec::EC2_MEDIUM_LIKE,
+            LatencyModel::uniform_secs(20, 30),
+            LatencyModel::uniform_secs(5, 10),
+            1.0,
+            SimRng::new(42),
+        )
+    }
+
+    #[test]
+    fn capacity_is_enforced_exactly() {
+        let p = pool(50);
+        assert_eq!(p.capacity(), 50);
+        assert_eq!(p.available(), 50);
+    }
+
+    #[test]
+    fn start_until_capacity_exhausted() {
+        let mut p = pool(5);
+        let t = SimTime::ZERO;
+        for _ in 0..5 {
+            p.begin_start(ImageId(0), t).unwrap();
+        }
+        assert_eq!(p.active_count(), 5);
+        assert_eq!(p.available(), 0);
+        let err = p.begin_start(ImageId(0), t).unwrap_err();
+        assert_eq!(err, VmmError::CapacityExhausted { capacity: 5 });
+    }
+
+    #[test]
+    fn lifecycle_round_trip_frees_capacity() {
+        let mut p = pool(2);
+        let (id, boot) = p.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        assert!(boot >= SimDuration::from_secs(20) && boot <= SimDuration::from_secs(30));
+        assert_eq!(p.running_count(), 0);
+        p.complete_start(id, SimTime::ZERO + boot).unwrap();
+        assert_eq!(p.running_count(), 1);
+        let stop = p.begin_stop(id, SimTime::from_secs(100)).unwrap();
+        assert!(stop >= SimDuration::from_secs(5) && stop <= SimDuration::from_secs(10));
+        assert_eq!(p.available(), 1, "stopping VM still holds its slot");
+        p.complete_stop(id, SimTime::from_secs(100) + stop).unwrap();
+        assert_eq!(p.active_count(), 0);
+        assert_eq!(p.available(), 2);
+        assert!(!p.vm(id).unwrap().state().holds_resources());
+    }
+
+    #[test]
+    fn unknown_vm_errors() {
+        let mut p = pool(1);
+        let ghost = VmId::new(HostTag::PRIVATE, 99);
+        assert_eq!(
+            p.complete_start(ghost, SimTime::ZERO),
+            Err(VmmError::UnknownVm(ghost))
+        );
+        assert!(p.begin_stop(ghost, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique_and_private_tagged() {
+        let mut p = pool(3);
+        let (a, _) = p.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        let (b, _) = p.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.host(), HostTag::PRIVATE);
+        assert!(p.vm(a).unwrap().location.is_private());
+    }
+
+    #[test]
+    fn node_count_scales_with_capacity() {
+        // 50 medium VMs at 6/node → 9 nodes, like the paper's 9 parapluie
+        // nodes.
+        let p = pool(50);
+        assert_eq!(p.nodes.len(), 9);
+    }
+
+    #[test]
+    fn capacity_cap_below_physical() {
+        // 9 nodes could host 54, but the configured cap wins.
+        let p = pool(50);
+        let physical: u64 = p.nodes.iter().map(|n| n.capacity_for(p.spec())).sum();
+        assert_eq!(physical, 54);
+        assert_eq!(p.capacity(), 50);
+    }
+
+    #[test]
+    fn stop_only_after_running() {
+        let mut p = pool(1);
+        let (id, _) = p.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        assert!(p.begin_stop(id, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_boot_times() {
+        let mut a = pool(10);
+        let mut b = pool(10);
+        for _ in 0..10 {
+            let (_, da) = a.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+            let (_, db) = b.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+            assert_eq!(da, db);
+        }
+    }
+}

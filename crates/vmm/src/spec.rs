@@ -1,0 +1,158 @@
+//! VM instance shapes, identifiers and locations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The resource shape of a VM instance.
+///
+/// The evaluation "used a VM instance model similar to the Amazon EC2
+/// medium instance that consists of 2 CPUs and 3.75 GB of memory" —
+/// that's [`VmSpec::EC2_MEDIUM_LIKE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Virtual CPUs.
+    pub cpus: u32,
+    /// Memory in MiB.
+    pub memory_mb: u32,
+}
+
+impl VmSpec {
+    /// The paper's instance model: 2 vCPUs, 3.75 GB.
+    pub const EC2_MEDIUM_LIKE: VmSpec = VmSpec {
+        cpus: 2,
+        memory_mb: 3840,
+    };
+
+    /// Creates a spec.
+    pub const fn new(cpus: u32, memory_mb: u32) -> Self {
+        VmSpec { cpus, memory_mb }
+    }
+}
+
+impl fmt::Display for VmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}vCPU/{}MiB", self.cpus, self.memory_mb)
+    }
+}
+
+/// Identifies a VM host domain (the private pool or one public cloud) so
+/// VM ids are globally unique without central coordination.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HostTag(pub u16);
+
+impl HostTag {
+    /// Conventional tag for the private pool.
+    pub const PRIVATE: HostTag = HostTag(0);
+}
+
+/// A globally unique VM identifier: the owning host's tag in the upper
+/// 16 bits, a per-host serial in the lower 48.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(u64);
+
+impl VmId {
+    /// Builds an id from a host tag and per-host serial number.
+    pub fn new(host: HostTag, serial: u64) -> Self {
+        assert!(serial < (1 << 48), "VM serial space exhausted");
+        VmId(((host.0 as u64) << 48) | serial)
+    }
+
+    /// The host domain that owns this VM.
+    pub fn host(self) -> HostTag {
+        HostTag((self.0 >> 48) as u16)
+    }
+
+    /// The per-host serial.
+    pub fn serial(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+}
+
+impl fmt::Debug for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}.{}", self.host().0, self.serial())
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Where a VM physically runs — the private pool or a specific public
+/// cloud. Billing rates and speed factors hang off this.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Location {
+    /// The provider-owned pool.
+    Private,
+    /// A public cloud, by index.
+    Cloud(crate::cloud::CloudId),
+}
+
+impl Location {
+    /// True for the private pool.
+    pub fn is_private(self) -> bool {
+        matches!(self, Location::Private)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Private => write!(f, "private"),
+            Location::Cloud(c) => write!(f, "cloud{}", c.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudId;
+
+    #[test]
+    fn ec2_medium_matches_paper() {
+        assert_eq!(VmSpec::EC2_MEDIUM_LIKE.cpus, 2);
+        assert_eq!(VmSpec::EC2_MEDIUM_LIKE.memory_mb, 3840);
+    }
+
+    #[test]
+    fn vm_id_round_trips() {
+        let id = VmId::new(HostTag(3), 12345);
+        assert_eq!(id.host(), HostTag(3));
+        assert_eq!(id.serial(), 12345);
+    }
+
+    #[test]
+    fn vm_ids_from_different_hosts_differ() {
+        let a = VmId::new(HostTag(0), 7);
+        let b = VmId::new(HostTag(1), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(VmId::new(HostTag(2), 9).to_string(), "vm2.9");
+        assert_eq!(VmSpec::EC2_MEDIUM_LIKE.to_string(), "2vCPU/3840MiB");
+        assert_eq!(Location::Private.to_string(), "private");
+        assert_eq!(Location::Cloud(CloudId(1)).to_string(), "cloud1");
+    }
+
+    #[test]
+    fn location_predicates() {
+        assert!(Location::Private.is_private());
+        assert!(!Location::Cloud(CloudId(0)).is_private());
+    }
+
+    #[test]
+    #[should_panic(expected = "serial space exhausted")]
+    fn serial_overflow_panics() {
+        VmId::new(HostTag(0), 1 << 48);
+    }
+}

@@ -1,0 +1,237 @@
+//! The VM lifecycle state machine.
+//!
+//! ```text
+//! begin_start          complete_start        begin_stop         complete_stop
+//!     │                      │                   │                    │
+//!     ▼                      ▼                   ▼                    ▼
+//!  Starting ────────────► Running ─────────► Stopping ─────────► Terminated
+//! ```
+//!
+//! Transitions out of order return [`VmmError::InvalidTransition`]; the
+//! substrate never silently absorbs a protocol bug in the layers above.
+
+use meryn_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::error::VmmError;
+use crate::image::ImageId;
+use crate::node::NodeId;
+use crate::spec::{Location, VmId, VmSpec};
+
+/// Lifecycle state of a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Provisioning/booting; not yet usable by a framework.
+    Starting {
+        /// When the boot began.
+        since: SimTime,
+    },
+    /// Booted and available to its framework.
+    Running {
+        /// When the VM became usable.
+        since: SimTime,
+    },
+    /// Shutting down; resources still held.
+    Stopping {
+        /// When the shutdown began.
+        since: SimTime,
+    },
+    /// Gone; resources released.
+    Terminated {
+        /// When the shutdown completed.
+        at: SimTime,
+    },
+}
+
+impl VmState {
+    /// Short state name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VmState::Starting { .. } => "Starting",
+            VmState::Running { .. } => "Running",
+            VmState::Stopping { .. } => "Stopping",
+            VmState::Terminated { .. } => "Terminated",
+        }
+    }
+
+    /// True while the VM holds host resources (anything but terminated).
+    pub fn holds_resources(&self) -> bool {
+        !matches!(self, VmState::Terminated { .. })
+    }
+}
+
+/// One virtual machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Unique id.
+    pub id: VmId,
+    /// Resource shape.
+    pub spec: VmSpec,
+    /// Disk image it booted from.
+    pub image: ImageId,
+    /// Where it runs.
+    pub location: Location,
+    /// Physical node, for private VMs.
+    pub node: Option<NodeId>,
+    /// Relative CPU speed (1.0 = the reference private hardware; the
+    /// paper's cloud runs the reference app in 1670 s vs 1550 s private,
+    /// a factor of ≈0.928).
+    pub speed: f64,
+    state: VmState,
+}
+
+impl Vm {
+    /// Creates a VM entering the `Starting` state at `now`.
+    pub fn starting(
+        id: VmId,
+        spec: VmSpec,
+        image: ImageId,
+        location: Location,
+        node: Option<NodeId>,
+        speed: f64,
+        now: SimTime,
+    ) -> Self {
+        assert!(speed > 0.0, "VM speed factor must be positive");
+        Vm {
+            id,
+            spec,
+            image,
+            location,
+            node,
+            speed,
+            state: VmState::Starting { since: now },
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// True when usable by a framework.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, VmState::Running { .. })
+    }
+
+    /// Instant the VM became running, if it is.
+    pub fn running_since(&self) -> Option<SimTime> {
+        match self.state {
+            VmState::Running { since } => Some(since),
+            _ => None,
+        }
+    }
+
+    /// Completes the boot: `Starting → Running`.
+    pub fn complete_start(&mut self, now: SimTime) -> Result<(), VmmError> {
+        match self.state {
+            VmState::Starting { .. } => {
+                self.state = VmState::Running { since: now };
+                Ok(())
+            }
+            s => Err(VmmError::InvalidTransition {
+                vm: self.id,
+                state: s.name(),
+                op: "complete_start",
+            }),
+        }
+    }
+
+    /// Begins shutdown: `Running → Stopping`.
+    pub fn begin_stop(&mut self, now: SimTime) -> Result<(), VmmError> {
+        match self.state {
+            VmState::Running { .. } => {
+                self.state = VmState::Stopping { since: now };
+                Ok(())
+            }
+            s => Err(VmmError::InvalidTransition {
+                vm: self.id,
+                state: s.name(),
+                op: "begin_stop",
+            }),
+        }
+    }
+
+    /// Completes shutdown: `Stopping → Terminated`.
+    pub fn complete_stop(&mut self, now: SimTime) -> Result<(), VmmError> {
+        match self.state {
+            VmState::Stopping { .. } => {
+                self.state = VmState::Terminated { at: now };
+                Ok(())
+            }
+            s => Err(VmmError::InvalidTransition {
+                vm: self.id,
+                state: s.name(),
+                op: "complete_stop",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HostTag;
+
+    fn vm() -> Vm {
+        Vm::starting(
+            VmId::new(HostTag::PRIVATE, 0),
+            VmSpec::EC2_MEDIUM_LIKE,
+            ImageId(0),
+            Location::Private,
+            Some(NodeId(0)),
+            1.0,
+            SimTime::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let mut v = vm();
+        assert_eq!(v.state().name(), "Starting");
+        assert!(!v.is_running());
+        v.complete_start(SimTime::from_secs(40)).unwrap();
+        assert!(v.is_running());
+        assert_eq!(v.running_since(), Some(SimTime::from_secs(40)));
+        v.begin_stop(SimTime::from_secs(100)).unwrap();
+        assert_eq!(v.state().name(), "Stopping");
+        assert!(v.state().holds_resources());
+        v.complete_stop(SimTime::from_secs(110)).unwrap();
+        assert_eq!(v.state().name(), "Terminated");
+        assert!(!v.state().holds_resources());
+    }
+
+    #[test]
+    fn out_of_order_transitions_fail() {
+        let mut v = vm();
+        // Cannot stop while starting.
+        assert!(matches!(
+            v.begin_stop(SimTime::from_secs(20)),
+            Err(VmmError::InvalidTransition { op: "begin_stop", .. })
+        ));
+        v.complete_start(SimTime::from_secs(40)).unwrap();
+        // Cannot complete a start twice.
+        assert!(v.complete_start(SimTime::from_secs(41)).is_err());
+        v.begin_stop(SimTime::from_secs(50)).unwrap();
+        // Cannot begin stop twice.
+        assert!(v.begin_stop(SimTime::from_secs(51)).is_err());
+        v.complete_stop(SimTime::from_secs(60)).unwrap();
+        // Terminated is terminal.
+        assert!(v.complete_start(SimTime::from_secs(70)).is_err());
+        assert!(v.begin_stop(SimTime::from_secs(70)).is_err());
+        assert!(v.complete_stop(SimTime::from_secs(70)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor must be positive")]
+    fn zero_speed_rejected() {
+        Vm::starting(
+            VmId::new(HostTag::PRIVATE, 0),
+            VmSpec::EC2_MEDIUM_LIKE,
+            ImageId(0),
+            Location::Private,
+            None,
+            0.0,
+            SimTime::ZERO,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # meryn-workloads — workload generators and traces
+//!
+//! The paper's preliminary evaluation runs one synthetic workload
+//! (65 single-VM batch applications at a fixed 5 s inter-arrival, 50 to
+//! one batch Virtual Cluster and 15 to another) and announces future
+//! experiments "with workloads representative of real data centers
+//! workloads". This crate provides both:
+//!
+//! * [`submission`] — the submission record the platform consumes: an
+//!   arrival instant, a target VC, a framework job description and a
+//!   negotiation strategy;
+//! * [`synthetic`] — the paper workload, parameterized;
+//! * [`generators`] — Poisson arrivals, heavy-tailed (bounded-Pareto)
+//!   runtimes, diurnal load cycles and bursty on/off phases for the
+//!   "representative data-center" experiments;
+//! * [`trace`] — JSON trace round-tripping so workloads can be saved,
+//!   inspected and replayed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod submission;
+pub mod synthetic;
+pub mod trace;
+
+pub use submission::{Submission, VcTarget};
+pub use synthetic::{paper_workload, PaperWorkloadParams};

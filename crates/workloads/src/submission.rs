@@ -1,0 +1,95 @@
+//! The submission record.
+//!
+//! Users "submit their applications through a common and uniform
+//! interface, whatever the type of their applications" (§3.1). A
+//! [`Submission`] is that uniform template: when the application arrives,
+//! where it is headed, what it runs and how its user negotiates.
+
+use meryn_frameworks::{FrameworkKind, JobSpec};
+use meryn_sim::SimTime;
+use meryn_sla::negotiation::UserStrategy;
+use serde::{Deserialize, Serialize};
+
+/// How the Client Manager routes a submission to a Virtual Cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcTarget {
+    /// An explicit VC index (the paper's evaluation addresses its two
+    /// batch VCs directly).
+    Index(usize),
+    /// The first VC hosting this application type.
+    Kind(FrameworkKind),
+}
+
+/// One application submission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Arrival instant at the Client Manager.
+    pub at: SimTime,
+    /// Routing target.
+    pub target: VcTarget,
+    /// The application description, already in framework terms.
+    pub spec: JobSpec,
+    /// The user's negotiation behaviour.
+    pub strategy: UserStrategy,
+}
+
+impl Submission {
+    /// Convenience constructor.
+    pub fn new(at: SimTime, target: VcTarget, spec: JobSpec, strategy: UserStrategy) -> Self {
+        Submission {
+            at,
+            target,
+            spec,
+            strategy,
+        }
+    }
+}
+
+/// Sorts a workload by arrival time (stable, so equal instants keep
+/// generation order) and returns it. Platform drivers require
+/// time-ordered input.
+pub fn sort_by_arrival(mut subs: Vec<Submission>) -> Vec<Submission> {
+    subs.sort_by_key(|s| s.at);
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meryn_frameworks::ScalingLaw;
+    use meryn_sim::SimDuration;
+
+    fn spec() -> JobSpec {
+        JobSpec::Batch {
+            work: SimDuration::from_secs(100),
+            nb_vms: 1,
+            scaling: ScalingLaw::Fixed,
+        }
+    }
+
+    #[test]
+    fn construction() {
+        let s = Submission::new(
+            SimTime::from_secs(5),
+            VcTarget::Index(0),
+            spec(),
+            UserStrategy::AcceptCheapest,
+        );
+        assert_eq!(s.at, SimTime::from_secs(5));
+        assert_eq!(s.target, VcTarget::Index(0));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let t = SimTime::from_secs(10);
+        let mk = |at, idx| Submission::new(at, VcTarget::Index(idx), spec(), UserStrategy::AcceptCheapest);
+        let sorted = sort_by_arrival(vec![
+            mk(t, 0),
+            mk(SimTime::from_secs(5), 1),
+            mk(t, 2),
+        ]);
+        assert_eq!(sorted[0].target, VcTarget::Index(1));
+        assert_eq!(sorted[1].target, VcTarget::Index(0));
+        assert_eq!(sorted[2].target, VcTarget::Index(2));
+    }
+}

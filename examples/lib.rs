@@ -1,0 +1,47 @@
+//! Shared helpers for the Meryn examples.
+
+use meryn_core::report::RunReport;
+use meryn_core::VcId;
+
+/// Pretty-prints the headline numbers of a run.
+pub fn print_summary(report: &RunReport) {
+    println!("=== {} run (seed {}) ===", report.mode, report.seed);
+    println!(
+        "apps: {} completed, {} rejected, {} violations",
+        report.apps.len(),
+        report.rejected,
+        report.violations()
+    );
+    println!(
+        "completion time: {:.0} s | peak private VMs: {:.0} | peak cloud VMs: {:.0}",
+        report.completion_secs(),
+        report.peak_private,
+        report.peak_cloud
+    );
+    println!(
+        "transfers: {} | bursts: {} | suspensions: {}",
+        report.transfers, report.bursts, report.suspensions
+    );
+    println!(
+        "total cost: {} | total revenue: {} | profit: {}",
+        report.total_cost(),
+        report.total_revenue(),
+        report.profit()
+    );
+}
+
+/// Pretty-prints the per-group rows of Figure 6 for one run.
+pub fn print_groups(report: &RunReport, vcs: &[(&str, usize)]) {
+    let all = report.group(None);
+    println!(
+        "  all apps: avg exec {:.0} s, avg cost {:.0} u",
+        all.avg_exec_secs, all.avg_cost_units
+    );
+    for &(name, idx) in vcs {
+        let g = report.group(Some(VcId(idx)));
+        println!(
+            "  {name}: {} apps, avg exec {:.0} s, avg cost {:.0} u",
+            g.count, g.avg_exec_secs, g.avg_cost_units
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test package for the Meryn workspace (tests live in the [[test]] targets).

@@ -1,0 +1,222 @@
+//! End-to-end reproduction of the paper's evaluation (§5): the 65-app
+//! synthetic workload through Meryn and the static baseline, checked
+//! against the reported *shapes* — who wins, by roughly what factor,
+//! where the resources go.
+
+use meryn_core::config::{PlatformConfig, PolicyMode};
+use meryn_core::report::{compare, RunReport};
+use meryn_core::{Platform, VcId};
+use meryn_workloads::{paper_workload, PaperWorkloadParams};
+
+fn run(mode: PolicyMode) -> RunReport {
+    let cfg = PlatformConfig::paper(mode);
+    Platform::new(cfg).run(&paper_workload(PaperWorkloadParams::default()))
+}
+
+#[test]
+fn all_65_apps_complete_without_violations_in_both_modes() {
+    for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+        let report = run(mode);
+        assert_eq!(report.apps.len(), 65, "{mode:?}");
+        assert_eq!(report.rejected, 0, "{mode:?}");
+        assert!(
+            report.apps.iter().all(|a| a.completed.is_some()),
+            "{mode:?}: every app completes"
+        );
+        // "In this experiment the deadline of each application was
+        // satisfied with both Meryn and the static approach."
+        assert_eq!(report.violations(), 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn meryn_uses_fewer_cloud_vms_than_static() {
+    let meryn = run(PolicyMode::Meryn);
+    let stat = run(PolicyMode::Static);
+    // Paper: "the number of the used cloud VMs was up to 25 VMs in the
+    // static approach while it was only 15 VMs in Meryn".
+    assert_eq!(meryn.peak_cloud, 15.0, "Meryn cloud peak");
+    assert_eq!(stat.peak_cloud, 25.0, "static cloud peak");
+    assert_eq!(meryn.bursts, 15);
+    assert_eq!(stat.bursts, 25);
+}
+
+#[test]
+fn meryn_transfers_vc2s_idle_vms() {
+    let meryn = run(PolicyMode::Meryn);
+    // Paper: "VC2, instead of keeping its 10 private VMs unused,
+    // transferred them to VC1."
+    assert_eq!(meryn.transfers, 10);
+    // No suspensions happened: "the cost of suspending an application
+    // was higher than running the last applications on the cloud VMs".
+    assert_eq!(meryn.suspensions, 0);
+    let stat = run(PolicyMode::Static);
+    assert_eq!(stat.transfers, 0);
+}
+
+#[test]
+fn placement_breakdown_matches_paper_narrative() {
+    let meryn = run(PolicyMode::Meryn);
+    let counts = meryn.placement_counts();
+    let get = |case: &str| {
+        counts
+            .iter()
+            .find(|(c, _)| c == case)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    // Meryn: 25 VC1 local + 15 VC2 local = 40 local, 10 vc-vms, 15 cloud.
+    assert_eq!(get("local-vm"), 40);
+    assert_eq!(get("vc-vm"), 10);
+    assert_eq!(get("cloud-vm"), 15);
+    assert_eq!(get("local-vm after suspension"), 0);
+    assert_eq!(get("vc-vm after suspension"), 0);
+}
+
+#[test]
+fn private_pool_is_fully_used_under_meryn() {
+    let meryn = run(PolicyMode::Meryn);
+    let stat = run(PolicyMode::Static);
+    // Meryn drives all 50 private VMs busy; static leaves VC2's 10
+    // spare VMs idle (peak 40).
+    assert_eq!(meryn.peak_private, 50.0);
+    assert_eq!(stat.peak_private, 40.0);
+}
+
+#[test]
+fn costs_beat_static_by_the_papers_margin() {
+    let meryn = run(PolicyMode::Meryn);
+    let stat = run(PolicyMode::Static);
+    let cmp = compare(&meryn, &stat);
+    // Paper: VC1 avg cost 16.72% better, overall 14.07% better. Our
+    // model reproduces the mechanism (10 apps moved from 4 u/s cloud to
+    // 2 u/s private); accept the 10–20% band.
+    let vc1_meryn = meryn.group(Some(VcId(0))).avg_cost_units;
+    let vc1_stat = stat.group(Some(VcId(0))).avg_cost_units;
+    let vc1_improvement = (vc1_stat - vc1_meryn) / vc1_stat * 100.0;
+    assert!(
+        (10.0..=20.0).contains(&vc1_improvement),
+        "VC1 cost improvement {vc1_improvement:.2}% outside the paper band"
+    );
+    assert!(
+        (8.0..=20.0).contains(&cmp.cost_improvement_pct),
+        "overall cost improvement {:.2}% outside the paper band",
+        cmp.cost_improvement_pct
+    );
+    assert!(
+        cmp.cost_saved > meryn_sla::Money::from_units(20_000),
+        "cost saved {} too small (paper: 41158 u)",
+        cmp.cost_saved
+    );
+    // Cheaper with Meryn, never costlier.
+    assert!(meryn.total_cost() < stat.total_cost());
+}
+
+#[test]
+fn vc2_is_unaffected_by_the_policy() {
+    let meryn = run(PolicyMode::Meryn);
+    let stat = run(PolicyMode::Static);
+    // Paper: VC2's avg exec (1518 vs 1514 s) and cost (3037 vs 3029 u)
+    // are "almost the same" across approaches — its 15 apps run on its
+    // own private VMs either way.
+    let m = meryn.group(Some(VcId(1)));
+    let s = stat.group(Some(VcId(1)));
+    assert_eq!(m.count, 15);
+    assert_eq!(s.count, 15);
+    assert_eq!(m.avg_exec_secs, s.avg_exec_secs);
+    assert_eq!(m.avg_cost_units, s.avg_cost_units);
+    // Our model: exactly 1550 s on private VMs at 2 u/s.
+    assert_eq!(m.avg_exec_secs, 1550.0);
+    assert_eq!(m.avg_cost_units, 3100.0);
+}
+
+#[test]
+fn completion_times_are_close_and_in_the_papers_range() {
+    // Paper: 2021 s (Meryn) vs 2091 s (static), "almost the same".
+    let meryn = run(PolicyMode::Meryn);
+    let stat = run(PolicyMode::Static);
+    for (label, r) in [("meryn", &meryn), ("static", &stat)] {
+        let c = r.completion_secs();
+        assert!(
+            (1900.0..=2200.0).contains(&c),
+            "{label} completion {c:.0}s outside the paper's ballpark"
+        );
+    }
+    let delta = (meryn.completion_secs() - stat.completion_secs()).abs();
+    assert!(
+        delta < 150.0,
+        "completion times should be close, differ by {delta:.0}s"
+    );
+    // Meryn must not be meaningfully worse.
+    assert!(meryn.completion_secs() <= stat.completion_secs() + 60.0);
+}
+
+#[test]
+fn execution_times_match_the_measured_pascal_runs() {
+    let meryn = run(PolicyMode::Meryn);
+    for a in &meryn.apps {
+        let exec = a.exec.as_secs();
+        match a.placement.as_str() {
+            "cloud-vm" => assert_eq!(exec, 1670, "{:?}", a.id),
+            _ => assert_eq!(exec, 1550, "{:?}", a.id),
+        }
+    }
+}
+
+#[test]
+fn table1_processing_times_within_measured_ranges() {
+    let meryn = run(PolicyMode::Meryn);
+    // Measured bands widened by our component calibration (DESIGN.md):
+    // local 7–15, vc 33–65, cloud 57–85.
+    let mut local = meryn.processing_summary("local-vm");
+    assert!(local.count() >= 40);
+    assert!(local.min() >= 7.0 && local.max() <= 15.0, "local-vm range");
+    assert!(local.median() >= 7.0);
+    let vc = meryn.processing_summary("vc-vm");
+    assert_eq!(vc.count(), 10);
+    assert!(vc.min() >= 33.0 && vc.max() <= 65.0, "vc-vm range");
+    let cloud = meryn.processing_summary("cloud-vm");
+    assert_eq!(cloud.count(), 15);
+    assert!(cloud.min() >= 57.0 && cloud.max() <= 85.0, "cloud-vm range");
+    // Ordering as in Table 1: local < vc < cloud.
+    assert!(local.mean() < vc.mean());
+    assert!(vc.mean() < cloud.mean());
+}
+
+#[test]
+fn revenue_equal_across_modes_profit_higher_with_meryn() {
+    // Paper §5.5: all deadlines met ⇒ revenues equal; lower cost ⇒
+    // higher provider profit with Meryn.
+    let meryn = run(PolicyMode::Meryn);
+    let stat = run(PolicyMode::Static);
+    assert_eq!(meryn.total_revenue(), stat.total_revenue());
+    assert!(meryn.profit() > stat.profit());
+}
+
+#[test]
+fn cloud_usage_returns_to_zero() {
+    let meryn = run(PolicyMode::Meryn);
+    let cloud_series = meryn.series.get(1);
+    assert_eq!(cloud_series.name(), "used_cloud_vms");
+    assert_eq!(cloud_series.last(), 0.0);
+    // And its integral is finite VM-seconds consistent with 15 leases
+    // of ~1670 s each.
+    let total_vm_secs = cloud_series.integral(
+        meryn_sim::SimTime::ZERO,
+        meryn.completion_time,
+    );
+    assert!(
+        (15.0 * 1500.0..15.0 * 1900.0).contains(&total_vm_secs),
+        "cloud VM-seconds {total_vm_secs}"
+    );
+}
+
+#[test]
+fn deterministic_full_scenario() {
+    let a = run(PolicyMode::Meryn);
+    let b = run(PolicyMode::Meryn);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
