@@ -26,7 +26,11 @@ fn pricing() -> PricingParams {
 fn fixture(
     n_vcs: usize,
     apps_per_vc: usize,
-) -> (Vec<VirtualCluster>, BTreeMap<AppId, Application>, Vec<PublicCloud>) {
+) -> (
+    Vec<VirtualCluster>,
+    BTreeMap<AppId, Application>,
+    Vec<PublicCloud>,
+) {
     let mut apps = BTreeMap::new();
     let mut next = 0u64;
     let mut vcs = Vec::with_capacity(n_vcs);
@@ -55,8 +59,11 @@ fn fixture(
             let id = AppId(next);
             next += 1;
             vc.job_to_app.insert(job, id);
-            let mut times =
-                AppTimes::submitted(SimTime::ZERO, SimDuration::from_secs(1000), SimDuration::from_secs(1200));
+            let mut times = AppTimes::submitted(
+                SimTime::ZERO,
+                SimDuration::from_secs(1000),
+                SimDuration::from_secs(1200),
+            );
             times.start(SimTime::ZERO);
             apps.insert(
                 id,
@@ -126,27 +133,23 @@ fn bench_static_vs_meryn(c: &mut Criterion) {
     let (vcs, apps, clouds) = fixture(4, 25);
     let mut group = c.benchmark_group("policy_decision_cost");
     for mode in [PolicyMode::Meryn, PolicyMode::Static] {
-        group.bench_with_input(
-            BenchmarkId::new("mode", mode.label()),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    select_resources(
-                        mode,
-                        VcId(0),
-                        &vcs,
-                        &apps,
-                        &clouds,
-                        BidRequest {
-                            nb_vms: 1,
-                            duration: SimDuration::from_secs(1754),
-                        },
-                        SimTime::from_secs(100),
-                        meryn_core::protocol::ProtocolParams::new(VmRate::from_micro(500_000)),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+            b.iter(|| {
+                select_resources(
+                    mode,
+                    VcId(0),
+                    &vcs,
+                    &apps,
+                    &clouds,
+                    BidRequest {
+                        nb_vms: 1,
+                        duration: SimDuration::from_secs(1754),
+                    },
+                    SimTime::from_secs(100),
+                    meryn_core::protocol::ProtocolParams::new(VmRate::from_micro(500_000)),
+                )
+            })
+        });
     }
     group.finish();
 }

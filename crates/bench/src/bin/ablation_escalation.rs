@@ -60,13 +60,18 @@ fn main() {
     let report_only = run(ViolationPolicy::Report);
     let escalate = run(ViolationPolicy::EscalateToCloud);
 
-    println!(
-        "{:<26} {:>12} {:>12}",
-        "", "report-only", "escalate"
-    );
+    println!("{:<26} {:>12} {:>12}", "", "report-only", "escalate");
     for (label, a, b) in [
-        ("violations", report_only.violations() as f64, escalate.violations() as f64),
-        ("escalations", report_only.escalations as f64, escalate.escalations as f64),
+        (
+            "violations",
+            report_only.violations() as f64,
+            escalate.violations() as f64,
+        ),
+        (
+            "escalations",
+            report_only.escalations as f64,
+            escalate.escalations as f64,
+        ),
         ("bursts", report_only.bursts as f64, escalate.bursts as f64),
         (
             "completion [s]",

@@ -31,10 +31,8 @@ fn main() {
                 interarrival: SimDuration::from_secs(gap),
                 ..Default::default()
             });
-            let meryn =
-                Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
-            let stat =
-                Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
+            let meryn = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
+            let stat = Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
             format!(
                 "{:>8} {:>14.0} {:>14.0} {:>12} {:>12} {:>10}",
                 gap,

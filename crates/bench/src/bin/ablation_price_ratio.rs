@@ -22,9 +22,8 @@ fn main() {
     let rows: Vec<String> = factors
         .par_iter()
         .map(|&f| {
-            let meryn = run_paper_with(
-                PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(f),
-            );
+            let meryn =
+                run_paper_with(PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(f));
             let stat = run_paper_with(
                 PlatformConfig::paper(PolicyMode::Static).with_cloud_price_factor(f),
             );

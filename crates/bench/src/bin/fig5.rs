@@ -37,7 +37,9 @@ fn emit(mode: PolicyMode) {
     println!("\nShape:");
     print!(
         "{}",
-        report.series.to_ascii_chart(60, SimDuration::from_secs(120))
+        report
+            .series
+            .to_ascii_chart(60, SimDuration::from_secs(120))
     );
 }
 

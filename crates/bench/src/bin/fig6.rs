@@ -24,7 +24,11 @@ fn main() {
         meryn.completion_secs(),
         stat.completion_secs()
     );
-    for (label, vc) in [("All applis", None), ("VC1 applis", Some(VcId(0))), ("VC2 applis", Some(VcId(1)))] {
+    for (label, vc) in [
+        ("All applis", None),
+        ("VC1 applis", Some(VcId(0))),
+        ("VC2 applis", Some(VcId(1))),
+    ] {
         println!(
             "{:<16} {:>10.0} {:>10.0}",
             label,
@@ -41,7 +45,11 @@ fn main() {
         meryn.total_cost().as_units_f64() / 100.0,
         stat.total_cost().as_units_f64() / 100.0
     );
-    for (label, vc) in [("All applis", None), ("VC1 applis", Some(VcId(0))), ("VC2 applis", Some(VcId(1)))] {
+    for (label, vc) in [
+        ("All applis", None),
+        ("VC1 applis", Some(VcId(0))),
+        ("VC2 applis", Some(VcId(1))),
+    ] {
         println!(
             "{:<16} {:>10.0} {:>10.0}",
             label,

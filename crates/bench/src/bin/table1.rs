@@ -39,9 +39,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\nOrdering check (paper: local < local-susp < vc < vc-susp ≈ cloud):"
-    );
+    println!("\nOrdering check (paper: local < local-susp < vc < vc-susp ≈ cloud):");
     let means: Vec<(String, f64)> = TABLE1_CASES
         .iter()
         .map(|&case| {

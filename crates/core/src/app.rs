@@ -114,11 +114,7 @@ mod tests {
 
     fn app() -> Application {
         let pricing = PricingParams::new(VmRate::per_vm_second(4), 1);
-        let terms = SlaTerms::new(
-            SimDuration::from_secs(1754),
-            Money::from_units(6680),
-            1,
-        );
+        let terms = SlaTerms::new(SimDuration::from_secs(1754), Money::from_units(6680), 1);
         let submit = SimTime::from_secs(5);
         Application {
             id: AppId(0),

@@ -113,7 +113,10 @@ impl VirtualCluster {
     }
 
     /// Unregisters a slave from both maps.
-    pub fn remove_slave(&mut self, vm: VmId) -> Result<SlaveMeta, meryn_frameworks::FrameworkError> {
+    pub fn remove_slave(
+        &mut self,
+        vm: VmId,
+    ) -> Result<SlaveMeta, meryn_frameworks::FrameworkError> {
         self.framework.remove_slave(vm)?;
         Ok(self
             .slave_meta
@@ -200,10 +203,7 @@ impl Quoter for VcQuoter<'_> {
             .min_by_key(|q| q.price)?;
         // The user granted us until `deadline`; sign the slack into the
         // contract rather than promising tighter than asked.
-        Some(Quote {
-            deadline,
-            ..best
-        })
+        Some(Quote { deadline, ..best })
     }
 
     fn quote_for_price(&self, price: Money) -> Option<Quote> {
@@ -302,9 +302,9 @@ mod tests {
         let q = quoter_for(&vc, spec);
         let proposals = q.proposals();
         assert_eq!(proposals.len(), 3); // 1, 2, 4 VMs
-        // Linear + location-independent price: all cost the same (up to
-        // millisecond rounding of the per-allocation estimate), faster
-        // with more VMs.
+                                        // Linear + location-independent price: all cost the same (up to
+                                        // millisecond rounding of the per-allocation estimate), faster
+                                        // with more VMs.
         assert!(proposals[2].deadline < proposals[0].deadline);
         let diff = (proposals[0].price - proposals[1].price).as_micro().abs();
         assert!(diff < 10_000, "prices differ by {diff} micro-units");

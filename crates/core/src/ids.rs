@@ -6,9 +6,7 @@ use meryn_vmm::CloudId;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of an application across the whole platform.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AppId(pub u64);
 
 impl fmt::Debug for AppId {
@@ -24,9 +22,7 @@ impl fmt::Display for AppId {
 }
 
 /// Identifier of a Virtual Cluster.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VcId(pub usize);
 
 impl fmt::Debug for VcId {
@@ -99,15 +95,9 @@ mod tests {
     #[test]
     fn table1_rows() {
         assert_eq!(Placement::Local.table1_case(), "local-vm");
+        assert_eq!(Placement::VcVms { from: VcId(1) }.table1_case(), "vc-vm");
         assert_eq!(
-            Placement::VcVms { from: VcId(1) }.table1_case(),
-            "vc-vm"
-        );
-        assert_eq!(
-            Placement::Cloud {
-                cloud: CloudId(0)
-            }
-            .table1_case(),
+            Placement::Cloud { cloud: CloudId(0) }.table1_case(),
             "cloud-vm"
         );
         assert_eq!(

@@ -9,9 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use meryn_frameworks::{
-    BatchFramework, Framework, FrameworkKind, JobId, MapReduceFramework,
-};
+use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, JobId, MapReduceFramework};
 use meryn_sim::metrics::{SeriesSet, StepSeries};
 use meryn_sim::{EventQueue, SimRng, SimTime};
 use meryn_sla::pricing::PricingParams;
@@ -302,7 +300,11 @@ impl Platform {
     /// time plus, when Client Managers are a bounded resource, the wait
     /// for one to become free. The busiest-period behaviour §3.2 warns
     /// about emerges when a single CM serializes a burst of arrivals.
-    fn cm_delay(&mut self, now: SimTime, handling: meryn_sim::SimDuration) -> meryn_sim::SimDuration {
+    fn cm_delay(
+        &mut self,
+        now: SimTime,
+        handling: meryn_sim::SimDuration,
+    ) -> meryn_sim::SimDuration {
         if self.cm_free_at.is_empty() {
             return handling; // unbounded front end
         }
@@ -405,7 +407,11 @@ impl Platform {
                     .into_iter()
                     .take(nb as usize)
                     .collect();
-                assert_eq!(vms.len() as u64, nb, "Local decision implies enough idle VMs");
+                assert_eq!(
+                    vms.len() as u64,
+                    nb,
+                    "Local decision implies enough idle VMs"
+                );
                 for &vm in &vms {
                     self.vcs[vc_id.0]
                         .framework
@@ -413,12 +419,14 @@ impl Platform {
                         .expect("idle slave is reservable");
                 }
                 self.acquired.insert(app_id, vms);
-                self.queue.push(now + base, Event::SubmitToFramework { app: app_id });
+                self.queue
+                    .push(now + base, Event::SubmitToFramework { app: app_id });
             }
             Decision::Queue => {
                 // Nothing can provide VMs now: hand to the framework and
                 // let FIFO/backfill handle it when capacity frees up.
-                self.queue.push(now + base, Event::SubmitToFramework { app: app_id });
+                self.queue
+                    .push(now + base, Event::SubmitToFramework { app: app_id });
             }
             Decision::LocalAfterSuspension { victim } => {
                 let freed = self.suspend_app(now, vc_id, victim);
@@ -546,12 +554,7 @@ impl Platform {
 
     /// Closes a job's execution stint: bills each VM interval and
     /// updates the used-VM series. Returns the stint's VMs.
-    fn close_stint(
-        &mut self,
-        now: SimTime,
-        vc: VcId,
-        job: JobId,
-    ) -> Vec<(VmId, Location, VmRate)> {
+    fn close_stint(&mut self, now: SimTime, vc: VcId, job: JobId) -> Vec<(VmId, Location, VmRate)> {
         let stint = self
             .stints
             .remove(&(vc, job))
@@ -656,13 +659,8 @@ impl Platform {
         app.times.start(now);
         let done = app.times.progress_t(now);
         app.times.set_exec_t(done + d.exec_total);
-        self.stints.insert(
-            (vc_id, d.job),
-            Stint {
-                started: now,
-                vms,
-            },
-        );
+        self.stints
+            .insert((vc_id, d.job), Stint { started: now, vms });
         self.queue.push(
             d.finish_at,
             Event::JobFinished {
@@ -691,10 +689,7 @@ impl Platform {
             .complete_start(vm, now)
             .expect("transfer boot completes");
         let done = {
-            let pending = self
-                .pending
-                .get_mut(&app)
-                .expect("transfer in flight");
+            let pending = self.pending.get_mut(&app).expect("transfer in flight");
             match pending {
                 PendingAcquisition::Transfer { awaiting, vms } => {
                     vms.push(vm);
@@ -705,8 +700,7 @@ impl Platform {
             }
         };
         if done {
-            let Some(PendingAcquisition::Transfer { vms, .. }) = self.pending.remove(&app)
-            else {
+            let Some(PendingAcquisition::Transfer { vms, .. }) = self.pending.remove(&app) else {
                 unreachable!("just matched")
             };
             let vc_id = self.apps[&app].vc;
@@ -724,7 +718,9 @@ impl Platform {
         let done = {
             let pending = self.pending.get_mut(&app).expect("lease in flight");
             match pending {
-                PendingAcquisition::CloudLease { cloud, awaiting, .. } => {
+                PendingAcquisition::CloudLease {
+                    cloud, awaiting, ..
+                } => {
                     let c = &mut self.clouds[cloud.0 as usize];
                     c.complete_lease(vm, now).expect("lease completes");
                     *awaiting -= 1;
@@ -948,8 +944,7 @@ impl Platform {
                 existing_job: Some(job),
             },
         );
-        self.apps.get_mut(&app_id).expect("app exists").placement =
-            Placement::Cloud { cloud };
+        self.apps.get_mut(&app_id).expect("app exists").placement = Placement::Cloud { cloud };
         true
     }
 
@@ -1155,7 +1150,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_identical_runs() {
-        let subs: Vec<Submission> = (0..8).map(|i| batch_sub(5 + i * 5, (i % 2) as usize, 400)).collect();
+        let subs: Vec<Submission> = (0..8)
+            .map(|i| batch_sub(5 + i * 5, (i % 2) as usize, 400))
+            .collect();
         let r1 = Platform::new(small_cfg(PolicyMode::Meryn)).run(&subs);
         let r2 = Platform::new(small_cfg(PolicyMode::Meryn)).run(&subs);
         assert_eq!(

@@ -170,9 +170,7 @@ pub fn select_resources(
         Some(min) => {
             if local_amount == Some(min) {
                 match local_bid {
-                    Bid::Suspension { victim, .. } => {
-                        Decision::LocalAfterSuspension { victim }
-                    }
+                    Bid::Suspension { victim, .. } => Decision::LocalAfterSuspension { victim },
                     // `Free` is impossible (option 1 would have fired);
                     // `Unable` has no amount.
                     _ => unreachable!("local bid with an amount is a suspension"),

@@ -166,10 +166,7 @@ impl RunReport {
         for a in &self.apps {
             *counts.entry(a.placement.as_str()).or_default() += 1;
         }
-        counts
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect()
+        counts.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
     }
 }
 

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::perf::ScalingLaw;
 
 /// Identifier of a job within one framework instance.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl fmt::Debug for JobId {

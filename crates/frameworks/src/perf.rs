@@ -50,11 +50,7 @@ pub fn effective_speed(speeds: &[f64]) -> f64 {
 
 /// Execution time of a batch stint: the scaling law at the allocation
 /// size, slowed by the gating member of the actual slave set.
-pub fn batch_exec_time(
-    work: SimDuration,
-    scaling: ScalingLaw,
-    speeds: &[f64],
-) -> SimDuration {
+pub fn batch_exec_time(work: SimDuration, scaling: ScalingLaw, speeds: &[f64]) -> SimDuration {
     assert!(!speeds.is_empty(), "batch job dispatched on zero VMs");
     let base = scaling.exec_time(work, speeds.len() as u64);
     base.scale(1.0 / effective_speed(speeds))

@@ -35,7 +35,11 @@ pub trait ExecModel {
 
     /// Predicted execution time of the *whole* job `spec` on `slaves`.
     /// Returns [`FrameworkError::WrongJobType`] for foreign specs.
-    fn exec_time(&self, spec: &JobSpec, slaves: &[SlaveInfo]) -> Result<SimDuration, FrameworkError>;
+    fn exec_time(
+        &self,
+        spec: &JobSpec,
+        slaves: &[SlaveInfo],
+    ) -> Result<SimDuration, FrameworkError>;
 }
 
 /// A job tracked by the scheduler.
@@ -454,10 +458,7 @@ impl<M: ExecModel> DedicatedScheduler<M> {
             .ok_or(FrameworkError::UnknownJob(job_id))?;
         match job.state {
             JobState::Queued | JobState::Suspended { .. } => {
-                assert!(
-                    !self.queue.contains(&job_id),
-                    "job already queued"
-                );
+                assert!(!self.queue.contains(&job_id), "job already queued");
                 self.queue.push_back(job_id);
                 Ok(())
             }

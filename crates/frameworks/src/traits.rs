@@ -90,8 +90,7 @@ pub trait Framework {
 
     /// Suspends a running job and holds it out of the queue until its
     /// VMs are given back (the Algorithm 2 lending path).
-    fn suspend_and_hold(&mut self, job: JobId, now: SimTime)
-        -> Result<Vec<VmId>, FrameworkError>;
+    fn suspend_and_hold(&mut self, job: JobId, now: SimTime) -> Result<Vec<VmId>, FrameworkError>;
 
     /// Requeues a held job at the front of the queue.
     fn requeue_held(&mut self, job: JobId) -> Result<(), FrameworkError>;

@@ -261,7 +261,13 @@ impl SeriesSet {
             .fold(1.0_f64, f64::max);
         let mut out = String::new();
         for s in &self.series {
-            let _ = writeln!(out, "{} (max {:.0}, scale 0..{:.0})", s.name(), s.max(), peak);
+            let _ = writeln!(
+                out,
+                "{} (max {:.0}, scale 0..{:.0})",
+                s.name(),
+                s.max(),
+                peak
+            );
             let mut t = SimTime::ZERO;
             loop {
                 let v = s.value_at(t);

@@ -69,8 +69,11 @@ impl SlaContract {
 
     /// The penalty owed for completing at `finished_at` (eq. 3, bounded).
     pub fn penalty_at(&self, finished_at: SimTime) -> Money {
-        self.pricing
-            .delay_penalty(self.delay_at(finished_at), self.terms.nb_vms, self.terms.price)
+        self.pricing.delay_penalty(
+            self.delay_at(finished_at),
+            self.terms.nb_vms,
+            self.terms.price,
+        )
     }
 
     /// Provider revenue for completing at `finished_at`: price − penalty.
@@ -93,11 +96,7 @@ mod tests {
         // Signed at t=50 s: exec 1000 s + processing 84 s = deadline 1084 s,
         // price 1000 s × 1 VM × 2 u = 2000 u, N = 2.
         let pricing = PricingParams::new(VmRate::per_vm_second(2), 2);
-        let terms = SlaTerms::new(
-            SimDuration::from_secs(1084),
-            Money::from_units(2000),
-            1,
-        );
+        let terms = SlaTerms::new(SimDuration::from_secs(1084), Money::from_units(2000), 1);
         SlaContract::sign(terms, SimTime::from_secs(50), pricing)
     }
 

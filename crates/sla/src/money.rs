@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 pub const MICROS_PER_UNIT: i64 = 1_000_000;
 
 /// An exact amount of money in micro-units. May be negative (a loss).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Money(i64);
 
 impl Money {
@@ -276,10 +274,13 @@ mod tests {
     fn saturation_not_wrapping() {
         let max = Money::MAX;
         assert_eq!(max + Money::from_units(1), Money::MAX);
-        assert_eq!(Money::from_micro(i64::MIN) - Money::from_units(1).max_zero(), {
-            // saturates at MIN, does not wrap
-            Money::from_micro(i64::MIN)
-        });
+        assert_eq!(
+            Money::from_micro(i64::MIN) - Money::from_units(1).max_zero(),
+            {
+                // saturates at MIN, does not wrap
+                Money::from_micro(i64::MIN)
+            }
+        );
     }
 
     #[test]

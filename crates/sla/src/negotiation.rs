@@ -163,10 +163,7 @@ pub fn negotiate(
                 // tighter internal estimate) gives the platform the slack
                 // the user explicitly granted.
                 return Ok(NegotiationOutcome {
-                    quote: Quote {
-                        deadline,
-                        ..*q
-                    },
+                    quote: Quote { deadline, ..*q },
                     rounds: 1,
                 });
             }

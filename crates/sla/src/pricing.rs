@@ -58,7 +58,11 @@ impl PricingParams {
 
     /// eq. 1: the deadline offered for a predicted execution time and a
     /// submission-processing allowance.
-    pub fn deadline(&self, execution_time: SimDuration, processing_time: SimDuration) -> SimDuration {
+    pub fn deadline(
+        &self,
+        execution_time: SimDuration,
+        processing_time: SimDuration,
+    ) -> SimDuration {
         execution_time + processing_time
     }
 
@@ -133,7 +137,7 @@ mod tests {
     fn eq3_penalty_divides_by_n() {
         let p = params(2);
         let price = p.price(SimDuration::from_secs(1000), 1); // 2000 u
-        // Delay equal to the execution time, N=2 → penalty = price / 2.
+                                                              // Delay equal to the execution time, N=2 → penalty = price / 2.
         let pen = p.delay_penalty(SimDuration::from_secs(1000), 1, price);
         assert_eq!(pen, Money::from_units(1000));
     }
@@ -162,7 +166,12 @@ mod tests {
     fn no_delay_no_penalty() {
         let p = params(3);
         let price = Money::from_units(500);
-        let rev = p.revenue(price, 2, SimDuration::from_secs(100), SimDuration::from_secs(90));
+        let rev = p.revenue(
+            price,
+            2,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(90),
+        );
         assert_eq!(rev, price);
     }
 
@@ -202,7 +211,10 @@ mod tests {
             .iter()
             .map(|&n| params(n).delay_penalty(delay, 1, price))
             .collect();
-        assert!(pens.windows(2).all(|w| w[0] > w[1]), "penalty must decrease with N: {pens:?}");
+        assert!(
+            pens.windows(2).all(|w| w[0] > w[1]),
+            "penalty must decrease with N: {pens:?}"
+        );
     }
 
     #[test]

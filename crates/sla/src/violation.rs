@@ -94,8 +94,11 @@ mod tests {
     fn fixture() -> (SlaContract, AppTimes) {
         let pricing = PricingParams::new(VmRate::per_vm_second(2), 2);
         // Submitted at 0, exec 1000 s, deadline 1100 s.
-        let contract =
-            SlaContract::sign(SlaTerms::new(d(1100), Money::from_units(2000), 1), t(0), pricing);
+        let contract = SlaContract::sign(
+            SlaTerms::new(d(1100), Money::from_units(2000), 1),
+            t(0),
+            pricing,
+        );
         let times = AppTimes::submitted(t(0), d(1000), d(1100));
         (contract, times)
     }
@@ -155,8 +158,14 @@ mod tests {
     fn never_started_app_is_classified_by_queue_wait() {
         let (c, times) = fixture();
         // Still queued at t=50: predicted completion 50+1000=1050 ≤ 1100.
-        assert!(matches!(check(&c, &times, t(50)), SlaStatus::OnTrack { .. }));
+        assert!(matches!(
+            check(&c, &times, t(50)),
+            SlaStatus::OnTrack { .. }
+        ));
         // Still queued at t=200: predicted 1200 > 1100.
-        assert!(matches!(check(&c, &times, t(200)), SlaStatus::AtRisk { .. }));
+        assert!(matches!(
+            check(&c, &times, t(200)),
+            SlaStatus::AtRisk { .. }
+        ));
     }
 }

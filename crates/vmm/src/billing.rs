@@ -93,7 +93,11 @@ impl Ledger {
 
     /// Total of charges matching a predicate.
     pub fn total_where(&self, pred: impl Fn(&LedgerEntry) -> bool) -> Money {
-        self.entries.iter().filter(|e| pred(e)).map(|e| e.cost).sum()
+        self.entries
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.cost)
+            .sum()
     }
 
     /// Total billed VM-seconds matching a predicate.

@@ -22,9 +22,7 @@ use crate::spec::{HostTag, Location, VmId, VmSpec};
 use crate::vm::Vm;
 
 /// Identifier of a public cloud.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CloudId(pub u16);
 
 /// How a cloud prices its VMs over time.
@@ -60,8 +58,7 @@ impl PriceModel {
             } => {
                 let phase = (t.as_millis() % period.as_millis().max(1)) as f64
                     / period.as_millis().max(1) as f64;
-                let swing = (*amplitude_pct as f64 / 100.0)
-                    * (std::f64::consts::TAU * phase).sin();
+                let swing = (*amplitude_pct as f64 / 100.0) * (std::f64::consts::TAU * phase).sin();
                 base.scale(1.0 + swing)
             }
             PriceModel::Schedule(points) => {
@@ -226,7 +223,15 @@ impl PublicCloud {
         }
         let id = VmId::new(self.tag, self.serial);
         self.serial += 1;
-        let vm = Vm::starting(id, spec, image, Location::Cloud(self.id), None, self.speed, now);
+        let vm = Vm::starting(
+            id,
+            spec,
+            image,
+            Location::Cloud(self.id),
+            None,
+            self.speed,
+            now,
+        );
         self.vms.insert(id, vm);
         let rate = self.price.rate_at(now);
         self.lease_rates.insert(id, rate);
@@ -368,7 +373,10 @@ mod tests {
     fn static_price_model() {
         let m = PriceModel::Static(VmRate::per_vm_second(4));
         assert_eq!(m.rate_at(SimTime::ZERO), VmRate::per_vm_second(4));
-        assert_eq!(m.rate_at(SimTime::from_secs(9999)), VmRate::per_vm_second(4));
+        assert_eq!(
+            m.rate_at(SimTime::from_secs(9999)),
+            VmRate::per_vm_second(4)
+        );
     }
 
     #[test]

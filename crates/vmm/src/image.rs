@@ -12,9 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a registered disk image.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ImageId(pub u32);
 
 impl fmt::Debug for ImageId {

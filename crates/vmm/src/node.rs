@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::spec::VmSpec;
 
 /// Identifier of a physical node within the private pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 /// A physical machine with core and memory capacity.

@@ -152,7 +152,15 @@ impl PrivatePool {
         let node_id = node.id;
         let id = VmId::new(self.tag, self.serial);
         self.serial += 1;
-        let vm = Vm::starting(id, spec, image, Location::Private, Some(node_id), self.speed, now);
+        let vm = Vm::starting(
+            id,
+            spec,
+            image,
+            Location::Private,
+            Some(node_id),
+            self.speed,
+            now,
+        );
         self.vms.insert(id, vm);
         Ok((id, self.boot.sample(&mut self.rng)))
     }

@@ -38,9 +38,7 @@ impl fmt::Display for VmSpec {
 
 /// Identifies a VM host domain (the private pool or one public cloud) so
 /// VM ids are globally unique without central coordination.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HostTag(pub u16);
 
 impl HostTag {
@@ -85,9 +83,7 @@ impl fmt::Display for VmId {
 
 /// Where a VM physically runs — the private pool or a specific public
 /// cloud. Billing rates and speed factors hang off this.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Location {
     /// The provider-owned pool.
     Private,

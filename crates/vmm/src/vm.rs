@@ -206,7 +206,10 @@ mod tests {
         // Cannot stop while starting.
         assert!(matches!(
             v.begin_stop(SimTime::from_secs(20)),
-            Err(VmmError::InvalidTransition { op: "begin_stop", .. })
+            Err(VmmError::InvalidTransition {
+                op: "begin_stop",
+                ..
+            })
         ));
         v.complete_start(SimTime::from_secs(40)).unwrap();
         // Cannot complete a start twice.

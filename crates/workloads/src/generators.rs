@@ -123,7 +123,10 @@ impl GeneratorConfig {
 
 /// Generates a workload from `cfg` with the given seed.
 pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Vec<Submission> {
-    assert!(!cfg.nb_vms_choices.is_empty(), "need at least one VM choice");
+    assert!(
+        !cfg.nb_vms_choices.is_empty(),
+        "need at least one VM choice"
+    );
     assert!(!cfg.targets.is_empty(), "need at least one target");
     let rng = SimRng::new(seed);
     let mut arrival_rng = rng.fork(1);
@@ -293,10 +296,7 @@ mod tests {
         // Count arrivals in the first vs third quarter of the first day:
         // the sinusoid peaks in the first (factor > 1 → shorter gaps).
         let q = 86_400 / 4;
-        let first = subs
-            .iter()
-            .filter(|s| s.at.as_secs() < q)
-            .count();
+        let first = subs.iter().filter(|s| s.at.as_secs() < q).count();
         let third = subs
             .iter()
             .filter(|s| (2 * q..3 * q).contains(&s.at.as_secs()))

@@ -82,12 +82,15 @@ mod tests {
     #[test]
     fn sort_is_stable() {
         let t = SimTime::from_secs(10);
-        let mk = |at, idx| Submission::new(at, VcTarget::Index(idx), spec(), UserStrategy::AcceptCheapest);
-        let sorted = sort_by_arrival(vec![
-            mk(t, 0),
-            mk(SimTime::from_secs(5), 1),
-            mk(t, 2),
-        ]);
+        let mk = |at, idx| {
+            Submission::new(
+                at,
+                VcTarget::Index(idx),
+                spec(),
+                UserStrategy::AcceptCheapest,
+            )
+        };
+        let sorted = sort_by_arrival(vec![mk(t, 0), mk(SimTime::from_secs(5), 1), mk(t, 2)]);
         assert_eq!(sorted[0].target, VcTarget::Index(1));
         assert_eq!(sorted[1].target, VcTarget::Index(0));
         assert_eq!(sorted[2].target, VcTarget::Index(2));

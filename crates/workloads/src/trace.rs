@@ -24,7 +24,11 @@ pub struct Trace {
 
 impl Trace {
     /// Wraps a workload in a trace envelope.
-    pub fn new(description: impl Into<String>, seed: Option<u64>, submissions: Vec<Submission>) -> Self {
+    pub fn new(
+        description: impl Into<String>,
+        seed: Option<u64>,
+        submissions: Vec<Submission>,
+    ) -> Self {
         Trace {
             description: description.into(),
             seed,

@@ -7,62 +7,10 @@
 //! cargo run -p meryn-examples --bin datacenter_burst [seed]
 //! ```
 
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
-use meryn_core::report::compare;
-use meryn_core::Platform;
-use meryn_examples::print_summary;
-use meryn_sim::SimDuration;
-use meryn_workloads::generators::{ArrivalProcess, GeneratorConfig, WorkDistribution};
-use meryn_workloads::VcTarget;
-
 fn main() {
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
-
-    // A smaller private estate: 20 VMs split across two batch VCs.
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-    cfg.private_capacity = 20;
-    cfg.vcs = vec![VcConfig::batch("interactive", 10), VcConfig::batch("batch", 10)];
-
-    // 150 apps, bursty arrivals, bounded-Pareto runtimes. Two user
-    // populations: the "interactive" VC gets short jobs, "batch" long.
-    let mut gen = GeneratorConfig::datacenter(150, SimDuration::from_secs(20));
-    gen.arrivals = ArrivalProcess::Bursty {
-        burst_len: 12,
-        fast: SimDuration::from_secs(2),
-        idle: SimDuration::from_secs(600),
-    };
-    gen.work = WorkDistribution::BoundedPareto {
-        lo: SimDuration::from_secs(120),
-        hi: SimDuration::from_secs(3600),
-        alpha: 1.6,
-    };
-    gen.targets = vec![
-        (VcTarget::Index(0), 2),
-        (VcTarget::Index(1), 1),
-    ];
-    let workload = meryn_workloads::generators::generate(&gen, seed);
-
-    let meryn = Platform::new(cfg.clone()).run(&workload);
-    cfg.mode = PolicyMode::Static;
-    let stat = Platform::new(cfg).run(&workload);
-
-    println!("──────────────── Meryn ────────────────");
-    print_summary(&meryn);
-    println!("\n──────────────── Static ───────────────");
-    print_summary(&stat);
-
-    let cmp = compare(&meryn, &stat);
-    println!("\nUnder bursty load, Meryn absorbed spikes with VM exchange:");
-    println!(
-        "  peak cloud VMs {:.0} vs {:.0}, cost saved {}",
-        cmp.peak_cloud_a, cmp.peak_cloud_b, cmp.cost_saved
-    );
-    println!(
-        "  violations: meryn {} vs static {}",
-        meryn.violations(),
-        stat.violations()
-    );
+    meryn_examples::run_datacenter_burst(seed);
 }

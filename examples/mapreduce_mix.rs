@@ -7,69 +7,6 @@
 //! cargo run -p meryn-examples --bin mapreduce_mix
 //! ```
 
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
-use meryn_core::Platform;
-use meryn_examples::{print_groups, print_summary};
-use meryn_frameworks::{JobSpec, ScalingLaw};
-use meryn_sim::{SimDuration, SimTime};
-use meryn_sla::negotiation::UserStrategy;
-use meryn_workloads::{Submission, VcTarget};
-
-fn batch(at: u64, work: u64) -> Submission {
-    Submission::new(
-        SimTime::from_secs(at),
-        VcTarget::Index(0),
-        JobSpec::Batch {
-            work: SimDuration::from_secs(work),
-            nb_vms: 1,
-            scaling: ScalingLaw::Fixed,
-        },
-        UserStrategy::AcceptCheapest,
-    )
-}
-
-fn mapreduce(at: u64, maps: u32, nb_vms: u64) -> Submission {
-    Submission::new(
-        SimTime::from_secs(at),
-        VcTarget::Index(1),
-        JobSpec::MapReduce {
-            map_tasks: maps,
-            map_work: SimDuration::from_secs(45),
-            reduce_tasks: nb_vms as u32,
-            reduce_work: SimDuration::from_secs(90),
-            nb_vms,
-            slots_per_vm: 2,
-        },
-        UserStrategy::AcceptCheapest,
-    )
-}
-
 fn main() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-    cfg.private_capacity = 16;
-    cfg.vcs = vec![
-        VcConfig::batch("batch", 8),
-        VcConfig::mapreduce("hadoop", 8),
-    ];
-
-    // The batch VC runs two long jobs; the Hadoop VC receives a wave of
-    // wordcount-like jobs that overflows its 8 VMs.
-    let mut workload = vec![batch(5, 2500), batch(10, 2500)];
-    for i in 0..6 {
-        workload.push(mapreduce(20 + i * 10, 24, 3));
-    }
-
-    let report = Platform::new(cfg).run(&workload);
-    print_summary(&report);
-    print_groups(&report, &[("batch", 0), ("hadoop", 1)]);
-
-    println!("\nPlacement breakdown:");
-    for (case, count) in report.placement_counts() {
-        println!("  {case:<28} {count}");
-    }
-    println!(
-        "\nThe overflowing MapReduce jobs took the batch VC's idle VMs \
-         ({} transfers) before any cloud lease ({} bursts).",
-        report.transfers, report.bursts
-    );
+    meryn_examples::run_mapreduce_mix();
 }

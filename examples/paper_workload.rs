@@ -6,49 +6,6 @@
 //! cargo run -p meryn-examples --bin paper_workload
 //! ```
 
-use meryn_core::config::{PlatformConfig, PolicyMode};
-use meryn_core::report::compare;
-use meryn_core::Platform;
-use meryn_examples::{print_groups, print_summary};
-use meryn_sim::SimDuration;
-use meryn_workloads::{paper_workload, PaperWorkloadParams};
-
 fn main() {
-    let workload = paper_workload(PaperWorkloadParams::default());
-
-    let meryn = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
-    let stat = Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
-
-    println!("──────────────── Meryn ────────────────");
-    print_summary(&meryn);
-    print_groups(&meryn, &[("VC1", 0), ("VC2", 1)]);
-
-    println!("\n──────────────── Static ───────────────");
-    print_summary(&stat);
-    print_groups(&stat, &[("VC1", 0), ("VC2", 1)]);
-
-    let cmp = compare(&meryn, &stat);
-    println!("\n──────────── Meryn vs Static ───────────");
-    println!(
-        "peak cloud VMs: {:.0} vs {:.0} (paper: 15 vs 25)",
-        cmp.peak_cloud_a, cmp.peak_cloud_b
-    );
-    println!(
-        "completion improvement: {:.2}% (paper: 3.34%)",
-        cmp.completion_improvement_pct
-    );
-    println!(
-        "avg cost improvement: {:.2}% (paper: 14.07%)",
-        cmp.cost_improvement_pct
-    );
-    println!("cost saved: {} (paper: 41158 units)", cmp.cost_saved);
-
-    // A terminal rendition of Figure 5(a): used VMs over time.
-    println!("\nFigure 5(a) — used VMs over time (Meryn):");
-    print!(
-        "{}",
-        meryn
-            .series
-            .to_ascii_chart(60, SimDuration::from_secs(120))
-    );
+    meryn_examples::run_paper_workload();
 }

@@ -5,27 +5,6 @@
 //! cargo run -p meryn-examples --bin quickstart
 //! ```
 
-use meryn_core::config::{PlatformConfig, PolicyMode};
-use meryn_core::Platform;
-use meryn_examples::{print_groups, print_summary};
-use meryn_workloads::{paper_workload, PaperWorkloadParams};
-
 fn main() {
-    // The paper's deployment: 50 private VMs, two batch VCs (25 each),
-    // one infinite public cloud at twice the private VM cost.
-    let cfg = PlatformConfig::paper(PolicyMode::Meryn);
-
-    // The paper's workload: 65 single-VM batch apps, 5 s apart,
-    // 50 to VC1 and 15 to VC2, ~1550 s of work each.
-    let workload = paper_workload(PaperWorkloadParams::default());
-
-    let report = Platform::new(cfg).run(&workload);
-
-    print_summary(&report);
-    print_groups(&report, &[("VC1", 0), ("VC2", 1)]);
-
-    println!("\nPlacement breakdown:");
-    for (case, count) in report.placement_counts() {
-        println!("  {case:<28} {count}");
-    }
+    meryn_examples::run_quickstart();
 }

@@ -5,86 +5,6 @@
 //! cargo run -p meryn-examples --bin sla_negotiation
 //! ```
 
-use meryn_core::cluster_manager::{VcQuoter, VirtualCluster};
-use meryn_core::VcId;
-use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
-use meryn_sim::SimDuration;
-use meryn_sla::negotiation::{negotiate, Quoter, UserStrategy};
-use meryn_sla::pricing::PricingParams;
-use meryn_sla::{Money, VmRate};
-use meryn_vmm::ImageId;
-
 fn main() {
-    let vc = VirtualCluster::new(
-        VcId(0),
-        "VC1",
-        FrameworkKind::Batch,
-        ImageId(0),
-        Box::new(BatchFramework::new()),
-        PricingParams::new(VmRate::per_vm_second(4), 1),
-    );
-
-    // A parallel job: 1600 reference-seconds of perfectly parallel work.
-    let spec = JobSpec::Batch {
-        work: SimDuration::from_secs(1600),
-        nb_vms: 1,
-        scaling: ScalingLaw::Linear,
-    };
-    let quoter = VcQuoter {
-        framework: vc.framework.as_ref(),
-        spec,
-        pricing: vc.pricing,
-        quote_speed: 1550.0 / 1670.0,
-        allowance: SimDuration::from_secs(84),
-        max_vms: 25,
-    };
-
-    println!("Opening proposals (deadline, price) pairs:");
-    for q in quoter.proposals() {
-        println!(
-            "  {} VMs → deadline {}, price {}",
-            q.nb_vms, q.deadline, q.price
-        );
-    }
-
-    let strategies: Vec<(&str, UserStrategy)> = vec![
-        ("accept cheapest", UserStrategy::AcceptCheapest),
-        ("accept fastest", UserStrategy::AcceptFastest),
-        (
-            "urgent: impose 600 s deadline",
-            UserStrategy::ImposeDeadline {
-                deadline: SimDuration::from_secs(600),
-                concession_pct: 20,
-            },
-        ),
-        (
-            "budget: impose 7000 u cap",
-            UserStrategy::ImposePrice {
-                cap: Money::from_units(7000),
-                concession_pct: 10,
-            },
-        ),
-        (
-            "impossible budget: 10 u cap",
-            UserStrategy::ImposePrice {
-                cap: Money::from_units(10),
-                concession_pct: 5,
-            },
-        ),
-    ];
-
-    println!("\nNegotiations:");
-    for (label, strategy) in strategies {
-        match negotiate(&quoter, strategy, 6) {
-            Ok(outcome) => println!(
-                "  {label:<32} → {} VMs, deadline {}, price {} ({} round{})",
-                outcome.quote.nb_vms,
-                outcome.quote.deadline,
-                outcome.quote.price,
-                outcome.rounds,
-                if outcome.rounds == 1 { "" } else { "s" },
-            ),
-            Err(e) => println!("  {label:<32} → failed: {e:?}"),
-        }
-    }
+    meryn_examples::run_sla_negotiation();
 }

@@ -1,0 +1,148 @@
+//! Offline shim for `proptest`: the subset of the API the workspace's
+//! property tests use — `proptest! { #![proptest_config(..)] #[test] fn
+//! name(x in strategy, ..) { .. } }`, integer-range / tuple / `Just` /
+//! `prop_oneof!` / `prop::collection::vec` / `.prop_map` strategies, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * generation is **deterministic**: the RNG for case *i* of test *t* is
+//!   seeded from `hash(module::test_name, i)`, so failures reproduce
+//!   exactly on re-run with no persistence file;
+//! * there is **no shrinking** — the failing case's seed and index are
+//!   reported instead;
+//! * `PROPTEST_CASES` in the environment overrides the per-suite case
+//!   count, which keeps `cargo test -q` wall-clock bounded.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `len`.
+    /// Panics on an empty length range, matching real proptest's rejection.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            len.start < len.end,
+            "prop::collection::vec requires a non-empty length range, got {}..{}",
+            len.start,
+            len.end
+        );
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Chooses uniformly between the given strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Declares property tests. See the crate docs for supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = $crate::test_runner::resolve_cases(__cfg.cases);
+            let __test_path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test_path, __case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    { $body };
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest failure in {} at case {}/{}: {}",
+                        __test_path, __case, __cases, e
+                    ),
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest failure in {} at case {}/{} (deterministic seed; rerun reproduces)",
+                            __test_path, __case, __cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}

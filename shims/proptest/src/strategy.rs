@@ -1,0 +1,165 @@
+//! Value-generation strategies: integer ranges, tuples, `Just`, `OneOf`,
+//! and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among type-erased strategies (see [`crate::prop_oneof!`]).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty => $u:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let off = if span == 0 { 0 } else { (rng.next_u64() as $u) % span };
+                (self.start as $u).wrapping_add(off) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        assert!(lo < hi, "empty range strategy");
+        loop {
+            let v = lo + (rng.next_u64() as u32) % (hi - lo);
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+}

@@ -1,0 +1,42 @@
+//! Offline shim for `rayon`: `par_iter()` / `into_par_iter()` entry
+//! points that hand back ordinary sequential `std` iterators, so every
+//! adapter (`map`, `collect`, `sum`, …) is the std one. Replica-level
+//! parallelism degrades to a deterministic sequential sweep; swapping the
+//! real rayon back in is a one-line manifest change because the call
+//! sites are written against the rayon API.
+
+#![forbid(unsafe_code)]
+
+/// Converts an owned collection into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// rayon-compatible alias for [`IntoIterator::into_iter`].
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Borrows a collection as a "parallel" (here: sequential) iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced by [`Self::par_iter`].
+    type Iter;
+    /// rayon-compatible alias for `.iter()`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}

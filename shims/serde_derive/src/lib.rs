@@ -1,0 +1,637 @@
+//! Offline shim of serde's derive macros.
+//!
+//! Parses the deriving item directly from the `proc_macro` token stream
+//! (no `syn`/`quote`, which aren't available offline) and emits impls of
+//! the shim `serde::Serialize` / `serde::Deserialize` traits over
+//! `serde::value::Value`.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums
+//! (unit / tuple / struct variants) with the attributes the workspace
+//! uses: `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default =
+//! "path")]`, `#[serde(rename = "name")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match which {
+        Which::Serialize => gen_serialize(&item),
+        Which::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// ---- model ----
+
+struct Field {
+    /// Rust-side name (named fields) or index (tuple fields).
+    name: String,
+    /// Wire name (after `rename`).
+    wire: String,
+    skip: bool,
+    skip_serializing: bool,
+    skip_deserializing: bool,
+    /// None = required; Some(None) = Default::default(); Some(Some(path)) = path().
+    default: Option<Option<String>>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (e.g. `M`); bounds beyond the serde
+    /// traits are not carried over.
+    params: Vec<String>,
+    body: Body,
+}
+
+impl Item {
+    /// `<M: ::serde::Serialize, ..>` / `<M, ..>` impl-header pieces.
+    fn generics(&self, bound: &str) -> (String, String) {
+        if self.params.is_empty() {
+            return (String::new(), String::new());
+        }
+        let decl = self
+            .params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let use_ = self.params.join(", ");
+        (format!("<{decl}>"), format!("<{use_}>"))
+    }
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility / auxiliary keywords until
+    // `struct` or `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // pub, crate, etc.
+            }
+            Some(TokenTree::Group(_)) => {
+                i += 1; // pub(crate)'s parens
+            }
+            Some(other) => return Err(format!("unexpected token {other} before struct/enum")),
+            None => return Err("no struct/enum found in derive input".into()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1i32;
+            let mut part: Vec<TokenTree> = Vec::new();
+            let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        depth += 1;
+                        part.push(tokens[i].clone());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            part.push(tokens[i].clone());
+                        }
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        parts.push(std::mem::take(&mut part));
+                    }
+                    Some(t) => part.push(t.clone()),
+                    None => return Err(format!("unterminated generics on {name}")),
+                }
+                i += 1;
+            }
+            if !part.is_empty() {
+                parts.push(part);
+            }
+            for part in parts {
+                match part.first() {
+                    Some(TokenTree::Ident(id)) if id.to_string() != "const" => {
+                        params.push(id.to_string());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        return Err(format!(
+                            "serde shim derive does not support lifetimes on {name}"
+                        ));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "serde shim derive does not support this generic parameter on {name}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item {
+                    name,
+                    params,
+                    body: Body::NamedStruct(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream())?;
+                Ok(Item {
+                    name,
+                    params,
+                    body: Body::TupleStruct(fields),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                params,
+                body: Body::UnitStruct,
+            }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item {
+                    name,
+                    params,
+                    body: Body::Enum(variants),
+                })
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        }
+    }
+}
+
+/// Splits a token sequence on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split fields.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                // Consume `->` atomically so its '>' doesn't close an angle.
+                cur.push(tokens[i].clone());
+                if let Some(TokenTree::Punct(n)) = tokens.get(i + 1) {
+                    if n.as_char() == '>' {
+                        cur.push(tokens[i + 1].clone());
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(tokens[i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(tokens[i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            t => cur.push(t.clone()),
+        }
+        i += 1;
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts serde attributes from the front of a field/variant token list,
+/// returning the index of the first non-attribute token.
+fn take_attrs(tokens: &[TokenTree], field: &mut Field) -> usize {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_serde_attr(g.stream(), field);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+fn parse_serde_attr(stream: TokenStream, field: &mut Field) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    for part in split_top_level(inner) {
+        let key = match part.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        let lit = part.iter().find_map(|t| match t {
+            TokenTree::Literal(l) => {
+                let s = l.to_string();
+                s.strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .map(|s| s.to_string())
+            }
+            _ => None,
+        });
+        match key.as_str() {
+            "skip" => field.skip = true,
+            "skip_serializing" => field.skip_serializing = true,
+            "skip_deserializing" => field.skip_deserializing = true,
+            "default" => field.default = Some(lit.clone()),
+            "rename" => {
+                if let Some(name) = lit.clone() {
+                    field.wire = name;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn blank_field(name: String) -> Field {
+    Field {
+        wire: name.clone(),
+        name,
+        skip: false,
+        skip_serializing: false,
+        skip_deserializing: false,
+        default: None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(stream) {
+        let mut field = blank_field(String::new());
+        let mut i = take_attrs(&part, &mut field);
+        // Skip visibility.
+        while let Some(TokenTree::Ident(id)) = part.get(i) {
+            let s = id.to_string();
+            if s == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = part.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        field.name = name.clone();
+        if field.wire.is_empty() {
+            field.wire = name;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for (idx, part) in split_top_level(stream).into_iter().enumerate() {
+        let mut field = blank_field(idx.to_string());
+        take_attrs(&part, &mut field);
+        field.wire = idx.to_string();
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(stream) {
+        let mut scratch = blank_field(String::new());
+        let i = take_attrs(&part, &mut scratch);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match part.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(parse_tuple_fields(g.stream())?.len())
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---- codegen ----
+
+const V: &str = "::serde::value::Value";
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(&format!(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, {V})> = ::std::vec::Vec::new();\n"
+    ));
+    for f in fields {
+        if f.skip || f.skip_serializing {
+            continue;
+        }
+        out.push_str(&format!(
+            "__m.push((::std::string::String::from({wire:?}), ::serde::Serialize::to_value(&{prefix}{name})));\n",
+            wire = f.wire,
+            prefix = access_prefix,
+            name = f.name,
+        ));
+    }
+    out.push_str(&format!("{V}::Map(__m)\n"));
+    out
+}
+
+fn de_named_field(f: &Field, entries_var: &str, type_label: &str) -> String {
+    let fallback = if f.skip || f.skip_deserializing || f.default.is_some() {
+        match &f.default {
+            Some(Some(path)) => format!("{path}()"),
+            _ => "::std::default::Default::default()".to_string(),
+        }
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::new(concat!(\"missing field `\", {wire:?}, \"` in \", {ty:?})))",
+            wire = f.wire,
+            ty = type_label,
+        )
+    };
+    if f.skip || f.skip_deserializing {
+        return format!("{name}: {fallback},\n", name = f.name, fallback = fallback);
+    }
+    format!(
+        "{name}: match ::serde::value::get({entries}, {wire:?}) {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {{ {fallback} }}\n\
+         }},\n",
+        name = f.name,
+        entries = entries_var,
+        wire = f.wire,
+        fallback = fallback,
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("{V}::Null"),
+        Body::NamedStruct(fields) => ser_named_fields(fields, "self."),
+        Body::TupleStruct(fields) => {
+            if fields.len() == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items = (0..fields.len())
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("{V}::Seq(vec![{items}])")
+            }
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => {V}::Str(::std::string::String::from({vname:?})),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("{V}::Seq(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {V}::Map(vec![(::std::string::String::from({vname:?}), {inner})]),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut inner = String::from(&format!(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, {V})> = ::std::vec::Vec::new();\n"
+                        ));
+                        for f in fields {
+                            if f.skip || f.skip_serializing {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "__m.push((::std::string::String::from({wire:?}), ::serde::Serialize::to_value({fname})));\n",
+                                wire = f.wire,
+                                fname = f.name,
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\n{V}::Map(vec![(::std::string::String::from({vname:?}), {V}::Map(__m))])\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let (decl, args) = item.generics("::serde::Serialize");
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Serialize for {name}{args} {{\n\
+         fn to_value(&self) -> {V} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        Body::NamedStruct(fields) => {
+            let mut inner = String::new();
+            for f in fields {
+                inner.push_str(&de_named_field(f, "__m", name));
+            }
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", __v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inner}}})"
+            )
+        }
+        Body::TupleStruct(fields) => {
+            if fields.len() == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let n = fields.len();
+                let items = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", __v))?;\n\
+                     if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple-struct arity\")); }}\n\
+                     ::std::result::Result::Ok({name}({items}))"
+                )
+            }
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept {"Variant": null}.
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{ let _ = __inner; ::std::result::Result::Ok({name}::{vname}) }},\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?))")
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{{ let __s = __inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", __inner))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple-variant arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items})) }}"
+                            )
+                        };
+                        tagged_arms.push_str(&format!("{vname:?} => {build},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&de_named_field(f, "__fm", name));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __fm = __inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", __inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inner}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 {V}::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }},\n\
+                 {V}::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\"enum representation\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    let (decl, args) = item.generics("::serde::Deserialize");
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Deserialize for {name}{args} {{\n\
+         fn from_value(__v: &{V}) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

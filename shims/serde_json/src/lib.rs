@@ -1,0 +1,412 @@
+//! Offline shim for `serde_json`: `to_string`, `to_string_pretty`,
+//! `from_str` and `Error` over the shim serde's value tree.
+//!
+//! Output format follows serde_json's conventions (compact: no spaces;
+//! pretty: 2-space indent; integral floats get a trailing `.0`), so
+//! downstream tooling that parses the JSON keeps working when the real
+//! crates are swapped back in. Known deviations: non-finite floats
+//! serialize as `null` instead of erroring (keeping report round-trips
+//! total), and huge float magnitudes print in full decimal rather than
+//! ryu's exponent form.
+
+#![forbid(unsafe_code)]
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses `s` as JSON and decodes it into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---- writer ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Match serde_json: integral floats print with a trailing `.0`, so
+    // they re-parse as floats rather than integers. (Unlike serde_json's
+    // ryu, huge magnitudes print in full decimal, never exponent form.)
+    if x == x.trunc() {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new(format!(
+                "trailing characters at offset {}",
+                self.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null", Value::Null),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => self.parse_seq(),
+            b'{' => self.parse_map(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character {:?} at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            // Surrogate pairs for non-BMP characters.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let hex2 = self
+                                        .bytes
+                                        .get(self.pos + 2..self.pos + 6)
+                                        .ok_or_else(|| Error::new("truncated surrogate"))?;
+                                    let low = u32::from_str_radix(
+                                        std::str::from_utf8(hex2)
+                                            .map_err(|_| Error::new("invalid surrogate"))?,
+                                        16,
+                                    )
+                                    .map_err(|_| Error::new("invalid surrogate"))?;
+                                    self.pos += 6;
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                                } else {
+                                    return Err(Error::new("lone surrogate"));
+                                }
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape character {:?}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char in the source.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']', found {:?}",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}', found {:?}",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -107,8 +107,7 @@ fn expensive_cloud_pushes_toward_suspension() {
     let pricey = PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(4.0);
     let workload = paper_workload(PaperWorkloadParams::default());
     let report = Platform::new(pricey).run(&workload);
-    let baseline =
-        Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
+    let baseline = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
     assert!(report.bursts < baseline.bursts);
     assert!(report.suspensions > 0);
 }
@@ -249,16 +248,18 @@ fn backfill_improves_utilization_for_wide_jobs() {
     // after the first two jobs takes the Queue path. Under FIFO the
     // wide head blocks the narrow jobs even when one VM is free; with
     // backfill they slip through.
-    let wide = |at: u64| Submission::new(
-        SimTime::from_secs(at),
-        VcTarget::Index(0),
-        JobSpec::Batch {
-            work: SimDuration::from_secs(1000),
-            nb_vms: 2,
-            scaling: ScalingLaw::Fixed,
-        },
-        UserStrategy::AcceptCheapest,
-    );
+    let wide = |at: u64| {
+        Submission::new(
+            SimTime::from_secs(at),
+            VcTarget::Index(0),
+            JobSpec::Batch {
+                work: SimDuration::from_secs(1000),
+                nb_vms: 2,
+                scaling: ScalingLaw::Fixed,
+            },
+            UserStrategy::AcceptCheapest,
+        )
+    };
     let narrow = |at: u64| batch_sub(at, 0, 300);
 
     let build = |backfill: bool| {
@@ -311,8 +312,12 @@ fn paper_workload_on_single_vc_matches_static() {
     let stat = Platform::new(s_cfg).run(&workload);
     assert_eq!(meryn.bursts, stat.bursts);
     assert_eq!(meryn.total_cost(), stat.total_cost());
-    let placements =
-        |r: &meryn_core::RunReport| r.apps.iter().map(|a| a.placement.clone()).collect::<Vec<_>>();
+    let placements = |r: &meryn_core::RunReport| {
+        r.apps
+            .iter()
+            .map(|a| a.placement.clone())
+            .collect::<Vec<_>>()
+    };
     assert_eq!(placements(&meryn), placements(&stat));
 }
 

@@ -1,0 +1,46 @@
+//! Smoke tests driving each example's entry logic in-process through
+//! the `meryn-examples` library, so `cargo test` covers the `examples/`
+//! code without spawning subprocesses.
+
+#[test]
+fn quickstart_example_runs() {
+    let report = meryn_examples::run_quickstart();
+    assert_eq!(report.apps.len(), 65);
+    assert_eq!(report.violations(), 0);
+}
+
+#[test]
+fn paper_workload_example_runs() {
+    let (meryn, stat) = meryn_examples::run_paper_workload();
+    assert_eq!(meryn.apps.len(), 65);
+    assert_eq!(stat.apps.len(), 65);
+    assert!(
+        meryn.peak_cloud <= stat.peak_cloud,
+        "Meryn should never burst more than the static baseline on the paper workload"
+    );
+}
+
+#[test]
+fn sla_negotiation_example_runs() {
+    let (ok, failed) = meryn_examples::run_sla_negotiation();
+    assert_eq!(ok + failed, 5, "all five strategies should negotiate");
+    assert!(ok >= 3, "the flexible strategies should reach agreement");
+    assert!(failed >= 1, "the impossible budget should fail");
+}
+
+#[test]
+fn datacenter_burst_example_runs() {
+    let (meryn, stat) = meryn_examples::run_datacenter_burst(7);
+    assert!(!meryn.apps.is_empty());
+    assert!(!stat.apps.is_empty());
+}
+
+#[test]
+fn mapreduce_mix_example_runs() {
+    let report = meryn_examples::run_mapreduce_mix();
+    assert!(!report.apps.is_empty());
+    assert!(
+        report.transfers > 0,
+        "the overloaded MapReduce VC should borrow batch VMs"
+    );
+}

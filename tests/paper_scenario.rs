@@ -201,10 +201,7 @@ fn cloud_usage_returns_to_zero() {
     assert_eq!(cloud_series.last(), 0.0);
     // And its integral is finite VM-seconds consistent with 15 leases
     // of ~1670 s each.
-    let total_vm_secs = cloud_series.integral(
-        meryn_sim::SimTime::ZERO,
-        meryn.completion_time,
-    );
+    let total_vm_secs = cloud_series.integral(meryn_sim::SimTime::ZERO, meryn.completion_time);
     assert!(
         (15.0 * 1500.0..15.0 * 1900.0).contains(&total_vm_secs),
         "cloud VM-seconds {total_vm_secs}"

@@ -170,11 +170,20 @@ fn report_serde_round_trip_preserves_aggregates() {
     let back: meryn_core::RunReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.total_cost(), report.total_cost());
     assert_eq!(back.peak_cloud, report.peak_cloud);
-    assert_eq!(back.group(None).avg_exec_secs, report.group(None).avg_exec_secs);
+    assert_eq!(
+        back.group(None).avg_exec_secs,
+        report.group(None).avg_exec_secs
+    );
     assert_eq!(back.series.len(), 2);
     // The series survive serialization with their integrals intact.
-    let a = report.series.get(1).integral(SimTime::ZERO, report.completion_time);
-    let b = back.series.get(1).integral(SimTime::ZERO, back.completion_time);
+    let a = report
+        .series
+        .get(1)
+        .integral(SimTime::ZERO, report.completion_time);
+    let b = back
+        .series
+        .get(1)
+        .integral(SimTime::ZERO, back.completion_time);
     assert_eq!(a, b);
 }
 
@@ -210,8 +219,7 @@ fn three_vc_paper_like_workload_balances() {
         VcConfig::batch("VC2", 17),
         VcConfig::batch("VC3", 16),
     ];
-    let report = Platform::new(cfg)
-        .run(&paper_workload(PaperWorkloadParams::default()));
+    let report = Platform::new(cfg).run(&paper_workload(PaperWorkloadParams::default()));
     assert_eq!(report.apps.len(), 65);
     assert_eq!(report.violations(), 0);
     // All 50 private VMs end up used: 65 demand − 50 private = 15 cloud.
@@ -234,13 +242,8 @@ fn single_client_manager_bottlenecks_a_burst() {
 
     let narrow_r = Platform::new(narrow).run(&workload);
     let wide_r = Platform::new(wide).run(&workload);
-    let max_proc = |r: &meryn_core::RunReport| {
-        r.apps
-            .iter()
-            .filter_map(|a| a.processing)
-            .max()
-            .unwrap()
-    };
+    let max_proc =
+        |r: &meryn_core::RunReport| r.apps.iter().filter_map(|a| a.processing).max().unwrap();
     // Uncontended: every processing time within the Table 1 local range.
     assert!(max_proc(&wide_r) <= SimDuration::from_secs(15));
     // Serialized: the last arrival waited behind ~9 handlings.
