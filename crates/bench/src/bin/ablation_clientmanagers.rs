@@ -13,12 +13,12 @@
 //! ```
 
 use meryn_bench::section;
+use meryn_bench::sweep::fanout;
 use meryn_core::config::{PlatformConfig, PolicyMode};
 use meryn_core::Platform;
 use meryn_sim::stats::Summary;
 use meryn_sim::SimDuration;
 use meryn_workloads::{paper_workload, PaperWorkloadParams};
-use rayon::prelude::*;
 
 fn main() {
     section("Ablation A8 — Client Manager instances under a 1 s arrival burst");
@@ -30,29 +30,26 @@ fn main() {
         interarrival: SimDuration::from_secs(1),
         ..Default::default()
     });
-    let variants: [Option<usize>; 5] = [Some(1), Some(2), Some(4), Some(8), None];
-    let rows: Vec<String> = variants
-        .par_iter()
-        .map(|&cms| {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-            cfg.client_managers = cms;
-            let r = Platform::new(cfg).run(&workload);
-            let mut proc = Summary::new();
-            for a in &r.apps {
-                if let Some(p) = a.processing {
-                    proc.push(p.as_secs_f64());
-                }
+    let variants: Vec<Option<usize>> = vec![Some(1), Some(2), Some(4), Some(8), None];
+    let rows: Vec<String> = fanout(variants, |cms| {
+        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        cfg.client_managers = cms;
+        let r = Platform::new(cfg).run(&workload);
+        let mut proc = Summary::new();
+        for a in &r.apps {
+            if let Some(p) = a.processing {
+                proc.push(p.as_secs_f64());
             }
-            format!(
-                "{:>6} {:>13.1} /{:>6.0} {:>14.0} {:>12}",
-                cms.map_or("∞".to_owned(), |k| k.to_string()),
-                proc.mean(),
-                proc.max(),
-                r.completion_secs(),
-                r.violations()
-            )
-        })
-        .collect();
+        }
+        format!(
+            "{:>6} {:>13.1} /{:>6.0} {:>14.0} {:>12}",
+            cms.map_or("∞".to_owned(), |k| k.to_string()),
+            proc.mean(),
+            proc.max(),
+            r.completion_secs(),
+            r.violations()
+        )
+    });
     for row in rows {
         println!("{row}");
     }

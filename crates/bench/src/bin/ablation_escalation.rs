@@ -15,6 +15,7 @@
 //! ```
 
 use meryn_bench::section;
+use meryn_bench::sweep::fanout;
 use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig, ViolationPolicy};
 use meryn_core::Platform;
 use meryn_frameworks::{JobSpec, ScalingLaw};
@@ -57,8 +58,12 @@ fn run(policy: ViolationPolicy) -> meryn_core::RunReport {
 
 fn main() {
     section("Ablation A7 — violation policy: report vs escalate-to-cloud");
-    let report_only = run(ViolationPolicy::Report);
-    let escalate = run(ViolationPolicy::EscalateToCloud);
+    let mut results = fanout(
+        vec![ViolationPolicy::Report, ViolationPolicy::EscalateToCloud],
+        run,
+    )
+    .into_iter();
+    let (report_only, escalate) = (results.next().unwrap(), results.next().unwrap());
 
     println!("{:<26} {:>12} {:>12}", "", "report-only", "escalate");
     for (label, a, b) in [

@@ -11,11 +11,11 @@
 //! ```
 
 use meryn_bench::section;
+use meryn_bench::sweep::fanout;
 use meryn_core::config::{PlatformConfig, PolicyMode};
 use meryn_core::Platform;
 use meryn_sim::SimDuration;
 use meryn_workloads::{paper_workload, PaperWorkloadParams};
-use rayon::prelude::*;
 
 fn main() {
     section("Ablation A4 — inter-arrival sweep (65-app workload)");
@@ -23,27 +23,24 @@ fn main() {
         "{:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
         "gap [s]", "meryn cost", "static cost", "m. bursts", "s. bursts", "transfers"
     );
-    let gaps = [60u64, 30, 10, 5, 2];
-    let rows: Vec<String> = gaps
-        .par_iter()
-        .map(|&gap| {
-            let workload = paper_workload(PaperWorkloadParams {
-                interarrival: SimDuration::from_secs(gap),
-                ..Default::default()
-            });
-            let meryn = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
-            let stat = Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
-            format!(
-                "{:>8} {:>14.0} {:>14.0} {:>12} {:>12} {:>10}",
-                gap,
-                meryn.total_cost().as_units_f64(),
-                stat.total_cost().as_units_f64(),
-                meryn.bursts,
-                stat.bursts,
-                meryn.transfers
-            )
-        })
-        .collect();
+    let gaps = vec![60u64, 30, 10, 5, 2];
+    let rows: Vec<String> = fanout(gaps, |gap| {
+        let workload = paper_workload(PaperWorkloadParams {
+            interarrival: SimDuration::from_secs(gap),
+            ..Default::default()
+        });
+        let meryn = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
+        let stat = Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
+        format!(
+            "{:>8} {:>14.0} {:>14.0} {:>12} {:>12} {:>10}",
+            gap,
+            meryn.total_cost().as_units_f64(),
+            stat.total_cost().as_units_f64(),
+            meryn.bursts,
+            stat.bursts,
+            meryn.transfers
+        )
+    });
     for row in rows {
         println!("{row}");
     }

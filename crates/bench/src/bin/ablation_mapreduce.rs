@@ -15,6 +15,7 @@
 //! ```
 
 use meryn_bench::section;
+use meryn_bench::sweep::fanout;
 use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
 use meryn_core::{Platform, VcId};
 use meryn_frameworks::{JobSpec, ScalingLaw};
@@ -68,8 +69,8 @@ fn main() {
         ];
         Platform::new(cfg).run(&workload())
     };
-    let meryn = mk(PolicyMode::Meryn);
-    let stat = mk(PolicyMode::Static);
+    let mut results = fanout(vec![PolicyMode::Meryn, PolicyMode::Static], mk).into_iter();
+    let (meryn, stat) = (results.next().unwrap(), results.next().unwrap());
 
     println!("{:<22} {:>10} {:>10}", "", "Meryn", "Static");
     println!(

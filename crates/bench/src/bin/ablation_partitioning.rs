@@ -12,9 +12,9 @@
 //! cargo run --release -p meryn-bench --bin ablation_partitioning
 //! ```
 
+use meryn_bench::sweep::fanout;
 use meryn_bench::{run_paper_with, section};
 use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
-use rayon::prelude::*;
 
 fn main() {
     section("Ablation A6 — initial partitioning sweep (50/15 demand)");
@@ -22,34 +22,31 @@ fn main() {
         "{:>9} {:>7} {:>17} {:>10} {:>9} {:>17}",
         "split", "mode", "cost [u]", "transfers", "bursts", "peak cloud VMs"
     );
-    let splits: [(u64, u64, &str); 4] = [
+    let splits: Vec<(u64, u64, &str)> = vec![
         (25, 25, "fair"),
         (38, 12, "trace-based"),
         (10, 40, "inverted"),
         (45, 5, "skewed-to-vc1"),
     ];
-    let rows: Vec<Vec<String>> = splits
-        .par_iter()
-        .map(|&(a, b, label)| {
-            let mut out = Vec::new();
-            for mode in [PolicyMode::Meryn, PolicyMode::Static] {
-                let mut cfg = PlatformConfig::paper(mode);
-                cfg.vcs = vec![VcConfig::batch("VC1", a), VcConfig::batch("VC2", b)];
-                let r = run_paper_with(cfg);
-                out.push(format!(
-                    "{:>4}/{:<4} {:>7} {:>13.0} ({label}) {:>6} {:>9} {:>17.0}",
-                    a,
-                    b,
-                    mode.label(),
-                    r.total_cost().as_units_f64(),
-                    r.transfers,
-                    r.bursts,
-                    r.peak_cloud
-                ));
-            }
-            out
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = fanout(splits, |(a, b, label)| {
+        let mut out = Vec::new();
+        for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+            let mut cfg = PlatformConfig::paper(mode);
+            cfg.vcs = vec![VcConfig::batch("VC1", a), VcConfig::batch("VC2", b)];
+            let r = run_paper_with(cfg);
+            out.push(format!(
+                "{:>4}/{:<4} {:>7} {:>13.0} ({label}) {:>6} {:>9} {:>17.0}",
+                a,
+                b,
+                mode.label(),
+                r.total_cost().as_units_f64(),
+                r.transfers,
+                r.bursts,
+                r.peak_cloud
+            ));
+        }
+        out
+    });
     for pair in rows {
         for row in pair {
             println!("{row}");

@@ -10,9 +10,9 @@
 //! cargo run --release -p meryn-bench --bin ablation_penalty
 //! ```
 
+use meryn_bench::sweep::fanout;
 use meryn_bench::{run_paper_with, section};
 use meryn_core::config::{PlatformConfig, PolicyMode};
-use rayon::prelude::*;
 
 fn main() {
     section("Ablation A1 — penalty factor N sweep (paper workload)");
@@ -20,24 +20,21 @@ fn main() {
         "{:>4} {:>9} {:>7} {:>12} {:>11} {:>11} {:>11}",
         "N", "suspends", "bursts", "peak cloud", "violations", "cost [u]", "profit [u]"
     );
-    let ns = [1u64, 2, 4, 8, 16];
-    let rows: Vec<String> = ns
-        .par_iter()
-        .map(|&n| {
-            let cfg = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(n);
-            let r = run_paper_with(cfg);
-            format!(
-                "{:>4} {:>9} {:>7} {:>12.0} {:>11} {:>11.0} {:>11.0}",
-                n,
-                r.suspensions,
-                r.bursts,
-                r.peak_cloud,
-                r.violations(),
-                r.total_cost().as_units_f64(),
-                r.profit().as_units_f64()
-            )
-        })
-        .collect();
+    let ns = vec![1u64, 2, 4, 8, 16];
+    let rows: Vec<String> = fanout(ns, |n| {
+        let cfg = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(n);
+        let r = run_paper_with(cfg);
+        format!(
+            "{:>4} {:>9} {:>7} {:>12.0} {:>11} {:>11.0} {:>11.0}",
+            n,
+            r.suspensions,
+            r.bursts,
+            r.peak_cloud,
+            r.violations(),
+            r.total_cost().as_units_f64(),
+            r.profit().as_units_f64()
+        )
+    });
     for row in rows {
         println!("{row}");
     }

@@ -8,9 +8,9 @@
 //! cargo run --release -p meryn-bench --bin ablation_price_ratio
 //! ```
 
+use meryn_bench::sweep::fanout;
 use meryn_bench::{run_paper_with, section};
 use meryn_core::config::{PlatformConfig, PolicyMode};
-use rayon::prelude::*;
 
 fn main() {
     section("Ablation A2 — cloud price factor sweep (paper workload)");
@@ -18,27 +18,23 @@ fn main() {
         "{:>7} {:>16} {:>16} {:>13} {:>10}",
         "factor", "meryn cost [u]", "static cost [u]", "meryn saves", "suspends"
     );
-    let factors = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
-    let rows: Vec<String> = factors
-        .par_iter()
-        .map(|&f| {
-            let meryn =
-                run_paper_with(PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(f));
-            let stat = run_paper_with(
-                PlatformConfig::paper(PolicyMode::Static).with_cloud_price_factor(f),
-            );
-            let mc = meryn.total_cost().as_units_f64();
-            let sc = stat.total_cost().as_units_f64();
-            format!(
-                "{:>7.1} {:>16.0} {:>16.0} {:>12.1}% {:>10}",
-                f,
-                mc,
-                sc,
-                (sc - mc) / sc * 100.0,
-                meryn.suspensions
-            )
-        })
-        .collect();
+    let factors = vec![0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+    let rows: Vec<String> = fanout(factors, |f| {
+        let meryn =
+            run_paper_with(PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(f));
+        let stat =
+            run_paper_with(PlatformConfig::paper(PolicyMode::Static).with_cloud_price_factor(f));
+        let mc = meryn.total_cost().as_units_f64();
+        let sc = stat.total_cost().as_units_f64();
+        format!(
+            "{:>7.1} {:>16.0} {:>16.0} {:>12.1}% {:>10}",
+            f,
+            mc,
+            sc,
+            (sc - mc) / sc * 100.0,
+            meryn.suspensions
+        )
+    });
     for row in rows {
         println!("{row}");
     }

@@ -9,10 +9,10 @@
 //! cargo run --release -p meryn-bench --bin ablation_suspension
 //! ```
 
+use meryn_bench::sweep::fanout;
 use meryn_bench::{run_paper_with, section};
 use meryn_core::config::{PlatformConfig, PolicyMode};
 use meryn_sla::VmRate;
-use rayon::prelude::*;
 
 fn main() {
     section("Ablation A3 — storage rate (min suspension cost) sweep");
@@ -22,24 +22,21 @@ fn main() {
     );
     // With N=4 suspensions are competitive; the storage rate then
     // decides how competitive.
-    let rates_micro: [i64; 5] = [0, 100_000, 500_000, 2_000_000, 50_000_000];
-    let rows: Vec<String> = rates_micro
-        .par_iter()
-        .map(|&micro| {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(4);
-            cfg.storage_rate = VmRate::from_micro(micro);
-            let r = run_paper_with(cfg);
-            format!(
-                "{:>12.2} {:>9} {:>7} {:>11} {:>12.0} {:>12.0}",
-                micro as f64 / 1_000_000.0,
-                r.suspensions,
-                r.bursts,
-                r.violations(),
-                r.total_cost().as_units_f64(),
-                r.profit().as_units_f64()
-            )
-        })
-        .collect();
+    let rates_micro: Vec<i64> = vec![0, 100_000, 500_000, 2_000_000, 50_000_000];
+    let rows: Vec<String> = fanout(rates_micro, |micro| {
+        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(4);
+        cfg.storage_rate = VmRate::from_micro(micro);
+        let r = run_paper_with(cfg);
+        format!(
+            "{:>12.2} {:>9} {:>7} {:>11} {:>12.0} {:>12.0}",
+            micro as f64 / 1_000_000.0,
+            r.suspensions,
+            r.bursts,
+            r.violations(),
+            r.total_cost().as_units_f64(),
+            r.profit().as_units_f64()
+        )
+    });
     for row in rows {
         println!("{row}");
     }

@@ -1,6 +1,8 @@
 //! Regenerates **Figure 5** — "The proportion of the used private and
 //! cloud VMs in (a) Meryn and (b) the Static Approach": the used-VM
 //! step series over the paper workload, as CSV plus an ASCII shape.
+//! When both panels are requested their runs execute in parallel via
+//! the shared sweep harness.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin fig5 -- meryn    # Fig 5(a)
@@ -8,16 +10,17 @@
 //! cargo run --release -p meryn-bench --bin fig5             # both
 //! ```
 
+use meryn_bench::sweep::{fanout, DEFAULT_BASE_SEED};
 use meryn_bench::{run_paper, section};
 use meryn_core::config::PolicyMode;
+use meryn_core::RunReport;
 use meryn_sim::SimDuration;
 
-fn emit(mode: PolicyMode) {
+fn print_panel(mode: PolicyMode, report: &RunReport) {
     let label = match mode {
         PolicyMode::Meryn => "Figure 5(a) — Meryn",
         PolicyMode::Static => "Figure 5(b) — Static Approach",
     };
-    let report = run_paper(mode, 0xC0FFEE);
     section(label);
     println!(
         "peak private VMs: {:.0} | peak cloud VMs: {:.0} (paper: {} / {})",
@@ -43,13 +46,17 @@ fn emit(mode: PolicyMode) {
     );
 }
 
+fn emit(modes: Vec<PolicyMode>) {
+    let reports = fanout(modes.clone(), |mode| run_paper(mode, DEFAULT_BASE_SEED));
+    for (mode, report) in modes.into_iter().zip(&reports) {
+        print_panel(mode, report);
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
-        Some("meryn") => emit(PolicyMode::Meryn),
-        Some("static") => emit(PolicyMode::Static),
-        _ => {
-            emit(PolicyMode::Meryn);
-            emit(PolicyMode::Static);
-        }
+        Some("meryn") => emit(vec![PolicyMode::Meryn]),
+        Some("static") => emit(vec![PolicyMode::Static]),
+        _ => emit(vec![PolicyMode::Meryn, PolicyMode::Static]),
     }
 }

@@ -1,19 +1,24 @@
 //! Machine-readable variant of the Figure 5 regeneration: emits the
 //! used-VM series for both policies as one merged CSV on stdout, ready
 //! for plotting (`time_s,meryn_private,meryn_cloud,static_private,
-//! static_cloud`).
+//! static_cloud`). The two policy runs execute in parallel through the
+//! shared sweep harness.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin fig5_csv > fig5.csv
 //! ```
 
 use meryn_bench::run_paper;
+use meryn_bench::sweep::{fanout, DEFAULT_BASE_SEED};
 use meryn_core::config::PolicyMode;
 use meryn_sim::{SimDuration, SimTime};
 
 fn main() {
-    let meryn = run_paper(PolicyMode::Meryn, 0xC0FFEE);
-    let stat = run_paper(PolicyMode::Static, 0xC0FFEE);
+    let mut reports = fanout(vec![PolicyMode::Meryn, PolicyMode::Static], |mode| {
+        run_paper(mode, DEFAULT_BASE_SEED)
+    })
+    .into_iter();
+    let (meryn, stat) = (reports.next().unwrap(), reports.next().unwrap());
     let horizon = meryn.series.horizon().max_of(stat.series.horizon());
     let step = SimDuration::from_secs(10);
 

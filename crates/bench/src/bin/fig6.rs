@@ -1,20 +1,25 @@
 //! Regenerates **Figure 6** — "(a) the overall workload completion time
 //! and the average execution time of applications, and (b) the overall
 //! workload cost and the average cost of applications", Meryn vs the
-//! static approach on the paper workload.
+//! static approach on the paper workload. The two policy runs execute
+//! in parallel through the shared sweep harness.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin fig6
 //! ```
 
+use meryn_bench::sweep::{fanout, DEFAULT_BASE_SEED};
 use meryn_bench::{run_paper, section};
 use meryn_core::config::PolicyMode;
 use meryn_core::report::compare;
 use meryn_core::VcId;
 
 fn main() {
-    let meryn = run_paper(PolicyMode::Meryn, 0xC0FFEE);
-    let stat = run_paper(PolicyMode::Static, 0xC0FFEE);
+    let mut reports = fanout(vec![PolicyMode::Meryn, PolicyMode::Static], |mode| {
+        run_paper(mode, DEFAULT_BASE_SEED)
+    })
+    .into_iter();
+    let (meryn, stat) = (reports.next().unwrap(), reports.next().unwrap());
 
     section("Figure 6(a) — Completion Time Comparison [s]");
     println!("{:<16} {:>10} {:>10}", "", "Meryn", "Static");

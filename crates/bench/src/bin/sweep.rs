@@ -1,69 +1,56 @@
-//! Replica sweep harness: runs the paper scenario across many seeds in
-//! parallel (rayon) and reports mean ± std of the headline metrics —
-//! the confidence behind every number in EXPERIMENTS.md.
+//! Replica sweep: runs the paper scenario across many seed-derived
+//! replicas in parallel (threaded rayon shim) and reports mean ± std of
+//! the headline metrics — the confidence behind every number in
+//! EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p meryn-bench --bin sweep [replicas]
+//! cargo run --release -p meryn-bench --bin sweep [replicas] [--json FILE]
 //! ```
+//!
+//! The JSON report is deterministic for a given replica count at any
+//! thread count (CI byte-compares the `RAYON_NUM_THREADS=1` and threaded
+//! runs), because replica seeds are derived streams and aggregation
+//! happens in replica order after an order-preserving collect.
 
-use meryn_bench::{run_paper, section};
-use meryn_core::config::PolicyMode;
-use meryn_sim::stats::OnlineStats;
-use rayon::prelude::*;
-
-struct Agg {
-    completion: OnlineStats,
-    cost: OnlineStats,
-    peak_cloud: OnlineStats,
-    violations: OnlineStats,
-}
-
-fn aggregate(mode: PolicyMode, replicas: u64) -> Agg {
-    let per_seed: Vec<(f64, f64, f64, f64)> = (0..replicas)
-        .into_par_iter()
-        .map(|seed| {
-            let r = run_paper(mode, seed);
-            (
-                r.completion_secs(),
-                r.total_cost().as_units_f64(),
-                r.peak_cloud,
-                r.violations() as f64,
-            )
-        })
-        .collect();
-    let mut agg = Agg {
-        completion: OnlineStats::new(),
-        cost: OnlineStats::new(),
-        peak_cloud: OnlineStats::new(),
-        violations: OnlineStats::new(),
-    };
-    for (c, cost, peak, v) in per_seed {
-        agg.completion.push(c);
-        agg.cost.push(cost);
-        agg.peak_cloud.push(peak);
-        agg.violations.push(v);
-    }
-    agg
-}
+use meryn_bench::section;
+use meryn_bench::sweep::{SweepReport, DEFAULT_BASE_SEED};
 
 fn main() {
-    let replicas: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let mut replicas: u64 = 30;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("error: --json requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => match other.parse() {
+                Ok(n) => replicas = n,
+                Err(_) => {
+                    eprintln!("error: unrecognized argument {other:?} (usage: sweep [replicas] [--json FILE])");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
 
     section(&format!(
         "Seed sweep — {replicas} replicas per policy (paper workload)"
     ));
+    let report = SweepReport::collect_both(DEFAULT_BASE_SEED, replicas);
     println!(
         "{:<8} {:>22} {:>22} {:>12} {:>11}",
         "mode", "completion [s]", "total cost [u]", "peak cloud", "violations"
     );
-    for mode in [PolicyMode::Meryn, PolicyMode::Static] {
-        let a = aggregate(mode, replicas);
+    for entry in &report.modes {
+        let a = &entry.stats;
         println!(
             "{:<8} {:>14.1} ± {:<5.1} {:>14.0} ± {:<5.0} {:>6.1} ± {:<3.1} {:>6.2} ± {:<4.2}",
-            mode.label(),
+            entry.mode,
             a.completion.mean(),
             a.completion.std_dev(),
             a.cost.mean(),
@@ -80,4 +67,10 @@ fn main() {
          completion time by a few tens of seconds — the same order as \
          the paper's 2021 s vs 2091 s gap."
     );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("sweep report serializes");
+        std::fs::write(&path, json + "\n").expect("write sweep JSON");
+        println!("\nwrote {path}");
+    }
 }

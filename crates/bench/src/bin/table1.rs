@@ -1,15 +1,20 @@
 //! Regenerates **Table 1** — "Processing Time Measurement": the
 //! end-to-end submission processing time for each of the five placement
 //! cases, measured over many seeded micro-scenarios, against the
-//! paper's measured ranges.
+//! paper's measured ranges. Samples fan out through the shared sweep
+//! harness (seed-derived replica streams, threaded rayon shim), so the
+//! numbers are identical at any thread count.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin table1 [samples-per-case]
 //! ```
 
-use meryn_bench::{fmt_summary, measure_case, paper_range, section, TABLE1_CASES};
-use meryn_sim::stats::Summary;
-use rayon::prelude::*;
+use meryn_bench::sweep::{case_sweep, DEFAULT_BASE_SEED};
+use meryn_bench::{fmt_summary, paper_range, section, TABLE1_CASES};
+
+/// Base seed of the secondary, independent sample set behind the
+/// ordering check (distinct stream family from the headline sweep).
+const ORDERING_BASE_SEED: u64 = DEFAULT_BASE_SEED ^ 0x1000;
 
 fn main() {
     let samples: u64 = std::env::args()
@@ -24,11 +29,7 @@ fn main() {
     );
 
     for case in TABLE1_CASES {
-        let secs: Vec<f64> = (0..samples)
-            .into_par_iter()
-            .map(|seed| measure_case(case, seed))
-            .collect();
-        let summary = Summary::from_slice(&secs);
+        let summary = case_sweep(case, DEFAULT_BASE_SEED, samples);
         let (lo, hi) = paper_range(case);
         println!(
             "{:<28} {:>7.0}~{:<4.0} {:>30}",
@@ -40,17 +41,8 @@ fn main() {
     }
 
     println!("\nOrdering check (paper: local < local-susp < vc < vc-susp ≈ cloud):");
-    let means: Vec<(String, f64)> = TABLE1_CASES
-        .iter()
-        .map(|&case| {
-            let secs: Vec<f64> = (0..samples.min(30))
-                .into_par_iter()
-                .map(|seed| measure_case(case, seed + 1000))
-                .collect();
-            (case.to_owned(), Summary::from_slice(&secs).mean())
-        })
-        .collect();
-    for (case, mean) in &means {
+    for case in TABLE1_CASES {
+        let mean = case_sweep(case, ORDERING_BASE_SEED, samples.min(30)).mean();
         println!("  {case:<28} mean {mean:6.1} s");
     }
 }

@@ -135,6 +135,8 @@ pub fn measure_case(case: &str, seed: u64) -> f64 {
         .as_secs_f64()
 }
 
+pub mod sweep;
+
 /// Formats a summary as `min~max (mean μ, n samples)`.
 pub fn fmt_summary(s: &Summary) -> String {
     if s.is_empty() {

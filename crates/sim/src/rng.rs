@@ -56,6 +56,18 @@ impl SimRng {
         SimRng { state: mixed }
     }
 
+    /// Derives the seed of an independent child stream, such that
+    /// `SimRng::new(SimRng::stream_seed(base, s))` generates the exact
+    /// sequence of `SimRng::new(base).fork(s)`.
+    ///
+    /// This is how replica sweeps fan one base seed out into per-replica
+    /// streams: each replica's randomness is a pure function of
+    /// `(base, replica_index)`, so replicas can run in any order — or in
+    /// parallel — and still reproduce the sequential sweep exactly.
+    pub fn stream_seed(base: u64, stream: u64) -> u64 {
+        SimRng::new(base).fork(stream).state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_raw(&mut self) -> u64 {
         splitmix64(&mut self.state)
@@ -204,6 +216,19 @@ mod tests {
         let mut child2 = parent.fork(3);
         for _ in 0..100 {
             assert_eq!(child1.next_raw(), child2.next_raw());
+        }
+    }
+
+    #[test]
+    fn stream_seed_matches_fork() {
+        for base in [0u64, 42, u64::MAX] {
+            for stream in [0u64, 1, 7, 1 << 40] {
+                let mut via_seed = SimRng::new(SimRng::stream_seed(base, stream));
+                let mut via_fork = SimRng::new(base).fork(stream);
+                for _ in 0..100 {
+                    assert_eq!(via_seed.next_raw(), via_fork.next_raw());
+                }
+            }
         }
     }
 

@@ -100,6 +100,12 @@ impl OnlineStats {
 }
 
 /// A stored-sample summary with percentile support.
+///
+/// All aggregates (`mean`, `std_dev`, `sum`, percentiles) are computed
+/// over a canonically ordered view of the samples, so two summaries fed
+/// the same multiset of observations in **any order** — e.g. replica
+/// results arriving from differently-scheduled parallel sweeps — report
+/// bit-identical statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {
     samples: Vec<f64>,
@@ -138,28 +144,48 @@ impl Summary {
         self.samples.is_empty()
     }
 
-    /// Sample mean (zero when empty).
-    pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    /// The samples in canonical (ascending `total_cmp`) order — the fixed
+    /// evaluation order that makes every aggregate insertion-order-free.
+    fn canonical(&self) -> Vec<f64> {
+        let mut xs = self.samples.clone();
+        xs.sort_by(f64::total_cmp);
+        xs
     }
 
-    /// Population standard deviation.
+    /// Merges another summary's samples into this one. Because aggregates
+    /// are evaluated in canonical order, `a.merge(&b)` and `b.merge(&a)`
+    /// report bit-identical statistics.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Sample mean (zero when empty), via a single Welford pass over the
+    /// canonically ordered samples: permutation-independent to the bit.
+    pub fn mean(&self) -> f64 {
+        self.welford().1
+    }
+
+    /// Population standard deviation, from the same order-independent
+    /// Welford pass as [`Self::mean`].
     pub fn std_dev(&self) -> f64 {
-        let n = self.samples.len();
+        let (n, _, m2) = self.welford();
         if n < 2 {
             return 0.0;
         }
-        let mean = self.mean();
-        (self
-            .samples
-            .iter()
-            .map(|x| (x - mean) * (x - mean))
-            .sum::<f64>()
-            / n as f64)
-            .sqrt()
+        (m2 / n as f64).sqrt()
+    }
+
+    /// Welford recurrence `(count, mean, m2)` over the canonical order.
+    fn welford(&self) -> (usize, f64, f64) {
+        let (mut mean, mut m2) = (0.0f64, 0.0f64);
+        let xs = self.canonical();
+        for (i, &x) in xs.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+        }
+        (xs.len(), mean, m2)
     }
 
     /// Smallest observation (zero when empty).
@@ -175,9 +201,10 @@ impl Summary {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Sum of all observations.
+    /// Sum of all observations, accumulated in canonical order
+    /// (insertion-order-free like the other aggregates).
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        self.canonical().into_iter().sum()
     }
 
     /// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank on the sorted
@@ -295,6 +322,52 @@ mod tests {
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(20.0), 1.0);
         assert_eq!(s.percentile(80.0), 4.0);
+    }
+
+    #[test]
+    fn summary_is_permutation_independent_to_the_bit() {
+        // Values chosen so naive left-to-right summation is order-sensitive
+        // (mixed magnitudes force different roundings per order).
+        let base: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.7).sin() * 10f64.powi(i % 7 - 3) + 1.0 / 3.0)
+            .collect();
+        let reference = Summary::from_slice(&base);
+
+        // A deterministic little shuffler (LCG) over several permutations.
+        let mut perm = base.clone();
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for round in 0..8 {
+            for i in (1..perm.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                perm.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            let shuffled = Summary::from_slice(&perm);
+            assert_eq!(
+                reference.mean().to_bits(),
+                shuffled.mean().to_bits(),
+                "mean diverged on permutation {round}"
+            );
+            assert_eq!(
+                reference.std_dev().to_bits(),
+                shuffled.std_dev().to_bits(),
+                "std_dev diverged on permutation {round}"
+            );
+            assert_eq!(reference.sum().to_bits(), shuffled.sum().to_bits());
+        }
+    }
+
+    #[test]
+    fn summary_merge_is_order_free() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64).cos() * 3.25 + 10.0).collect();
+        let whole = Summary::from_slice(&xs);
+        let mut ab = Summary::from_slice(&xs[..13]);
+        ab.merge(&Summary::from_slice(&xs[13..]));
+        let mut ba = Summary::from_slice(&xs[13..]);
+        ba.merge(&Summary::from_slice(&xs[..13]));
+        assert_eq!(whole.mean().to_bits(), ab.mean().to_bits());
+        assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+        assert_eq!(ab.std_dev().to_bits(), ba.std_dev().to_bits());
+        assert_eq!(ab.count(), 40);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests pinning the rayon shim to the std sequential
+//! iterators: for arbitrary inputs, every adapter (`map`/`collect`,
+//! `sum`, `fold`+`reduce`, `min`, `max`, `count`) returns exactly what
+//! the equivalent sequential expression returns — at 1, 2 and 8 worker
+//! threads. This is the contract the replica-sweep harness leans on:
+//! threading the sweeps must never change a single reported number.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// The thread counts every property is checked under.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn at_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool build is infallible")
+        .install(op)
+}
+
+proptest! {
+    #[test]
+    fn map_collect_equals_sequential(xs in prop::collection::vec(0u64..1_000_000, 0..400)) {
+        let expected: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(31) ^ 0xA5A5).collect();
+        for threads in THREAD_COUNTS {
+            let got: Vec<u64> = at_threads(threads, || {
+                xs.clone()
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(31) ^ 0xA5A5)
+                    .collect()
+            });
+            prop_assert_eq!(&got, &expected, "map/collect diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn borrowed_map_collect_equals_sequential(xs in prop::collection::vec(-500_000i64..500_000, 0..300)) {
+        let expected: Vec<i64> = xs.iter().map(|&x| x.wrapping_abs().wrapping_add(7)).collect();
+        for threads in THREAD_COUNTS {
+            let got: Vec<i64> = at_threads(threads, || {
+                xs.par_iter().map(|&x| x.wrapping_abs().wrapping_add(7)).collect()
+            });
+            prop_assert_eq!(&got, &expected, "par_iter diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn sum_equals_sequential(xs in prop::collection::vec(0u64..1_000_000, 0..400)) {
+        let expected: u64 = xs.iter().map(|&x| x / 3).sum();
+        for threads in THREAD_COUNTS {
+            let got: u64 = at_threads(threads, || {
+                xs.clone().into_par_iter().map(|x| x / 3).sum()
+            });
+            prop_assert_eq!(got, expected, "sum diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts(
+        xs in prop::collection::vec(-1_000.0f64..1_000.0, 0..400),
+    ) {
+        // Floats: the shim's fixed chunking promises the SAME bits at every
+        // thread count (sequential included), even though chunked summation
+        // may legitimately differ from a monolithic left fold.
+        let baseline: f64 = at_threads(1, || xs.clone().into_par_iter().map(|x| x * 1.5).sum());
+        for threads in THREAD_COUNTS {
+            let got: f64 = at_threads(threads, || {
+                xs.clone().into_par_iter().map(|x| x * 1.5).sum()
+            });
+            prop_assert_eq!(got.to_bits(), baseline.to_bits(),
+                "float sum bits diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn min_max_equal_sequential(xs in prop::collection::vec(-100_000i64..100_000, 0..300)) {
+        let expect_min = xs.iter().copied().min();
+        let expect_max = xs.iter().copied().max();
+        for threads in THREAD_COUNTS {
+            let (got_min, got_max) = at_threads(threads, || {
+                (
+                    xs.clone().into_par_iter().min(),
+                    xs.clone().into_par_iter().max(),
+                )
+            });
+            prop_assert_eq!(got_min, expect_min, "min diverged at {} threads", threads);
+            prop_assert_eq!(got_max, expect_max, "max diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn fold_reduce_equals_sequential_fold(xs in prop::collection::vec(0u64..1_000_000, 0..400)) {
+        // Associative op (wrapping add): rayon-style fold-then-reduce must
+        // equal the plain sequential fold.
+        let expected = xs.iter().fold(0u64, |acc, &x| acc.wrapping_add(x));
+        for threads in THREAD_COUNTS {
+            let got = at_threads(threads, || {
+                xs.clone()
+                    .into_par_iter()
+                    .fold(|| 0u64, |acc, x| acc.wrapping_add(x))
+                    .reduce(|| 0u64, |a, b| a.wrapping_add(b))
+            });
+            prop_assert_eq!(got, expected, "fold/reduce diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn count_equals_len(xs in prop::collection::vec(0u32..1000, 0..500)) {
+        for threads in THREAD_COUNTS {
+            let got = at_threads(threads, || xs.clone().into_par_iter().count());
+            prop_assert_eq!(got, xs.len(), "count diverged at {} threads", threads);
+        }
+    }
+}

@@ -11,9 +11,11 @@
 
 #![forbid(unsafe_code)]
 
-use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Dynamic JSON value, at the real crate's `serde_json::Value` path.
+pub use serde::value::Value;
 
 /// Serialization/deserialization error.
 #[derive(Debug, Clone)]

@@ -1,0 +1,95 @@
+//! Parallel-determinism guarantees for the shared replica-sweep harness:
+//! sweeping the paper scenario through `meryn_bench::sweep` produces
+//! **byte-identical** serialized results whether the rayon shim runs on
+//! one thread or many, under both policy modes. This is the invariant
+//! that makes threading the evaluation safe — no reported number may
+//! depend on scheduling.
+
+use meryn_bench::sweep::{self, DEFAULT_BASE_SEED};
+use meryn_core::config::PolicyMode;
+use rayon::ThreadPoolBuilder;
+
+const REPLICAS: u64 = 4;
+
+fn at_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool build is infallible")
+        .install(op)
+}
+
+/// Serializes the full per-replica reports of one sweep.
+fn sweep_reports_json(mode: PolicyMode, threads: usize) -> String {
+    at_threads(threads, || {
+        let reports = sweep::paper_reports(mode, DEFAULT_BASE_SEED, REPLICAS);
+        serde_json::to_string(&reports).expect("reports serialize")
+    })
+}
+
+/// Serializes the aggregated sweep statistics of both modes.
+fn sweep_stats_json(threads: usize) -> String {
+    at_threads(threads, || {
+        let report = sweep::SweepReport::collect_both(DEFAULT_BASE_SEED, REPLICAS);
+        serde_json::to_string(&report).expect("sweep report serializes")
+    })
+}
+
+#[test]
+fn replica_reports_are_byte_identical_at_any_thread_count() {
+    for mode in [PolicyMode::Meryn, PolicyMode::Static] {
+        let sequential = sweep_reports_json(mode, 1);
+        for threads in [2, 8] {
+            let threaded = sweep_reports_json(mode, threads);
+            assert_eq!(
+                sequential, threaded,
+                "sweep reports diverged between 1 and {threads} threads under {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregated_sweep_is_byte_identical_at_any_thread_count() {
+    let sequential = sweep_stats_json(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            sequential,
+            sweep_stats_json(threads),
+            "aggregated sweep stats diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn table1_case_sweep_is_thread_count_independent() {
+    for case in meryn_bench::TABLE1_CASES {
+        let sequential = at_threads(1, || sweep::case_sweep(case, DEFAULT_BASE_SEED, 8));
+        let threaded = at_threads(8, || sweep::case_sweep(case, DEFAULT_BASE_SEED, 8));
+        assert_eq!(
+            sequential.mean().to_bits(),
+            threaded.mean().to_bits(),
+            "{case}: mean diverged across thread counts"
+        );
+        assert_eq!(
+            sequential.std_dev().to_bits(),
+            threaded.std_dev().to_bits(),
+            "{case}: std_dev diverged across thread counts"
+        );
+    }
+}
+
+#[test]
+fn replica_streams_are_independent_of_sweep_width() {
+    // Replica i's report must not change when the sweep grows: its RNG
+    // stream is a pure function of (base, i), not of the replica count.
+    let narrow = sweep::paper_reports(PolicyMode::Meryn, DEFAULT_BASE_SEED, 2);
+    let wide = sweep::paper_reports(PolicyMode::Meryn, DEFAULT_BASE_SEED, 4);
+    for (i, (a, b)) in narrow.iter().zip(&wide).enumerate() {
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap(),
+            "replica {i} changed when the sweep widened"
+        );
+    }
+}
