@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meryn_core::app::{AppPhase, Application};
 use meryn_core::bidding::BidRequest;
 use meryn_core::cluster_manager::VirtualCluster;
-use meryn_core::config::PolicyMode;
+use meryn_core::policy::{self, StandardBidding};
 use meryn_core::protocol::select_resources;
 use meryn_core::{AppId, Placement, VcId};
 use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
@@ -109,9 +109,11 @@ fn bench_select(c: &mut Criterion) {
     for &n_vcs in &[2usize, 4, 8, 16] {
         let (vcs, apps, clouds) = fixture(n_vcs, 25);
         group.bench_with_input(BenchmarkId::new("vcs", n_vcs), &n_vcs, |b, _| {
+            let meryn = policy::placement("meryn").expect("registered");
             b.iter(|| {
                 select_resources(
-                    PolicyMode::Meryn,
+                    meryn.as_ref(),
+                    &StandardBidding,
                     VcId(0),
                     &vcs,
                     &apps,
@@ -132,11 +134,13 @@ fn bench_select(c: &mut Criterion) {
 fn bench_static_vs_meryn(c: &mut Criterion) {
     let (vcs, apps, clouds) = fixture(4, 25);
     let mut group = c.benchmark_group("policy_decision_cost");
-    for mode in [PolicyMode::Meryn, PolicyMode::Static] {
-        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+    for mode in ["meryn", "static"] {
+        group.bench_with_input(BenchmarkId::new("mode", mode), &mode, |b, &mode| {
+            let placement = policy::placement(mode).expect("registered");
             b.iter(|| {
                 select_resources(
-                    mode,
+                    placement.as_ref(),
+                    &StandardBidding,
                     VcId(0),
                     &vcs,
                     &apps,

@@ -3,55 +3,47 @@
 //! "Meryn may have several Client Managers in order to avoid a potential
 //! bottleneck, which could happen in peak periods." This sweep hammers
 //! the front door with 1 s inter-arrivals and varies the number of
-//! Client Manager instances: with one CM, every arrival waits for the
-//! previous submission's 7–15 s of handling, processing times balloon
-//! past the SLA allowance and deadlines start falling; a handful of CMs
-//! restores the uncontended Table 1 latencies.
+//! Client Manager instances. A thin wrapper: the paper scenario at a
+//! 1 s inter-arrival with a `ClientManagers` sweep axis.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_clientmanagers
 //! ```
 
-use meryn_bench::section;
-use meryn_bench::sweep::fanout;
-use meryn_core::config::{PlatformConfig, PolicyMode};
-use meryn_core::Platform;
-use meryn_sim::stats::Summary;
+use meryn_bench::spec::{OutputSpec, SweepAxis, WorkloadSpec};
+use meryn_bench::{catalog, run_scenario, section};
 use meryn_sim::SimDuration;
-use meryn_workloads::{paper_workload, PaperWorkloadParams};
+use meryn_workloads::PaperWorkloadParams;
 
 fn main() {
-    section("Ablation A8 — Client Manager instances under a 1 s arrival burst");
-    println!(
-        "{:>6} {:>22} {:>14} {:>12}",
-        "CMs", "processing mean/max [s]", "completion [s]", "violations"
-    );
-    let workload = paper_workload(PaperWorkloadParams {
+    let mut s = catalog::paper();
+    s.name = "ablation-clientmanagers".into();
+    s.description.clear();
+    s.workload = WorkloadSpec::Paper(PaperWorkloadParams {
         interarrival: SimDuration::from_secs(1),
         ..Default::default()
     });
-    let variants: Vec<Option<usize>> = vec![Some(1), Some(2), Some(4), Some(8), None];
-    let rows: Vec<String> = fanout(variants, |cms| {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-        cfg.client_managers = cms;
-        let r = Platform::new(cfg).run(&workload);
-        let mut proc = Summary::new();
-        for a in &r.apps {
-            if let Some(p) = a.processing {
-                proc.push(p.as_secs_f64());
-            }
-        }
-        format!(
-            "{:>6} {:>13.1} /{:>6.0} {:>14.0} {:>12}",
-            cms.map_or("∞".to_owned(), |k| k.to_string()),
-            proc.mean(),
-            proc.max(),
-            r.completion_secs(),
-            r.violations()
-        )
-    });
-    for row in rows {
-        println!("{row}");
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![SweepAxis::ClientManagers {
+        values: vec![Some(1), Some(2), Some(4), Some(8), None],
+    }];
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
+    section("Ablation A8 — Client Manager instances under a 1 s arrival burst");
+    println!(
+        "{:>26} {:>22} {:>14} {:>12}",
+        "CMs", "processing mean/max [s]", "completion [s]", "violations"
+    );
+    for v in &report.variants {
+        println!(
+            "{:>26} {:>13.1} /{:>6.0} {:>14.0} {:>12}",
+            v.label,
+            v.summary().processing_mean_s,
+            v.summary().processing_max_s,
+            v.summary().completion_secs,
+            v.summary().violations
+        );
     }
     println!(
         "\nReading: a single Client Manager serializes the burst — the \

@@ -5,19 +5,17 @@
 //! specific policies that are not treated in this paper". This ablation
 //! compares the paper's implicit policy (report and carry on) against an
 //! enforcement policy that withdraws at-risk *queued* jobs from the
-//! framework and bursts them to the cheapest cloud.
-//!
-//! Scenario: a small private estate with a quota-limited cloud, so load
-//! spikes leave jobs waiting in the queue with their deadlines burning.
+//! framework and bursts them to the cheapest cloud. A thin wrapper: a
+//! quota-limited platform + explicit deep-queue workload scenario with
+//! a `ViolationPolicy` sweep axis.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_escalation
 //! ```
 
-use meryn_bench::section;
-use meryn_bench::sweep::fanout;
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig, ViolationPolicy};
-use meryn_core::Platform;
+use meryn_bench::spec::{OutputSpec, Scenario, SweepAxis, SweepSpec, WorkloadSpec};
+use meryn_bench::{run_scenario, section};
+use meryn_core::config::{PlatformConfig, VcConfig, ViolationPolicy};
 use meryn_frameworks::{JobSpec, ScalingLaw};
 use meryn_sim::{SimDuration, SimTime};
 use meryn_sla::negotiation::UserStrategy;
@@ -41,36 +39,43 @@ fn workload() -> Vec<Submission> {
         .collect()
 }
 
-fn run(policy: ViolationPolicy) -> meryn_core::RunReport {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-    cfg.private_capacity = 4;
-    cfg.vcs = vec![VcConfig::batch("VC1", 4)];
+fn main() {
+    let mut platform = PlatformConfig::paper("meryn");
+    platform.private_capacity = 4;
+    platform.vcs = vec![VcConfig::batch("VC1", 4)];
     // A tight cloud quota: the initial bursting saturates it, later
     // arrivals queue; the quota frees up as bursted jobs finish.
     // Suspension is disabled so waiting happens in the queue (held
     // lending victims cannot be escalated).
-    cfg.clouds[0].quota = Some(4);
-    cfg.suspension_enabled = false;
-    cfg.controller_check_interval = Some(SimDuration::from_secs(15));
-    cfg.violation_policy = policy;
-    Platform::new(cfg).run(&workload())
-}
+    platform.clouds[0].quota = Some(4);
+    platform.suspension_enabled = false;
+    platform.controller_check_interval = Some(SimDuration::from_secs(15));
+    let scenario = Scenario {
+        name: "ablation-escalation".into(),
+        description: String::new(),
+        platform,
+        workload: WorkloadSpec::Explicit {
+            submissions: workload(),
+        },
+        sweep: SweepSpec {
+            replicas: 0,
+            axes: vec![SweepAxis::ViolationPolicy {
+                values: vec![ViolationPolicy::Report, ViolationPolicy::EscalateToCloud],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec::default(),
+    };
+    let report = run_scenario(&scenario).expect("explicit workload needs no files");
+    let (report_only, escalate) = (report.variants[0].summary(), report.variants[1].summary());
 
-fn main() {
     section("Ablation A7 — violation policy: report vs escalate-to-cloud");
-    let mut results = fanout(
-        vec![ViolationPolicy::Report, ViolationPolicy::EscalateToCloud],
-        run,
-    )
-    .into_iter();
-    let (report_only, escalate) = (results.next().unwrap(), results.next().unwrap());
-
     println!("{:<26} {:>12} {:>12}", "", "report-only", "escalate");
     for (label, a, b) in [
         (
             "violations",
-            report_only.violations() as f64,
-            escalate.violations() as f64,
+            report_only.violations as f64,
+            escalate.violations as f64,
         ),
         (
             "escalations",
@@ -80,27 +85,23 @@ fn main() {
         ("bursts", report_only.bursts as f64, escalate.bursts as f64),
         (
             "completion [s]",
-            report_only.completion_secs(),
-            escalate.completion_secs(),
+            report_only.completion_secs,
+            escalate.completion_secs,
         ),
         (
             "total cost [u]",
-            report_only.total_cost().as_units_f64(),
-            escalate.total_cost().as_units_f64(),
+            report_only.total_cost_units,
+            escalate.total_cost_units,
         ),
         (
             "total penalties [u]",
-            report_only
-                .apps
-                .iter()
-                .map(|x| x.penalty.as_units_f64())
-                .sum(),
-            escalate.apps.iter().map(|x| x.penalty.as_units_f64()).sum(),
+            report_only.penalties_units,
+            escalate.penalties_units,
         ),
         (
             "profit [u]",
-            report_only.profit().as_units_f64(),
-            escalate.profit().as_units_f64(),
+            report_only.profit_units,
+            escalate.profit_units,
         ),
     ] {
         println!("{label:<26} {a:>12.0} {b:>12.0}");

@@ -5,44 +5,48 @@
 //! policies stay private (no difference); as pressure grows, static
 //! bursts for all of VC1's overflow while Meryn first drains VC2's
 //! idle VMs — the gap between the two is the value of the exchange.
+//! A thin wrapper: the paper scenario with `InterarrivalSecs` × `Policy`
+//! sweep axes.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_load
 //! ```
 
-use meryn_bench::section;
-use meryn_bench::sweep::fanout;
-use meryn_core::config::{PlatformConfig, PolicyMode};
-use meryn_core::Platform;
-use meryn_sim::SimDuration;
-use meryn_workloads::{paper_workload, PaperWorkloadParams};
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
+    let gaps = [60u64, 30, 10, 5, 2];
+    let mut s = catalog::paper();
+    s.name = "ablation-load".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![
+        SweepAxis::InterarrivalSecs {
+            values: gaps.to_vec(),
+        },
+        SweepAxis::Policy {
+            values: vec!["meryn".into(), "static".into()],
+        },
+    ];
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
     section("Ablation A4 — inter-arrival sweep (65-app workload)");
     println!(
         "{:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
         "gap [s]", "meryn cost", "static cost", "m. bursts", "s. bursts", "transfers"
     );
-    let gaps = vec![60u64, 30, 10, 5, 2];
-    let rows: Vec<String> = fanout(gaps, |gap| {
-        let workload = paper_workload(PaperWorkloadParams {
-            interarrival: SimDuration::from_secs(gap),
-            ..Default::default()
-        });
-        let meryn = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
-        let stat = Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
-        format!(
+    for (pair, gap) in report.variants.chunks(2).zip(gaps) {
+        println!(
             "{:>8} {:>14.0} {:>14.0} {:>12} {:>12} {:>10}",
             gap,
-            meryn.total_cost().as_units_f64(),
-            stat.total_cost().as_units_f64(),
-            meryn.bursts,
-            stat.bursts,
-            meryn.transfers
-        )
-    });
-    for row in rows {
-        println!("{row}");
+            pair[0].summary().total_cost_units,
+            pair[1].summary().total_cost_units,
+            pair[0].summary().bursts,
+            pair[1].summary().bursts,
+            pair[0].summary().transfers
+        );
     }
     println!(
         "\nReading: the cost gap between static and Meryn is the cloud \

@@ -5,19 +5,17 @@
 //! A lightly loaded batch VC shares the estate with a MapReduce VC that
 //! receives a wave of 4-VM jobs overflowing its partition. Under Meryn
 //! the overflow drains the batch VC's idle VMs through zero bids before
-//! any lease; the static baseline bursts for every overflow job.
-//! MapReduce jobs participate in Algorithms 1/2 exactly like batch jobs
-//! — the wave-model performance estimate feeds the same SLA pricing —
-//! demonstrating the extensibility claim of §2.
+//! any lease; the static baseline bursts for every overflow job. A thin
+//! wrapper: a custom platform + explicit workload scenario with a
+//! `Policy` sweep axis.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_mapreduce
 //! ```
 
-use meryn_bench::section;
-use meryn_bench::sweep::fanout;
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
-use meryn_core::{Platform, VcId};
+use meryn_bench::spec::{OutputSpec, Scenario, SweepAxis, SweepSpec, WorkloadSpec};
+use meryn_bench::{run_scenario, section};
+use meryn_core::config::{PlatformConfig, VcConfig};
 use meryn_frameworks::{JobSpec, ScalingLaw};
 use meryn_sim::{SimDuration, SimTime};
 use meryn_sla::negotiation::UserStrategy;
@@ -54,62 +52,68 @@ fn workload() -> Vec<Submission> {
             UserStrategy::AcceptCheapest,
         ));
     }
-    subs.sort_by_key(|s| s.at);
     subs
 }
 
 fn main() {
-    section("Ablation A5 — mixed batch + MapReduce workload");
-    let mk = |mode| {
-        let mut cfg = PlatformConfig::paper(mode);
-        cfg.private_capacity = 24;
-        cfg.vcs = vec![
-            VcConfig::batch("batch", 12),
-            VcConfig::mapreduce("hadoop", 12),
-        ];
-        Platform::new(cfg).run(&workload())
+    let mut platform = PlatformConfig::paper("meryn");
+    platform.private_capacity = 24;
+    platform.vcs = vec![
+        VcConfig::batch("batch", 12),
+        VcConfig::mapreduce("hadoop", 12),
+    ];
+    let scenario = Scenario {
+        name: "ablation-mapreduce".into(),
+        description: String::new(),
+        platform,
+        workload: WorkloadSpec::Explicit {
+            submissions: workload(),
+        },
+        sweep: SweepSpec {
+            replicas: 0,
+            axes: vec![SweepAxis::Policy {
+                values: vec!["meryn".into(), "static".into()],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec::default(),
     };
-    let mut results = fanout(vec![PolicyMode::Meryn, PolicyMode::Static], mk).into_iter();
-    let (meryn, stat) = (results.next().unwrap(), results.next().unwrap());
+    let report = run_scenario(&scenario).expect("explicit workload needs no files");
+    let (meryn, stat) = (report.variants[0].summary(), report.variants[1].summary());
 
+    section("Ablation A5 — mixed batch + MapReduce workload");
     println!("{:<22} {:>10} {:>10}", "", "Meryn", "Static");
-    println!(
-        "{:<22} {:>10.0} {:>10.0}",
-        "total cost [u]",
-        meryn.total_cost().as_units_f64(),
-        stat.total_cost().as_units_f64()
-    );
-    println!(
-        "{:<22} {:>10.0} {:>10.0}",
-        "profit [u]",
-        meryn.profit().as_units_f64(),
-        stat.profit().as_units_f64()
-    );
-    println!(
-        "{:<22} {:>10.0} {:>10.0}",
-        "peak cloud VMs", meryn.peak_cloud, stat.peak_cloud
-    );
-    println!(
-        "{:<22} {:>10} {:>10}",
-        "transfers", meryn.transfers, stat.transfers
-    );
-    println!("{:<22} {:>10} {:>10}", "bursts", meryn.bursts, stat.bursts);
-    println!(
-        "{:<22} {:>10} {:>10}",
-        "suspensions", meryn.suspensions, stat.suspensions
-    );
-    println!(
-        "{:<22} {:>10} {:>10}",
-        "violations",
-        meryn.violations(),
-        stat.violations()
-    );
-    for (name, idx) in [("batch", 0usize), ("hadoop", 1)] {
-        let m = meryn.group(Some(VcId(idx)));
-        let s = stat.group(Some(VcId(idx)));
+    for (label, a, b) in [
+        (
+            "total cost [u]",
+            meryn.total_cost_units,
+            stat.total_cost_units,
+        ),
+        ("profit [u]", meryn.profit_units, stat.profit_units),
+        ("peak cloud VMs", meryn.peak_cloud_vms, stat.peak_cloud_vms),
+        ("transfers", meryn.transfers as f64, stat.transfers as f64),
+        ("bursts", meryn.bursts as f64, stat.bursts as f64),
+        (
+            "suspensions",
+            meryn.suspensions as f64,
+            stat.suspensions as f64,
+        ),
+        (
+            "violations",
+            meryn.violations as f64,
+            stat.violations as f64,
+        ),
+    ] {
+        println!("{label:<22} {a:>10.0} {b:>10.0}");
+    }
+    for (i, group) in meryn.groups.iter().enumerate() {
         println!(
-            "{name:<10} avg exec [s] {:>9.0} {:>10.0} | avg cost [u] {:>8.0} vs {:>8.0}",
-            m.avg_exec_secs, s.avg_exec_secs, m.avg_cost_units, s.avg_cost_units
+            "{:<10} avg exec [s] {:>9.0} {:>10.0} | avg cost [u] {:>8.0} vs {:>8.0}",
+            group.vc,
+            group.avg_exec_secs,
+            stat.groups[i].avg_exec_secs,
+            group.avg_cost_units,
+            stat.groups[i].avg_cost_units
         );
     }
     println!(

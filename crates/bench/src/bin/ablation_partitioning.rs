@@ -4,52 +4,55 @@
 //! based on past traces." The paper's evaluation splits 25/25; a
 //! trace-informed split matching the 50:15 demand would be ~38/12.
 //! This sweep shows how much the exchange protocol compensates for a
-//! bad initial split — the closer the split to demand, the fewer
-//! transfers are needed, but the final cost barely moves under Meryn
-//! (the protocol fixes the partitioning), while static pays dearly.
+//! bad initial split. A thin wrapper: the paper scenario with
+//! `InitialVms` × `Policy` sweep axes.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_partitioning
 //! ```
 
-use meryn_bench::sweep::fanout;
-use meryn_bench::{run_paper_with, section};
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
-    section("Ablation A6 — initial partitioning sweep (50/15 demand)");
-    println!(
-        "{:>9} {:>7} {:>17} {:>10} {:>9} {:>17}",
-        "split", "mode", "cost [u]", "transfers", "bursts", "peak cloud VMs"
-    );
-    let splits: Vec<(u64, u64, &str)> = vec![
+    let splits: [(u64, u64, &str); 4] = [
         (25, 25, "fair"),
         (38, 12, "trace-based"),
         (10, 40, "inverted"),
         (45, 5, "skewed-to-vc1"),
     ];
-    let rows: Vec<Vec<String>> = fanout(splits, |(a, b, label)| {
-        let mut out = Vec::new();
-        for mode in [PolicyMode::Meryn, PolicyMode::Static] {
-            let mut cfg = PlatformConfig::paper(mode);
-            cfg.vcs = vec![VcConfig::batch("VC1", a), VcConfig::batch("VC2", b)];
-            let r = run_paper_with(cfg);
-            out.push(format!(
+    let mut s = catalog::paper();
+    s.name = "ablation-partitioning".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![
+        SweepAxis::InitialVms {
+            values: splits.iter().map(|&(a, b, _)| vec![a, b]).collect(),
+        },
+        SweepAxis::Policy {
+            values: vec!["meryn".into(), "static".into()],
+        },
+    ];
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
+    section("Ablation A6 — initial partitioning sweep (50/15 demand)");
+    println!(
+        "{:>9} {:>7} {:>17} {:>10} {:>9} {:>17}",
+        "split", "mode", "cost [u]", "transfers", "bursts", "peak cloud VMs"
+    );
+    for (pair, (a, b, label)) in report.variants.chunks(2).zip(splits) {
+        for v in pair {
+            println!(
                 "{:>4}/{:<4} {:>7} {:>13.0} ({label}) {:>6} {:>9} {:>17.0}",
                 a,
                 b,
-                mode.label(),
-                r.total_cost().as_units_f64(),
-                r.transfers,
-                r.bursts,
-                r.peak_cloud
-            ));
-        }
-        out
-    });
-    for pair in rows {
-        for row in pair {
-            println!("{row}");
+                v.policy,
+                v.summary().total_cost_units,
+                v.summary().transfers,
+                v.summary().bursts,
+                v.summary().peak_cloud_vms
+            );
         }
     }
     println!(

@@ -3,40 +3,43 @@
 //! The paper: "a high N value is more advantageous for the provider
 //! while a low N value is more advantageous for the user". N also feeds
 //! Algorithm 2's bids: weak penalties (high N) make suspensions cheap,
-//! so the protocol starts lending VMs instead of bursting. This sweep
-//! shows the trade: cloud spend falls, but suspended apps risk delay.
+//! so the protocol starts lending VMs instead of bursting. A thin
+//! wrapper: the paper scenario with a `PenaltyFactor` sweep axis.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_penalty
 //! ```
 
-use meryn_bench::sweep::fanout;
-use meryn_bench::{run_paper_with, section};
-use meryn_core::config::{PlatformConfig, PolicyMode};
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
+    let mut s = catalog::paper();
+    s.name = "ablation-penalty".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![SweepAxis::PenaltyFactor {
+        values: vec![1, 2, 4, 8, 16],
+    }];
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
     section("Ablation A1 — penalty factor N sweep (paper workload)");
     println!(
-        "{:>4} {:>9} {:>7} {:>12} {:>11} {:>11} {:>11}",
-        "N", "suspends", "bursts", "peak cloud", "violations", "cost [u]", "profit [u]"
+        "{:>18} {:>9} {:>7} {:>12} {:>11} {:>11} {:>11}",
+        "variant", "suspends", "bursts", "peak cloud", "violations", "cost [u]", "profit [u]"
     );
-    let ns = vec![1u64, 2, 4, 8, 16];
-    let rows: Vec<String> = fanout(ns, |n| {
-        let cfg = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(n);
-        let r = run_paper_with(cfg);
-        format!(
-            "{:>4} {:>9} {:>7} {:>12.0} {:>11} {:>11.0} {:>11.0}",
-            n,
-            r.suspensions,
-            r.bursts,
-            r.peak_cloud,
-            r.violations(),
-            r.total_cost().as_units_f64(),
-            r.profit().as_units_f64()
-        )
-    });
-    for row in rows {
-        println!("{row}");
+    for v in &report.variants {
+        println!(
+            "{:>18} {:>9} {:>7} {:>12.0} {:>11} {:>11.0} {:>11.0}",
+            v.label,
+            v.summary().suspensions,
+            v.summary().bursts,
+            v.summary().peak_cloud_vms,
+            v.summary().violations,
+            v.summary().total_cost_units,
+            v.summary().profit_units
+        );
     }
     println!(
         "\nReading: N=1 reproduces the paper (no suspensions, 15 cloud \

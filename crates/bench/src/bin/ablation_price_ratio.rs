@@ -3,40 +3,53 @@
 //! The paper fixes cloud VM cost at 2× private. This sweep varies the
 //! ratio and locates where bursting stops paying off against suspension
 //! lending (and where the static approach's over-bursting hurts most).
+//! A thin wrapper: the paper scenario with `CloudPriceFactor` × `Policy`
+//! sweep axes.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_price_ratio
 //! ```
 
-use meryn_bench::sweep::fanout;
-use meryn_bench::{run_paper_with, section};
-use meryn_core::config::{PlatformConfig, PolicyMode};
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
+    let factors = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+    let mut s = catalog::paper();
+    s.name = "ablation-price-ratio".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![
+        SweepAxis::CloudPriceFactor {
+            values: factors.to_vec(),
+        },
+        SweepAxis::Policy {
+            values: vec!["meryn".into(), "static".into()],
+        },
+    ];
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
     section("Ablation A2 — cloud price factor sweep (paper workload)");
     println!(
         "{:>7} {:>16} {:>16} {:>13} {:>10}",
         "factor", "meryn cost [u]", "static cost [u]", "meryn saves", "suspends"
     );
-    let factors = vec![0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
-    let rows: Vec<String> = fanout(factors, |f| {
-        let meryn =
-            run_paper_with(PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(f));
-        let stat =
-            run_paper_with(PlatformConfig::paper(PolicyMode::Static).with_cloud_price_factor(f));
-        let mc = meryn.total_cost().as_units_f64();
-        let sc = stat.total_cost().as_units_f64();
-        format!(
+    // Variants come in (factor-major, policy-minor) order: meryn/static
+    // pairs per factor.
+    for (pair, factor) in report.variants.chunks(2).zip(factors) {
+        let (mc, sc) = (
+            pair[0].summary().total_cost_units,
+            pair[1].summary().total_cost_units,
+        );
+        println!(
             "{:>7.1} {:>16.0} {:>16.0} {:>12.1}% {:>10}",
-            f,
+            factor,
             mc,
             sc,
             (sc - mc) / sc * 100.0,
-            meryn.suspensions
-        )
-    });
-    for row in rows {
-        println!("{row}");
+            pair[0].summary().suspensions
+        );
     }
     println!(
         "\nReading: the pricier the cloud, the more Meryn's exchange \

@@ -3,42 +3,46 @@
 //! Sweeps the minimal-suspension-cost rate (the storage term of
 //! Algorithm 2). A near-zero storage rate makes suspension bids
 //! aggressive; an exorbitant one disables suspension entirely (the
-//! platform behaves as if only options 1, 2 and 5 existed).
+//! platform behaves as if only options 1, 2 and 5 existed). A thin
+//! wrapper: the paper scenario at N=4 with a `StorageRateMicro` axis.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin ablation_suspension
 //! ```
 
-use meryn_bench::sweep::fanout;
-use meryn_bench::{run_paper_with, section};
-use meryn_core::config::{PlatformConfig, PolicyMode};
-use meryn_sla::VmRate;
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
+    let rates_micro = [0i64, 100_000, 500_000, 2_000_000, 50_000_000];
+    let mut s = catalog::paper();
+    s.name = "ablation-suspension".into();
+    s.description.clear();
+    // With N=4 suspensions are competitive; the storage rate then
+    // decides how competitive.
+    s.platform.penalty_factor = 4;
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![SweepAxis::StorageRateMicro {
+        values: rates_micro.to_vec(),
+    }];
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
     section("Ablation A3 — storage rate (min suspension cost) sweep");
     println!(
         "{:>12} {:>9} {:>7} {:>11} {:>12} {:>12}",
         "storage u/s", "suspends", "bursts", "violations", "cost [u]", "profit [u]"
     );
-    // With N=4 suspensions are competitive; the storage rate then
-    // decides how competitive.
-    let rates_micro: Vec<i64> = vec![0, 100_000, 500_000, 2_000_000, 50_000_000];
-    let rows: Vec<String> = fanout(rates_micro, |micro| {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(4);
-        cfg.storage_rate = VmRate::from_micro(micro);
-        let r = run_paper_with(cfg);
-        format!(
+    for (v, micro) in report.variants.iter().zip(rates_micro) {
+        println!(
             "{:>12.2} {:>9} {:>7} {:>11} {:>12.0} {:>12.0}",
             micro as f64 / 1_000_000.0,
-            r.suspensions,
-            r.bursts,
-            r.violations(),
-            r.total_cost().as_units_f64(),
-            r.profit().as_units_f64()
-        )
-    });
-    for row in rows {
-        println!("{row}");
+            v.summary().suspensions,
+            v.summary().bursts,
+            v.summary().violations,
+            v.summary().total_cost_units,
+            v.summary().profit_units
+        );
     }
     println!(
         "\nReading: cheap suspension displaces bursting but risks delay \

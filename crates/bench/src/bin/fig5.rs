@@ -1,8 +1,7 @@
 //! Regenerates **Figure 5** — "The proportion of the used private and
-//! cloud VMs in (a) Meryn and (b) the Static Approach": the used-VM
-//! step series over the paper workload, as CSV plus an ASCII shape.
-//! When both panels are requested their runs execute in parallel via
-//! the shared sweep harness.
+//! cloud VMs in (a) Meryn and (b) the Static Approach". A thin wrapper:
+//! builds the paper scenario with the used-VM series requested and
+//! hands it to `run_scenario`.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin fig5 -- meryn    # Fig 5(a)
@@ -10,53 +9,48 @@
 //! cargo run --release -p meryn-bench --bin fig5             # both
 //! ```
 
-use meryn_bench::sweep::{fanout, DEFAULT_BASE_SEED};
-use meryn_bench::{run_paper, section};
-use meryn_core::config::PolicyMode;
-use meryn_core::RunReport;
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario, section};
 use meryn_sim::SimDuration;
 
-fn print_panel(mode: PolicyMode, report: &RunReport) {
-    let label = match mode {
-        PolicyMode::Meryn => "Figure 5(a) — Meryn",
-        PolicyMode::Static => "Figure 5(b) — Static Approach",
+fn scenario_for(policies: Vec<String>) -> meryn_bench::Scenario {
+    let mut s = catalog::paper();
+    s.name = "fig5".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![SweepAxis::Policy { values: policies }];
+    s.outputs = OutputSpec {
+        series: true,
+        ..Default::default()
     };
-    section(label);
-    println!(
-        "peak private VMs: {:.0} | peak cloud VMs: {:.0} (paper: {} / {})",
-        report.peak_private,
-        report.peak_cloud,
-        match mode {
-            PolicyMode::Meryn => "50",
-            PolicyMode::Static => "40",
-        },
-        match mode {
-            PolicyMode::Meryn => "15",
-            PolicyMode::Static => "25",
-        },
-    );
-    println!("\nCSV series (60 s grid):");
-    print!("{}", report.series.to_csv(SimDuration::from_secs(60)));
-    println!("\nShape:");
-    print!(
-        "{}",
-        report
-            .series
-            .to_ascii_chart(60, SimDuration::from_secs(120))
-    );
-}
-
-fn emit(modes: Vec<PolicyMode>) {
-    let reports = fanout(modes.clone(), |mode| run_paper(mode, DEFAULT_BASE_SEED));
-    for (mode, report) in modes.into_iter().zip(&reports) {
-        print_panel(mode, report);
-    }
+    s
 }
 
 fn main() {
-    match std::env::args().nth(1).as_deref() {
-        Some("meryn") => emit(vec![PolicyMode::Meryn]),
-        Some("static") => emit(vec![PolicyMode::Static]),
-        _ => emit(vec![PolicyMode::Meryn, PolicyMode::Static]),
+    let policies = match std::env::args().nth(1).as_deref() {
+        Some("meryn") => vec!["meryn".to_owned()],
+        Some("static") => vec!["static".to_owned()],
+        _ => vec!["meryn".to_owned(), "static".to_owned()],
+    };
+    let report = run_scenario(&scenario_for(policies)).expect("paper workload needs no files");
+
+    for variant in &report.variants {
+        let (panel, paper_private, paper_cloud) = match variant.policy.as_str() {
+            "meryn" => ("Figure 5(a) — Meryn", 50, 15),
+            _ => ("Figure 5(b) — Static Approach", 40, 25),
+        };
+        section(panel);
+        println!(
+            "peak private VMs: {:.0} | peak cloud VMs: {:.0} (paper: {} / {})",
+            variant.summary().peak_private_vms,
+            variant.summary().peak_cloud_vms,
+            paper_private,
+            paper_cloud,
+        );
+        let series = variant.series.as_ref().expect("series requested");
+        println!("\nCSV series (60 s grid):");
+        print!("{}", series.to_csv(SimDuration::from_secs(60)));
+        println!("\nShape:");
+        print!("{}", series.to_ascii_chart(60, SimDuration::from_secs(120)));
     }
 }

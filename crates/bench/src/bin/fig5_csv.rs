@@ -1,25 +1,40 @@
 //! Machine-readable variant of the Figure 5 regeneration: emits the
 //! used-VM series for both policies as one merged CSV on stdout, ready
 //! for plotting (`time_s,meryn_private,meryn_cloud,static_private,
-//! static_cloud`). The two policy runs execute in parallel through the
-//! shared sweep harness.
+//! static_cloud`). A thin wrapper over the paper scenario with the
+//! series output requested.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin fig5_csv > fig5.csv
 //! ```
 
-use meryn_bench::run_paper;
-use meryn_bench::sweep::{fanout, DEFAULT_BASE_SEED};
-use meryn_core::config::PolicyMode;
+use meryn_bench::spec::{OutputSpec, SweepAxis};
+use meryn_bench::{catalog, run_scenario};
 use meryn_sim::{SimDuration, SimTime};
 
 fn main() {
-    let mut reports = fanout(vec![PolicyMode::Meryn, PolicyMode::Static], |mode| {
-        run_paper(mode, DEFAULT_BASE_SEED)
-    })
-    .into_iter();
-    let (meryn, stat) = (reports.next().unwrap(), reports.next().unwrap());
-    let horizon = meryn.series.horizon().max_of(stat.series.horizon());
+    let mut s = catalog::paper();
+    s.name = "fig5_csv".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.axes = vec![SweepAxis::Policy {
+        values: vec!["meryn".into(), "static".into()],
+    }];
+    s.outputs = OutputSpec {
+        series: true,
+        ..Default::default()
+    };
+    let report = run_scenario(&s).expect("paper workload needs no files");
+    let meryn = report.variants[0]
+        .series
+        .as_ref()
+        .expect("series requested");
+    let stat = report.variants[1]
+        .series
+        .as_ref()
+        .expect("series requested");
+
+    let horizon = meryn.horizon().max_of(stat.horizon());
     let step = SimDuration::from_secs(10);
 
     println!("time_s,meryn_private,meryn_cloud,static_private,static_cloud");
@@ -28,10 +43,10 @@ fn main() {
         println!(
             "{},{},{},{},{}",
             t.as_secs(),
-            meryn.series.get(0).value_at(t),
-            meryn.series.get(1).value_at(t),
-            stat.series.get(0).value_at(t),
-            stat.series.get(1).value_at(t),
+            meryn.get(0).value_at(t),
+            meryn.get(1).value_at(t),
+            stat.get(0).value_at(t),
+            stat.get(1).value_at(t),
         );
         if t >= horizon {
             break;

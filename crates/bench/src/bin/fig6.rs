@@ -1,44 +1,44 @@
 //! Regenerates **Figure 6** — "(a) the overall workload completion time
 //! and the average execution time of applications, and (b) the overall
 //! workload cost and the average cost of applications", Meryn vs the
-//! static approach on the paper workload. The two policy runs execute
-//! in parallel through the shared sweep harness.
+//! static approach. A thin wrapper: the paper scenario with the
+//! first-two-variants comparison requested.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin fig6
 //! ```
 
-use meryn_bench::sweep::{fanout, DEFAULT_BASE_SEED};
-use meryn_bench::{run_paper, section};
-use meryn_core::config::PolicyMode;
-use meryn_core::report::compare;
-use meryn_core::VcId;
+use meryn_bench::spec::OutputSpec;
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
-    let mut reports = fanout(vec![PolicyMode::Meryn, PolicyMode::Static], |mode| {
-        run_paper(mode, DEFAULT_BASE_SEED)
-    })
-    .into_iter();
-    let (meryn, stat) = (reports.next().unwrap(), reports.next().unwrap());
+    let mut s = catalog::paper();
+    s.name = "fig6".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.outputs = OutputSpec {
+        comparison: true,
+        ..Default::default()
+    };
+    let report = run_scenario(&s).expect("paper workload needs no files");
+    let (meryn, stat) = (report.variants[0].summary(), report.variants[1].summary());
 
     section("Figure 6(a) — Completion Time Comparison [s]");
     println!("{:<16} {:>10} {:>10}", "", "Meryn", "Static");
     println!(
         "{:<16} {:>10.0} {:>10.0}   (paper: 2021 vs 2091)",
-        "Workload",
-        meryn.completion_secs(),
-        stat.completion_secs()
+        "Workload", meryn.completion_secs, stat.completion_secs
     );
-    for (label, vc) in [
-        ("All applis", None),
-        ("VC1 applis", Some(VcId(0))),
-        ("VC2 applis", Some(VcId(1))),
-    ] {
+    println!(
+        "{:<16} {:>10.0} {:>10.0}",
+        "All applis", meryn.avg_exec_secs, stat.avg_exec_secs
+    );
+    for (i, group) in meryn.groups.iter().enumerate() {
         println!(
             "{:<16} {:>10.0} {:>10.0}",
-            label,
-            meryn.group(vc).avg_exec_secs,
-            stat.group(vc).avg_exec_secs
+            format!("{} applis", group.vc),
+            group.avg_exec_secs,
+            stat.groups[i].avg_exec_secs
         );
     }
 
@@ -47,30 +47,30 @@ fn main() {
     println!(
         "{:<16} {:>10.0} {:>10.0}   (×100 in the paper's axis)",
         "Workload (x100)",
-        meryn.total_cost().as_units_f64() / 100.0,
-        stat.total_cost().as_units_f64() / 100.0
+        meryn.total_cost_units / 100.0,
+        stat.total_cost_units / 100.0
     );
-    for (label, vc) in [
-        ("All applis", None),
-        ("VC1 applis", Some(VcId(0))),
-        ("VC2 applis", Some(VcId(1))),
-    ] {
+    println!(
+        "{:<16} {:>10.0} {:>10.0}",
+        "All applis", meryn.avg_cost_units, stat.avg_cost_units
+    );
+    for (i, group) in meryn.groups.iter().enumerate() {
         println!(
             "{:<16} {:>10.0} {:>10.0}",
-            label,
-            meryn.group(vc).avg_cost_units,
-            stat.group(vc).avg_cost_units
+            format!("{} applis", group.vc),
+            group.avg_cost_units,
+            stat.groups[i].avg_cost_units
         );
     }
 
-    let cmp = compare(&meryn, &stat);
+    let cmp = report.comparison.as_ref().expect("comparison requested");
     section("Headline deltas (Meryn vs Static)");
     println!(
         "completion improvement : {:>6.2}%   (paper:  3.34%)",
         cmp.completion_improvement_pct
     );
-    let vc1_m = meryn.group(Some(VcId(0))).avg_cost_units;
-    let vc1_s = stat.group(Some(VcId(0))).avg_cost_units;
+    let vc1_m = meryn.groups[0].avg_cost_units;
+    let vc1_s = stat.groups[0].avg_cost_units;
     println!(
         "VC1 avg cost improve   : {:>6.2}%   (paper: 16.72%)",
         (vc1_s - vc1_m) / vc1_s * 100.0
@@ -80,8 +80,8 @@ fn main() {
         cmp.cost_improvement_pct
     );
     println!(
-        "workload cost saved    : {}   (paper: 41158 units)",
-        cmp.cost_saved
+        "workload cost saved    : {:.0}u   (paper: 41158 units)",
+        cmp.cost_saved_units
     );
     println!(
         "cloud VM peak          : {:.0} vs {:.0} (paper: 15 vs 25)",
@@ -89,12 +89,10 @@ fn main() {
     );
     println!(
         "violations             : {} vs {} (paper: 0 vs 0)",
-        meryn.violations(),
-        stat.violations()
+        meryn.violations, stat.violations
     );
     println!(
-        "revenue (equal ⇒ profit follows cost): {} vs {}",
-        meryn.total_revenue(),
-        stat.total_revenue()
+        "revenue (equal ⇒ profit follows cost): {:.0}u vs {:.0}u",
+        meryn.revenue_units, stat.revenue_units
     );
 }

@@ -1,0 +1,73 @@
+//! Runs any declarative scenario spec file (`scenarios/*.json`).
+//!
+//! ```text
+//! cargo run --release -p meryn-bench --bin scenario -- scenarios/paper.json
+//! cargo run --release -p meryn-bench --bin scenario -- scenarios/paper.json --json out.json
+//! ```
+//!
+//! The `--json` report is byte-identical at any thread count (CI
+//! byte-compares `RAYON_NUM_THREADS=1` against the threaded run for
+//! every checked-in spec). `--quiet` suppresses the human rendering.
+//! `--emit-shipped DIR` regenerates the checked-in spec files from the
+//! `meryn_scenario::catalog` source of truth instead of running one.
+
+use meryn_bench::{catalog, run_scenario, Scenario};
+
+fn usage() -> ! {
+    eprintln!("usage: scenario <spec.json> [--json FILE] [--quiet] | scenario --emit-shipped DIR");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spec_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => usage(),
+            },
+            "--emit-shipped" => {
+                let Some(dir) = args.next() else { usage() };
+                for (stem, scenario) in catalog::shipped() {
+                    let path = std::path::Path::new(&dir).join(format!("{stem}.json"));
+                    scenario.save(&path).expect("write shipped spec");
+                    println!("wrote {}", path.display());
+                }
+                return;
+            }
+            "--quiet" => quiet = true,
+            other if spec_path.is_none() && !other.starts_with("--") => {
+                spec_path = Some(other.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(spec_path) = spec_path else { usage() };
+
+    let scenario = match Scenario::load(&spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot load scenario: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match run_scenario(&scenario) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !quiet {
+        print!("{}", report.render());
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write scenario report JSON");
+        if !quiet {
+            println!("\nwrote {path}");
+        }
+    }
+}

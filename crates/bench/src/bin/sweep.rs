@@ -1,7 +1,7 @@
 //! Replica sweep: runs the paper scenario across many seed-derived
 //! replicas in parallel (threaded rayon shim) and reports mean ± std of
-//! the headline metrics — the confidence behind every number in
-//! EXPERIMENTS.md.
+//! the headline metrics. A thin wrapper: the paper scenario with the
+//! replica count from the command line.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin sweep [replicas] [--json FILE]
@@ -12,8 +12,8 @@
 //! runs), because replica seeds are derived streams and aggregation
 //! happens in replica order after an order-preserving collect.
 
-use meryn_bench::section;
-use meryn_bench::sweep::{SweepReport, DEFAULT_BASE_SEED};
+use meryn_bench::spec::OutputSpec;
+use meryn_bench::{catalog, run_scenario, section};
 
 fn main() {
     let mut replicas: u64 = 30;
@@ -38,19 +38,38 @@ fn main() {
         }
     }
 
+    let mut s = catalog::paper();
+    s.name = "sweep".into();
+    s.description.clear();
+    s.sweep.replicas = replicas;
+    s.outputs = OutputSpec::default();
+    let report = run_scenario(&s).expect("paper workload needs no files");
+
     section(&format!(
         "Seed sweep — {replicas} replicas per policy (paper workload)"
     ));
-    let report = SweepReport::collect_both(DEFAULT_BASE_SEED, replicas);
     println!(
         "{:<8} {:>22} {:>22} {:>12} {:>11}",
         "mode", "completion [s]", "total cost [u]", "peak cloud", "violations"
     );
-    for entry in &report.modes {
-        let a = &entry.stats;
+    for variant in &report.variants {
+        let Some(a) = variant.replicas.as_ref() else {
+            // `sweep 0`: nothing to aggregate — fall back to the
+            // single base-seed run.
+            let base = variant.base.as_ref().expect("summary requested");
+            println!(
+                "{:<8} {:>14.1} (single) {:>14.0} {:>10.0} {:>11}",
+                variant.policy,
+                base.completion_secs,
+                base.total_cost_units,
+                base.peak_cloud_vms,
+                base.violations,
+            );
+            continue;
+        };
         println!(
             "{:<8} {:>14.1} ± {:<5.1} {:>14.0} ± {:<5.0} {:>6.1} ± {:<3.1} {:>6.2} ± {:<4.2}",
-            entry.mode,
+            variant.policy,
             a.completion.mean(),
             a.completion.std_dev(),
             a.cost.mean(),
@@ -69,8 +88,7 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("sweep report serializes");
-        std::fs::write(&path, json + "\n").expect("write sweep JSON");
+        std::fs::write(&path, report.to_json()).expect("write sweep JSON");
         println!("\nwrote {path}");
     }
 }

@@ -1,20 +1,35 @@
 //! Regenerates **Table 1** — "Processing Time Measurement": the
 //! end-to-end submission processing time for each of the five placement
-//! cases, measured over many seeded micro-scenarios, against the
-//! paper's measured ranges. Samples fan out through the shared sweep
-//! harness (seed-derived replica streams, threaded rayon shim), so the
-//! numbers are identical at any thread count.
+//! cases against the paper's measured ranges. A thin wrapper: the paper
+//! scenario with the Table 1 micro-scenario sweep requested (the
+//! ordering check re-runs it from an independent seed family).
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin table1 [samples-per-case]
 //! ```
 
-use meryn_bench::sweep::{case_sweep, DEFAULT_BASE_SEED};
-use meryn_bench::{fmt_summary, paper_range, section, TABLE1_CASES};
+use meryn_bench::spec::OutputSpec;
+use meryn_bench::sweep::DEFAULT_BASE_SEED;
+use meryn_bench::{catalog, run_scenario, section, Scenario};
 
 /// Base seed of the secondary, independent sample set behind the
 /// ordering check (distinct stream family from the headline sweep).
 const ORDERING_BASE_SEED: u64 = DEFAULT_BASE_SEED ^ 0x1000;
+
+fn scenario_for(samples: u64, base_seed: u64) -> Scenario {
+    let mut s = catalog::paper();
+    s.name = "table1".into();
+    s.description.clear();
+    s.sweep.replicas = 0;
+    s.sweep.base_seed = base_seed;
+    s.sweep.axes.clear();
+    s.outputs = OutputSpec {
+        summary: false,
+        table1_samples: Some(samples),
+        ..Default::default()
+    };
+    s
+}
 
 fn main() {
     let samples: u64 = std::env::args()
@@ -22,27 +37,25 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
 
+    let report = run_scenario(&scenario_for(samples, DEFAULT_BASE_SEED)).expect("no files needed");
     section("Table 1 — Processing Time Measurement");
     println!(
         "{:<28} {:>12} {:>30}",
         "Case", "Paper [s]", "Measured (this reproduction)"
     );
-
-    for case in TABLE1_CASES {
-        let summary = case_sweep(case, DEFAULT_BASE_SEED, samples);
-        let (lo, hi) = paper_range(case);
+    let rows = report.table1.as_ref().expect("table1 requested");
+    for row in rows {
+        let (lo, hi) = row.paper_range_s.expect("every Table 1 case has a range");
         println!(
-            "{:<28} {:>7.0}~{:<4.0} {:>30}",
-            case,
-            lo,
-            hi,
-            fmt_summary(&summary)
+            "{:<28} {:>7.0}~{:<4.0} {:>17.0}~{:.0} s (mean {:.1}, n={})",
+            row.case, lo, hi, row.min_s, row.max_s, row.mean_s, row.samples
         );
     }
 
+    let ordering =
+        run_scenario(&scenario_for(samples.min(30), ORDERING_BASE_SEED)).expect("no files needed");
     println!("\nOrdering check (paper: local < local-susp < vc < vc-susp ≈ cloud):");
-    for case in TABLE1_CASES {
-        let mean = case_sweep(case, ORDERING_BASE_SEED, samples.min(30)).mean();
-        println!("  {case:<28} mean {mean:6.1} s");
+    for row in ordering.table1.as_ref().expect("table1 requested") {
+        println!("  {:<28} mean {:6.1} s", row.case, row.mean_s);
     }
 }

@@ -1,141 +1,26 @@
-//! Shared helpers for the experiment binaries.
+//! Experiment front-end for the paper's evaluation.
 //!
-//! Every table and figure of the paper's evaluation has one binary in
-//! `src/bin/` (see DESIGN.md §5 for the index); this library holds the
-//! fixtures they share: running the paper scenario under either policy,
-//! forcing each Table 1 placement case, and small formatting utilities.
+//! Every table and figure of the paper has one binary in `src/bin/`;
+//! since the declarative scenario redesign they are all *thin
+//! wrappers*: each builds (or loads) a [`meryn_scenario::Scenario`] and
+//! hands it to the one [`meryn_scenario::run_scenario`] entry point —
+//! the `scenario` binary runs any spec file under `scenarios/`. This
+//! crate re-exports the `meryn-scenario` API (the harness lived here
+//! before the split, and the workspace tests still address it as
+//! `meryn_bench::sweep`) plus a few formatting helpers the binaries
+//! share.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
-use meryn_core::report::RunReport;
-use meryn_core::Platform;
-use meryn_frameworks::{JobSpec, ScalingLaw};
+pub use meryn_scenario::spec;
+pub use meryn_scenario::sweep;
+pub use meryn_scenario::{
+    catalog, measure_case, paper_range, run_paper, run_paper_with, run_scenario, Scenario,
+    ScenarioReport, TABLE1_CASES,
+};
+
 use meryn_sim::stats::Summary;
-use meryn_sim::{SimDuration, SimTime};
-use meryn_sla::negotiation::UserStrategy;
-use meryn_workloads::{paper_workload, PaperWorkloadParams, Submission, VcTarget};
-
-/// Runs the paper's 65-app workload under `mode` with the given seed.
-pub fn run_paper(mode: PolicyMode, seed: u64) -> RunReport {
-    let cfg = PlatformConfig::paper(mode).with_seed(seed);
-    Platform::new(cfg).run(&paper_workload(PaperWorkloadParams::default()))
-}
-
-/// Runs an arbitrary config against the paper workload.
-pub fn run_paper_with(cfg: PlatformConfig) -> RunReport {
-    Platform::new(cfg).run(&paper_workload(PaperWorkloadParams::default()))
-}
-
-fn batch_sub(at: u64, vc: usize, work: u64) -> Submission {
-    Submission::new(
-        SimTime::from_secs(at),
-        VcTarget::Index(vc),
-        JobSpec::Batch {
-            work: SimDuration::from_secs(work),
-            nb_vms: 1,
-            scaling: ScalingLaw::Fixed,
-        },
-        UserStrategy::AcceptCheapest,
-    )
-}
-
-fn slack_sub(at: u64, vc: usize, work: u64, deadline: u64) -> Submission {
-    Submission::new(
-        SimTime::from_secs(at),
-        VcTarget::Index(vc),
-        JobSpec::Batch {
-            work: SimDuration::from_secs(work),
-            nb_vms: 1,
-            scaling: ScalingLaw::Fixed,
-        },
-        UserStrategy::ImposeDeadline {
-            deadline: SimDuration::from_secs(deadline),
-            concession_pct: 10,
-        },
-    )
-}
-
-/// The five Table 1 placement cases.
-pub const TABLE1_CASES: [&str; 5] = [
-    "local-vm",
-    "vc-vm",
-    "cloud-vm",
-    "local-vm after suspension",
-    "vc-vm after suspension",
-];
-
-/// Paper-measured processing-time ranges (seconds) for Table 1.
-pub fn paper_range(case: &str) -> (f64, f64) {
-    match case {
-        "local-vm" => (7.0, 15.0),
-        "vc-vm" => (40.0, 58.0),
-        "cloud-vm" => (60.0, 84.0),
-        "local-vm after suspension" => (10.0, 17.0),
-        "vc-vm after suspension" => (60.0, 68.0),
-        _ => unreachable!("unknown Table 1 case {case}"),
-    }
-}
-
-/// Runs one micro-scenario that forces the given Table 1 placement
-/// case and returns the target app's processing time in seconds.
-pub fn measure_case(case: &str, seed: u64) -> f64 {
-    let (cfg, workload, target_idx) = match case {
-        "local-vm" => {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-            cfg.private_capacity = 1;
-            cfg.vcs = vec![VcConfig::batch("VC1", 1)];
-            (cfg, vec![batch_sub(5, 0, 100)], 0usize)
-        }
-        "vc-vm" => {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-            cfg.private_capacity = 1;
-            cfg.vcs = vec![VcConfig::batch("VC1", 0), VcConfig::batch("VC2", 1)];
-            (cfg, vec![batch_sub(5, 0, 100)], 0)
-        }
-        "cloud-vm" => {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-            cfg.private_capacity = 1;
-            cfg.vcs = vec![VcConfig::batch("VC1", 0)];
-            (cfg, vec![batch_sub(5, 0, 100)], 0)
-        }
-        "local-vm after suspension" => {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-            cfg.private_capacity = 1;
-            cfg.vcs = vec![VcConfig::batch("VC1", 1)];
-            cfg.clouds.clear();
-            (
-                cfg,
-                vec![slack_sub(5, 0, 500, 50_000), batch_sub(40, 0, 100)],
-                1,
-            )
-        }
-        "vc-vm after suspension" => {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
-            cfg.private_capacity = 1;
-            cfg.vcs = vec![VcConfig::batch("VC1", 0), VcConfig::batch("VC2", 1)];
-            cfg.clouds.clear();
-            (
-                cfg,
-                vec![slack_sub(5, 1, 500, 50_000), batch_sub(40, 0, 100)],
-                1,
-            )
-        }
-        _ => unreachable!("unknown Table 1 case {case}"),
-    };
-    let report = Platform::new(cfg.with_seed(seed)).run(&workload);
-    let app = &report.apps[target_idx];
-    assert_eq!(
-        app.placement, case,
-        "scenario must force the intended placement"
-    );
-    app.processing
-        .expect("target app reached the framework")
-        .as_secs_f64()
-}
-
-pub mod sweep;
 
 /// Formats a summary as `min~max (mean μ, n samples)`.
 pub fn fmt_summary(s: &Summary) -> String {
@@ -161,24 +46,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_case_is_forcible() {
-        for case in TABLE1_CASES {
-            let secs = measure_case(case, 1);
-            assert!(secs > 0.0, "{case}: {secs}");
-        }
-    }
-
-    #[test]
-    fn paper_ranges_are_ordered() {
-        for case in TABLE1_CASES {
-            let (lo, hi) = paper_range(case);
-            assert!(lo < hi);
-        }
-    }
-
-    #[test]
-    fn run_paper_smoke() {
-        let r = run_paper(PolicyMode::Meryn, 3);
+    fn reexports_reach_the_scenario_api() {
+        // The paths the rest of the workspace (tests, CI docs) rely on.
+        let r = run_paper("meryn", 3);
         assert_eq!(r.apps.len(), 65);
+        assert_eq!(paper_range("local-vm"), Some((7.0, 15.0)));
+        assert_eq!(paper_range("nonsense"), None);
+        assert_eq!(sweep::DEFAULT_BASE_SEED, 0xC0FFEE);
+    }
+
+    #[test]
+    fn fmt_summary_handles_empty_and_filled() {
+        assert_eq!(fmt_summary(&Summary::new()), "—");
+        let s = Summary::from_slice(&[1.0, 3.0]);
+        assert_eq!(fmt_summary(&s), "1~3 s (mean 2.0, n=2)");
     }
 }

@@ -25,24 +25,9 @@ pub enum ViolationPolicy {
     EscalateToCloud,
 }
 
-/// Which placement policy the platform runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PolicyMode {
-    /// The full Meryn resource selection protocol (Algorithm 1).
-    Meryn,
-    /// The paper's baseline: static VC partitions; a VC may only burst
-    /// to public clouds, never exchange VMs with siblings.
-    Static,
-}
-
-impl PolicyMode {
-    /// Short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            PolicyMode::Meryn => "meryn",
-            PolicyMode::Static => "static",
-        }
-    }
+/// The default bidding-policy name (`#[serde(default)]` hook).
+fn default_bidding() -> String {
+    "standard".to_owned()
 }
 
 /// Configuration of one Virtual Cluster.
@@ -142,8 +127,15 @@ impl Default for Latencies {
 /// Full platform configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformConfig {
-    /// Placement policy.
-    pub mode: PolicyMode,
+    /// Placement-policy name, resolved through the
+    /// [`crate::policy`] registry at deployment (`"meryn"`,
+    /// `"static"`, `"never-burst"`, `"always-burst"`, `"cost-greedy"`,
+    /// or anything registered since).
+    pub policy: String,
+    /// Bidding-policy name (`"standard"` = the paper's Algorithm 2,
+    /// `"free-only"` = zero bids only).
+    #[serde(default = "default_bidding")]
+    pub bidding: String,
     /// Master RNG seed; every latency and price draw descends from it.
     pub seed: u64,
     /// Fixed private VM hosting capacity (the evaluation: 50).
@@ -195,7 +187,9 @@ pub struct PlatformConfig {
 }
 
 impl PlatformConfig {
-    /// The evaluation deployment (§5.2–5.3), parameterized by policy.
+    /// The evaluation deployment (§5.2–5.3), parameterized by the
+    /// placement-policy name (the paper compares `"meryn"` and
+    /// `"static"`).
     ///
     /// * 50 private VM slots, two batch VCs with 25 each;
     /// * one public cloud, infinite capacity, static price 4 units/VM·s,
@@ -203,9 +197,10 @@ impl PlatformConfig {
     /// * private cost 2 units/VM·s; user VM price 4 units/VM·s;
     /// * penalty factor N = 1, penalties capped at the price;
     /// * quoted deadlines assume cloud-speed execution + 84 s processing.
-    pub fn paper(mode: PolicyMode) -> Self {
+    pub fn paper(policy: impl Into<String>) -> Self {
         PlatformConfig {
-            mode,
+            policy: policy.into(),
+            bidding: default_bidding(),
             seed: 0xC0FFEE,
             private_capacity: 50,
             vm_spec: VmSpec::EC2_MEDIUM_LIKE,
@@ -238,18 +233,23 @@ impl PlatformConfig {
         self
     }
 
+    /// Replaces the placement-policy name.
+    pub fn with_policy(mut self, policy: impl Into<String>) -> Self {
+        self.policy = policy.into();
+        self
+    }
+
     /// Replaces the penalty factor N.
     pub fn with_penalty_factor(mut self, n: u64) -> Self {
         self.penalty_factor = n;
         self
     }
 
-    /// Scales every cloud's price by `factor` (ablation A2).
+    /// Scales every cloud's whole price curve by `factor` (ablation
+    /// A2) — static, diurnal and scheduled models alike.
     pub fn with_cloud_price_factor(mut self, factor: f64) -> Self {
         for c in &mut self.clouds {
-            if let PriceModel::Static(r) = &mut c.price {
-                *r = r.scale(factor);
-            }
+            c.price = c.price.clone().scaled(factor);
         }
         self
     }
@@ -257,6 +257,18 @@ impl PlatformConfig {
     /// Validates internal consistency; called by the platform at start.
     pub fn validate(&self) {
         assert!(!self.vcs.is_empty(), "need at least one VC");
+        assert!(
+            crate::policy::placement(&self.policy).is_some(),
+            "unknown placement policy {:?} (registered: {:?})",
+            self.policy,
+            crate::policy::placement_names()
+        );
+        assert!(
+            crate::policy::bidding(&self.bidding).is_some(),
+            "unknown bidding policy {:?} (registered: {:?})",
+            self.bidding,
+            crate::policy::bidding_names()
+        );
         assert!(self.penalty_factor > 0, "penalty factor N must be positive");
         assert!(
             self.quote_speed > 0.0 && self.quote_speed <= 1.0,
@@ -277,7 +289,7 @@ mod tests {
 
     #[test]
     fn paper_config_matches_evaluation_setup() {
-        let cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        let cfg = PlatformConfig::paper("meryn");
         cfg.validate();
         assert_eq!(cfg.private_capacity, 50);
         assert_eq!(cfg.vcs.len(), 2);
@@ -292,25 +304,62 @@ mod tests {
 
     #[test]
     fn builders() {
-        let cfg = PlatformConfig::paper(PolicyMode::Static)
+        let cfg = PlatformConfig::paper("static")
             .with_seed(9)
             .with_penalty_factor(4)
-            .with_cloud_price_factor(1.5);
+            .with_cloud_price_factor(1.5)
+            .with_policy("meryn");
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.penalty_factor, 4);
         match &cfg.clouds[0].price {
             PriceModel::Static(r) => assert_eq!(*r, VmRate::per_vm_second(6)),
             _ => panic!("static price expected"),
         }
-        assert_eq!(cfg.mode.label(), "static");
+        assert_eq!(cfg.policy, "meryn");
+        assert_eq!(cfg.bidding, "standard");
+    }
+
+    #[test]
+    fn cloud_price_factor_scales_non_static_models_too() {
+        use meryn_sim::{SimDuration, SimTime};
+        let mut cfg = PlatformConfig::paper("meryn");
+        cfg.clouds[0].price = PriceModel::Diurnal {
+            base: VmRate::per_vm_second(4),
+            amplitude_pct: 20,
+            period: SimDuration::from_secs(86_400),
+        };
+        let scaled = cfg.with_cloud_price_factor(0.5);
+        // At phase 0 the diurnal price equals its base: 4 × 0.5 = 2.
+        assert_eq!(
+            scaled.clouds[0].price.rate_at(SimTime::ZERO),
+            VmRate::per_vm_second(2)
+        );
     }
 
     #[test]
     #[should_panic(expected = "exceeds private capacity")]
     fn overcommitted_initial_allocation_rejected() {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        let mut cfg = PlatformConfig::paper("meryn");
         cfg.vcs[0].initial_vms = 40;
         cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown placement policy")]
+    fn unknown_policy_rejected() {
+        PlatformConfig::paper("no-such-policy").validate();
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = PlatformConfig::paper("meryn");
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PlatformConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // `bidding` defaults when omitted on the wire.
+        let trimmed = json.replace("\"bidding\":\"standard\",", "");
+        let back: PlatformConfig = serde_json::from_str(&trimmed).unwrap();
+        assert_eq!(back.bidding, "standard");
     }
 
     #[test]

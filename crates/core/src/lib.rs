@@ -18,6 +18,7 @@
 //! | [`cluster_manager`] | §3.2 Cluster Manager: VC state, quoting, reservations |
 //! | [`app`] / [`ids`] | §3.2 Application Controllers: per-app records |
 //! | [`bidding`] | §4.2.2 Algorithm 2: bid computation |
+//! | [`policy`] | pluggable placement/bidding strategies + the string-keyed registry |
 //! | [`protocol`] | §4.1 Algorithm 1: resource selection |
 //! | [`platform`] | the simulation driver tying it together (the prototype's shell glue) |
 //! | [`config`] | deployment knobs; [`config::PlatformConfig::paper`] reproduces the evaluation setup |
@@ -26,11 +27,12 @@
 //! ## Quick example
 //!
 //! ```
-//! use meryn_core::config::{PlatformConfig, PolicyMode};
+//! use meryn_core::config::PlatformConfig;
 //! use meryn_core::platform::Platform;
 //! use meryn_workloads::{paper_workload, PaperWorkloadParams};
 //!
-//! let cfg = PlatformConfig::paper(PolicyMode::Meryn);
+//! // Policies are named; "meryn" and "static" are the paper's two.
+//! let cfg = PlatformConfig::paper("meryn");
 //! let report = Platform::new(cfg).run(&paper_workload(PaperWorkloadParams::default()));
 //! assert_eq!(report.apps.len(), 65);
 //! assert_eq!(report.violations(), 0);
@@ -47,10 +49,11 @@ pub mod config;
 pub mod events;
 pub mod ids;
 pub mod platform;
+pub mod policy;
 pub mod protocol;
 pub mod report;
 
-pub use config::{PlatformConfig, PolicyMode};
+pub use config::PlatformConfig;
 pub use ids::{AppId, Placement, VcId};
 pub use platform::Platform;
 pub use report::RunReport;

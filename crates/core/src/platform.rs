@@ -7,7 +7,9 @@
 //! drawn from the calibrated models in
 //! [`Latencies`](crate::config::Latencies).
 
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, JobId, MapReduceFramework};
 use meryn_sim::metrics::{SeriesSet, StepSeries};
@@ -27,6 +29,7 @@ use crate::cluster_manager::VirtualCluster;
 use crate::config::PlatformConfig;
 use crate::events::Event;
 use crate::ids::{AppId, Placement, VcId};
+use crate::policy::{self, BiddingPolicy, PlacementPolicy};
 use crate::protocol::{select_resources, Decision, ProtocolParams};
 use crate::report::{AppRecord, RunReport};
 
@@ -76,6 +79,8 @@ struct ReturnOp {
 /// The assembled Meryn platform.
 pub struct Platform {
     cfg: PlatformConfig,
+    placement: Arc<dyn PlacementPolicy>,
+    bidding: Arc<dyn BiddingPolicy>,
     queue: EventQueue<Event>,
     pool: PrivatePool,
     clouds: Vec<PublicCloud>,
@@ -118,6 +123,8 @@ impl Platform {
     /// framework image in every cloud (§3.5).
     pub fn new(cfg: PlatformConfig) -> Self {
         cfg.validate();
+        let placement = policy::placement(&cfg.policy).expect("validated policy resolves");
+        let bidding = policy::bidding(&cfg.bidding).expect("validated bidding policy resolves");
         let master = SimRng::new(cfg.seed);
         let mut pool = PrivatePool::with_vm_capacity(
             cfg.private_capacity,
@@ -191,6 +198,8 @@ impl Platform {
         let cm_free_at = vec![SimTime::ZERO; cfg.client_managers.unwrap_or(0)];
         Platform {
             cfg,
+            placement,
+            bidding,
             queue: EventQueue::new(),
             pool,
             clouds,
@@ -220,10 +229,18 @@ impl Platform {
         }
     }
 
-    /// Enqueues a workload's arrivals.
-    pub fn enqueue_workload(&mut self, workload: &[Submission]) {
+    /// Enqueues a workload's arrivals. Accepts owned and borrowed
+    /// submissions alike (`Vec<Submission>`, `&[Submission]`, any
+    /// iterator of either), so drivers never clone a workload to feed
+    /// the platform.
+    pub fn enqueue_workload<I>(&mut self, workload: I)
+    where
+        I: IntoIterator,
+        I::Item: Borrow<Submission>,
+    {
         for sub in workload {
-            self.queue.push(sub.at, Event::Arrival(*sub));
+            let sub = *sub.borrow();
+            self.queue.push(sub.at, Event::Arrival(sub));
         }
     }
 
@@ -236,10 +253,24 @@ impl Platform {
         true
     }
 
-    /// Runs a workload to completion and reports.
-    pub fn run(mut self, workload: &[Submission]) -> RunReport {
-        self.enqueue_workload(workload);
+    /// Drains the event queue (the `while step() {}` loop external
+    /// drivers used to hand-roll).
+    pub fn run_to_completion(&mut self) {
         while self.step() {}
+    }
+
+    /// **The** entry point for external drivers: enqueues `workload`,
+    /// drains the event loop and reports. Equivalent to
+    /// [`Self::enqueue_workload`] + [`Self::run_to_completion`] +
+    /// [`Self::finalize`]; use those pieces directly only when stepping
+    /// or inspecting mid-run state.
+    pub fn run<I>(mut self, workload: I) -> RunReport
+    where
+        I: IntoIterator,
+        I::Item: Borrow<Submission>,
+    {
+        self.enqueue_workload(workload);
+        self.run_to_completion();
         self.finalize()
     }
 
@@ -353,7 +384,8 @@ impl Platform {
             duration: quoted_exec + self.cfg.processing_allowance,
         };
         let decision = select_resources(
-            self.cfg.mode,
+            self.placement.as_ref(),
+            self.bidding.as_ref(),
             vc_id,
             &self.vcs,
             &self.apps,
@@ -363,6 +395,7 @@ impl Platform {
             ProtocolParams {
                 storage_rate: self.cfg.storage_rate,
                 suspension_enabled: self.cfg.suspension_enabled,
+                private_cost: self.cfg.private_cost,
             },
         );
 
@@ -1016,7 +1049,7 @@ impl Platform {
         series.add(self.used_private);
         series.add(self.used_cloud);
         RunReport {
-            mode: self.cfg.mode.label().to_owned(),
+            mode: self.cfg.policy.clone(),
             seed: self.cfg.seed,
             apps: records,
             rejected: self.rejected,
@@ -1037,7 +1070,7 @@ impl Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{PlatformConfig, PolicyMode, VcConfig};
+    use crate::config::{PlatformConfig, VcConfig};
     use meryn_frameworks::{JobSpec, ScalingLaw};
     use meryn_sim::SimDuration;
     use meryn_sla::negotiation::UserStrategy;
@@ -1056,8 +1089,8 @@ mod tests {
         )
     }
 
-    fn small_cfg(mode: PolicyMode) -> PlatformConfig {
-        let mut cfg = PlatformConfig::paper(mode);
+    fn small_cfg(policy: &str) -> PlatformConfig {
+        let mut cfg = PlatformConfig::paper(policy);
         cfg.private_capacity = 4;
         cfg.vcs = vec![VcConfig::batch("VC1", 2), VcConfig::batch("VC2", 2)];
         cfg
@@ -1065,8 +1098,8 @@ mod tests {
 
     #[test]
     fn single_app_runs_locally() {
-        let cfg = small_cfg(PolicyMode::Meryn);
-        let report = Platform::new(cfg).run(&[batch_sub(5, 0, 100)]);
+        let cfg = small_cfg("meryn");
+        let report = Platform::new(cfg).run([batch_sub(5, 0, 100)]);
         assert_eq!(report.apps.len(), 1);
         let a = &report.apps[0];
         assert_eq!(a.placement, "local-vm");
@@ -1084,7 +1117,7 @@ mod tests {
 
     #[test]
     fn overflow_takes_sibling_idle_vms_in_meryn() {
-        let cfg = small_cfg(PolicyMode::Meryn);
+        let cfg = small_cfg("meryn");
         // Three apps to VC1 (2 slots): the third gets VC2's idle VM.
         let subs = vec![
             batch_sub(5, 0, 500),
@@ -1108,7 +1141,7 @@ mod tests {
 
     #[test]
     fn overflow_bursts_to_cloud_in_static() {
-        let cfg = small_cfg(PolicyMode::Static);
+        let cfg = small_cfg("static");
         let subs = vec![
             batch_sub(5, 0, 500),
             batch_sub(10, 0, 500),
@@ -1132,7 +1165,7 @@ mod tests {
 
     #[test]
     fn cloud_vms_are_released_after_completion() {
-        let cfg = small_cfg(PolicyMode::Static);
+        let cfg = small_cfg("static");
         let subs = vec![
             batch_sub(5, 0, 300),
             batch_sub(10, 0, 300),
@@ -1153,8 +1186,8 @@ mod tests {
         let subs: Vec<Submission> = (0..8)
             .map(|i| batch_sub(5 + i * 5, (i % 2) as usize, 400))
             .collect();
-        let r1 = Platform::new(small_cfg(PolicyMode::Meryn)).run(&subs);
-        let r2 = Platform::new(small_cfg(PolicyMode::Meryn)).run(&subs);
+        let r1 = Platform::new(small_cfg("meryn")).run(&subs);
+        let r2 = Platform::new(small_cfg("meryn")).run(&subs);
         assert_eq!(
             serde_json::to_string(&r1).unwrap(),
             serde_json::to_string(&r2).unwrap()
@@ -1164,8 +1197,8 @@ mod tests {
     #[test]
     fn different_seeds_change_latencies_not_outcomes() {
         let subs = vec![batch_sub(5, 0, 100)];
-        let r1 = Platform::new(small_cfg(PolicyMode::Meryn).with_seed(1)).run(&subs);
-        let r2 = Platform::new(small_cfg(PolicyMode::Meryn).with_seed(2)).run(&subs);
+        let r1 = Platform::new(small_cfg("meryn").with_seed(1)).run(&subs);
+        let r2 = Platform::new(small_cfg("meryn").with_seed(2)).run(&subs);
         assert_eq!(r1.apps[0].placement, r2.apps[0].placement);
         assert_eq!(r1.apps[0].exec, r2.apps[0].exec);
         assert_ne!(r1.apps[0].processing, r2.apps[0].processing);
@@ -1176,7 +1209,7 @@ mod tests {
         // One VC, one VM, no clouds. App A (generous deadline) runs;
         // app B arrives and the only option is suspending A. When B
         // finishes, A resumes and completes.
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        let mut cfg = PlatformConfig::paper("meryn");
         cfg.private_capacity = 1;
         cfg.vcs = vec![VcConfig::batch("VC1", 1)];
         cfg.clouds.clear();
@@ -1215,7 +1248,7 @@ mod tests {
 
     #[test]
     fn queue_decision_when_no_capacity_anywhere() {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        let mut cfg = PlatformConfig::paper("meryn");
         cfg.private_capacity = 1;
         cfg.vcs = vec![VcConfig::batch("VC1", 1)];
         cfg.clouds.clear();
@@ -1246,7 +1279,7 @@ mod tests {
 
     #[test]
     fn ledger_matches_app_costs() {
-        let cfg = small_cfg(PolicyMode::Meryn);
+        let cfg = small_cfg("meryn");
         let subs = vec![batch_sub(5, 0, 200), batch_sub(10, 1, 200)];
         let mut platform = Platform::new(cfg);
         platform.enqueue_workload(&subs);
@@ -1258,7 +1291,7 @@ mod tests {
 
     #[test]
     fn mapreduce_vc_hosts_mapreduce_jobs() {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        let mut cfg = PlatformConfig::paper("meryn");
         cfg.private_capacity = 4;
         cfg.vcs = vec![VcConfig::batch("batch", 2), VcConfig::mapreduce("mr", 2)];
         let sub = Submission::new(
@@ -1274,7 +1307,7 @@ mod tests {
             },
             UserStrategy::AcceptCheapest,
         );
-        let report = Platform::new(cfg).run(&[sub]);
+        let report = Platform::new(cfg).run([sub]);
         assert_eq!(report.apps.len(), 1);
         assert!(report.apps[0].completed.is_some());
         // 8 maps / 4 slots = 2 waves ×30 + 1 reduce wave ×60 = 120 s at
@@ -1284,7 +1317,7 @@ mod tests {
 
     #[test]
     fn type_mismatch_is_rejected() {
-        let cfg = small_cfg(PolicyMode::Meryn);
+        let cfg = small_cfg("meryn");
         let sub = Submission::new(
             SimTime::from_secs(5),
             VcTarget::Index(0),
@@ -1298,7 +1331,7 @@ mod tests {
             },
             UserStrategy::AcceptCheapest,
         );
-        let report = Platform::new(cfg).run(&[sub]);
+        let report = Platform::new(cfg).run([sub]);
         assert_eq!(report.apps.len(), 0);
         assert_eq!(report.rejected, 1);
     }

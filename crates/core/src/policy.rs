@@ -1,0 +1,524 @@
+//! Pluggable placement and bidding policies.
+//!
+//! The paper evaluates exactly two behaviours — the full Meryn protocol
+//! and a static-partition baseline — and earlier revisions hard-coded
+//! that choice as an enum branched on inside the protocol. This module
+//! replaces the enum with two small traits and a string-keyed registry:
+//!
+//! * [`PlacementPolicy`] — Algorithm 1's seat: given a
+//!   [`PlacementContext`] (the requesting VC, its siblings, the cloud
+//!   market and the request), decide where the application runs;
+//! * [`BiddingPolicy`] — Algorithm 2's seat: how a VC answers a bid
+//!   request from a sibling Cluster Manager.
+//!
+//! A [`crate::config::PlatformConfig`] names its policies
+//! (`policy: "meryn"`, `bidding: "standard"`), the platform resolves
+//! them through the [registry](placement) at deployment, and new
+//! policies slot in via [`register_placement`]/[`register_bidding`]
+//! without touching the platform driver. Scenario files (see
+//! `meryn-scenario`) select policies the same way, by name.
+//!
+//! Built-in placement policies:
+//!
+//! | name | behaviour |
+//! |---|---|
+//! | `meryn` | the paper's Algorithm 1: local → zero bids → cheapest of {local suspension, VC suspension, cloud} |
+//! | `static` | the paper's baseline: local if free, otherwise burst — VCs never exchange VMs |
+//! | `never-burst` | Algorithm 1 with the cloud market removed: exchange or queue, never lease |
+//! | `always-burst` | lease from the cheapest cloud whenever one can serve; private VMs only when no cloud exists |
+//! | `cost-greedy` | price *every* option in money (free VMs at the private cost rate, suspensions at bid + private cost, clouds at market rate) and take the global minimum |
+//!
+//! Built-in bidding policies: `standard` (Algorithm 2, honouring the
+//! `suspension_enabled` knob) and `free-only` (zero bids only — a VC
+//! never offers to suspend a tenant).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, LazyLock, RwLock};
+
+use meryn_sim::SimTime;
+use meryn_sla::{Money, VmRate};
+use meryn_vmm::{CloudId, PublicCloud};
+
+use crate::app::Application;
+use crate::bidding::{compute_bid, Bid, BidRequest};
+use crate::cluster_manager::VirtualCluster;
+use crate::ids::{AppId, VcId};
+use crate::protocol::{Decision, ProtocolParams};
+
+/// Everything a placement policy may consult: the paper's protocol
+/// inputs plus the bidding policy the platform runs.
+pub struct PlacementContext<'a> {
+    /// The requesting ("local") VC.
+    pub local: VcId,
+    /// All deployed VCs, including the local one.
+    pub vcs: &'a [VirtualCluster],
+    /// Every application seen so far (bid computation reads contracts).
+    pub apps: &'a BTreeMap<AppId, Application>,
+    /// The public cloud market.
+    pub clouds: &'a [PublicCloud],
+    /// The circulating VM request.
+    pub req: BidRequest,
+    /// Decision instant.
+    pub now: SimTime,
+    /// Protocol-wide knobs from the platform configuration.
+    pub params: ProtocolParams,
+    /// The bidding policy VCs answer with.
+    pub bidding: &'a dyn BiddingPolicy,
+}
+
+impl PlacementContext<'_> {
+    /// The requesting VC.
+    pub fn local_vc(&self) -> &VirtualCluster {
+        &self.vcs[self.local.0]
+    }
+
+    /// Whether the local VC can serve the request from idle VMs.
+    pub fn local_has_capacity(&self) -> bool {
+        self.local_vc().available() >= self.req.nb_vms
+    }
+
+    /// `vc`'s answer to the request, through the bidding policy.
+    pub fn bid_of(&self, vc: &VirtualCluster) -> Bid {
+        self.bidding
+            .bid(vc, self.apps, self.req, self.now, &self.params)
+    }
+
+    /// Bids from every sibling VC, in VC-id order ("request all Cluster
+    /// Managers to propose a bid").
+    pub fn sibling_bids(&self) -> Vec<(VcId, Bid)> {
+        self.vcs
+            .iter()
+            .filter(|vc| vc.id != self.local)
+            .map(|vc| (vc.id, self.bid_of(vc)))
+            .collect()
+    }
+
+    /// The cheapest cloud able to serve the request: `(cloud, locked
+    /// rate, total cost for the requested VMs over the duration)`.
+    pub fn cheapest_cloud(&self) -> Option<(CloudId, VmRate, Money)> {
+        self.clouds
+            .iter()
+            .filter(|c| c.can_lease(self.req.nb_vms))
+            .map(|c| {
+                let rate = c.price_at(self.now);
+                (
+                    c.id,
+                    rate,
+                    rate.cost_for_vms(self.req.nb_vms, self.req.duration),
+                )
+            })
+            .min_by_key(|&(_, _, cost)| cost)
+    }
+}
+
+/// Algorithm 1's seat: where does a new application run?
+pub trait PlacementPolicy: Send + Sync {
+    /// Registry name (lowercase, kebab-case).
+    fn name(&self) -> &'static str;
+    /// Decides a placement for the request in `ctx`.
+    fn decide(&self, ctx: &PlacementContext<'_>) -> Decision;
+}
+
+/// Algorithm 2's seat: how a VC answers a sibling's bid request.
+pub trait BiddingPolicy: Send + Sync {
+    /// Registry name (lowercase, kebab-case).
+    fn name(&self) -> &'static str;
+    /// Computes `vc`'s bid for `req`.
+    fn bid(
+        &self,
+        vc: &VirtualCluster,
+        apps: &BTreeMap<AppId, Application>,
+        req: BidRequest,
+        now: SimTime,
+        params: &ProtocolParams,
+    ) -> Bid;
+}
+
+// ---- built-in bidding policies -----------------------------------------
+
+/// Algorithm 2 as published, honouring the platform's
+/// `suspension_enabled` switch (a disabled platform answers `Unable`
+/// where it would have offered a suspension).
+pub struct StandardBidding;
+
+impl BiddingPolicy for StandardBidding {
+    fn name(&self) -> &'static str {
+        "standard"
+    }
+
+    fn bid(
+        &self,
+        vc: &VirtualCluster,
+        apps: &BTreeMap<AppId, Application>,
+        req: BidRequest,
+        now: SimTime,
+        params: &ProtocolParams,
+    ) -> Bid {
+        match compute_bid(vc, apps, req, now, params.storage_rate) {
+            Bid::Suspension { .. } if !params.suspension_enabled => Bid::Unable,
+            bid => bid,
+        }
+    }
+}
+
+/// Zero bids only: a VC lends idle VMs for free but never offers to
+/// suspend a running tenant, whatever the knobs say.
+pub struct FreeOnlyBidding;
+
+impl BiddingPolicy for FreeOnlyBidding {
+    fn name(&self) -> &'static str {
+        "free-only"
+    }
+
+    fn bid(
+        &self,
+        vc: &VirtualCluster,
+        _apps: &BTreeMap<AppId, Application>,
+        req: BidRequest,
+        _now: SimTime,
+        _params: &ProtocolParams,
+    ) -> Bid {
+        if vc.available() >= req.nb_vms {
+            Bid::Free
+        } else {
+            Bid::Unable
+        }
+    }
+}
+
+// ---- built-in placement policies ---------------------------------------
+
+/// The paper's five-outcome selection (Algorithm 1), with the cloud
+/// market optionally masked out (`never-burst` reuses the same core).
+fn meryn_decision(ctx: &PlacementContext<'_>, allow_cloud: bool) -> Decision {
+    // Option 1: enough local VMs.
+    if ctx.local_has_capacity() {
+        return Decision::Local;
+    }
+
+    let cloud_offer = if allow_cloud {
+        ctx.cheapest_cloud()
+    } else {
+        None
+    };
+
+    // "Request all Cluster Managers to propose a bid."
+    let vc_bids = ctx.sibling_bids();
+
+    // Option 2: any zero bid wins immediately.
+    if let Some(&(src, _)) = vc_bids.iter().find(|(_, b)| b.is_free()) {
+        return Decision::FromVc { src };
+    }
+
+    // Local bid, "in the same way as the other Cluster Managers".
+    let local_bid = ctx.bid_of(ctx.local_vc());
+
+    // Smallest remote suspension bid.
+    let best_vc: Option<(VcId, AppId, Money)> = vc_bids
+        .iter()
+        .filter_map(|&(src, bid)| match bid {
+            Bid::Suspension { victim, cost } => Some((src, victim, cost)),
+            _ => None,
+        })
+        .min_by_key(|&(_, _, cost)| cost);
+
+    // Assemble the three candidate amounts; ties prefer local, then VC,
+    // then cloud (cheapest operationally at equal money).
+    let local_amount = local_bid.amount();
+    let vc_amount = best_vc.map(|(_, _, c)| c);
+    let cloud_amount = cloud_offer.map(|(_, _, c)| c);
+
+    let min_amount = [local_amount, vc_amount, cloud_amount]
+        .into_iter()
+        .flatten()
+        .min();
+
+    match min_amount {
+        None => Decision::Queue,
+        Some(min) => {
+            if local_amount == Some(min) {
+                match local_bid {
+                    Bid::Suspension { victim, .. } => Decision::LocalAfterSuspension { victim },
+                    // The built-in bidding policies only answer `Free`
+                    // when option 1 already fired, but a registered
+                    // custom policy may bid zero here — honour it as a
+                    // plain local placement (the platform's own
+                    // capacity assertions still guard against lies).
+                    Bid::Free => Decision::Local,
+                    // `Unable` has no amount, so it can never be `min`.
+                    Bid::Unable => unreachable!("Unable bids carry no amount"),
+                }
+            } else if vc_amount == Some(min) {
+                let (src, victim, _) = best_vc.expect("vc amount implies a bid");
+                Decision::FromVcAfterSuspension { src, victim }
+            } else {
+                let (cloud, rate, _) = cloud_offer.expect("cloud amount implies an offer");
+                Decision::Cloud { cloud, rate }
+            }
+        }
+    }
+}
+
+/// The full Meryn resource selection protocol (paper Algorithm 1).
+pub struct MerynPolicy;
+
+impl PlacementPolicy for MerynPolicy {
+    fn name(&self) -> &'static str {
+        "meryn"
+    }
+
+    fn decide(&self, ctx: &PlacementContext<'_>) -> Decision {
+        meryn_decision(ctx, true)
+    }
+}
+
+/// The paper's baseline: static VC partitions; a VC may only burst to
+/// public clouds, never exchange VMs with siblings.
+pub struct StaticPolicy;
+
+impl PlacementPolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&self, ctx: &PlacementContext<'_>) -> Decision {
+        if ctx.local_has_capacity() {
+            return Decision::Local;
+        }
+        match ctx.cheapest_cloud() {
+            Some((cloud, rate, _)) => Decision::Cloud { cloud, rate },
+            None => Decision::Queue,
+        }
+    }
+}
+
+/// Algorithm 1 with the cloud market removed: exchange VMs or queue,
+/// never lease (a private-only deployment policy).
+pub struct NeverBurstPolicy;
+
+impl PlacementPolicy for NeverBurstPolicy {
+    fn name(&self) -> &'static str {
+        "never-burst"
+    }
+
+    fn decide(&self, ctx: &PlacementContext<'_>) -> Decision {
+        meryn_decision(ctx, false)
+    }
+}
+
+/// Burst-first: lease from the cheapest cloud whenever one can serve
+/// the request; private capacity is only used when no cloud exists (or
+/// all quotas are full).
+pub struct AlwaysBurstPolicy;
+
+impl PlacementPolicy for AlwaysBurstPolicy {
+    fn name(&self) -> &'static str {
+        "always-burst"
+    }
+
+    fn decide(&self, ctx: &PlacementContext<'_>) -> Decision {
+        if let Some((cloud, rate, _)) = ctx.cheapest_cloud() {
+            return Decision::Cloud { cloud, rate };
+        }
+        if ctx.local_has_capacity() {
+            return Decision::Local;
+        }
+        Decision::Queue
+    }
+}
+
+/// Prices every option in money — free private VMs at the provider's
+/// private cost rate, suspensions at bid + private cost, clouds at the
+/// market rate — and takes the global minimum. Unlike `meryn`, a free
+/// local VM does *not* automatically win: an unusually cheap cloud can
+/// outbid the private estate.
+pub struct CostGreedyPolicy;
+
+impl PlacementPolicy for CostGreedyPolicy {
+    fn name(&self) -> &'static str {
+        "cost-greedy"
+    }
+
+    fn decide(&self, ctx: &PlacementContext<'_>) -> Decision {
+        let private = ctx
+            .params
+            .private_cost
+            .cost_for_vms(ctx.req.nb_vms, ctx.req.duration);
+        // Candidates in tie-break order (cheapest operationally first).
+        let mut candidates: Vec<(Money, Decision)> = Vec::new();
+        if ctx.local_has_capacity() {
+            candidates.push((private, Decision::Local));
+        }
+        let vc_bids = ctx.sibling_bids();
+        if let Some(&(src, _)) = vc_bids.iter().find(|(_, b)| b.is_free()) {
+            candidates.push((private, Decision::FromVc { src }));
+        }
+        if let Bid::Suspension { victim, cost } = ctx.bid_of(ctx.local_vc()) {
+            candidates.push((cost + private, Decision::LocalAfterSuspension { victim }));
+        }
+        if let Some((src, victim, cost)) = vc_bids
+            .iter()
+            .filter_map(|&(src, bid)| match bid {
+                Bid::Suspension { victim, cost } => Some((src, victim, cost)),
+                _ => None,
+            })
+            .min_by_key(|&(_, _, cost)| cost)
+        {
+            candidates.push((
+                cost + private,
+                Decision::FromVcAfterSuspension { src, victim },
+            ));
+        }
+        if let Some((cloud, rate, cost)) = ctx.cheapest_cloud() {
+            candidates.push((cost, Decision::Cloud { cloud, rate }));
+        }
+        candidates
+            .into_iter()
+            .enumerate()
+            .min_by_key(|&(order, (cost, _))| (cost, order))
+            .map(|(_, (_, decision))| decision)
+            .unwrap_or(Decision::Queue)
+    }
+}
+
+// ---- registry ----------------------------------------------------------
+
+struct Registry {
+    placements: BTreeMap<String, Arc<dyn PlacementPolicy>>,
+    biddings: BTreeMap<String, Arc<dyn BiddingPolicy>>,
+}
+
+static REGISTRY: LazyLock<RwLock<Registry>> = LazyLock::new(|| {
+    let mut placements: BTreeMap<String, Arc<dyn PlacementPolicy>> = BTreeMap::new();
+    for policy in [
+        Arc::new(MerynPolicy) as Arc<dyn PlacementPolicy>,
+        Arc::new(StaticPolicy),
+        Arc::new(NeverBurstPolicy),
+        Arc::new(AlwaysBurstPolicy),
+        Arc::new(CostGreedyPolicy),
+    ] {
+        placements.insert(policy.name().to_owned(), policy);
+    }
+    let mut biddings: BTreeMap<String, Arc<dyn BiddingPolicy>> = BTreeMap::new();
+    for policy in [
+        Arc::new(StandardBidding) as Arc<dyn BiddingPolicy>,
+        Arc::new(FreeOnlyBidding),
+    ] {
+        biddings.insert(policy.name().to_owned(), policy);
+    }
+    RwLock::new(Registry {
+        placements,
+        biddings,
+    })
+});
+
+/// Registers (or replaces) a placement policy under its own name.
+pub fn register_placement(policy: Arc<dyn PlacementPolicy>) {
+    REGISTRY
+        .write()
+        .expect("policy registry poisoned")
+        .placements
+        .insert(policy.name().to_owned(), policy);
+}
+
+/// Registers (or replaces) a bidding policy under its own name.
+pub fn register_bidding(policy: Arc<dyn BiddingPolicy>) {
+    REGISTRY
+        .write()
+        .expect("policy registry poisoned")
+        .biddings
+        .insert(policy.name().to_owned(), policy);
+}
+
+/// Looks up a placement policy by name.
+pub fn placement(name: &str) -> Option<Arc<dyn PlacementPolicy>> {
+    REGISTRY
+        .read()
+        .expect("policy registry poisoned")
+        .placements
+        .get(name)
+        .cloned()
+}
+
+/// Looks up a bidding policy by name.
+pub fn bidding(name: &str) -> Option<Arc<dyn BiddingPolicy>> {
+    REGISTRY
+        .read()
+        .expect("policy registry poisoned")
+        .biddings
+        .get(name)
+        .cloned()
+}
+
+/// Registered placement-policy names, sorted.
+pub fn placement_names() -> Vec<String> {
+    REGISTRY
+        .read()
+        .expect("policy registry poisoned")
+        .placements
+        .keys()
+        .cloned()
+        .collect()
+}
+
+/// Registered bidding-policy names, sorted.
+pub fn bidding_names() -> Vec<String> {
+    REGISTRY
+        .read()
+        .expect("policy registry poisoned")
+        .biddings
+        .keys()
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered() {
+        for name in [
+            "meryn",
+            "static",
+            "never-burst",
+            "always-burst",
+            "cost-greedy",
+        ] {
+            let p = placement(name).unwrap_or_else(|| panic!("{name} registered"));
+            assert_eq!(p.name(), name);
+        }
+        for name in ["standard", "free-only"] {
+            let b = bidding(name).unwrap_or_else(|| panic!("{name} registered"));
+            assert_eq!(b.name(), name);
+        }
+        assert!(placement("no-such-policy").is_none());
+        assert!(bidding("no-such-bidding").is_none());
+    }
+
+    #[test]
+    fn names_are_sorted_and_complete() {
+        let names = placement_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.len() >= 5);
+        assert!(bidding_names().contains(&"standard".to_owned()));
+    }
+
+    #[test]
+    fn custom_policies_can_be_registered() {
+        struct QueueEverything;
+        impl PlacementPolicy for QueueEverything {
+            fn name(&self) -> &'static str {
+                "queue-everything"
+            }
+            fn decide(&self, _ctx: &PlacementContext<'_>) -> Decision {
+                Decision::Queue
+            }
+        }
+        register_placement(Arc::new(QueueEverything));
+        let p = placement("queue-everything").expect("registered");
+        assert_eq!(p.name(), "queue-everything");
+    }
+}

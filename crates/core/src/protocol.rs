@@ -12,22 +12,25 @@
 //!    lends;
 //! 5. the cheapest cloud offer is the minimum → lease *cloud-vms*.
 //!
-//! The **static** baseline short-circuits to: local if free, otherwise
-//! cloud — no inter-VC exchange, matching the paper's comparison system.
+//! This module owns the protocol's *vocabulary* — the [`Decision`] the
+//! platform executes and the [`ProtocolParams`] knobs threaded from the
+//! configuration. The *strategies* that produce decisions (the paper's
+//! Algorithm 1, its static baseline, and any registered alternative)
+//! live in [`crate::policy`]; [`select_resources`] runs one of them.
 
 use std::collections::BTreeMap;
 
 use meryn_sim::SimTime;
-use meryn_sla::{Money, VmRate};
+use meryn_sla::VmRate;
 use meryn_vmm::{CloudId, PublicCloud};
 
 use crate::app::Application;
-use crate::bidding::{compute_bid, Bid, BidRequest};
+use crate::bidding::BidRequest;
 use crate::cluster_manager::VirtualCluster;
-use crate::config::PolicyMode;
 use crate::ids::{AppId, VcId};
+use crate::policy::{BiddingPolicy, PlacementContext, PlacementPolicy};
 
-/// What Algorithm 1 decided for a new application.
+/// What the placement policy decided for a new application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
     /// Run on the local VC's free VMs (option 1).
@@ -67,26 +70,39 @@ pub enum Decision {
 pub struct ProtocolParams {
     /// Rate pricing Algorithm 2's minimal suspension cost.
     pub storage_rate: VmRate,
-    /// When `false`, suspension bids are treated as `Unable` — the
-    /// platform never suspends (ablation A3's hard off switch).
+    /// When `false`, the standard bidding policy answers `Unable` where
+    /// it would have offered a suspension — the platform never suspends
+    /// (ablation A3's hard off switch).
     pub suspension_enabled: bool,
+    /// What a private VM costs the provider per VM-second; policies that
+    /// price the private estate (e.g. `cost-greedy`) read it here.
+    pub private_cost: VmRate,
 }
 
 impl ProtocolParams {
-    /// Default knobs with the given storage rate and suspension on.
+    /// Default knobs with the given storage rate, suspension on and the
+    /// paper's private VM cost (2 units/VM·s).
     pub fn new(storage_rate: VmRate) -> Self {
         ProtocolParams {
             storage_rate,
             suspension_enabled: true,
+            private_cost: VmRate::per_vm_second(2),
         }
+    }
+
+    /// Replaces the private VM cost rate.
+    pub fn with_private_cost(mut self, rate: VmRate) -> Self {
+        self.private_cost = rate;
+        self
     }
 }
 
-/// Runs the protocol for a request by VC `local` (the "local cluster
-/// manager") at instant `now`.
+/// Runs `placement` for a request by VC `local` (the "local cluster
+/// manager") at instant `now`, with VCs answering through `bidding`.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's protocol inputs
 pub fn select_resources(
-    mode: PolicyMode,
+    placement: &dyn PlacementPolicy,
+    bidding: &dyn BiddingPolicy,
     local: VcId,
     vcs: &[VirtualCluster],
     apps: &BTreeMap<AppId, Application>,
@@ -95,95 +111,16 @@ pub fn select_resources(
     now: SimTime,
     params: ProtocolParams,
 ) -> Decision {
-    let storage_rate = params.storage_rate;
-    let local_vc = &vcs[local.0];
-
-    // Option 1: enough local VMs.
-    if local_vc.available() >= req.nb_vms {
-        return Decision::Local;
-    }
-
-    // The cheapest cloud offer: price for nb_vms over the duration,
-    // among clouds whose quota can actually serve the request.
-    let cloud_offer: Option<(CloudId, VmRate, Money)> = clouds
-        .iter()
-        .filter(|c| c.can_lease(req.nb_vms))
-        .map(|c| {
-            let rate = c.price_at(now);
-            (c.id, rate, rate.cost_for_vms(req.nb_vms, req.duration))
-        })
-        .min_by_key(|&(_, _, cost)| cost);
-
-    if mode == PolicyMode::Static {
-        // The baseline only bursts.
-        return match cloud_offer {
-            Some((cloud, rate, _)) => Decision::Cloud { cloud, rate },
-            None => Decision::Queue,
-        };
-    }
-
-    // "Request all Cluster Managers to propose a bid."
-    let mut vc_bids: Vec<(VcId, Bid)> = Vec::with_capacity(vcs.len() - 1);
-    for vc in vcs.iter().filter(|vc| vc.id != local) {
-        vc_bids.push((vc.id, compute_bid(vc, apps, req, now, storage_rate)));
-    }
-
-    // Option 2: any zero bid wins immediately.
-    if let Some(&(src, _)) = vc_bids.iter().find(|(_, b)| b.is_free()) {
-        return Decision::FromVc { src };
-    }
-
-    if !params.suspension_enabled {
-        // Suspension switched off: the remaining options are bursting
-        // or waiting in the local queue.
-        return match cloud_offer {
-            Some((cloud, rate, _)) => Decision::Cloud { cloud, rate },
-            None => Decision::Queue,
-        };
-    }
-
-    // Local bid, "in the same way as the other Cluster Managers".
-    let local_bid = compute_bid(local_vc, apps, req, now, storage_rate);
-
-    // Smallest remote suspension bid.
-    let best_vc: Option<(VcId, AppId, Money)> = vc_bids
-        .iter()
-        .filter_map(|&(src, bid)| match bid {
-            Bid::Suspension { victim, cost } => Some((src, victim, cost)),
-            _ => None,
-        })
-        .min_by_key(|&(_, _, cost)| cost);
-
-    // Assemble the three candidate amounts; ties prefer local, then VC,
-    // then cloud (cheapest operationally at equal money).
-    let local_amount = local_bid.amount();
-    let vc_amount = best_vc.map(|(_, _, c)| c);
-    let cloud_amount = cloud_offer.map(|(_, _, c)| c);
-
-    let min_amount = [local_amount, vc_amount, cloud_amount]
-        .into_iter()
-        .flatten()
-        .min();
-
-    match min_amount {
-        None => Decision::Queue,
-        Some(min) => {
-            if local_amount == Some(min) {
-                match local_bid {
-                    Bid::Suspension { victim, .. } => Decision::LocalAfterSuspension { victim },
-                    // `Free` is impossible (option 1 would have fired);
-                    // `Unable` has no amount.
-                    _ => unreachable!("local bid with an amount is a suspension"),
-                }
-            } else if vc_amount == Some(min) {
-                let (src, victim, _) = best_vc.expect("vc amount implies a bid");
-                Decision::FromVcAfterSuspension { src, victim }
-            } else {
-                let (cloud, rate, _) = cloud_offer.expect("cloud amount implies an offer");
-                Decision::Cloud { cloud, rate }
-            }
-        }
-    }
+    placement.decide(&PlacementContext {
+        local,
+        vcs,
+        apps,
+        clouds,
+        req,
+        now,
+        params,
+        bidding,
+    })
 }
 
 #[cfg(test)]
@@ -191,10 +128,11 @@ mod tests {
     use super::*;
     use crate::app::AppPhase;
     use crate::ids::Placement;
+    use crate::policy::{self, StandardBidding};
     use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
     use meryn_sim::{SimDuration, SimRng};
     use meryn_sla::pricing::PricingParams;
-    use meryn_sla::{AppTimes, SlaContract, SlaTerms};
+    use meryn_sla::{AppTimes, Money, SlaContract, SlaTerms};
     use meryn_vmm::{HostTag, ImageId, LatencyModel, Location, PriceModel, VmId};
 
     fn t(s: u64) -> SimTime {
@@ -208,6 +146,30 @@ mod tests {
 
     fn pricing() -> PricingParams {
         PricingParams::new(VmRate::per_vm_second(4), 1)
+    }
+
+    /// Runs the named registered placement policy with standard bidding.
+    fn decide(
+        policy_name: &str,
+        local: VcId,
+        vcs: &[VirtualCluster],
+        apps: &BTreeMap<AppId, Application>,
+        clouds: &[PublicCloud],
+        req: BidRequest,
+        now: SimTime,
+    ) -> Decision {
+        let placement = policy::placement(policy_name).expect("policy registered");
+        select_resources(
+            placement.as_ref(),
+            &StandardBidding,
+            local,
+            vcs,
+            apps,
+            clouds,
+            req,
+            now,
+            ProtocolParams::new(STORAGE),
+        )
     }
 
     /// Builds a VC with `idle` idle slaves and `running` one-VM apps
@@ -309,15 +271,14 @@ mod tests {
             build_vc(0, 2, &[], &mut apps, &mut n),
             build_vc(1, 0, &[], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(4)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert_eq!(dec, Decision::Local);
     }
@@ -330,15 +291,14 @@ mod tests {
             build_vc(0, 0, &[], &mut apps, &mut n),
             build_vc(1, 3, &[], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(4)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert_eq!(dec, Decision::FromVc { src: VcId(1) });
     }
@@ -353,15 +313,14 @@ mod tests {
             build_vc(0, 0, &[100_000], &mut apps, &mut n),
             build_vc(1, 0, &[], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(40)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert_eq!(dec, Decision::LocalAfterSuspension { victim: AppId(0) });
     }
@@ -376,15 +335,14 @@ mod tests {
             build_vc(0, 0, &[1_050], &mut apps, &mut n),
             build_vc(1, 0, &[100_000], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(40)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert_eq!(
             dec,
@@ -404,15 +362,14 @@ mod tests {
             build_vc(0, 0, &[1_050], &mut apps, &mut n),
             build_vc(1, 0, &[1_050], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(1)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         match dec {
             Decision::Cloud { rate, .. } => assert_eq!(rate, VmRate::per_vm_second(1)),
@@ -438,15 +395,14 @@ mod tests {
         );
         c1.stage_image(ImageId(0));
         c0.stage_image(ImageId(0));
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[c0, c1],
             req(2, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert_eq!(
             dec,
@@ -466,15 +422,14 @@ mod tests {
             build_vc(0, 0, &[], &mut apps, &mut n),
             build_vc(1, 10, &[], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Static,
+        let dec = decide(
+            "static",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(4)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert!(matches!(dec, Decision::Cloud { .. }));
     }
@@ -484,15 +439,14 @@ mod tests {
         let mut apps = BTreeMap::new();
         let mut n = 0;
         let vcs = vec![build_vc(0, 1, &[], &mut apps, &mut n)];
-        let dec = select_resources(
-            PolicyMode::Static,
+        let dec = decide(
+            "static",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(4)],
             req(1, 1000),
             t(10),
-            ProtocolParams::new(STORAGE),
         );
         assert_eq!(dec, Decision::Local);
     }
@@ -506,18 +460,15 @@ mod tests {
             build_vc(0, 0, &[], &mut apps, &mut n),
             build_vc(1, 0, &[], &mut apps, &mut n),
         ];
-        for mode in [PolicyMode::Meryn, PolicyMode::Static] {
-            let dec = select_resources(
-                mode,
-                VcId(0),
-                &vcs,
-                &apps,
-                &[],
-                req(1, 1000),
-                t(10),
-                ProtocolParams::new(STORAGE),
-            );
-            assert_eq!(dec, Decision::Queue, "{mode:?}");
+        for policy in [
+            "meryn",
+            "static",
+            "never-burst",
+            "always-burst",
+            "cost-greedy",
+        ] {
+            let dec = decide(policy, VcId(0), &vcs, &apps, &[], req(1, 1000), t(10));
+            assert_eq!(dec, Decision::Queue, "{policy}");
         }
     }
 
@@ -534,19 +485,151 @@ mod tests {
             build_vc(0, 0, &[1200], &mut apps, &mut n),
             build_vc(1, 0, &[1200], &mut apps, &mut n),
         ];
-        let dec = select_resources(
-            PolicyMode::Meryn,
+        let dec = decide(
+            "meryn",
             VcId(0),
             &vcs,
             &apps,
             &[cloud(4)],
             req(1, 1754),
             t(0),
-            ProtocolParams::new(STORAGE),
         );
         assert!(
             matches!(dec, Decision::Cloud { .. }),
             "suspension must be costlier than bursting here, got {dec:?}"
         );
+    }
+
+    #[test]
+    fn never_burst_ignores_the_cloud() {
+        // Sibling suspension is possible but pricey; a dirt-cheap cloud
+        // exists — never-burst must still pick the suspension.
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[], &mut apps, &mut n),
+            build_vc(1, 0, &[100_000], &mut apps, &mut n),
+        ];
+        let dec = decide(
+            "never-burst",
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(1)],
+            req(1, 1000),
+            t(10),
+        );
+        assert!(
+            matches!(dec, Decision::FromVcAfterSuspension { .. }),
+            "got {dec:?}"
+        );
+    }
+
+    #[test]
+    fn always_burst_leases_even_with_free_local_vms() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![build_vc(0, 5, &[], &mut apps, &mut n)];
+        let dec = decide(
+            "always-burst",
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(4)],
+            req(1, 1000),
+            t(10),
+        );
+        assert!(matches!(dec, Decision::Cloud { .. }), "got {dec:?}");
+        // Without a cloud it falls back to the free local VMs.
+        let dec = decide(
+            "always-burst",
+            VcId(0),
+            &vcs,
+            &apps,
+            &[],
+            req(1, 1000),
+            t(10),
+        );
+        assert_eq!(dec, Decision::Local);
+    }
+
+    #[test]
+    fn cost_greedy_lets_a_cheap_cloud_outbid_free_local_vms() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![build_vc(0, 5, &[], &mut apps, &mut n)];
+        // Cloud at 1 u/s beats the private cost of 2 u/s.
+        let dec = decide(
+            "cost-greedy",
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(1)],
+            req(1, 1000),
+            t(10),
+        );
+        assert!(matches!(dec, Decision::Cloud { .. }), "got {dec:?}");
+        // At an equal 2 u/s, the tie prefers the local option.
+        let dec = decide(
+            "cost-greedy",
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(2)],
+            req(1, 1000),
+            t(10),
+        );
+        assert_eq!(dec, Decision::Local);
+    }
+
+    #[test]
+    fn free_only_bidding_never_offers_suspension() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[], &mut apps, &mut n),
+            build_vc(1, 0, &[100_000], &mut apps, &mut n),
+        ];
+        let placement = policy::placement("meryn").unwrap();
+        let bidding = policy::bidding("free-only").unwrap();
+        // With standard bidding the sibling's cheap suspension would win
+        // over the expensive cloud; free-only forces the burst.
+        let dec = select_resources(
+            placement.as_ref(),
+            bidding.as_ref(),
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(40)],
+            req(1, 1000),
+            t(10),
+            ProtocolParams::new(STORAGE),
+        );
+        assert!(matches!(dec, Decision::Cloud { .. }), "got {dec:?}");
+    }
+
+    #[test]
+    fn suspension_disabled_knob_downgrades_standard_bids() {
+        let mut apps = BTreeMap::new();
+        let mut n = 0;
+        let vcs = vec![
+            build_vc(0, 0, &[], &mut apps, &mut n),
+            build_vc(1, 0, &[100_000], &mut apps, &mut n),
+        ];
+        let placement = policy::placement("meryn").unwrap();
+        let mut params = ProtocolParams::new(STORAGE);
+        params.suspension_enabled = false;
+        let dec = select_resources(
+            placement.as_ref(),
+            &StandardBidding,
+            VcId(0),
+            &vcs,
+            &apps,
+            &[cloud(40)],
+            req(1, 1000),
+            t(10),
+            params,
+        );
+        assert!(matches!(dec, Decision::Cloud { .. }), "got {dec:?}");
     }
 }

@@ -1,0 +1,160 @@
+//! The shipped scenario catalog.
+//!
+//! Every checked-in `scenarios/*.json` file is the exact
+//! [`Scenario::to_json`] bytes of one constructor here —
+//! `tests/scenario_roundtrip.rs` byte-compares them, so the files, the
+//! experiment binaries and this catalog can never drift apart.
+
+use meryn_core::config::PlatformConfig;
+use meryn_workloads::PaperWorkloadParams;
+
+use crate::spec::{OutputSpec, Scenario, SweepAxis, SweepSpec, WorkloadSpec};
+
+/// The paper's full evaluation: the 65-app workload under `meryn` and
+/// `static`, the Figure 6 comparison, and the Table 1 placement
+/// micro-scenarios — the repository's golden numbers (peak cloud VMs
+/// 15 vs 25, cost saved 35800 u) come out of this spec.
+pub fn paper() -> Scenario {
+    Scenario {
+        name: "paper".into(),
+        description: "The paper's evaluation (§5): 65 batch apps, 5 s apart, 50/15 across \
+                      two 25-VM VCs, meryn vs static — reproduces Fig 5/6 and Table 1."
+            .into(),
+        platform: PlatformConfig::paper("meryn"),
+        workload: WorkloadSpec::Paper(PaperWorkloadParams::default()),
+        sweep: SweepSpec {
+            replicas: 30,
+            axes: vec![SweepAxis::Policy {
+                values: vec!["meryn".into(), "static".into()],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            summary: true,
+            placements: true,
+            series: false,
+            comparison: true,
+            table1_samples: Some(100),
+        },
+    }
+}
+
+/// Arrival pressure sweep: the paper workload compressed to 5/2/1 s
+/// inter-arrivals under both policies — where the exchange protocol's
+/// advantage over static bursting widens.
+pub fn high_load() -> Scenario {
+    Scenario {
+        name: "high-load".into(),
+        description: "Inter-arrival sweep (5/2/1 s) of the paper workload under meryn and \
+                      static: the cost gap is the cloud spend avoided by VC exchange."
+            .into(),
+        platform: PlatformConfig::paper("meryn"),
+        workload: WorkloadSpec::Paper(PaperWorkloadParams::default()),
+        sweep: SweepSpec {
+            replicas: 3,
+            axes: vec![
+                SweepAxis::Policy {
+                    values: vec!["meryn".into(), "static".into()],
+                },
+                SweepAxis::InterarrivalSecs {
+                    values: vec![5, 2, 1],
+                },
+            ],
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            placements: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// Cloud price sensitivity: scales the cloud market to 0.5×/1×/2× the
+/// paper's rate under every built-in policy worth comparing, including
+/// `cost-greedy`, which starts preferring the cloud once it undercuts
+/// the private cost rate.
+pub fn cheap_cloud() -> Scenario {
+    Scenario {
+        name: "cheap-cloud".into(),
+        description: "Cloud price factor sweep (0.5/1/2x) under meryn, static and \
+                      cost-greedy: at 0.5x the cloud (2 u/VMs) matches the private cost \
+                      rate and cost-greedy bursts everything."
+            .into(),
+        platform: PlatformConfig::paper("meryn"),
+        workload: WorkloadSpec::Paper(PaperWorkloadParams::default()),
+        sweep: SweepSpec {
+            replicas: 3,
+            axes: vec![
+                SweepAxis::CloudPriceFactor {
+                    values: vec![0.5, 1.0, 2.0],
+                },
+                SweepAxis::Policy {
+                    values: vec!["meryn".into(), "static".into(), "cost-greedy".into()],
+                },
+            ],
+            ..Default::default()
+        },
+        outputs: OutputSpec::default(),
+    }
+}
+
+/// Ablation A3's hard switch as a scenario: the paper workload with
+/// suspension bids enabled vs disabled (penalty factor 4 makes
+/// suspensions competitive enough to matter).
+pub fn no_suspension() -> Scenario {
+    let mut platform = PlatformConfig::paper("meryn");
+    platform.penalty_factor = 4;
+    Scenario {
+        name: "no-suspension".into(),
+        description: "Suspension on/off at penalty factor N=4 (where Algorithm 2 bids are \
+                      competitive): disabling suspension pushes the overflow back to the \
+                      cloud."
+            .into(),
+        platform,
+        workload: WorkloadSpec::Paper(PaperWorkloadParams::default()),
+        sweep: SweepSpec {
+            replicas: 3,
+            axes: vec![SweepAxis::SuspensionEnabled {
+                values: vec![true, false],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            placements: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// Every shipped scenario, as `(file stem, spec)` pairs.
+pub fn shipped() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("paper", paper()),
+        ("high-load", high_load()),
+        ("cheap-cloud", cheap_cloud()),
+        ("no-suspension", no_suspension()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_specs_round_trip() {
+        for (stem, scenario) in shipped() {
+            let json = scenario.to_json();
+            let back = Scenario::from_json(&json).unwrap_or_else(|e| panic!("{stem}: {e}"));
+            assert_eq!(back, scenario, "{stem}");
+            assert_eq!(back.to_json(), json, "{stem}: unstable serialization");
+        }
+    }
+
+    #[test]
+    fn shipped_names_match_file_stems() {
+        for (stem, scenario) in shipped() {
+            assert_eq!(scenario.name, stem);
+            scenario.platform.validate();
+        }
+    }
+}

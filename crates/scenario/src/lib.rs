@@ -1,0 +1,42 @@
+//! # meryn-scenario — declarative experiment definitions
+//!
+//! The paper evaluates one fixed workload on one platform; this crate
+//! makes the experiment itself *data*. A [`Scenario`] bundles a
+//! platform configuration (with registry-resolved policy names), a
+//! workload description, sweep axes and requested outputs; it loads
+//! from and saves to JSON ([`Scenario::load`] / [`Scenario::save`]),
+//! and [`run_scenario`] executes it through the shared replica-sweep
+//! harness with thread-count-independent, byte-stable results.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`spec`] | the serde scenario types: [`Scenario`], [`spec::WorkloadSpec`], [`spec::SweepAxis`], [`spec::OutputSpec`] |
+//! | [`runner`] | [`run_scenario`] → [`runner::ScenarioReport`] (+ human rendering) |
+//! | [`catalog`] | the shipped specs behind `scenarios/*.json` |
+//! | [`sweep`] | seed fanout, parallel map, replica aggregation |
+//! | [`paper`] | the paper's fixed fixtures (65-app run, Table 1 micro-scenarios) |
+//!
+//! ```
+//! use meryn_scenario::{catalog, run_scenario};
+//!
+//! let mut scenario = catalog::paper();
+//! scenario.sweep.replicas = 0;                  // headline runs only
+//! scenario.outputs.table1_samples = None;
+//! let report = run_scenario(&scenario).unwrap();
+//! let peak = |i: usize| report.variants[i].base.as_ref().unwrap().peak_cloud_vms;
+//! assert_eq!(peak(0), 15.0); // Fig 5(a)
+//! assert_eq!(peak(1), 25.0); // Fig 5(b)
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod paper;
+pub mod runner;
+pub mod spec;
+pub mod sweep;
+
+pub use paper::{measure_case, paper_range, run_paper, run_paper_with, TABLE1_CASES};
+pub use runner::{run_scenario, ScenarioReport};
+pub use spec::Scenario;

@@ -1,0 +1,646 @@
+//! The one entry point every experiment goes through:
+//! [`run_scenario`] takes a declarative [`Scenario`] and produces a
+//! [`ScenarioReport`].
+//!
+//! Execution is layered on the replica-sweep harness
+//! ([`crate::sweep`]): the sweep axes expand into a variant list
+//! (cartesian product, declaration order), every (variant, seed) pair
+//! becomes one simulation job, and all jobs fan out through the
+//! order-preserving parallel [`fanout`]. Aggregation folds in job
+//! order, so a scenario's JSON report is **byte-identical at any
+//! thread count** — CI byte-compares `RAYON_NUM_THREADS=1` against the
+//! threaded run for every checked-in spec.
+
+use std::io;
+
+use meryn_core::config::PlatformConfig;
+use meryn_core::report::{compare, RunReport};
+use meryn_core::{Platform, VcId};
+use meryn_sim::metrics::SeriesSet;
+use meryn_sim::stats::Summary;
+use meryn_sim::SimRng;
+use meryn_workloads::Submission;
+use serde::Serialize;
+
+use crate::paper::{paper_range, TABLE1_CASES};
+use crate::spec::{Scenario, WorkloadModifier};
+use crate::sweep::{case_sweep, fanout, ReplicaStats};
+
+/// One expanded sweep variant: a concrete platform config plus the
+/// workload modifiers its axes selected.
+#[derive(Debug, Clone)]
+struct Variant {
+    label: String,
+    cfg: PlatformConfig,
+    modifier: WorkloadModifier,
+}
+
+/// Expands the scenario's axes into the variant list (cartesian
+/// product, first axis outermost).
+fn expand_variants(scenario: &Scenario) -> Vec<Variant> {
+    let mut variants = vec![Variant {
+        label: String::new(),
+        cfg: scenario.platform.clone(),
+        modifier: WorkloadModifier::default(),
+    }];
+    for axis in &scenario.sweep.axes {
+        assert!(!axis.is_empty(), "sweep axis with no values");
+        let mut next = Vec::with_capacity(variants.len() * axis.len());
+        for variant in &variants {
+            for idx in 0..axis.len() {
+                let mut cfg = variant.cfg.clone();
+                let mut modifier = variant.modifier;
+                let fragment = axis.apply(idx, &mut cfg, &mut modifier);
+                let label = if variant.label.is_empty() {
+                    fragment
+                } else {
+                    format!("{} {fragment}", variant.label)
+                };
+                next.push(Variant {
+                    label,
+                    cfg,
+                    modifier,
+                });
+            }
+        }
+        variants = next;
+    }
+    for v in &mut variants {
+        if v.label.is_empty() {
+            v.label = "base".to_owned();
+        }
+    }
+    variants
+}
+
+/// Headline metrics of one run (the base-seed run of a variant).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Workload completion time [s].
+    pub completion_secs: f64,
+    /// Total provider cost [units].
+    pub total_cost_units: f64,
+    /// Total revenue [units].
+    pub revenue_units: f64,
+    /// Provider profit [units].
+    pub profit_units: f64,
+    /// Peak concurrent private VMs.
+    pub peak_private_vms: f64,
+    /// Peak concurrent cloud VMs (the paper's Fig 5 headline).
+    pub peak_cloud_vms: f64,
+    /// Deadline violations.
+    pub violations: usize,
+    /// Zero-bid VM transfers.
+    pub transfers: u64,
+    /// Cloud VMs leased.
+    pub bursts: u64,
+    /// Application suspensions.
+    pub suspensions: u64,
+    /// Queued jobs escalated to the cloud.
+    pub escalations: u64,
+    /// Total delay penalties paid [units].
+    pub penalties_units: f64,
+    /// Rejected submissions.
+    pub rejected: usize,
+    /// Admitted applications.
+    pub apps: usize,
+    /// Mean execution time [s].
+    pub avg_exec_secs: f64,
+    /// Mean provider cost per app [units].
+    pub avg_cost_units: f64,
+    /// Mean submission processing time [s] (the Table 1 quantity).
+    pub processing_mean_s: f64,
+    /// Worst submission processing time [s].
+    pub processing_max_s: f64,
+    /// Per-VC aggregates, VC order.
+    pub groups: Vec<GroupSummary>,
+}
+
+/// One VC's slice of a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupSummary {
+    /// VC name.
+    pub vc: String,
+    /// Applications hosted.
+    pub apps: usize,
+    /// Mean execution time [s].
+    pub avg_exec_secs: f64,
+    /// Mean provider cost per app [units].
+    pub avg_cost_units: f64,
+    /// Deadline violations.
+    pub violations: usize,
+}
+
+impl RunSummary {
+    fn from_report(report: &RunReport, vc_names: &[String]) -> Self {
+        let all = report.group(None);
+        let mut processing = Summary::new();
+        for a in &report.apps {
+            if let Some(p) = a.processing {
+                processing.push(p.as_secs_f64());
+            }
+        }
+        RunSummary {
+            completion_secs: report.completion_secs(),
+            total_cost_units: report.total_cost().as_units_f64(),
+            revenue_units: report.total_revenue().as_units_f64(),
+            profit_units: report.profit().as_units_f64(),
+            peak_private_vms: report.peak_private,
+            peak_cloud_vms: report.peak_cloud,
+            violations: report.violations(),
+            transfers: report.transfers,
+            bursts: report.bursts,
+            suspensions: report.suspensions,
+            escalations: report.escalations,
+            penalties_units: report.apps.iter().map(|a| a.penalty.as_units_f64()).sum(),
+            rejected: report.rejected,
+            apps: report.apps.len(),
+            avg_exec_secs: all.avg_exec_secs,
+            avg_cost_units: all.avg_cost_units,
+            processing_mean_s: processing.mean(),
+            processing_max_s: if processing.is_empty() {
+                0.0
+            } else {
+                processing.max()
+            },
+            groups: vc_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let g = report.group(Some(VcId(i)));
+                    GroupSummary {
+                        vc: name.clone(),
+                        apps: g.count,
+                        avg_exec_secs: g.avg_exec_secs,
+                        avg_cost_units: g.avg_cost_units,
+                        violations: g.violations,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One variant's results.
+#[derive(Debug, Clone, Serialize)]
+pub struct VariantReport {
+    /// Axis label, e.g. `"policy=meryn penalty_factor=4"`.
+    pub label: String,
+    /// The placement policy this variant ran.
+    pub policy: String,
+    /// Headline metrics of the base-seed run (absent when the
+    /// scenario's `outputs.summary` is off).
+    pub base: Option<RunSummary>,
+    /// Replica-sweep aggregates (absent when `sweep.replicas == 0`).
+    pub replicas: Option<ReplicaStats>,
+    /// Placement histogram of the base run (when requested).
+    pub placements: Option<Vec<(String, usize)>>,
+    /// Used-VM step series of the base run (when requested).
+    pub series: Option<SeriesSet>,
+}
+
+impl VariantReport {
+    /// The base-run summary, for callers that know their scenario
+    /// requested it.
+    ///
+    /// # Panics
+    /// When the scenario ran with `outputs.summary` off.
+    pub fn summary(&self) -> &RunSummary {
+        self.base
+            .as_ref()
+            .expect("scenario outputs.summary was off — no base summary recorded")
+    }
+}
+
+/// The Figure 6 comparison of the first two variants.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonReport {
+    /// First variant's label (the "a" side, typically Meryn).
+    pub a: String,
+    /// Second variant's label (the "b" side, typically static).
+    pub b: String,
+    /// Completion-time improvement of a over b, %.
+    pub completion_improvement_pct: f64,
+    /// Mean-cost improvement of a over b, %.
+    pub cost_improvement_pct: f64,
+    /// Total cost saved by a relative to b [units].
+    pub cost_saved_units: f64,
+    /// Peak cloud VMs of a.
+    pub peak_cloud_a: f64,
+    /// Peak cloud VMs of b.
+    pub peak_cloud_b: f64,
+}
+
+/// One Table 1 row from the placement micro-scenarios.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Placement case label.
+    pub case: String,
+    /// The paper's measured range [s], when it reports one.
+    pub paper_range_s: Option<(f64, f64)>,
+    /// Measured mean [s].
+    pub mean_s: f64,
+    /// Measured minimum [s].
+    pub min_s: f64,
+    /// Measured maximum [s].
+    pub max_s: f64,
+    /// Samples per case.
+    pub samples: u64,
+}
+
+/// Everything [`run_scenario`] produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// Base seed of the headline runs.
+    pub base_seed: u64,
+    /// Replica runs per variant.
+    pub replicas: u64,
+    /// One entry per expanded variant, axis order.
+    pub variants: Vec<VariantReport>,
+    /// First-two-variants comparison (when requested).
+    pub comparison: Option<ComparisonReport>,
+    /// Table 1 micro-scenario sweep (when requested).
+    pub table1: Option<Vec<Table1Row>>,
+}
+
+/// Runs a scenario: expands the axes, fans every (variant, seed) job
+/// out through the parallel harness, aggregates in job order.
+///
+/// # Errors
+/// Only workload materialization can fail (an unreadable
+/// `TraceFile`); everything else panics on spec inconsistencies, like
+/// the platform itself does on an invalid config.
+pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
+    let variants = expand_variants(scenario);
+    let base_seed = scenario.sweep.base_seed;
+    let replicas = scenario.sweep.replicas;
+    let outputs = &scenario.outputs;
+    // The base-seed headline run only executes when some requested
+    // output consumes it (a Table-1-only scenario skips it entirely).
+    let with_base = outputs.needs_base_run();
+
+    // One job per (variant, seed): the base-seed headline run first
+    // (when needed), then the derived replica streams. Flat fanout,
+    // order preserved. Materialized workloads are memoized per
+    // modifier, so a policy-only sweep over a trace file reads and
+    // parses it once, not once per variant.
+    let mut materialized: Vec<(WorkloadModifier, std::sync::Arc<Vec<Submission>>)> = Vec::new();
+    let mut jobs: Vec<(PlatformConfig, std::sync::Arc<Vec<Submission>>)> = Vec::new();
+    for variant in &variants {
+        let workload = match materialized.iter().find(|(m, _)| *m == variant.modifier) {
+            Some((_, w)) => std::sync::Arc::clone(w),
+            None => {
+                let w = std::sync::Arc::new(scenario.workload.materialize(&variant.modifier)?);
+                materialized.push((variant.modifier, std::sync::Arc::clone(&w)));
+                w
+            }
+        };
+        if with_base {
+            jobs.push((
+                variant.cfg.clone().with_seed(base_seed),
+                std::sync::Arc::clone(&workload),
+            ));
+        }
+        for i in 0..replicas {
+            jobs.push((
+                variant
+                    .cfg
+                    .clone()
+                    .with_seed(SimRng::stream_seed(base_seed, i)),
+                std::sync::Arc::clone(&workload),
+            ));
+        }
+    }
+    let reports: Vec<RunReport> = fanout(jobs, |(cfg, workload)| {
+        Platform::new(cfg).run(workload.iter())
+    });
+
+    let per_variant = replicas as usize + usize::from(with_base);
+    let mut variant_reports = Vec::with_capacity(variants.len());
+    for (vi, variant) in variants.iter().enumerate() {
+        let chunk = &reports[vi * per_variant..(vi + 1) * per_variant];
+        let base = with_base.then(|| &chunk[0]);
+        let replica_chunk = &chunk[usize::from(with_base)..];
+        let vc_names: Vec<String> = variant.cfg.vcs.iter().map(|v| v.name.clone()).collect();
+        variant_reports.push(VariantReport {
+            label: variant.label.clone(),
+            policy: variant.cfg.policy.clone(),
+            base: (outputs.summary).then(|| {
+                RunSummary::from_report(base.expect("summary implies a base run"), &vc_names)
+            }),
+            replicas: (replicas > 0).then(|| ReplicaStats::from_reports(replica_chunk)),
+            placements: (outputs.placements).then(|| {
+                base.expect("placements imply a base run")
+                    .placement_counts()
+            }),
+            series: (outputs.series)
+                .then(|| base.expect("series implies a base run").series.clone()),
+        });
+    }
+
+    let comparison = (outputs.comparison && variants.len() >= 2).then(|| {
+        let a = &reports[0];
+        let b = &reports[per_variant];
+        let cmp = compare(a, b);
+        ComparisonReport {
+            a: variants[0].label.clone(),
+            b: variants[1].label.clone(),
+            completion_improvement_pct: cmp.completion_improvement_pct,
+            cost_improvement_pct: cmp.cost_improvement_pct,
+            cost_saved_units: cmp.cost_saved.as_units_f64(),
+            peak_cloud_a: cmp.peak_cloud_a,
+            peak_cloud_b: cmp.peak_cloud_b,
+        }
+    });
+
+    let table1 = outputs.table1_samples.map(|samples| {
+        TABLE1_CASES
+            .iter()
+            .map(|case| {
+                let summary = case_sweep(case, base_seed, samples);
+                Table1Row {
+                    case: (*case).to_owned(),
+                    paper_range_s: paper_range(case),
+                    mean_s: summary.mean(),
+                    min_s: summary.min(),
+                    max_s: summary.max(),
+                    samples,
+                }
+            })
+            .collect()
+    });
+
+    Ok(ScenarioReport {
+        scenario: scenario.name.clone(),
+        description: scenario.description.clone(),
+        base_seed,
+        replicas,
+        variants: variant_reports,
+        comparison,
+        table1,
+    })
+}
+
+impl ScenarioReport {
+    /// Serializes to pretty JSON, newline-terminated (the `--json`
+    /// artifact CI byte-compares across thread counts).
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).expect("report types are serde-safe");
+        json.push('\n');
+        json
+    }
+
+    /// Renders the human-readable tables the experiment binaries print.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario {} — base seed {:#x}, {} replica(s) per variant",
+            self.scenario, self.base_seed, self.replicas
+        );
+        if !self.description.is_empty() {
+            let _ = writeln!(out, "{}", self.description);
+        }
+        let label_w = self
+            .variants
+            .iter()
+            .map(|v| v.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        // The summary table only appears when the scenario asked for it
+        // (`outputs.summary`; the runner then populated `base`).
+        if self.variants.iter().any(|v| v.base.is_some()) {
+            let _ = writeln!(
+                out,
+                "\n{:<label_w$} {:>12} {:>12} {:>10} {:>9} {:>7} {:>9} {:>8} {:>6}",
+                "variant",
+                "completion",
+                "cost [u]",
+                "peak cld",
+                "transfers",
+                "bursts",
+                "suspends",
+                "violate",
+                "rejct"
+            );
+        }
+        for v in &self.variants {
+            if let Some(base) = &v.base {
+                let _ = writeln!(
+                    out,
+                    "{:<label_w$} {:>12.0} {:>12.0} {:>10.0} {:>9} {:>7} {:>9} {:>8} {:>6}",
+                    v.label,
+                    base.completion_secs,
+                    base.total_cost_units,
+                    base.peak_cloud_vms,
+                    base.transfers,
+                    base.bursts,
+                    base.suspensions,
+                    base.violations,
+                    base.rejected
+                );
+            }
+            if let Some(stats) = &v.replicas {
+                if stats.completion.count() > 1 {
+                    let _ = writeln!(
+                        out,
+                        "{:<label_w$} {:>7.1} ±{:<4.1} {:>7.0} ±{:<4.0} {:>5.1}±{:<3.1} (n={})",
+                        "  replicas",
+                        stats.completion.mean(),
+                        stats.completion.std_dev(),
+                        stats.cost.mean(),
+                        stats.cost.std_dev(),
+                        stats.peak_cloud.mean(),
+                        stats.peak_cloud.std_dev(),
+                        stats.completion.count()
+                    );
+                }
+            }
+        }
+        if let Some(cmp) = &self.comparison {
+            let _ = writeln!(out, "\ncomparison: {} vs {}", cmp.a, cmp.b);
+            let _ = writeln!(
+                out,
+                "  completion improvement : {:>7.2}%",
+                cmp.completion_improvement_pct
+            );
+            let _ = writeln!(
+                out,
+                "  avg cost improvement   : {:>7.2}%",
+                cmp.cost_improvement_pct
+            );
+            let _ = writeln!(
+                out,
+                "  cost saved             : {:>7.0} u",
+                cmp.cost_saved_units
+            );
+            let _ = writeln!(
+                out,
+                "  peak cloud VMs         : {:.0} vs {:.0}",
+                cmp.peak_cloud_a, cmp.peak_cloud_b
+            );
+        }
+        if let Some(rows) = &self.table1 {
+            let _ = writeln!(
+                out,
+                "\n{:<28} {:>12} {:>24}",
+                "Table 1 case", "paper [s]", "measured min~max (mean)"
+            );
+            for r in rows {
+                let paper = match r.paper_range_s {
+                    Some((lo, hi)) => format!("{lo:.0}~{hi:.0}"),
+                    None => "—".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>12} {:>13.0}~{:<3.0} ({:.1})",
+                    r.case, paper, r.min_s, r.max_s, r.mean_s
+                );
+            }
+        }
+        for v in &self.variants {
+            if let Some(placements) = &v.placements {
+                let _ = writeln!(out, "\nplacements [{}]:", v.label);
+                for (case, count) in placements {
+                    let _ = writeln!(out, "  {case:<28} {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{OutputSpec, SweepAxis, SweepSpec, WorkloadSpec};
+    use meryn_workloads::PaperWorkloadParams;
+
+    fn small_scenario() -> Scenario {
+        let mut platform = PlatformConfig::paper("meryn");
+        platform.private_capacity = 4;
+        platform.vcs = vec![
+            meryn_core::config::VcConfig::batch("VC1", 2),
+            meryn_core::config::VcConfig::batch("VC2", 2),
+        ];
+        Scenario {
+            name: "small".into(),
+            description: "unit fixture".into(),
+            platform,
+            workload: WorkloadSpec::Paper(PaperWorkloadParams {
+                vc1_apps: 4,
+                vc2_apps: 2,
+                ..Default::default()
+            }),
+            sweep: SweepSpec {
+                replicas: 2,
+                axes: vec![SweepAxis::Policy {
+                    values: vec!["meryn".into(), "static".into()],
+                }],
+                ..Default::default()
+            },
+            outputs: OutputSpec {
+                comparison: true,
+                placements: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn axes_expand_in_declaration_order() {
+        let mut s = small_scenario();
+        s.sweep
+            .axes
+            .push(SweepAxis::PenaltyFactor { values: vec![1, 4] });
+        let variants = expand_variants(&s);
+        let labels: Vec<&str> = variants.iter().map(|v| v.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "policy=meryn penalty_factor=1",
+                "policy=meryn penalty_factor=4",
+                "policy=static penalty_factor=1",
+                "policy=static penalty_factor=4",
+            ]
+        );
+    }
+
+    #[test]
+    fn no_axes_yields_the_base_variant() {
+        let mut s = small_scenario();
+        s.sweep.axes.clear();
+        let variants = expand_variants(&s);
+        assert_eq!(variants.len(), 1);
+        assert_eq!(variants[0].label, "base");
+    }
+
+    #[test]
+    fn run_scenario_produces_requested_sections() {
+        let report = run_scenario(&small_scenario()).unwrap();
+        assert_eq!(report.variants.len(), 2);
+        assert_eq!(report.variants[0].policy, "meryn");
+        assert_eq!(report.variants[1].policy, "static");
+        assert!(report.comparison.is_some());
+        assert!(report.table1.is_none());
+        for v in &report.variants {
+            assert_eq!(v.summary().apps, 6);
+            assert!(v.placements.is_some());
+            assert!(v.series.is_none());
+            let stats = v.replicas.as_ref().expect("replicas requested");
+            assert_eq!(stats.completion.count(), 2);
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("policy=meryn"));
+        assert!(rendered.contains("comparison:"));
+    }
+
+    #[test]
+    fn summary_off_skips_the_base_runs_entirely() {
+        let mut s = small_scenario();
+        s.sweep.replicas = 0;
+        s.outputs = OutputSpec {
+            summary: false,
+            placements: false,
+            series: false,
+            comparison: false,
+            table1_samples: Some(2),
+        };
+        let report = run_scenario(&s).unwrap();
+        for v in &report.variants {
+            assert!(v.base.is_none(), "summary off must not record a base run");
+            assert!(v.placements.is_none());
+            assert!(v.series.is_none());
+        }
+        assert_eq!(report.table1.as_ref().map(Vec::len), Some(5));
+        // Rendering without a summary section still works.
+        let rendered = report.render();
+        assert!(
+            !rendered.contains("completion"),
+            "no summary table expected"
+        );
+        assert!(rendered.contains("Table 1 case"));
+    }
+
+    #[test]
+    fn zero_replicas_skips_replica_stats() {
+        let mut s = small_scenario();
+        s.sweep.replicas = 0;
+        let report = run_scenario(&s).unwrap();
+        assert!(report.variants[0].replicas.is_none());
+    }
+
+    #[test]
+    fn report_json_is_stable_for_identical_runs() {
+        let s = small_scenario();
+        let a = run_scenario(&s).unwrap().to_json();
+        let b = run_scenario(&s).unwrap().to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -16,14 +16,13 @@
 //!    and multi-threaded sweeps produce byte-identical aggregates
 //!    (`tests/parallel_determinism.rs` locks this down).
 
-use meryn_core::config::PolicyMode;
 use meryn_core::report::RunReport;
 use meryn_sim::stats::{OnlineStats, Summary};
 use meryn_sim::SimRng;
 use rayon::prelude::*;
 use serde::Serialize;
 
-use crate::{measure_case, run_paper};
+use crate::paper::{measure_case, run_paper};
 
 /// Base seed the binaries sweep from unless told otherwise — the same
 /// constant the single-run figures (Fig 5/6) pin their one run to.
@@ -62,10 +61,11 @@ where
     fanout(replica_seeds(base_seed, replicas), work)
 }
 
-/// Runs the full paper scenario once per replica under `mode`, returning
-/// the per-replica [`RunReport`]s in replica order.
-pub fn paper_reports(mode: PolicyMode, base_seed: u64, replicas: u64) -> Vec<RunReport> {
-    fanout_seeds(base_seed, replicas, |seed| run_paper(mode, seed))
+/// Runs the full paper scenario once per replica under the named
+/// placement policy, returning the per-replica [`RunReport`]s in
+/// replica order.
+pub fn paper_reports(policy: &str, base_seed: u64, replicas: u64) -> Vec<RunReport> {
+    fanout_seeds(base_seed, replicas, |seed| run_paper(policy, seed))
 }
 
 /// Aggregates of one policy's replica sweep: the four headline metrics
@@ -109,8 +109,8 @@ impl ReplicaStats {
 
 /// Sweeps the paper scenario for one policy: seed fanout, parallel runs,
 /// aggregation in replica order.
-pub fn paper_sweep(mode: PolicyMode, base_seed: u64, replicas: u64) -> ReplicaStats {
-    ReplicaStats::from_reports(&paper_reports(mode, base_seed, replicas))
+pub fn paper_sweep(policy: &str, base_seed: u64, replicas: u64) -> ReplicaStats {
+    ReplicaStats::from_reports(&paper_reports(policy, base_seed, replicas))
 }
 
 /// Sweeps one Table 1 placement case over `samples` derived seeds and
@@ -144,16 +144,16 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Sweeps both policy modes.
+    /// Sweeps both of the paper's policies (`meryn`, then `static`).
     pub fn collect_both(base_seed: u64, replicas: u64) -> Self {
         SweepReport {
             base_seed,
             replicas,
-            modes: [PolicyMode::Meryn, PolicyMode::Static]
+            modes: ["meryn", "static"]
                 .into_iter()
-                .map(|mode| SweepMode {
-                    mode: mode.label().to_owned(),
-                    stats: paper_sweep(mode, base_seed, replicas),
+                .map(|policy| SweepMode {
+                    mode: policy.to_owned(),
+                    stats: paper_sweep(policy, base_seed, replicas),
                 })
                 .collect(),
         }
@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn paper_sweep_aggregates_every_replica() {
-        let stats = paper_sweep(PolicyMode::Meryn, DEFAULT_BASE_SEED, 3);
+        let stats = paper_sweep("meryn", DEFAULT_BASE_SEED, 3);
         assert_eq!(stats.completion.count(), 3);
         assert!(stats.completion.mean() > 0.0);
         assert_eq!(stats.peak_cloud.count(), 3);

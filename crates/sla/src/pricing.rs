@@ -24,6 +24,15 @@ pub enum PenaltyBound {
     AtPrice,
     /// Penalty is capped at a fixed amount.
     Fixed(Money),
+    /// Penalty is capped at a percentage of the agreed price — the
+    /// policy-relevant middle ground between [`PenaltyBound::AtPrice`]
+    /// (`pct = 100`) and a provider that never refunds more than a
+    /// partial credit. Scenario specs select it as
+    /// `{"FractionOfPrice": {"pct": 50}}`.
+    FractionOfPrice {
+        /// Cap as a percentage of the agreed price (0–100 useful range).
+        pct: u64,
+    },
 }
 
 /// Pricing knobs shared by every SLA a Cluster Manager proposes.
@@ -84,6 +93,9 @@ impl PricingParams {
             PenaltyBound::Unbounded => raw,
             PenaltyBound::AtPrice => raw.min_of(agreed_price),
             PenaltyBound::Fixed(cap) => raw.min_of(cap),
+            PenaltyBound::FractionOfPrice { pct } => {
+                raw.min_of(agreed_price.times(pct).div_int(100))
+            }
         }
     }
 
@@ -201,6 +213,27 @@ mod tests {
         let price = Money::from_units(1000);
         let pen = p.delay_penalty(SimDuration::from_secs(10_000), 4, price);
         assert_eq!(pen, cap);
+    }
+
+    #[test]
+    fn fraction_of_price_cap() {
+        let price = Money::from_units(1000);
+        let p = params(1).with_bound(PenaltyBound::FractionOfPrice { pct: 50 });
+        // Huge delay: capped at 50% of the price.
+        let pen = p.delay_penalty(SimDuration::from_secs(10_000), 4, price);
+        assert_eq!(pen, Money::from_units(500));
+        // Small delay below the cap: unchanged from the raw eq. 3 value.
+        let small = p.delay_penalty(SimDuration::from_secs(10), 1, price);
+        assert_eq!(
+            small,
+            params(1).vm_price.cost_for(SimDuration::from_secs(10))
+        );
+        // pct = 100 is exactly AtPrice.
+        let at = params(1).with_bound(PenaltyBound::FractionOfPrice { pct: 100 });
+        assert_eq!(
+            at.delay_penalty(SimDuration::from_secs(10_000), 4, price),
+            params(1).delay_penalty(SimDuration::from_secs(10_000), 4, price)
+        );
     }
 
     #[test]

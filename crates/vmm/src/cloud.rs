@@ -75,6 +75,29 @@ impl PriceModel {
             }
         }
     }
+
+    /// Scales the whole price curve by `factor` — every variant, not
+    /// just the static rate (price-ratio sweeps rely on this).
+    pub fn scaled(self, factor: f64) -> Self {
+        match self {
+            PriceModel::Static(r) => PriceModel::Static(r.scale(factor)),
+            PriceModel::Diurnal {
+                base,
+                amplitude_pct,
+                period,
+            } => PriceModel::Diurnal {
+                base: base.scale(factor),
+                amplitude_pct,
+                period,
+            },
+            PriceModel::Schedule(points) => PriceModel::Schedule(
+                points
+                    .into_iter()
+                    .map(|(from, r)| (from, r.scale(factor)))
+                    .collect(),
+            ),
+        }
+    }
 }
 
 /// The outcome of releasing a cloud VM: what the lease cost.

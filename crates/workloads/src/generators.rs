@@ -80,6 +80,61 @@ pub enum ArrivalProcess {
     },
 }
 
+impl ArrivalProcess {
+    /// Replaces the process's characteristic gap: the fixed gap, the
+    /// Poisson/diurnal mean, or a burst's intra-burst gap — the knob a
+    /// scenario's inter-arrival override turns.
+    pub fn with_mean_gap(self, gap: SimDuration) -> Self {
+        match self {
+            ArrivalProcess::Fixed(_) => ArrivalProcess::Fixed(gap),
+            ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson { mean: gap },
+            ArrivalProcess::Diurnal { depth, period, .. } => ArrivalProcess::Diurnal {
+                mean: gap,
+                depth,
+                period,
+            },
+            ArrivalProcess::Bursty {
+                burst_len, idle, ..
+            } => ArrivalProcess::Bursty {
+                burst_len,
+                fast: gap,
+                idle,
+            },
+        }
+    }
+
+    /// Compresses every gap by `1/load_multiplier` (`m > 1` = more
+    /// load, `m = 1` = unchanged). Shape parameters (diurnal depth and
+    /// period, burst length) are preserved.
+    pub fn scaled(self, load_multiplier: f64) -> Self {
+        let f = 1.0 / load_multiplier;
+        match self {
+            ArrivalProcess::Fixed(gap) => ArrivalProcess::Fixed(gap.scale(f)),
+            ArrivalProcess::Poisson { mean } => ArrivalProcess::Poisson {
+                mean: mean.scale(f),
+            },
+            ArrivalProcess::Diurnal {
+                mean,
+                depth,
+                period,
+            } => ArrivalProcess::Diurnal {
+                mean: mean.scale(f),
+                depth,
+                period,
+            },
+            ArrivalProcess::Bursty {
+                burst_len,
+                fast,
+                idle,
+            } => ArrivalProcess::Bursty {
+                burst_len,
+                fast: fast.scale(f),
+                idle: idle.scale(f),
+            },
+        }
+    }
+}
+
 /// A seeded stochastic workload description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -223,6 +278,50 @@ mod tests {
         assert!(
             (mean_gap - 10.0).abs() < 1.0,
             "mean gap {mean_gap} too far from 10"
+        );
+    }
+
+    #[test]
+    fn arrival_overrides_and_scaling() {
+        let d = SimDuration::from_secs;
+        assert_eq!(
+            ArrivalProcess::Fixed(d(5)).with_mean_gap(d(2)),
+            ArrivalProcess::Fixed(d(2))
+        );
+        assert_eq!(
+            ArrivalProcess::Poisson { mean: d(10) }.scaled(2.0),
+            ArrivalProcess::Poisson { mean: d(5) }
+        );
+        let bursty = ArrivalProcess::Bursty {
+            burst_len: 3,
+            fast: d(2),
+            idle: d(100),
+        };
+        assert_eq!(
+            bursty.scaled(2.0),
+            ArrivalProcess::Bursty {
+                burst_len: 3,
+                fast: d(1),
+                idle: d(50),
+            }
+        );
+        assert_eq!(
+            ArrivalProcess::Diurnal {
+                mean: d(10),
+                depth: 0.5,
+                period: d(3600),
+            }
+            .with_mean_gap(d(4)),
+            ArrivalProcess::Diurnal {
+                mean: d(4),
+                depth: 0.5,
+                period: d(3600),
+            }
+        );
+        // m = 1 is the identity.
+        assert_eq!(
+            ArrivalProcess::Fixed(d(5)).scaled(1.0),
+            ArrivalProcess::Fixed(d(5))
         );
     }
 

@@ -6,7 +6,7 @@
 //! `examples_smoke` integration test).
 
 use meryn_core::cluster_manager::{VcQuoter, VirtualCluster};
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
+use meryn_core::config::{PlatformConfig, VcConfig};
 use meryn_core::report::{compare, RunReport};
 use meryn_core::{Platform, VcId};
 use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
@@ -66,7 +66,7 @@ pub fn print_groups(report: &RunReport, vcs: &[(&str, usize)]) {
 pub fn run_quickstart() -> RunReport {
     // The paper's deployment: 50 private VMs, two batch VCs (25 each),
     // one infinite public cloud at twice the private VM cost.
-    let cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let cfg = PlatformConfig::paper("meryn");
 
     // The paper's workload: 65 single-VM batch apps, 5 s apart,
     // 50 to VC1 and 15 to VC2, ~1550 s of work each.
@@ -89,8 +89,8 @@ pub fn run_quickstart() -> RunReport {
 pub fn run_paper_workload() -> (RunReport, RunReport) {
     let workload = paper_workload(PaperWorkloadParams::default());
 
-    let meryn = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
-    let stat = Platform::new(PlatformConfig::paper(PolicyMode::Static)).run(&workload);
+    let meryn = Platform::new(PlatformConfig::paper("meryn")).run(&workload);
+    let stat = Platform::new(PlatformConfig::paper("static")).run(&workload);
 
     println!("──────────────── Meryn ────────────────");
     print_summary(&meryn);
@@ -214,7 +214,7 @@ pub fn run_sla_negotiation() -> (usize, usize) {
 /// heavy-tailed runtimes against a small private pool.
 pub fn run_datacenter_burst(seed: u64) -> (RunReport, RunReport) {
     // A smaller private estate: 20 VMs split across two batch VCs.
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 20;
     cfg.vcs = vec![
         VcConfig::batch("interactive", 10),
@@ -238,7 +238,7 @@ pub fn run_datacenter_burst(seed: u64) -> (RunReport, RunReport) {
     let workload = meryn_workloads::generators::generate(&gen, seed);
 
     let meryn = Platform::new(cfg.clone()).run(&workload);
-    cfg.mode = PolicyMode::Static;
+    cfg.policy = "static".to_owned();
     let stat = Platform::new(cfg).run(&workload);
 
     println!("──────────────── Meryn ────────────────");
@@ -292,7 +292,7 @@ fn mix_mapreduce(at: u64, maps: u32, nb_vms: u64) -> Submission {
 /// Entry logic of the `mapreduce_mix` example: a mixed batch + MapReduce
 /// deployment where the overloaded Hadoop VC borrows batch VMs.
 pub fn run_mapreduce_mix() -> RunReport {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 16;
     cfg.vcs = vec![
         VcConfig::batch("batch", 8),

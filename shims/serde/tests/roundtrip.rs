@@ -1,0 +1,120 @@
+//! Round-trip lock for the derive shapes the `Scenario` types lean on:
+//! enums with named-field (struct) variants, tuple and unit variants,
+//! `Option` fields, `#[serde(default)]`, nested structs and tuples.
+//! If the derive shim regresses on any of these, this breaks before
+//! the scenario specs do.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Knobs {
+    replicas: u64,
+    #[serde(default)]
+    label: String,
+    threshold: Option<f64>,
+    pairs: Vec<(String, u32)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Axis {
+    Unit,
+    Tuple(u64, u64),
+    Newtype(Knobs),
+    Named {
+        values: Vec<i64>,
+        #[serde(default)]
+        optional: Option<bool>,
+        nested: Knobs,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Spec {
+    name: String,
+    axes: Vec<Axis>,
+    #[serde(rename = "wire_name")]
+    renamed: u8,
+}
+
+fn spec() -> Spec {
+    Spec {
+        name: "round-trip".into(),
+        axes: vec![
+            Axis::Unit,
+            Axis::Tuple(3, 7),
+            Axis::Newtype(Knobs {
+                replicas: 1,
+                label: String::new(),
+                threshold: None,
+                pairs: vec![],
+            }),
+            Axis::Named {
+                values: vec![-4, 0, 9],
+                optional: Some(true),
+                nested: Knobs {
+                    replicas: 30,
+                    label: "inner".into(),
+                    threshold: Some(0.5),
+                    pairs: vec![("vc1".into(), 25), ("vc2".into(), 25)],
+                },
+            },
+        ],
+        renamed: 9,
+    }
+}
+
+#[test]
+fn struct_variant_enums_round_trip_byte_identically() {
+    let original = spec();
+    let json = serde_json::to_string_pretty(&original).unwrap();
+    let back: Spec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, original);
+    // Stability: serialize → parse → serialize is a fixpoint.
+    assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    // Compact form round-trips too.
+    let compact = serde_json::to_string(&original).unwrap();
+    let back: Spec = serde_json::from_str(&compact).unwrap();
+    assert_eq!(back, original);
+}
+
+#[test]
+fn wire_format_matches_real_serde_conventions() {
+    let json = serde_json::to_string(&spec()).unwrap();
+    // Externally tagged enums: unit variants as strings, struct
+    // variants as single-key maps.
+    assert!(json.contains("\"Unit\""));
+    assert!(json.contains("{\"Named\":{\"values\":[-4,0,9]"));
+    assert!(json.contains("\"wire_name\":9"));
+}
+
+#[test]
+fn defaults_and_missing_fields() {
+    let json = r#"{"name":"d","axes":[{"Named":{"values":[1],"nested":
+        {"replicas":2,"threshold":null,"pairs":[]}}}],"wire_name":1}"#;
+    let s: Spec = serde_json::from_str(json).unwrap();
+    match &s.axes[0] {
+        Axis::Named {
+            optional, nested, ..
+        } => {
+            assert_eq!(*optional, None, "defaulted Option field");
+            assert_eq!(nested.label, "", "defaulted String field");
+            assert_eq!(nested.threshold, None, "explicit null Option");
+        }
+        other => panic!("wrong variant {other:?}"),
+    }
+    // A missing required field is an error, not a default.
+    let broken = r#"{"name":"d","axes":[],"wire_name":null}"#;
+    assert!(serde_json::from_str::<Spec>(broken).is_err());
+    let missing = r#"{"axes":[],"wire_name":1}"#;
+    assert!(serde_json::from_str::<Spec>(missing).is_err());
+}
+
+#[test]
+fn unknown_variant_is_a_clear_error() {
+    let json = r#"{"name":"d","axes":["Orbit"],"wire_name":1}"#;
+    let err = serde_json::from_str::<Spec>(json).unwrap_err().to_string();
+    assert!(
+        err.contains("Orbit"),
+        "error should name the variant: {err}"
+    );
+}

@@ -2,7 +2,7 @@
 //! lending, penalty regimes, dynamic cloud pricing, trace round-trips
 //! and mixed framework deployments.
 
-use meryn_core::config::{CloudConfig, PlatformConfig, PolicyMode, VcConfig};
+use meryn_core::config::{CloudConfig, PlatformConfig, VcConfig};
 use meryn_core::Platform;
 use meryn_frameworks::{JobSpec, ScalingLaw};
 use meryn_sim::{SimDuration, SimTime};
@@ -48,7 +48,7 @@ fn cross_vc_suspension_lending_roundtrip() {
     // clouds. A new VC1 app must trigger option 4: VC2 suspends its
     // app, lends the VM, gets it back, resumes, and still meets its
     // generous deadline.
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 2;
     cfg.vcs = vec![VcConfig::batch("VC1", 1), VcConfig::batch("VC2", 1)];
     cfg.clouds.clear();
@@ -84,8 +84,8 @@ fn lenient_penalty_factor_enables_suspensions_on_paper_workload() {
     // Ablation A1's mechanism: with a high N (weak penalties),
     // suspension bids undercut the cloud and Algorithm 1 starts
     // suspending instead of bursting.
-    let strict = PlatformConfig::paper(PolicyMode::Meryn); // N = 1
-    let lenient = PlatformConfig::paper(PolicyMode::Meryn).with_penalty_factor(8);
+    let strict = PlatformConfig::paper("meryn"); // N = 1
+    let lenient = PlatformConfig::paper("meryn").with_penalty_factor(8);
     let workload = paper_workload(PaperWorkloadParams::default());
     let strict_report = Platform::new(strict).run(&workload);
     let lenient_report = Platform::new(lenient).run(&workload);
@@ -104,17 +104,17 @@ fn lenient_penalty_factor_enables_suspensions_on_paper_workload() {
 fn expensive_cloud_pushes_toward_suspension() {
     // Ablation A2's mechanism: quadruple cloud prices and the paper
     // workload prefers suspensions/queueing over bursting.
-    let pricey = PlatformConfig::paper(PolicyMode::Meryn).with_cloud_price_factor(4.0);
+    let pricey = PlatformConfig::paper("meryn").with_cloud_price_factor(4.0);
     let workload = paper_workload(PaperWorkloadParams::default());
     let report = Platform::new(pricey).run(&workload);
-    let baseline = Platform::new(PlatformConfig::paper(PolicyMode::Meryn)).run(&workload);
+    let baseline = Platform::new(PlatformConfig::paper("meryn")).run(&workload);
     assert!(report.bursts < baseline.bursts);
     assert!(report.suspensions > 0);
 }
 
 #[test]
 fn diurnal_cloud_prices_lock_rates_per_lease() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Static);
+    let mut cfg = PlatformConfig::paper("static");
     cfg.private_capacity = 1;
     cfg.vcs = vec![VcConfig::batch("VC1", 1)];
     cfg.clouds = vec![CloudConfig {
@@ -144,7 +144,7 @@ fn diurnal_cloud_prices_lock_rates_per_lease() {
 
 #[test]
 fn cloud_quota_overflows_to_queueing() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Static);
+    let mut cfg = PlatformConfig::paper("static");
     cfg.private_capacity = 1;
     cfg.vcs = vec![VcConfig::batch("VC1", 1)];
     cfg.clouds[0].quota = Some(1);
@@ -166,7 +166,7 @@ fn cloud_quota_overflows_to_queueing() {
 
 #[test]
 fn violation_detection_fires_before_completion() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 1;
     cfg.vcs = vec![VcConfig::batch("VC1", 1)];
     cfg.clouds.clear();
@@ -188,7 +188,7 @@ fn violation_detection_fires_before_completion() {
 
 #[test]
 fn mixed_batch_and_mapreduce_deployment() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 8;
     cfg.vcs = vec![VcConfig::batch("batch", 4), VcConfig::mapreduce("mr", 4)];
     let mr = |at: u64| {
@@ -229,7 +229,7 @@ fn trace_round_trip_reproduces_run() {
     let restored = Trace::from_json(&trace.to_json()).unwrap();
     assert_eq!(restored.submissions, workload);
 
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 10;
     cfg.vcs = vec![VcConfig::batch("VC1", 10)];
     let r1 = Platform::new(cfg.clone()).run(&workload);
@@ -263,7 +263,7 @@ fn backfill_improves_utilization_for_wide_jobs() {
     let narrow = |at: u64| batch_sub(at, 0, 300);
 
     let build = |backfill: bool| {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+        let mut cfg = PlatformConfig::paper("meryn");
         cfg.private_capacity = 2;
         cfg.vcs = vec![VcConfig {
             backfill,
@@ -299,9 +299,9 @@ fn backfill_improves_utilization_for_wide_jobs() {
 fn paper_workload_on_single_vc_matches_static() {
     // With one VC there is nobody to exchange with: Meryn degenerates
     // to the static approach (same placements, costs and bursts).
-    let mut m_cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut m_cfg = PlatformConfig::paper("meryn");
     m_cfg.vcs = vec![VcConfig::batch("VC1", 25)];
-    let mut s_cfg = PlatformConfig::paper(PolicyMode::Static);
+    let mut s_cfg = PlatformConfig::paper("static");
     s_cfg.vcs = vec![VcConfig::batch("VC1", 25)];
     let workload = paper_workload(PaperWorkloadParams {
         vc1_apps: 40,
@@ -330,7 +330,7 @@ fn escalation_policy_rescues_queued_apps() {
     // quota frees up, rescuing (or at least shrinking) the delay.
     use meryn_core::config::ViolationPolicy;
     let build = |policy: ViolationPolicy| {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Static);
+        let mut cfg = PlatformConfig::paper("static");
         cfg.private_capacity = 1;
         cfg.vcs = vec![VcConfig::batch("VC1", 1)];
         cfg.clouds[0].quota = Some(1);

@@ -7,7 +7,6 @@
 
 use meryn_bench::sweep::{case_sweep, fanout, DEFAULT_BASE_SEED};
 use meryn_bench::{run_paper, TABLE1_CASES};
-use meryn_core::config::PolicyMode;
 use meryn_core::report::compare;
 use meryn_core::RunReport;
 use serde_json::Value;
@@ -19,7 +18,7 @@ fn baseline() -> Value {
 }
 
 fn paper_runs() -> Vec<RunReport> {
-    fanout(vec![PolicyMode::Meryn, PolicyMode::Static], |mode| {
+    fanout(vec!["meryn", "static"], |mode| {
         run_paper(mode, DEFAULT_BASE_SEED)
     })
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use meryn_core::config::{PlatformConfig, PolicyMode, VcConfig};
+use meryn_core::config::{PlatformConfig, VcConfig};
 use meryn_core::Platform;
 use meryn_frameworks::{JobSpec, ScalingLaw};
 use meryn_sim::{EventQueue, SimDuration, SimTime};
@@ -114,7 +114,7 @@ proptest! {
         seed in 0u64..500,
         arrivals in prop::collection::vec((5u64..300, 0usize..2, 50u64..900), 1..25)
     ) {
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn).with_seed(seed);
+        let mut cfg = PlatformConfig::paper("meryn").with_seed(seed);
         cfg.private_capacity = 6;
         cfg.vcs = vec![VcConfig::batch("A", 3), VcConfig::batch("B", 3)];
         let mut workload: Vec<Submission> = arrivals
@@ -181,7 +181,7 @@ proptest! {
             ))
             .collect();
         let mk = |s: u64| {
-            let mut cfg = PlatformConfig::paper(PolicyMode::Meryn).with_seed(s);
+            let mut cfg = PlatformConfig::paper("meryn").with_seed(s);
             cfg.private_capacity = 4;
             cfg.vcs = vec![VcConfig::batch("A", 2), VcConfig::batch("B", 2)];
             Platform::new(cfg).run(&workload)
@@ -223,7 +223,7 @@ proptest! {
                 UserStrategy::AcceptCheapest,
             ))
             .collect();
-        let mut cfg = PlatformConfig::paper(PolicyMode::Meryn).with_seed(seed);
+        let mut cfg = PlatformConfig::paper("meryn").with_seed(seed);
         cfg.private_capacity = 3;
         cfg.vcs = vec![VcConfig::batch("A", 3)];
         let mut platform = Platform::new(cfg);
@@ -238,7 +238,7 @@ proptest! {
 /// Non-proptest structural check: VM ids never collide across domains.
 #[test]
 fn vm_ids_unique_across_pool_and_clouds() {
-    let cfg = PlatformConfig::paper(PolicyMode::Static);
+    let cfg = PlatformConfig::paper("static");
     let workload: Vec<Submission> = (0..60)
         .map(|i| {
             Submission::new(

@@ -1,7 +1,7 @@
 //! Additional cross-crate scenarios: multi-cloud selection, three-way VC
 //! exchange, parallel-job negotiation, and edge cases.
 
-use meryn_core::config::{CloudConfig, PlatformConfig, PolicyMode, VcConfig};
+use meryn_core::config::{CloudConfig, PlatformConfig, VcConfig};
 use meryn_core::{Platform, VcId};
 use meryn_frameworks::{JobSpec, ScalingLaw};
 use meryn_sim::{SimDuration, SimTime};
@@ -25,7 +25,7 @@ fn batch_sub(at: u64, vc: usize, work: u64) -> Submission {
 
 #[test]
 fn cheapest_of_three_clouds_wins_the_burst() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Static);
+    let mut cfg = PlatformConfig::paper("static");
     cfg.private_capacity = 1;
     cfg.vcs = vec![VcConfig::batch("VC1", 1)];
     cfg.clouds = vec![
@@ -48,7 +48,7 @@ fn cheapest_of_three_clouds_wins_the_burst() {
             quota: None,
         },
     ];
-    let report = Platform::new(cfg).run(&[batch_sub(5, 0, 900), batch_sub(10, 0, 500)]);
+    let report = Platform::new(cfg).run([batch_sub(5, 0, 900), batch_sub(10, 0, 500)]);
     assert_eq!(report.bursts, 1);
     // 500 s at the bargain rate of 3 u/s.
     assert_eq!(report.apps[1].cost, Money::from_units(1500));
@@ -56,7 +56,7 @@ fn cheapest_of_three_clouds_wins_the_burst() {
 
 #[test]
 fn quota_filled_cheapest_falls_through_to_next_cloud() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Static);
+    let mut cfg = PlatformConfig::paper("static");
     cfg.private_capacity = 1;
     cfg.vcs = vec![VcConfig::batch("VC1", 1)];
     cfg.clouds = vec![
@@ -75,7 +75,7 @@ fn quota_filled_cheapest_falls_through_to_next_cloud() {
     ];
     // Three bursts: first takes the bargain cloud, filling its quota;
     // the next two must fall through to the pricier one.
-    let report = Platform::new(cfg).run(&[
+    let report = Platform::new(cfg).run([
         batch_sub(5, 0, 3000),
         batch_sub(10, 0, 1000),
         batch_sub(15, 0, 500),
@@ -91,14 +91,14 @@ fn quota_filled_cheapest_falls_through_to_next_cloud() {
 fn three_way_vc_exchange_prefers_lowest_vc_id() {
     // Three VCs; the requester is full, both siblings have idle VMs —
     // the deterministic tie-break takes the lowest-id free bidder.
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 3;
     cfg.vcs = vec![
         VcConfig::batch("A", 1),
         VcConfig::batch("B", 1),
         VcConfig::batch("C", 1),
     ];
-    let report = Platform::new(cfg).run(&[batch_sub(5, 0, 900), batch_sub(10, 0, 500)]);
+    let report = Platform::new(cfg).run([batch_sub(5, 0, 900), batch_sub(10, 0, 500)]);
     assert_eq!(report.transfers, 1);
     assert_eq!(report.apps[1].placement, "vc-vm");
     // The second app's record should point at VC B (index 1).
@@ -108,7 +108,7 @@ fn three_way_vc_exchange_prefers_lowest_vc_id() {
 
 #[test]
 fn accept_fastest_users_get_parallel_allocations() {
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.private_capacity = 8;
     cfg.vcs = vec![VcConfig::batch("VC1", 8)];
     let sub = Submission::new(
@@ -121,7 +121,7 @@ fn accept_fastest_users_get_parallel_allocations() {
         },
         UserStrategy::AcceptFastest,
     );
-    let report = Platform::new(cfg).run(&[sub]);
+    let report = Platform::new(cfg).run([sub]);
     let app = &report.apps[0];
     // The quoter offered 1/2/4 VMs; fastest = 4 → exec 400 s.
     assert_eq!(app.exec, SimDuration::from_secs(400));
@@ -132,20 +132,20 @@ fn accept_fastest_users_get_parallel_allocations() {
 
 #[test]
 fn empty_and_singleton_workloads() {
-    let cfg = PlatformConfig::paper(PolicyMode::Meryn);
-    let empty = Platform::new(cfg.clone()).run(&[]);
+    let cfg = PlatformConfig::paper("meryn");
+    let empty = Platform::new(cfg.clone()).run::<[Submission; 0]>([]);
     assert_eq!(empty.apps.len(), 0);
     assert_eq!(empty.completion_time, SimTime::ZERO);
     assert_eq!(empty.total_cost(), Money::ZERO);
 
-    let one = Platform::new(cfg).run(&[batch_sub(5, 0, 100)]);
+    let one = Platform::new(cfg).run([batch_sub(5, 0, 100)]);
     assert_eq!(one.apps.len(), 1);
     assert!(one.apps[0].completed.is_some());
 }
 
 #[test]
 fn unroutable_submission_is_rejected_not_fatal() {
-    let cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let cfg = PlatformConfig::paper("meryn");
     let bad = Submission::new(
         SimTime::from_secs(5),
         VcTarget::Index(99),
@@ -156,7 +156,7 @@ fn unroutable_submission_is_rejected_not_fatal() {
         },
         UserStrategy::AcceptCheapest,
     );
-    let report = Platform::new(cfg).run(&[bad, batch_sub(10, 0, 100)]);
+    let report = Platform::new(cfg).run([bad, batch_sub(10, 0, 100)]);
     assert_eq!(report.rejected, 1);
     assert_eq!(report.apps.len(), 1);
     assert!(report.apps[0].completed.is_some());
@@ -164,8 +164,8 @@ fn unroutable_submission_is_rejected_not_fatal() {
 
 #[test]
 fn report_serde_round_trip_preserves_aggregates() {
-    let report = Platform::new(PlatformConfig::paper(PolicyMode::Meryn))
-        .run(&paper_workload(PaperWorkloadParams::default()));
+    let report = Platform::new(PlatformConfig::paper("meryn"))
+        .run(paper_workload(PaperWorkloadParams::default()));
     let json = serde_json::to_string(&report).unwrap();
     let back: meryn_core::RunReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.total_cost(), report.total_cost());
@@ -191,8 +191,8 @@ fn report_serde_round_trip_preserves_aggregates() {
 fn ledger_vm_seconds_match_series_integral() {
     // Cross-check between two independent accountings: the billing
     // ledger's private VM-seconds vs the used-private-VMs series.
-    let mut platform = Platform::new(PlatformConfig::paper(PolicyMode::Meryn));
-    platform.enqueue_workload(&paper_workload(PaperWorkloadParams::default()));
+    let mut platform = Platform::new(PlatformConfig::paper("meryn"));
+    platform.enqueue_workload(paper_workload(PaperWorkloadParams::default()));
     while platform.step() {}
     let ledger_secs = platform
         .ledger()
@@ -213,13 +213,13 @@ fn three_vc_paper_like_workload_balances() {
     // Split the paper's estate across three batch VCs and send the same
     // 65 apps to the first two: the third VC's idle VMs flow out via
     // zero bids before any cloud lease.
-    let mut cfg = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut cfg = PlatformConfig::paper("meryn");
     cfg.vcs = vec![
         VcConfig::batch("VC1", 17),
         VcConfig::batch("VC2", 17),
         VcConfig::batch("VC3", 16),
     ];
-    let report = Platform::new(cfg).run(&paper_workload(PaperWorkloadParams::default()));
+    let report = Platform::new(cfg).run(paper_workload(PaperWorkloadParams::default()));
     assert_eq!(report.apps.len(), 65);
     assert_eq!(report.violations(), 0);
     // All 50 private VMs end up used: 65 demand − 50 private = 15 cloud.
@@ -233,7 +233,7 @@ fn single_client_manager_bottlenecks_a_burst() {
     // one Client Manager queues for handling; with unbounded CMs the
     // same burst keeps Table 1 latencies.
     let workload: Vec<Submission> = (0..10).map(|i| batch_sub(5 + i, 0, 300)).collect();
-    let mut narrow = PlatformConfig::paper(PolicyMode::Meryn);
+    let mut narrow = PlatformConfig::paper("meryn");
     narrow.private_capacity = 10;
     narrow.vcs = vec![VcConfig::batch("VC1", 10)];
     narrow.client_managers = Some(1);
