@@ -3,7 +3,9 @@
 //! full platform).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use meryn_bench::run_paper;
+use meryn_bench::spec::{WorkloadModifier, WorkloadSpec};
+use meryn_bench::{catalog, run_paper};
+use meryn_core::Platform;
 use meryn_sim::{EventQueue, SimTime};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -38,5 +40,45 @@ fn bench_paper_scenario(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_paper_scenario);
+/// Engine throughput on a scaled-down representative-datacenter slice:
+/// the `BENCH_4.json` quantity, sized for a bench iteration (10k of the
+/// scenario's 100k submissions).
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut scenario = catalog::representative_datacenter();
+    let WorkloadSpec::Generated { config, .. } = &mut scenario.workload else {
+        panic!("representative-datacenter uses a generated workload");
+    };
+    config.count = 10_000;
+    let workload = scenario
+        .workload
+        .materialize(&WorkloadModifier::default())
+        .expect("generated workload needs no files");
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for policy in ["meryn", "static"] {
+        let mut cfg = scenario.platform.clone();
+        cfg.policy = policy.into();
+        group.bench_with_input(
+            BenchmarkId::new("representative_10k", policy),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    Platform::new(cfg.clone())
+                        .with_series_recording(false)
+                        .run(&workload)
+                        .events_processed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_paper_scenario,
+    bench_engine_throughput
+);
 criterion_main!(benches);

@@ -3,18 +3,26 @@
 //! ```text
 //! cargo run --release -p meryn-bench --bin scenario -- scenarios/paper.json
 //! cargo run --release -p meryn-bench --bin scenario -- scenarios/paper.json --json out.json
+//! cargo run --release -p meryn-bench --bin scenario -- scenarios/representative-datacenter.json --bench
 //! ```
 //!
 //! The `--json` report is byte-identical at any thread count (CI
 //! byte-compares `RAYON_NUM_THREADS=1` against the threaded run for
 //! every checked-in spec). `--quiet` suppresses the human rendering.
+//! `--bench` measures engine throughput instead of producing a report:
+//! it times every variant's base-seed run and prints events/second
+//! (with `--json`, writes the `BENCH_4.json`-style artifact — timings
+//! are machine-dependent, so bench JSON is never byte-compared).
 //! `--emit-shipped DIR` regenerates the checked-in spec files from the
 //! `meryn_scenario::catalog` source of truth instead of running one.
 
-use meryn_bench::{catalog, run_scenario, Scenario};
+use meryn_bench::{bench_scenario, catalog, run_scenario, Scenario};
 
 fn usage() -> ! {
-    eprintln!("usage: scenario <spec.json> [--json FILE] [--quiet] | scenario --emit-shipped DIR");
+    eprintln!(
+        "usage: scenario <spec.json> [--json FILE] [--quiet] [--bench] \
+         | scenario --emit-shipped DIR"
+    );
     std::process::exit(2);
 }
 
@@ -22,6 +30,7 @@ fn main() {
     let mut spec_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut quiet = false;
+    let mut bench = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,6 +48,7 @@ fn main() {
                 return;
             }
             "--quiet" => quiet = true,
+            "--bench" => bench = true,
             other if spec_path.is_none() && !other.starts_with("--") => {
                 spec_path = Some(other.to_owned());
             }
@@ -54,6 +64,25 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if bench {
+        let report = match bench_scenario(&scenario) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: bench failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !quiet {
+            print!("{}", report.render());
+        }
+        if let Some(path) = json_path {
+            std::fs::write(&path, report.to_json()).expect("write bench JSON");
+            if !quiet {
+                println!("\nwrote {path}");
+            }
+        }
+        return;
+    }
     let report = match run_scenario(&scenario) {
         Ok(r) => r,
         Err(e) => {

@@ -45,10 +45,23 @@ fn main() {
     );
     let rows = report.table1.as_ref().expect("table1 requested");
     for row in rows {
-        let (lo, hi) = row.paper_range_s.expect("every Table 1 case has a range");
+        // `paper_range` returns `None` for cases the paper did not
+        // measure; print the row anyway (dropping it silently would make
+        // the table look complete when it is not) and flag it.
+        let paper = match row.paper_range_s {
+            Some((lo, hi)) => format!("{lo:.0}~{hi:.0}"),
+            None => {
+                eprintln!(
+                    "warning: no paper-measured range for Table 1 case {:?}; \
+                     printing measured values only",
+                    row.case
+                );
+                "—".to_owned()
+            }
+        };
         println!(
-            "{:<28} {:>7.0}~{:<4.0} {:>17.0}~{:.0} s (mean {:.1}, n={})",
-            row.case, lo, hi, row.min_s, row.max_s, row.mean_s, row.samples
+            "{:<28} {:>12} {:>17.0}~{:.0} s (mean {:.1}, n={})",
+            row.case, paper, row.min_s, row.max_s, row.mean_s, row.samples
         );
     }
 

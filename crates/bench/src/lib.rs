@@ -16,8 +16,8 @@
 pub use meryn_scenario::spec;
 pub use meryn_scenario::sweep;
 pub use meryn_scenario::{
-    catalog, measure_case, paper_range, run_paper, run_paper_with, run_scenario, Scenario,
-    ScenarioReport, TABLE1_CASES,
+    bench_scenario, catalog, measure_case, paper_range, run_paper, run_paper_with, run_scenario,
+    BenchReport, Scenario, ScenarioReport, TABLE1_CASES,
 };
 
 use meryn_sim::stats::Summary;

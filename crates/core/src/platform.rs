@@ -102,6 +102,25 @@ pub struct Platform {
     // Metrics.
     busy_private: u64,
     busy_cloud: u64,
+    /// Running maxima of the busy counters. The report's peak fields
+    /// come from these, so peaks survive even when curve recording is
+    /// gated off. Same-instant transients are coalesced exactly like
+    /// [`StepSeries::record`] coalesces them — only the *final* value
+    /// of an instant is observable — via the pending `usage_*` trio.
+    peak_busy_private: u64,
+    peak_busy_cloud: u64,
+    /// Instant of the not-yet-committed usage observation.
+    usage_at: SimTime,
+    /// Busy counts as of `usage_at` (folded into the peaks once a later
+    /// instant is observed, mirroring the series' same-instant
+    /// overwrite).
+    usage_private: u64,
+    usage_cloud: u64,
+    /// Whether the used-VM step curves are sampled. Defaults to on; the
+    /// scenario runner turns it off when the requested outputs never
+    /// read the curves, so a 100k-submission run does not accumulate
+    /// samples nobody looks at.
+    record_series: bool,
     used_private: StepSeries,
     used_cloud: StepSeries,
     transfers: u64,
@@ -114,6 +133,13 @@ pub struct Platform {
     /// front-end concurrency).
     cm_free_at: Vec<SimTime>,
     lat_rng: SimRng,
+    /// Recycled `VmId` scratch buffers: the acquisition pipeline
+    /// (idle-slave collects, transfer sets, lease id lists) takes a
+    /// buffer here and returns it when the pinned submit consumes it,
+    /// so the steady-state dispatch cycle allocates nothing.
+    vm_bufs: Vec<Vec<VmId>>,
+    /// Recycled stint buffers (the dispatch→billing cycle's VM lists).
+    stint_bufs: Vec<Vec<(VmId, Location, VmRate)>>,
 }
 
 impl Platform {
@@ -196,11 +222,16 @@ impl Platform {
 
         let lat_rng = master.fork(2);
         let cm_free_at = vec![SimTime::ZERO; cfg.client_managers.unwrap_or(0)];
+        // Steady-state pending events scale with the live estate (every
+        // busy VM has at most a few lifecycle/completion events in
+        // flight); the workload bulk is reserved at enqueue time from
+        // the workload's own length.
+        let queue = EventQueue::with_capacity(4 * cfg.private_capacity as usize);
         Platform {
             cfg,
             placement,
             bidding,
-            queue: EventQueue::new(),
+            queue,
             pool,
             clouds,
             images,
@@ -216,6 +247,12 @@ impl Platform {
             next_return: 0,
             busy_private: 0,
             busy_cloud: 0,
+            peak_busy_private: 0,
+            peak_busy_cloud: 0,
+            usage_at: SimTime::ZERO,
+            usage_private: 0,
+            usage_cloud: 0,
+            record_series: true,
             used_private: StepSeries::new("used_private_vms"),
             used_cloud: StepSeries::new("used_cloud_vms"),
             transfers: 0,
@@ -226,7 +263,17 @@ impl Platform {
             rejected: 0,
             cm_free_at,
             lat_rng,
+            vm_bufs: Vec::new(),
+            stint_bufs: Vec::new(),
         }
+    }
+
+    /// Sets whether the used-VM step curves are sampled (on by
+    /// default). Peaks are tracked either way; only the full
+    /// [`StepSeries`] sample vectors are skipped when off.
+    pub fn with_series_recording(mut self, on: bool) -> Self {
+        self.record_series = on;
+        self
     }
 
     /// Enqueues a workload's arrivals. Accepts owned and borrowed
@@ -238,6 +285,10 @@ impl Platform {
         I: IntoIterator,
         I::Item: Borrow<Submission>,
     {
+        let workload = workload.into_iter();
+        // Pre-size the queue from the workload length (exact for slices
+        // and `Vec`s, a lower bound for lazy generators).
+        self.queue.reserve(workload.size_hint().0);
         for sub in workload {
             let sub = *sub.borrow();
             self.queue.push(sub.at, Event::Arrival(sub));
@@ -325,6 +376,31 @@ impl Platform {
 
     fn sample(&mut self, model: LatencyModel) -> meryn_sim::SimDuration {
         model.sample(&mut self.lat_rng)
+    }
+
+    // ---- scratch buffers ---------------------------------------------------
+    //
+    // The acquisition→dispatch→return cycle shuttles short VM lists
+    // around on every event. Both list kinds are pooled: a consumer
+    // that finishes with a buffer hands it back cleared, so steady
+    // state performs no allocation at all.
+
+    fn take_vm_buf(&mut self) -> Vec<VmId> {
+        self.vm_bufs.pop().unwrap_or_default()
+    }
+
+    fn recycle_vm_buf(&mut self, mut buf: Vec<VmId>) {
+        buf.clear();
+        self.vm_bufs.push(buf);
+    }
+
+    fn take_stint_buf(&mut self) -> Vec<(VmId, Location, VmRate)> {
+        self.stint_bufs.pop().unwrap_or_default()
+    }
+
+    fn recycle_stint_buf(&mut self, mut buf: Vec<(VmId, Location, VmRate)>) {
+        buf.clear();
+        self.stint_bufs.push(buf);
     }
 
     /// Front-end delay for one submission: the Client Manager handling
@@ -434,12 +510,10 @@ impl Platform {
 
         match decision {
             Decision::Local => {
-                let vms: Vec<VmId> = self.vcs[vc_id.0]
+                let mut vms = self.take_vm_buf();
+                self.vcs[vc_id.0]
                     .framework
-                    .idle_slaves()
-                    .into_iter()
-                    .take(nb as usize)
-                    .collect();
+                    .idle_slaves_into(nb as usize, &mut vms);
                 assert_eq!(
                     vms.len() as u64,
                     nb,
@@ -465,7 +539,8 @@ impl Platform {
                 let freed = self.suspend_app(now, vc_id, victim);
                 assert!(freed.len() as u64 >= nb);
                 self.lendings.insert(app_id, Lending { src: vc_id, victim });
-                let vms: Vec<VmId> = freed.into_iter().take(nb as usize).collect();
+                let mut vms = self.take_vm_buf();
+                vms.extend(freed.into_iter().take(nb as usize));
                 for &vm in &vms {
                     self.vcs[vc_id.0]
                         .framework
@@ -479,14 +554,13 @@ impl Platform {
             }
             Decision::FromVc { src } => {
                 self.transfers += nb;
-                let victims: Vec<VmId> = self.vcs[src.0]
+                let mut victims = self.take_vm_buf();
+                self.vcs[src.0]
                     .framework
-                    .idle_slaves()
-                    .into_iter()
-                    .take(nb as usize)
-                    .collect();
+                    .idle_slaves_into(nb as usize, &mut victims);
                 assert_eq!(victims.len() as u64, nb, "zero bid implies enough idle VMs");
                 self.begin_transfer_stops(now, app_id, &victims, base, None);
+                self.recycle_vm_buf(victims);
             }
             Decision::FromVcAfterSuspension { src, victim } => {
                 let freed = self.suspend_app(now, src, victim);
@@ -496,8 +570,10 @@ impl Platform {
                 );
                 self.lendings.insert(app_id, Lending { src, victim });
                 let extra = self.sample(self.cfg.latencies.suspend_remote);
-                let take: Vec<VmId> = freed.into_iter().take(nb as usize).collect();
+                let mut take = self.take_vm_buf();
+                take.extend(freed.into_iter().take(nb as usize));
                 self.begin_transfer_stops(now, app_id, &take, base, Some(extra));
+                self.recycle_vm_buf(take);
             }
             Decision::Cloud { cloud, .. } => {
                 self.bursts += nb;
@@ -560,11 +636,12 @@ impl Platform {
             self.queue
                 .push(now + lead + stop, Event::TransferVmStopped { app, vm });
         }
+        let collect = self.take_vm_buf();
         self.pending.insert(
             app,
             PendingAcquisition::Transfer {
                 awaiting: vms.len() as u64,
-                vms: Vec::with_capacity(vms.len()),
+                vms: collect,
             },
         );
     }
@@ -573,7 +650,8 @@ impl Platform {
     /// requeue. Returns the freed VMs.
     fn suspend_app(&mut self, now: SimTime, vc: VcId, victim: AppId) -> Vec<VmId> {
         let job = self.apps[&victim].job.expect("running victim has a job");
-        self.close_stint(now, vc, job);
+        let closed = self.close_stint(now, vc, job);
+        self.recycle_stint_buf(closed);
         let freed = self.vcs[vc.0]
             .framework
             .suspend_and_hold(job, now)
@@ -607,8 +685,23 @@ impl Platform {
     }
 
     fn record_usage(&mut self, now: SimTime) {
-        self.used_private.record(now, self.busy_private as f64);
-        self.used_cloud.record(now, self.busy_cloud as f64);
+        // Commit the previous instant's *final* values into the peaks
+        // before observing a new instant; a same-instant re-record
+        // overwrites the pending observation instead, exactly like the
+        // step series coalesces same-instant samples. (An intra-instant
+        // transient — busy rising then falling within one event
+        // cascade — must not register as a peak.)
+        if now > self.usage_at {
+            self.peak_busy_private = self.peak_busy_private.max(self.usage_private);
+            self.peak_busy_cloud = self.peak_busy_cloud.max(self.usage_cloud);
+            self.usage_at = now;
+        }
+        self.usage_private = self.busy_private;
+        self.usage_cloud = self.busy_cloud;
+        if self.record_series {
+            self.used_private.record(now, self.busy_private as f64);
+            self.used_cloud.record(now, self.busy_cloud as f64);
+        }
     }
 
     fn on_submit(&mut self, now: SimTime, app_id: AppId) {
@@ -649,6 +742,7 @@ impl Platform {
             .framework
             .submit_pinned(spec, &vms, now)
             .expect("acquired VMs are idle slaves of the right framework");
+        self.recycle_vm_buf(vms);
         self.vcs[vc_id.0].job_to_app.insert(job, app_id);
         let app = self.apps.get_mut(&app_id).expect("app exists");
         app.job = Some(job);
@@ -670,17 +764,14 @@ impl Platform {
     /// times, and the predicted completion event.
     fn register_dispatch(&mut self, now: SimTime, vc_id: VcId, d: meryn_frameworks::Dispatch) {
         let app_id = self.vcs[vc_id.0].app_of(d.job);
-        let vms: Vec<(VmId, Location, VmRate)> = d
-            .vms
-            .iter()
-            .map(|vm| {
-                let meta = self.vcs[vc_id.0]
-                    .slave_meta
-                    .get(vm)
-                    .expect("dispatched slave has meta");
-                (*vm, meta.location, meta.cost_rate)
-            })
-            .collect();
+        let mut vms = self.take_stint_buf();
+        vms.extend(d.vms.iter().map(|vm| {
+            let meta = self.vcs[vc_id.0]
+                .slave_meta
+                .get(vm)
+                .expect("dispatched slave has meta");
+            (*vm, meta.location, meta.cost_rate)
+        }));
         for &(_, loc, _) in &vms {
             match loc {
                 Location::Private => self.busy_private += 1,
@@ -774,7 +865,8 @@ impl Platform {
                 unreachable!("just matched")
             };
             let vc_id = self.apps[&app].vc;
-            let ids: Vec<VmId> = vms.iter().map(|&(vm, _)| vm).collect();
+            let mut ids = self.take_vm_buf();
+            ids.extend(vms.iter().map(|&(vm, _)| vm));
             for (vm, rate) in vms {
                 self.vcs[vc_id.0]
                     .add_slave(vm, speed, Location::Cloud(cloud), rate)
@@ -789,6 +881,7 @@ impl Platform {
                         .framework
                         .start_withdrawn_pinned(job, &ids, now)
                         .expect("withdrawn job starts on its leases");
+                    self.recycle_vm_buf(ids);
                     self.register_dispatch(now, vc_id, dispatch);
                 }
             }
@@ -870,6 +963,7 @@ impl Platform {
             }
             Placement::Local | Placement::VcVms { .. } => {}
         }
+        self.recycle_stint_buf(stint_vms);
         self.dispatch(now, vc_id);
     }
 
@@ -1043,8 +1137,9 @@ impl Platform {
                 negotiation_rounds: app.negotiation_rounds,
             });
         }
-        let peak_private = self.used_private.max();
-        let peak_cloud = self.used_cloud.max();
+        // Fold the still-pending last observation into the peaks.
+        let peak_private = self.peak_busy_private.max(self.usage_private) as f64;
+        let peak_cloud = self.peak_busy_cloud.max(self.usage_cloud) as f64;
         let mut series = SeriesSet::new();
         series.add(self.used_private);
         series.add(self.used_cloud);

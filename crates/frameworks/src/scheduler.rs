@@ -91,6 +91,13 @@ pub struct DedicatedScheduler<M> {
     jobs: BTreeMap<JobId, Job>,
     queue: VecDeque<JobId>,
     held: BTreeSet<JobId>,
+    /// Ids of jobs currently in [`JobState::Running`]. The `jobs` map is
+    /// append-only (finished jobs stay queryable), so bid computation —
+    /// which scans running jobs on every arrival — must not pay for the
+    /// full history; this index keeps that scan proportional to the
+    /// VC's actual occupancy. No serde default: a snapshot missing the
+    /// index must fail loudly, not deserialize with an empty one.
+    running: BTreeSet<JobId>,
     next_job: u64,
     backfill: bool,
 }
@@ -104,6 +111,7 @@ impl<M: ExecModel> DedicatedScheduler<M> {
             jobs: BTreeMap::new(),
             queue: VecDeque::new(),
             held: BTreeSet::new(),
+            running: BTreeSet::new(),
             next_job: 0,
             backfill: false,
         }
@@ -188,6 +196,18 @@ impl<M: ExecModel> DedicatedScheduler<M> {
             .collect()
     }
 
+    /// Appends up to `limit` idle, unreserved slaves to `out`, in id
+    /// order, without allocating a full listing.
+    pub fn idle_slaves_into(&self, limit: usize, out: &mut Vec<VmId>) {
+        out.extend(
+            self.slaves
+                .iter()
+                .filter(|(_, s)| s.busy.is_none() && !s.reserved)
+                .map(|(&vm, _)| vm)
+                .take(limit),
+        );
+    }
+
     /// Number of idle, unreserved slaves.
     pub fn idle_count(&self) -> u64 {
         self.slaves
@@ -263,7 +283,8 @@ impl<M: ExecModel> DedicatedScheduler<M> {
     fn start_job(&mut self, job_id: JobId, now: SimTime) -> Dispatch {
         let job = self.jobs.get(&job_id).expect("queued job exists");
         let need = job.nb_vms() as usize;
-        let chosen: Vec<VmId> = self.idle_slaves().into_iter().take(need).collect();
+        let mut chosen = Vec::with_capacity(need);
+        self.idle_slaves_into(need, &mut chosen);
         assert_eq!(chosen.len(), need, "dispatch guard must ensure fit");
         self.start_on(job_id, chosen, now)
     }
@@ -301,6 +322,7 @@ impl<M: ExecModel> DedicatedScheduler<M> {
             slave.busy = Some(job_id);
             slave.reserved = false;
         }
+        self.running.insert(job_id);
         Dispatch {
             job: job_id,
             vms: chosen,
@@ -380,6 +402,7 @@ impl<M: ExecModel> DedicatedScheduler<M> {
         };
         job.state = JobState::Done { at: now };
         job.remaining_fraction = 0.0;
+        self.running.remove(&job_id);
         for vm in &vms {
             self.slaves.get_mut(vm).expect("assigned slave exists").busy = None;
         }
@@ -430,6 +453,7 @@ impl<M: ExecModel> DedicatedScheduler<M> {
         job.epoch += 1;
         job.suspensions += 1;
         job.state = JobState::Suspended { since: now };
+        self.running.remove(&job_id);
         for vm in &vms {
             self.slaves.get_mut(vm).expect("assigned slave exists").busy = None;
         }
@@ -528,7 +552,14 @@ impl<M: ExecModel> DedicatedScheduler<M> {
 
     /// Jobs currently running, in id order.
     pub fn running_jobs(&self) -> Vec<&Job> {
-        self.jobs.values().filter(|j| j.is_running()).collect()
+        self.running
+            .iter()
+            .map(|id| {
+                let job = &self.jobs[id];
+                debug_assert!(job.is_running(), "running index out of sync");
+                job
+            })
+            .collect()
     }
 
     /// Number of queued (waiting or suspended-requeued) jobs.

@@ -47,6 +47,14 @@ pub trait Framework {
     /// Idle slaves, deterministic order.
     fn idle_slaves(&self) -> Vec<VmId>;
 
+    /// Appends up to `limit` idle slaves to `out`, in the same
+    /// deterministic order as [`Framework::idle_slaves`]. Lets the
+    /// platform's acquisition hot path reuse a scratch buffer instead of
+    /// collecting a fresh `Vec` per decision.
+    fn idle_slaves_into(&self, limit: usize, out: &mut Vec<VmId>) {
+        out.extend(self.idle_slaves().into_iter().take(limit));
+    }
+
     /// Number of idle slaves.
     fn idle_count(&self) -> u64;
 
@@ -156,6 +164,9 @@ macro_rules! delegate_framework {
             }
             fn idle_slaves(&self) -> Vec<meryn_vmm::VmId> {
                 self.inner.idle_slaves()
+            }
+            fn idle_slaves_into(&self, limit: usize, out: &mut Vec<meryn_vmm::VmId>) {
+                self.inner.idle_slaves_into(limit, out)
             }
             fn idle_count(&self) -> u64 {
                 self.inner.idle_count()

@@ -1,0 +1,163 @@
+//! Engine-throughput measurement: events/second over a scenario's
+//! base-seed runs.
+//!
+//! [`bench_scenario`] runs every expanded variant's headline simulation
+//! once, single-threaded and untimed by the sweep harness, and reports
+//! wall-clock time plus the platform's own event counter. The JSON it
+//! produces (`scenario --bench --json`) is the `BENCH_4.json` artifact;
+//! its timings are machine-dependent, so unlike scenario reports it is
+//! **not** byte-compared across thread counts — only the simulation
+//! outputs are.
+
+use std::io;
+use std::time::Instant;
+
+use meryn_core::Platform;
+use serde::Serialize;
+
+use crate::runner::expand_variants;
+use crate::spec::Scenario;
+
+/// One variant's throughput measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchVariant {
+    /// Axis label, e.g. `"policy=meryn"`.
+    pub label: String,
+    /// Simulation events processed by the run.
+    pub events: u64,
+    /// Wall-clock seconds for the run (enqueue + drain + finalize).
+    pub wall_secs: f64,
+    /// `events / wall_secs`.
+    pub events_per_sec: f64,
+}
+
+/// A scenario's throughput report.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Per-variant measurements, axis order.
+    pub variants: Vec<BenchVariant>,
+    /// Total events across variants.
+    pub total_events: u64,
+    /// Total wall-clock seconds across variants.
+    pub total_wall_secs: f64,
+    /// Aggregate `total_events / total_wall_secs`.
+    pub events_per_sec: f64,
+}
+
+impl BenchReport {
+    /// Serializes to pretty JSON, newline-terminated.
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).expect("bench types are serde-safe");
+        json.push('\n');
+        json
+    }
+
+    /// Renders the human-readable throughput table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "engine throughput — scenario {}", self.scenario);
+        let label_w = self
+            .variants
+            .iter()
+            .map(|v| v.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(7);
+        let _ = writeln!(
+            out,
+            "{:<label_w$} {:>12} {:>10} {:>14}",
+            "variant", "events", "wall [s]", "events/sec"
+        );
+        for v in &self.variants {
+            let _ = writeln!(
+                out,
+                "{:<label_w$} {:>12} {:>10.3} {:>14.0}",
+                v.label, v.events, v.wall_secs, v.events_per_sec
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<label_w$} {:>12} {:>10.3} {:>14.0}",
+            "total", self.total_events, self.total_wall_secs, self.events_per_sec
+        );
+        out
+    }
+}
+
+/// Times every variant's base-seed run of `scenario` once.
+///
+/// Replicas are ignored and no report sections are assembled, but the
+/// platform is configured exactly as [`crate::runner::run_scenario`]
+/// would configure it — including series recording gated on
+/// `outputs.series` — so the measured run is the production one. Wall
+/// clock wraps enqueue + event loop + finalize; workload
+/// materialization is excluded.
+///
+/// # Errors
+/// Only workload materialization can fail (an unreadable `TraceFile`).
+pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
+    let base_seed = scenario.sweep.base_seed;
+    let record_series = scenario.outputs.series;
+    let mut variants_out = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_wall = 0.0f64;
+    for variant in expand_variants(scenario) {
+        let workload = scenario.workload.materialize(&variant.modifier)?;
+        let cfg = variant.cfg.clone().with_seed(base_seed);
+        let start = Instant::now();
+        let report = Platform::new(cfg)
+            .with_series_recording(record_series)
+            .run(&workload);
+        let wall = start.elapsed().as_secs_f64();
+        let events = report.events_processed;
+        total_events += events;
+        total_wall += wall;
+        variants_out.push(BenchVariant {
+            label: variant.label,
+            events,
+            wall_secs: wall,
+            events_per_sec: if wall > 0.0 {
+                events as f64 / wall
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(BenchReport {
+        scenario: scenario.name.clone(),
+        variants: variants_out,
+        total_events,
+        total_wall_secs: total_wall,
+        events_per_sec: if total_wall > 0.0 {
+            total_events as f64 / total_wall
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn bench_counts_events_for_every_variant() {
+        let mut s = catalog::paper();
+        s.sweep.replicas = 0;
+        s.outputs.table1_samples = None;
+        let b = bench_scenario(&s).unwrap();
+        assert_eq!(b.variants.len(), 2);
+        assert!(b.variants.iter().all(|v| v.events > 0));
+        assert_eq!(
+            b.total_events,
+            b.variants.iter().map(|v| v.events).sum::<u64>()
+        );
+        let rendered = b.render();
+        assert!(rendered.contains("events/sec"));
+        assert!(b.to_json().contains("\"total_events\""));
+    }
+}

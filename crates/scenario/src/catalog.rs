@@ -5,8 +5,14 @@
 //! `tests/scenario_roundtrip.rs` byte-compares them, so the files, the
 //! experiment binaries and this catalog can never drift apart.
 
-use meryn_core::config::PlatformConfig;
-use meryn_workloads::PaperWorkloadParams;
+use meryn_core::config::{PlatformConfig, VcConfig};
+use meryn_frameworks::{FrameworkKind, ScalingLaw};
+use meryn_sim::SimDuration;
+use meryn_sla::negotiation::UserStrategy;
+use meryn_sla::VmRate;
+use meryn_vmm::PriceModel;
+use meryn_workloads::generators::{ArrivalProcess, GeneratorConfig, WorkDistribution};
+use meryn_workloads::{PaperWorkloadParams, VcTarget};
 
 use crate::spec::{OutputSpec, Scenario, SweepAxis, SweepSpec, WorkloadSpec};
 
@@ -126,6 +132,77 @@ pub fn no_suspension() -> Scenario {
     }
 }
 
+/// The long-horizon "representative data-center" experiment the paper
+/// leaves as future work: ~100k generated submissions over a simulated
+/// month, diurnal arrivals and cloud pricing, three VCs (two batch, one
+/// MapReduce) on a 40-slot private estate — sized so day peaks overflow
+/// into the cloud. This is also the engine-throughput benchmark target
+/// (`scenario --bench`, `BENCH_4.json`).
+pub fn representative_datacenter() -> Scenario {
+    let mut platform = PlatformConfig::paper("meryn");
+    platform.private_capacity = 40;
+    platform.vcs = vec![
+        VcConfig::batch("batch-a", 18),
+        VcConfig::batch("batch-b", 12),
+        VcConfig::mapreduce("mapred", 10),
+    ];
+    platform.clouds[0].price = PriceModel::Diurnal {
+        base: VmRate::per_vm_second(4),
+        amplitude_pct: 25,
+        period: SimDuration::from_secs(86_400),
+    };
+    // Long jobs (up to 4 h): a 5-minute SLA check cadence is realistic
+    // and keeps the controller from dominating the event stream.
+    platform.controller_check_interval = Some(SimDuration::from_secs(300));
+    Scenario {
+        name: "representative-datacenter".into(),
+        description: "A representative data-center month: 100k Poisson-diurnal submissions \
+                      (heavy-tailed runtimes, 3:1 batch:MapReduce) on a 40-VM private estate \
+                      with a diurnally-priced cloud, meryn vs static — the engine-throughput \
+                      benchmark scenario."
+            .into(),
+        platform,
+        workload: WorkloadSpec::Generated {
+            config: GeneratorConfig {
+                count: 100_000,
+                arrivals: ArrivalProcess::Diurnal {
+                    mean: SimDuration::from_secs(26),
+                    depth: 0.8,
+                    period: SimDuration::from_secs(86_400),
+                },
+                work: WorkDistribution::BoundedPareto {
+                    lo: SimDuration::from_secs(120),
+                    hi: SimDuration::from_secs(14_400),
+                    alpha: 1.3,
+                },
+                nb_vms_choices: vec![1, 1, 1, 2, 4],
+                targets: vec![
+                    (VcTarget::Index(0), 3),
+                    (VcTarget::Index(1), 2),
+                    (VcTarget::Kind(FrameworkKind::MapReduce), 1),
+                ],
+                strategy: UserStrategy::AcceptCheapest,
+                scaling: ScalingLaw::Linear,
+            },
+            seed: 0xDC,
+        },
+        sweep: SweepSpec {
+            replicas: 0,
+            axes: vec![SweepAxis::Policy {
+                values: vec!["meryn".into(), "static".into()],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            summary: true,
+            placements: true,
+            series: false,
+            comparison: true,
+            table1_samples: None,
+        },
+    }
+}
+
 /// Every shipped scenario, as `(file stem, spec)` pairs.
 pub fn shipped() -> Vec<(&'static str, Scenario)> {
     vec![
@@ -133,6 +210,7 @@ pub fn shipped() -> Vec<(&'static str, Scenario)> {
         ("high-load", high_load()),
         ("cheap-cloud", cheap_cloud()),
         ("no-suspension", no_suspension()),
+        ("representative-datacenter", representative_datacenter()),
     ]
 }
 

@@ -12,6 +12,7 @@
 //! |---|---|
 //! | [`spec`] | the serde scenario types: [`Scenario`], [`spec::WorkloadSpec`], [`spec::SweepAxis`], [`spec::OutputSpec`] |
 //! | [`runner`] | [`run_scenario`] → [`runner::ScenarioReport`] (+ human rendering) |
+//! | [`bench`] | [`bench_scenario`] → events/sec over a scenario's base runs (`scenario --bench`) |
 //! | [`catalog`] | the shipped specs behind `scenarios/*.json` |
 //! | [`sweep`] | seed fanout, parallel map, replica aggregation |
 //! | [`paper`] | the paper's fixed fixtures (65-app run, Table 1 micro-scenarios) |
@@ -31,12 +32,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod catalog;
 pub mod paper;
 pub mod runner;
 pub mod spec;
 pub mod sweep;
 
+pub use bench::{bench_scenario, BenchReport};
 pub use paper::{measure_case, paper_range, run_paper, run_paper_with, TABLE1_CASES};
 pub use runner::{run_scenario, ScenarioReport};
 pub use spec::Scenario;

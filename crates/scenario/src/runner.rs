@@ -29,15 +29,15 @@ use crate::sweep::{case_sweep, fanout, ReplicaStats};
 /// One expanded sweep variant: a concrete platform config plus the
 /// workload modifiers its axes selected.
 #[derive(Debug, Clone)]
-struct Variant {
-    label: String,
-    cfg: PlatformConfig,
-    modifier: WorkloadModifier,
+pub(crate) struct Variant {
+    pub(crate) label: String,
+    pub(crate) cfg: PlatformConfig,
+    pub(crate) modifier: WorkloadModifier,
 }
 
 /// Expands the scenario's axes into the variant list (cartesian
 /// product, first axis outermost).
-fn expand_variants(scenario: &Scenario) -> Vec<Variant> {
+pub(crate) fn expand_variants(scenario: &Scenario) -> Vec<Variant> {
     let mut variants = vec![Variant {
         label: String::new(),
         cfg: scenario.platform.clone(),
@@ -315,8 +315,14 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
             ));
         }
     }
+    // Curve recording is costly bookkeeping on long runs; only sample
+    // the used-VM series when the requested outputs actually emit them.
+    // Peaks (the Fig 5 headline numbers) are tracked either way.
+    let record_series = outputs.series;
     let reports: Vec<RunReport> = fanout(jobs, |(cfg, workload)| {
-        Platform::new(cfg).run(workload.iter())
+        Platform::new(cfg)
+            .with_series_recording(record_series)
+            .run(workload.iter())
     });
 
     let per_variant = replicas as usize + usize::from(with_base);

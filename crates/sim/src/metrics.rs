@@ -87,11 +87,16 @@ impl StepSeries {
     }
 
     /// Value of the signal at instant `t`.
+    ///
+    /// When several samples share one instant (possible in
+    /// deserialized series — [`StepSeries::record`] coalesces its own),
+    /// the *last* one wins: only the final value of an instant is
+    /// observable. `binary_search_by` would return an arbitrary match
+    /// among duplicates, so this uses the partition point instead.
     pub fn value_at(&self, t: SimTime) -> f64 {
-        match self.samples.binary_search_by(|s| s.at.cmp(&t)) {
-            Ok(i) => self.samples[i].value,
-            Err(0) => self.initial,
-            Err(i) => self.samples[i - 1].value,
+        match self.samples.partition_point(|s| s.at <= t) {
+            0 => self.initial,
+            i => self.samples[i - 1].value,
         }
     }
 
@@ -357,6 +362,31 @@ mod tests {
         s.record(t(5), 2.0);
         assert_eq!(s.samples().len(), 1);
         assert_eq!(s.value_at(t(5)), 2.0);
+    }
+
+    #[test]
+    fn value_at_duplicate_timestamps_returns_the_last() {
+        // `record` coalesces same-instant samples, but a deserialized
+        // series can carry duplicates; `value_at` must then answer with
+        // the final value of the instant, not an arbitrary match.
+        let json = r#"{
+            "name": "dup",
+            "initial": 0.0,
+            "samples": [
+                { "at": 1000, "value": 1.0 },
+                { "at": 5000, "value": 2.0 },
+                { "at": 5000, "value": 3.0 },
+                { "at": 5000, "value": 4.0 },
+                { "at": 9000, "value": 5.0 }
+            ]
+        }"#;
+        let s: StepSeries = serde_json::from_str(json).expect("series deserializes");
+        assert_eq!(s.samples().len(), 5);
+        assert_eq!(s.value_at(t(5)), 4.0, "last same-instant sample wins");
+        assert_eq!(s.value_at(t(6)), 4.0);
+        assert_eq!(s.value_at(t(1)), 1.0);
+        assert_eq!(s.value_at(t(0)), 0.0);
+        assert_eq!(s.value_at(t(9)), 5.0);
     }
 
     #[test]

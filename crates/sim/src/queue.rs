@@ -1,23 +1,61 @@
-//! The event queue: a time-ordered priority queue with deterministic
-//! FIFO tie-breaking.
+//! The event queue: a time-ordered queue with deterministic FIFO
+//! tie-breaking.
 //!
 //! Determinism matters here: the Meryn protocols are full of events
 //! scheduled at the same instant (e.g. several Cluster Managers answering a
 //! bid request "immediately"). A plain binary heap would pop equal-priority
 //! items in an unspecified order; this queue tags every insertion with a
 //! sequence number so replays are exact.
+//!
+//! # Structure
+//!
+//! Internally this is a two-level **calendar queue** (the standard
+//! discrete-event answer to heap churn) instead of one big binary heap:
+//!
+//! * a **drain buffer** holding the events of the current time tick,
+//!   sorted by `(due, seq)` — popping is a pointer bump, and the common
+//!   same-instant cascade (pop at `now`, push at `now`) appends to its
+//!   tail without any comparisons against unrelated future events;
+//! * a ring of [`NUM_BUCKETS`] **buckets**, each covering one
+//!   [`TICK_MS`]-wide tick of near-future time — pushing is an append,
+//!   and each bucket is sorted once when the clock reaches it;
+//! * a sorted **overflow** level (a binary min-heap) for events beyond
+//!   the bucket horizon (~70 simulated minutes) — bulk workload
+//!   arrivals spread over days land here and migrate into buckets as
+//!   the window slides, so they never tax the per-event hot path.
+//!
+//! Pop order is exactly nondecreasing `(due, seq)` — provably identical
+//! to the previous `BinaryHeap<Scheduled>` implementation (the property
+//! test in `tests/queue_props.rs` checks it against a sorted-`Vec`
+//! reference model across random interleavings).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
-/// A pending event together with its due time.
+/// Width of one calendar tick in milliseconds (a power of two so the
+/// tick of an instant is a shift).
+const TICK_MS: u64 = 1 << TICK_SHIFT;
+const TICK_SHIFT: u32 = 10; // ~1 simulated second
+/// Buckets in the ring (a power of two so the slot of a tick is a
+/// mask). The ring covers `NUM_BUCKETS × TICK_MS` ≈ 70 simulated
+/// minutes of near future.
+const NUM_BUCKETS: usize = 4096;
+const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
+
+/// A pending event together with its due time and insertion tag.
 #[derive(Debug, Clone)]
 struct Scheduled<E> {
     due: SimTime,
     seq: u64,
     event: E,
+}
+
+impl<E> Scheduled<E> {
+    fn tick(&self) -> u64 {
+        // TICK_MS is a power of two, so this is a shift.
+        self.due.as_millis() / TICK_MS
+    }
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -28,15 +66,15 @@ impl<E> PartialEq for Scheduled<E> {
 impl<E> Eq for Scheduled<E> {}
 
 impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (and, within an
-        // instant, the first-inserted) event is popped first.
+        // instant, the first-inserted) event surfaces first.
         other
             .due
             .cmp(&self.due)
@@ -63,9 +101,20 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Pending events with tick ≤ `cursor`, sorted by `(due, seq)`.
+    drain: VecDeque<Scheduled<E>>,
+    /// Pending events with tick in `(cursor, cursor + NUM_BUCKETS)`,
+    /// unsorted within their tick's slot.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Total events across all `buckets`.
+    in_buckets: usize,
+    /// Pending events with tick beyond the bucket window, min-ordered.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Tick of the drain buffer; buckets cover the next ticks.
+    cursor: u64,
     seq: u64,
     now: SimTime,
+    len: usize,
     popped: u64,
 }
 
@@ -79,19 +128,33 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            drain: VecDeque::new(),
+            buckets: std::iter::repeat_with(Vec::new).take(NUM_BUCKETS).collect(),
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+            cursor: 0,
             seq: 0,
             now: SimTime::ZERO,
+            len: 0,
             popped: 0,
         }
     }
 
-    /// Creates an empty queue with capacity for `cap` pending events.
+    /// Creates an empty queue with room for `cap` pending events.
+    ///
+    /// The capacity pre-sizes the far-future level, where bulk-enqueued
+    /// workload arrivals accumulate; near-future buckets grow on demand.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            overflow: BinaryHeap::with_capacity(cap),
             ..Self::new()
         }
+    }
+
+    /// Reserves room for at least `additional` more pending events (see
+    /// [`EventQueue::with_capacity`] for what level this pre-sizes).
+    pub fn reserve(&mut self, additional: usize) {
+        self.overflow.reserve(additional);
     }
 
     /// The current simulation instant: the due time of the most recently
@@ -102,12 +165,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events popped so far (a cheap progress/complexity
@@ -130,7 +193,25 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { due, seq, event });
+        self.len += 1;
+        let sched = Scheduled { due, seq, event };
+        let tick = sched.tick();
+        if tick <= self.cursor {
+            // Into the drain buffer, keeping `(due, seq)` order. The new
+            // event carries the largest seq ever issued, so the upper
+            // bound by due alone is its exact sorted position — and in
+            // the common same-instant cascade that position is the tail.
+            let at = self.drain.partition_point(|s| s.due <= due);
+            self.drain.insert(at, sched);
+        } else if tick - self.cursor < NUM_BUCKETS as u64 {
+            // Strictly inside the window (cursor, cursor + NUM_BUCKETS):
+            // those ticks all have distinct slots, none colliding with
+            // the cursor's own slot.
+            self.buckets[(tick & BUCKET_MASK) as usize].push(sched);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(sched);
+        }
     }
 
     /// Schedules `event` after `delay` from the current instant.
@@ -139,23 +220,95 @@ impl<E> EventQueue<E> {
         self.push(due, event);
     }
 
+    /// Advances `cursor` to the tick of the next pending event and fills
+    /// the drain buffer with that tick's events, in `(due, seq)` order.
+    /// No-op while the drain buffer still holds events.
+    fn ensure_front(&mut self) {
+        if !self.drain.is_empty() || self.len == 0 {
+            return;
+        }
+        loop {
+            if self.in_buckets == 0 {
+                // Nothing in the window: jump the window to the earliest
+                // far-future event and pull in everything it now covers.
+                // The heap pops in (due, seq) order, so the drain buffer
+                // comes out sorted.
+                let top = self.overflow.peek().expect("len > 0 and all else empty");
+                self.cursor = top.tick();
+                let horizon = self.cursor.saturating_add(NUM_BUCKETS as u64);
+                while let Some(top) = self.overflow.peek() {
+                    let tick = top.tick();
+                    if tick >= horizon {
+                        break;
+                    }
+                    let sched = self.overflow.pop().expect("peeked");
+                    if tick == self.cursor {
+                        self.drain.push_back(sched);
+                    } else {
+                        self.buckets[(tick & BUCKET_MASK) as usize].push(sched);
+                        self.in_buckets += 1;
+                    }
+                }
+                debug_assert!(!self.drain.is_empty());
+                return;
+            }
+            // Slide the window one tick; the tick entering it at the far
+            // end may have events waiting in the overflow level.
+            self.cursor += 1;
+            let horizon = self.cursor.saturating_add(NUM_BUCKETS as u64);
+            while let Some(top) = self.overflow.peek() {
+                if top.tick() >= horizon {
+                    break;
+                }
+                let sched = self.overflow.pop().expect("peeked");
+                let slot = (sched.tick() & BUCKET_MASK) as usize;
+                self.buckets[slot].push(sched);
+                self.in_buckets += 1;
+            }
+            let slot = (self.cursor & BUCKET_MASK) as usize;
+            if !self.buckets[slot].is_empty() {
+                let mut batch = std::mem::take(&mut self.buckets[slot]);
+                self.in_buckets -= batch.len();
+                // Stable within equal keys is irrelevant: (due, seq) is
+                // unique, so an unstable sort is exact.
+                batch.sort_unstable_by(|a, b| a.due.cmp(&b.due).then_with(|| a.seq.cmp(&b.seq)));
+                self.drain = batch.into();
+                return;
+            }
+        }
+    }
+
     /// Pops the next event, advancing the clock to its due time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let sched = self.heap.pop()?;
+        self.ensure_front();
+        let sched = self.drain.pop_front()?;
         debug_assert!(sched.due >= self.now);
         self.now = sched.due;
         self.popped += 1;
+        self.len -= 1;
         Some((sched.due, sched.event))
     }
 
     /// Due time of the next pending event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.due)
+    ///
+    /// Takes `&mut self` because it may rotate the calendar window
+    /// forward to locate the next event (pop order is unaffected).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.ensure_front();
+        self.drain.front().map(|s| s.due)
     }
 
     /// Drops every pending event, keeping the clock where it is.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.drain.clear();
+        if self.in_buckets > 0 {
+            for bucket in &mut self.buckets {
+                bucket.clear();
+            }
+        }
+        self.in_buckets = 0;
+        self.overflow.clear();
+        self.len = 0;
     }
 }
 
@@ -251,5 +404,77 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 5);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_level() {
+        // A month-scale spread: far beyond the bucket window, so these
+        // traverse overflow → bucket → drain.
+        let mut q = EventQueue::new();
+        let day = 86_400u64;
+        for d in (0..30).rev() {
+            q.push(SimTime::from_secs(d * day), d);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_instant_burst_in_the_far_future_stays_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(40 * 86_400);
+        for i in 0..50 {
+            q.push(t, i);
+        }
+        q.push(SimTime::from_secs(1), -1);
+        assert_eq!(q.pop().unwrap().1, -1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pushes_into_the_open_tick_keep_order() {
+        // Pop at t, then push events at t and slightly after t that land
+        // in the already-open drain buffer.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5000), "a");
+        q.push(SimTime::from_millis(5003), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::from_millis(5000), "b"); // same instant, later push
+        q.push(SimTime::from_millis(5001), "b2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["b", "b2", "c"]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_the_window_boundary() {
+        // Events exactly at multiples of the window width exercise the
+        // jump + migration paths.
+        let mut q = EventQueue::new();
+        let window_secs = (NUM_BUCKETS as u64 * TICK_MS) / 1000;
+        q.push(SimTime::from_secs(window_secs), 1);
+        q.push(SimTime::from_secs(2 * window_secs), 2);
+        q.push(SimTime::from_secs(3 * window_secs), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_secs(2 * window_secs), 22); // after 2, same instant
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 22);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_accept_bulk_loads() {
+        let mut q = EventQueue::with_capacity(1000);
+        q.reserve(1000);
+        for i in 0..1000u64 {
+            q.push(SimTime::from_secs(i * 3600), i);
+        }
+        assert_eq!(q.len(), 1000);
+        let mut last = 0;
+        while let Some((_, e)) = q.pop() {
+            assert!(e >= last);
+            last = e;
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! The calendar queue against a naive reference model.
+//!
+//! The reference is the obvious correct implementation: an unsorted
+//! `Vec` popped by minimum `(time, insertion-order)`. The calendar
+//! queue must pop in **exactly** the same sequence across random
+//! push/pop interleavings — including same-instant bursts, `push_after`
+//! from a popped instant, and far-future events that traverse the
+//! overflow level.
+
+use meryn_sim::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// The sorted-`Vec` reference: push appends, pop removes the minimum
+/// `(due, seq)` entry.
+#[derive(Default)]
+struct ReferenceQueue {
+    pending: Vec<(u64, u64, u32)>, // (due_ms, seq, id)
+    seq: u64,
+    now: u64,
+}
+
+impl ReferenceQueue {
+    fn push(&mut self, due_ms: u64, id: u32) {
+        assert!(due_ms >= self.now, "reference model scheduling in the past");
+        self.pending.push((due_ms, self.seq, id));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(due, seq, _))| (due, seq))?
+            .0;
+        let (due, _, id) = self.pending.remove(best);
+        self.now = due;
+        Some((due, id))
+    }
+}
+
+/// One scripted operation, interpreted relative to the current clock.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push at `now + delta` ms. Small deltas exercise the drain buffer
+    /// and same-instant FIFO; large ones cross the bucket window into
+    /// the overflow level (the window is ~70 simulated minutes).
+    Push(u64),
+    /// Pop one event.
+    Pop,
+    /// `push_after` from the current (possibly just-popped) instant.
+    PushAfter(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..10, 0u64..400_000_000).prop_map(|(kind, raw)| match kind {
+        0..=2 => Op::Push(raw % 4),      // same-instant bursts
+        3 | 4 => Op::Push(raw % 20_000), // near future (in-window)
+        5 => Op::Push(raw),              // far future (overflow, up to ~4.6 days)
+        6 => Op::PushAfter(raw % 10_000),
+        _ => Op::Pop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The calendar queue pops the exact `(time, insertion-order)`
+    /// sequence of the reference model across random interleavings.
+    #[test]
+    fn calendar_queue_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        let mut next_id = 0u32;
+        for op in ops {
+            match op {
+                Op::Push(delta) => {
+                    let due = q.now() + SimDuration::from_millis(delta);
+                    q.push(due, next_id);
+                    reference.push(due.as_millis(), next_id);
+                    next_id += 1;
+                }
+                Op::PushAfter(delta) => {
+                    q.push_after(SimDuration::from_millis(delta), next_id);
+                    reference.push(q.now().as_millis() + delta, next_id);
+                    next_id += 1;
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    let want = reference.pop();
+                    prop_assert_eq!(
+                        got.map(|(t, id)| (t.as_millis(), id)),
+                        want,
+                        "pop order diverged from the reference model"
+                    );
+                }
+            }
+            prop_assert_eq!(q.len(), reference.pending.len());
+        }
+        // Drain both completely: every remaining event must match too.
+        loop {
+            let got = q.pop();
+            let want = reference.pop();
+            prop_assert_eq!(got.map(|(t, id)| (t.as_millis(), id)), want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Bulk loads (the enqueue-workload pattern): all pushes first, all
+    /// pops after, across the full time range.
+    #[test]
+    fn bulk_enqueue_pops_sorted_and_fifo(
+        deltas in prop::collection::vec(0u64..2_000_000_000, 1..300)
+    ) {
+        let mut q = EventQueue::with_capacity(deltas.len());
+        for (i, &d) in deltas.iter().enumerate() {
+            q.push(SimTime::from_millis(d), i);
+        }
+        let mut expected: Vec<(u64, usize)> = deltas.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(d, i)| (d, i));
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_millis(), i));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+}

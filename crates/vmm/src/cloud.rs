@@ -131,6 +131,11 @@ pub struct PublicCloud {
     speed: f64,
     quota: Option<u64>,
     staged: BTreeSet<ImageId>,
+    /// Leases currently holding resources; maintained as a counter
+    /// because `vms` is append-only history and `can_lease` runs on the
+    /// placement hot path for every arrival. No serde default: a
+    /// snapshot missing the field must fail loudly, not desync.
+    active: u64,
     #[serde(skip, default = "default_rng")]
     rng: SimRng,
 }
@@ -171,6 +176,7 @@ impl PublicCloud {
             speed,
             quota,
             staged: BTreeSet::new(),
+            active: 0,
             rng,
         }
     }
@@ -211,10 +217,15 @@ impl PublicCloud {
 
     /// VMs currently holding resources here.
     pub fn active_count(&self) -> u64 {
-        self.vms
-            .values()
-            .filter(|v| v.state().holds_resources())
-            .count() as u64
+        debug_assert_eq!(
+            self.active,
+            self.vms
+                .values()
+                .filter(|v| v.state().holds_resources())
+                .count() as u64,
+            "active counter out of sync"
+        );
+        self.active
     }
 
     /// VMs currently usable.
@@ -256,6 +267,7 @@ impl PublicCloud {
             now,
         );
         self.vms.insert(id, vm);
+        self.active += 1;
         let rate = self.price.rate_at(now);
         self.lease_rates.insert(id, rate);
         Ok((id, self.provision.sample(&mut self.rng), rate))
@@ -284,6 +296,7 @@ impl PublicCloud {
     pub fn complete_release(&mut self, id: VmId, now: SimTime) -> Result<LeaseClose, VmmError> {
         let vm = self.vms.get_mut(&id).ok_or(VmmError::UnknownVm(id))?;
         vm.complete_stop(now)?;
+        self.active -= 1;
         let rate = self
             .lease_rates
             .remove(&id)

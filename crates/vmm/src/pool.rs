@@ -30,6 +30,14 @@ pub struct PrivatePool {
     boot: LatencyModel,
     stop: LatencyModel,
     speed: f64,
+    /// VMs currently holding resources. The `vms` map is append-only
+    /// (terminated VMs stay queryable), so this is maintained as a
+    /// counter rather than recounted — `active_count` sits on the
+    /// admission/transfer hot path and a scan would grow with the
+    /// *history* of transfers, not the live estate. Serialized like any
+    /// other field (no default): a snapshot missing it predates the
+    /// counter and must fail loudly rather than deserialize desynced.
+    active: u64,
     #[serde(skip, default = "default_rng")]
     rng: SimRng,
 }
@@ -62,6 +70,7 @@ impl PrivatePool {
             boot,
             stop,
             speed,
+            active: 0,
             rng,
         }
     }
@@ -104,10 +113,15 @@ impl PrivatePool {
 
     /// VMs currently holding resources (starting, running or stopping).
     pub fn active_count(&self) -> u64 {
-        self.vms
-            .values()
-            .filter(|v| v.state().holds_resources())
-            .count() as u64
+        debug_assert_eq!(
+            self.active,
+            self.vms
+                .values()
+                .filter(|v| v.state().holds_resources())
+                .count() as u64,
+            "active counter out of sync"
+        );
+        self.active
     }
 
     /// VMs currently usable by frameworks.
@@ -162,6 +176,7 @@ impl PrivatePool {
             now,
         );
         self.vms.insert(id, vm);
+        self.active += 1;
         Ok((id, self.boot.sample(&mut self.rng)))
     }
 
@@ -194,6 +209,7 @@ impl PrivatePool {
             .find(|n| n.id == node_id)
             .expect("VM's node must exist");
         node.release(spec);
+        self.active -= 1;
         Ok(())
     }
 }

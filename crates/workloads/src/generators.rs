@@ -176,62 +176,124 @@ impl GeneratorConfig {
     }
 }
 
-/// Generates a workload from `cfg` with the given seed.
-pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Vec<Submission> {
-    assert!(
-        !cfg.nb_vms_choices.is_empty(),
-        "need at least one VM choice"
-    );
-    assert!(!cfg.targets.is_empty(), "need at least one target");
-    let rng = SimRng::new(seed);
-    let mut arrival_rng = rng.fork(1);
-    let mut work_rng = rng.fork(2);
-    let mut pick_rng = rng.fork(3);
+/// Default batch size of [`generate_chunks`] / [`GeneratedChunks`]:
+/// large enough to amortize per-batch overheads, small enough that a
+/// streaming consumer (e.g. `Platform::enqueue_workload`) never holds
+/// more than a sliver of a 100k-submission workload in flight.
+pub const DEFAULT_CHUNK: usize = 4096;
 
-    // Weighted target cycle.
-    let mut cycle: Vec<VcTarget> = Vec::new();
-    for &(t, w) in &cfg.targets {
-        for _ in 0..w.max(1) {
-            cycle.push(t);
+/// A streaming, batched workload generator.
+///
+/// Yields the workload of [`generate`] in [`Self::chunk_len`]-sized
+/// `Vec<Submission>` batches — **byte-for-byte the same submissions in
+/// the same order**, whatever the chunk size (the RNG streams advance
+/// per item, batching only affects buffering). Arrival times are
+/// nondecreasing by construction, so the concatenation of the chunks is
+/// already sorted by arrival.
+pub struct GeneratedChunks {
+    cfg: GeneratorConfig,
+    chunk_len: usize,
+    produced: usize,
+    arrival_rng: SimRng,
+    work_rng: SimRng,
+    pick_rng: SimRng,
+    cycle: Vec<VcTarget>,
+    now: SimTime,
+    burst_pos: u32,
+}
+
+impl GeneratedChunks {
+    /// Starts the stream for `cfg` and `seed`, batching `chunk_len`
+    /// submissions at a time (0 is treated as 1).
+    pub fn new(cfg: &GeneratorConfig, seed: u64, chunk_len: usize) -> Self {
+        assert!(
+            !cfg.nb_vms_choices.is_empty(),
+            "need at least one VM choice"
+        );
+        assert!(!cfg.targets.is_empty(), "need at least one target");
+        let rng = SimRng::new(seed);
+        // Weighted target cycle.
+        let mut cycle: Vec<VcTarget> = Vec::new();
+        for &(t, w) in &cfg.targets {
+            for _ in 0..w.max(1) {
+                cycle.push(t);
+            }
+        }
+        GeneratedChunks {
+            cfg: cfg.clone(),
+            chunk_len: chunk_len.max(1),
+            produced: 0,
+            arrival_rng: rng.fork(1),
+            work_rng: rng.fork(2),
+            pick_rng: rng.fork(3),
+            cycle,
+            now: SimTime::ZERO,
+            burst_pos: 0,
         }
     }
 
-    let mut now = SimTime::ZERO;
-    let mut burst_pos = 0u32;
-    let mut subs = Vec::with_capacity(cfg.count);
-    for i in 0..cfg.count {
+    /// The configured batch size.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Submissions not yet produced.
+    pub fn remaining(&self) -> usize {
+        self.cfg.count - self.produced
+    }
+
+    /// Flattens the stream into single submissions with an exact
+    /// `size_hint`, for direct feeding into `enqueue_workload`.
+    pub fn submissions(self) -> impl Iterator<Item = Submission> {
+        let total = self.remaining();
+        let mut chunks = self;
+        let mut current: std::vec::IntoIter<Submission> = Vec::new().into_iter();
+        (0..total).map(move |_| loop {
+            if let Some(sub) = current.next() {
+                return sub;
+            }
+            current = chunks
+                .next()
+                .expect("remaining() counted these")
+                .into_iter();
+        })
+    }
+
+    fn next_submission(&mut self) -> Submission {
+        let cfg = &self.cfg;
         let gap = match cfg.arrivals {
             ArrivalProcess::Fixed(d) => d,
-            ArrivalProcess::Poisson { mean } => arrival_rng.exponential(mean),
+            ArrivalProcess::Poisson { mean } => self.arrival_rng.exponential(mean),
             ArrivalProcess::Diurnal {
                 mean,
                 depth,
                 period,
             } => {
                 assert!((0.0..1.0).contains(&depth), "diurnal depth out of range");
-                let phase = (now.as_millis() % period.as_millis().max(1)) as f64
+                let phase = (self.now.as_millis() % period.as_millis().max(1)) as f64
                     / period.as_millis().max(1) as f64;
                 let factor = 1.0 + depth * (std::f64::consts::TAU * phase).sin();
-                arrival_rng.exponential(mean.scale(1.0 / factor.max(1e-6)))
+                self.arrival_rng
+                    .exponential(mean.scale(1.0 / factor.max(1e-6)))
             }
             ArrivalProcess::Bursty {
                 burst_len,
                 fast,
                 idle,
             } => {
-                burst_pos += 1;
-                if burst_pos >= burst_len.max(1) {
-                    burst_pos = 0;
+                self.burst_pos += 1;
+                if self.burst_pos >= burst_len.max(1) {
+                    self.burst_pos = 0;
                     idle
                 } else {
                     fast
                 }
             }
         };
-        now += gap;
-        let work = cfg.work.sample(&mut work_rng);
-        let nb_vms = cfg.nb_vms_choices[pick_rng.index(cfg.nb_vms_choices.len())];
-        let target = cycle[i % cycle.len()];
+        self.now += gap;
+        let work = cfg.work.sample(&mut self.work_rng);
+        let nb_vms = cfg.nb_vms_choices[self.pick_rng.index(cfg.nb_vms_choices.len())];
+        let target = self.cycle[self.produced % self.cycle.len()];
         let spec = match target {
             VcTarget::Kind(FrameworkKind::MapReduce) => JobSpec::MapReduce {
                 // Split the work volume into map tasks plus a 20% reduce
@@ -249,7 +311,48 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Vec<Submission> {
                 scaling: cfg.scaling,
             },
         };
-        subs.push(Submission::new(now, target, spec, cfg.strategy));
+        self.produced += 1;
+        Submission::new(self.now, target, spec, cfg.strategy)
+    }
+}
+
+impl Iterator for GeneratedChunks {
+    type Item = Vec<Submission>;
+
+    fn next(&mut self) -> Option<Vec<Submission>> {
+        if self.produced >= self.cfg.count {
+            return None;
+        }
+        let n = self.chunk_len.min(self.cfg.count - self.produced);
+        let mut chunk = Vec::with_capacity(n);
+        for _ in 0..n {
+            chunk.push(self.next_submission());
+        }
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let chunks = self.remaining().div_ceil(self.chunk_len);
+        (chunks, Some(chunks))
+    }
+}
+
+/// Streams the workload of `generate(cfg, seed)` in `chunk_len`-sized
+/// batches (see [`GeneratedChunks`]).
+pub fn generate_chunks(cfg: &GeneratorConfig, seed: u64, chunk_len: usize) -> GeneratedChunks {
+    GeneratedChunks::new(cfg, seed, chunk_len)
+}
+
+/// Generates a workload from `cfg` with the given seed.
+///
+/// Implemented over the batched [`GeneratedChunks`] stream; the output
+/// is identical for every chunk size, and arrival times come out
+/// nondecreasing (the final sort is a formality for consumers that
+/// require the [`sort_by_arrival`] contract).
+pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Vec<Submission> {
+    let mut subs = Vec::with_capacity(cfg.count);
+    for chunk in generate_chunks(cfg, seed, DEFAULT_CHUNK) {
+        subs.extend(chunk);
     }
     sort_by_arrival(subs)
 }
@@ -330,6 +433,40 @@ mod tests {
         let cfg = GeneratorConfig::datacenter(100, SimDuration::from_secs(5));
         assert_eq!(generate(&cfg, 42), generate(&cfg, 42));
         assert_ne!(generate(&cfg, 42), generate(&cfg, 43));
+    }
+
+    #[test]
+    fn chunked_generation_is_chunk_size_invariant() {
+        let cfg = GeneratorConfig::datacenter(257, SimDuration::from_secs(5));
+        let whole = generate(&cfg, 9);
+        for chunk_len in [1usize, 7, 64, 256, 257, 1000] {
+            let rebuilt: Vec<Submission> = generate_chunks(&cfg, 9, chunk_len).flatten().collect();
+            assert_eq!(
+                rebuilt, whole,
+                "chunk_len={chunk_len} must not change output"
+            );
+        }
+        // Chunk boundaries land where configured.
+        let sizes: Vec<usize> = generate_chunks(&cfg, 9, 100).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![100, 100, 57]);
+    }
+
+    #[test]
+    fn flattened_stream_matches_and_sizes_exactly() {
+        let cfg = GeneratorConfig::datacenter(73, SimDuration::from_secs(3));
+        let whole = generate(&cfg, 4);
+        let stream = generate_chunks(&cfg, 4, 10).submissions();
+        assert_eq!(stream.size_hint(), (73, Some(73)));
+        let collected: Vec<Submission> = stream.collect();
+        assert_eq!(collected, whole);
+    }
+
+    #[test]
+    fn generated_arrivals_are_already_sorted() {
+        // The sort in `generate` must be a no-op: gaps are nonnegative.
+        let cfg = GeneratorConfig::datacenter(500, SimDuration::from_secs(2));
+        let subs = generate(&cfg, 21);
+        assert!(subs.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]
