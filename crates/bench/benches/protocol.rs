@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meryn_core::app::{AppPhase, Application};
 use meryn_core::bidding::BidRequest;
-use meryn_core::cluster_manager::VirtualCluster;
+use meryn_core::cluster_manager::{VcView, VirtualCluster};
 use meryn_core::policy::{self, StandardBidding};
 use meryn_core::protocol::select_resources;
 use meryn_core::{AppId, Placement, VcId};
@@ -104,10 +104,16 @@ fn fixture(
     (vcs, apps, vec![cloud])
 }
 
+/// One shard view per VC, every view over the shared app map.
+fn views<'a>(vcs: &'a [VirtualCluster], apps: &'a BTreeMap<AppId, Application>) -> Vec<VcView<'a>> {
+    vcs.iter().map(|vc| VcView { vc, apps }).collect()
+}
+
 fn bench_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1_select_resources");
     for &n_vcs in &[2usize, 4, 8, 16] {
         let (vcs, apps, clouds) = fixture(n_vcs, 25);
+        let shards = views(&vcs, &apps);
         group.bench_with_input(BenchmarkId::new("vcs", n_vcs), &n_vcs, |b, _| {
             let meryn = policy::placement("meryn").expect("registered");
             b.iter(|| {
@@ -115,8 +121,7 @@ fn bench_select(c: &mut Criterion) {
                     meryn.as_ref(),
                     &StandardBidding,
                     VcId(0),
-                    &vcs,
-                    &apps,
+                    &shards,
                     &clouds,
                     BidRequest {
                         nb_vms: 1,
@@ -133,6 +138,7 @@ fn bench_select(c: &mut Criterion) {
 
 fn bench_static_vs_meryn(c: &mut Criterion) {
     let (vcs, apps, clouds) = fixture(4, 25);
+    let shards = views(&vcs, &apps);
     let mut group = c.benchmark_group("policy_decision_cost");
     for mode in ["meryn", "static"] {
         group.bench_with_input(BenchmarkId::new("mode", mode), &mode, |b, &mode| {
@@ -142,8 +148,7 @@ fn bench_static_vs_meryn(c: &mut Criterion) {
                     placement.as_ref(),
                     &StandardBidding,
                     VcId(0),
-                    &vcs,
-                    &apps,
+                    &shards,
                     &clouds,
                     BidRequest {
                         nb_vms: 1,

@@ -14,7 +14,7 @@ use meryn_sla::negotiation::{negotiate, NegotiationFailure, UserStrategy};
 use meryn_sla::{SlaContract, SlaTerms};
 use meryn_workloads::{Submission, VcTarget};
 
-use crate::cluster_manager::{VcQuoter, VirtualCluster};
+use crate::cluster_manager::{VcQuoter, VcView};
 use crate::ids::VcId;
 
 /// Why a submission could not be admitted.
@@ -46,19 +46,19 @@ impl fmt::Display for AdmissionError {
 impl std::error::Error for AdmissionError {}
 
 /// Resolves a submission's routing target to a VC id.
-pub fn route(target: VcTarget, vcs: &[VirtualCluster]) -> Result<VcId, AdmissionError> {
+pub fn route(target: VcTarget, shards: &[VcView<'_>]) -> Result<VcId, AdmissionError> {
     match target {
         VcTarget::Index(i) => {
-            if i < vcs.len() {
+            if i < shards.len() {
                 Ok(VcId(i))
             } else {
                 Err(AdmissionError::UnknownVc(i))
             }
         }
-        VcTarget::Kind(kind) => vcs
+        VcTarget::Kind(kind) => shards
             .iter()
-            .find(|vc| vc.kind == kind)
-            .map(|vc| vc.id)
+            .find(|s| s.vc.kind == kind)
+            .map(|s| s.vc.id)
             .ok_or(AdmissionError::NoVcForKind),
     }
 }
@@ -67,15 +67,15 @@ pub fn route(target: VcTarget, vcs: &[VirtualCluster]) -> Result<VcId, Admission
 /// (possibly re-allocated) job spec and the signed contract.
 pub fn admit(
     sub: &Submission,
-    vcs: &[VirtualCluster],
+    shards: &[VcView<'_>],
     now: SimTime,
     quote_speed: f64,
     allowance: SimDuration,
     max_rounds: u32,
     max_vms: u64,
 ) -> Result<(VcId, JobSpec, SlaContract, u32), AdmissionError> {
-    let vc_id = route(sub.target, vcs)?;
-    let vc = &vcs[vc_id.0];
+    let vc_id = route(sub.target, shards)?;
+    let vc = shards[vc_id.0].vc;
     if sub.spec.type_name() != vc.kind.type_name() {
         return Err(AdmissionError::TypeMismatch);
     }
@@ -103,10 +103,21 @@ pub fn default_strategy() -> UserStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster_manager::VirtualCluster;
     use meryn_frameworks::{BatchFramework, FrameworkKind, MapReduceFramework, ScalingLaw};
     use meryn_sla::pricing::PricingParams;
     use meryn_sla::{Money, VmRate};
     use meryn_vmm::ImageId;
+
+    fn views(vcs: &[VirtualCluster]) -> Vec<VcView<'_>> {
+        // Tests negotiate only; an empty shared app map per view is fine.
+        use std::collections::BTreeMap;
+        use std::sync::OnceLock;
+        static EMPTY: OnceLock<BTreeMap<crate::ids::AppId, crate::app::Application>> =
+            OnceLock::new();
+        let apps = EMPTY.get_or_init(BTreeMap::new);
+        vcs.iter().map(|vc| VcView { vc, apps }).collect()
+    }
 
     fn vcs() -> Vec<VirtualCluster> {
         let pricing = PricingParams::new(VmRate::per_vm_second(4), 1);
@@ -141,13 +152,14 @@ mod tests {
     #[test]
     fn route_by_index_and_kind() {
         let vcs = vcs();
-        assert_eq!(route(VcTarget::Index(1), &vcs), Ok(VcId(1)));
+        let views = views(&vcs);
+        assert_eq!(route(VcTarget::Index(1), &views), Ok(VcId(1)));
         assert_eq!(
-            route(VcTarget::Kind(FrameworkKind::MapReduce), &vcs),
+            route(VcTarget::Kind(FrameworkKind::MapReduce), &views),
             Ok(VcId(1))
         );
         assert_eq!(
-            route(VcTarget::Index(5), &vcs),
+            route(VcTarget::Index(5), &views),
             Err(AdmissionError::UnknownVc(5))
         );
     }
@@ -156,7 +168,7 @@ mod tests {
     fn route_missing_kind_fails() {
         let vcs: Vec<VirtualCluster> = vcs().into_iter().take(1).collect();
         assert_eq!(
-            route(VcTarget::Kind(FrameworkKind::MapReduce), &vcs),
+            route(VcTarget::Kind(FrameworkKind::MapReduce), &views(&vcs)),
             Err(AdmissionError::NoVcForKind)
         );
     }
@@ -172,7 +184,7 @@ mod tests {
         );
         let (vc, spec, contract, rounds) = admit(
             &sub,
-            &vcs,
+            &views(&vcs),
             SimTime::from_secs(5),
             1550.0 / 1670.0,
             SimDuration::from_secs(84),
@@ -199,7 +211,7 @@ mod tests {
         );
         let err = admit(
             &sub,
-            &vcs,
+            &views(&vcs),
             SimTime::ZERO,
             1.0,
             SimDuration::from_secs(84),
@@ -224,7 +236,7 @@ mod tests {
         );
         let err = admit(
             &sub,
-            &vcs,
+            &views(&vcs),
             SimTime::ZERO,
             1.0,
             SimDuration::from_secs(84),

@@ -17,6 +17,23 @@ use meryn_vmm::{ImageId, Location, VmId};
 
 use crate::ids::{AppId, VcId};
 
+/// A read-only window onto one VC shard: the cluster and the
+/// applications it hosts.
+///
+/// This is the *shard context* the scheduling entry points
+/// ([`crate::client_manager::admit`], [`crate::protocol::select_resources`],
+/// [`crate::policy::PlacementContext`]) receive instead of whole-platform
+/// borrows: each shard owns its `VirtualCluster` and its application map,
+/// and a decision that spans shards (routing, bidding) sees exactly one
+/// view per shard, in `VcId` order.
+#[derive(Clone, Copy)]
+pub struct VcView<'a> {
+    /// The shard's cluster (framework, slaves, pricing).
+    pub vc: &'a VirtualCluster,
+    /// The applications hosted by this shard, by id.
+    pub apps: &'a std::collections::BTreeMap<crate::ids::AppId, crate::app::Application>,
+}
+
 /// Billing metadata the VC keeps for each of its slave VMs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlaveMeta {

@@ -1,0 +1,210 @@
+//! The typed messages shards send to the shared fabric.
+//!
+//! A [`crate::engine::VcShard`] never touches the private pool, the
+//! cloud market, the billing ledger or the usage metrics directly:
+//! everything it wants from the shared world is emitted as an
+//! [`Effect`] tagged with an [`EffectKey`]. The executor applies the
+//! collected effects of one time step sequentially in canonical
+//! `(due, vc_id, seq)` order — so however the per-shard processing was
+//! scheduled across worker threads, the fabric always observes one and
+//! the same mutation sequence. The property test
+//! `crates/core/tests/effect_order.rs` pins this down: any emission
+//! interleaving of a fixed effect set, canonically ordered, produces
+//! identical ledger and pool states.
+
+use meryn_sim::SimTime;
+use meryn_sla::VmRate;
+use meryn_vmm::{CloudId, Location, VmId};
+
+use crate::events::Event;
+use crate::ids::{AppId, VcId};
+
+/// Canonical ordering key of an effect: the `(due, vc_id, seq)` tag —
+/// the instant it belongs to, the emitting shard and the global
+/// sequence number of the originating event.
+///
+/// Derived `Ord` is the canonical application order. Sequence tags are
+/// globally unique (one counter feeds every queue), so ordering by
+/// `(due, seq)` totally orders effects of *different* events — which
+/// makes the canonical order exactly the global event schedule the
+/// pre-shard monolith walked, with `vc` carried for provenance and
+/// per-shard grouping. Effects of one event share a full key and apply
+/// in emission order (stable sort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EffectKey {
+    /// The simulation instant the effect was emitted at.
+    pub due: SimTime,
+    /// Global sequence tag of the event whose handler emitted this.
+    pub seq: u64,
+    /// The emitting shard.
+    pub vc: VcId,
+}
+
+/// One fabric-directed message from a shard's event handler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Bill the interval `[from, now)` on `vm` at `rate` (the shard has
+    /// already added the — purely computable — amount to its
+    /// application's cost; the ledger records the entry).
+    Charge {
+        /// The VM used.
+        vm: VmId,
+        /// Where it ran.
+        location: Location,
+        /// Interval start (the stint's dispatch instant).
+        from: SimTime,
+        /// Rate applied.
+        rate: VmRate,
+    },
+    /// Adjust the busy-VM counters by the given deltas and sample the
+    /// used-VM curves. Within one instant these commute: only the net
+    /// value an instant settles on is observable (same-instant samples
+    /// coalesce).
+    Usage {
+        /// Signed change in busy private VMs.
+        private_delta: i64,
+        /// Signed change in busy cloud VMs.
+        cloud_delta: i64,
+    },
+    /// Schedule a follow-up event. The executor assigns the global
+    /// sequence tag and routes it to the owning queue.
+    Schedule {
+        /// Absolute due instant.
+        due: SimTime,
+        /// The event to route.
+        event: Event,
+    },
+    /// Begin releasing leased cloud VMs a finished application held
+    /// (§3.5 tear-down). Drawing the release latencies is fabric work —
+    /// the cloud's RNG stream must be consumed in canonical order.
+    ReleaseCloud {
+        /// The cloud the leases came from.
+        cloud: CloudId,
+        /// The VMs to release, in stint order.
+        vms: Vec<VmId>,
+    },
+    /// Begin returning borrowed private VMs to the lending VC (§3.4
+    /// give-back): stop each VM at the borrower, then reboot it with the
+    /// lender's image and requeue the suspended victim.
+    ReturnVms {
+        /// The lending VC.
+        src: VcId,
+        /// The suspended application awaiting its VMs.
+        victim: AppId,
+        /// The VMs to give back, in stint order.
+        vms: Vec<VmId>,
+    },
+    /// An Application Controller check's findings. The *verdict* is
+    /// computed shard-side (it reads only the app's contract and
+    /// times); acting on it — escalating to a cloud, marking the
+    /// violation, re-arming the check — needs fabric and queue access,
+    /// so the executor applies it.
+    ControllerVerdict {
+        /// The monitored application.
+        app: AppId,
+        /// Whether the check wants corrective action.
+        needs_attention: bool,
+        /// Whether the SLA is already violated.
+        violated: bool,
+    },
+}
+
+/// An effect with its canonical key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedEffect {
+    /// Canonical application key.
+    pub key: EffectKey,
+    /// The message.
+    pub effect: Effect,
+}
+
+/// The shard-side collector: emits effects under the key of the event
+/// currently being handled.
+///
+/// Keys in one sink are nondecreasing (a shard handles its slice of a
+/// batch in global seq order); the executor merges the per-shard sinks
+/// of one time step with a stable sort on [`EffectKey`], which both
+/// restores the cross-shard `(due, seq)` schedule order and preserves
+/// each event's emission order.
+#[derive(Debug)]
+pub struct EffectSink {
+    key: EffectKey,
+    items: Vec<SequencedEffect>,
+}
+
+impl EffectSink {
+    /// Creates a sink for the given instant and shard.
+    pub fn new(due: SimTime, vc: VcId, seq: u64) -> Self {
+        Self::with_buffer(due, vc, seq, Vec::new())
+    }
+
+    /// Like [`EffectSink::new`], but collecting into a recycled buffer
+    /// (the executor pools these to keep the batch loop allocation-free
+    /// in steady state).
+    pub fn with_buffer(due: SimTime, vc: VcId, seq: u64, buf: Vec<SequencedEffect>) -> Self {
+        debug_assert!(buf.is_empty(), "recycled sink buffers arrive cleared");
+        EffectSink {
+            key: EffectKey { due, vc, seq },
+            items: buf,
+        }
+    }
+
+    /// Re-keys the sink for the next event of the batch.
+    pub(crate) fn set_seq(&mut self, seq: u64) {
+        debug_assert!(seq >= self.key.seq || self.items.is_empty());
+        self.key.seq = seq;
+    }
+
+    /// Emits one effect under the current key.
+    pub fn emit(&mut self, effect: Effect) {
+        self.items.push(SequencedEffect {
+            key: self.key,
+            effect,
+        });
+    }
+
+    /// The collected effects, emission order (== canonical order within
+    /// one shard's slice of a batch).
+    pub fn into_effects(self) -> Vec<SequencedEffect> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_is_due_then_global_seq() {
+        let k = |due: u64, vc: usize, seq: u64| EffectKey {
+            due: SimTime::from_secs(due),
+            vc: VcId(vc),
+            seq,
+        };
+        // Seqs are globally unique, so within an instant the canonical
+        // order is the global schedule order, shards interleaved.
+        let mut keys = vec![k(2, 0, 9), k(1, 1, 8), k(1, 0, 7), k(1, 0, 3)];
+        keys.sort();
+        assert_eq!(keys, vec![k(1, 0, 3), k(1, 0, 7), k(1, 1, 8), k(2, 0, 9)]);
+        assert!(k(1, 1, 4) < k(1, 0, 5), "lower seq wins across shards");
+    }
+
+    #[test]
+    fn sink_tags_emissions_with_the_current_seq() {
+        let mut sink = EffectSink::new(SimTime::from_secs(1), VcId(2), 10);
+        sink.emit(Effect::Usage {
+            private_delta: 1,
+            cloud_delta: 0,
+        });
+        sink.set_seq(11);
+        sink.emit(Effect::Usage {
+            private_delta: -1,
+            cloud_delta: 0,
+        });
+        let effects = sink.into_effects();
+        assert_eq!(effects[0].key.seq, 10);
+        assert_eq!(effects[1].key.seq, 11);
+        assert_eq!(effects[0].key.vc, VcId(2));
+        assert!(effects[0].key <= effects[1].key);
+    }
+}

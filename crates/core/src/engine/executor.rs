@@ -1,0 +1,1008 @@
+//! The sharded executor: one control plane, N shard state machines,
+//! one canonical effect stream.
+//!
+//! # Execution model
+//!
+//! Every event carries a globally-unique `(due, seq)` key handed out by
+//! one counter; the control queue and the per-shard queues are merged
+//! by that key ([`meryn_sim::earliest_key`]), so the *schedule* is a
+//! single total order — the same one the pre-shard monolith walked.
+//!
+//! Control events (arrivals, VM-lifecycle choreography) are processed
+//! sequentially: they read cross-shard state (Algorithm 1 consults
+//! every VC's bids) and consume shared RNG streams, so their order *is*
+//! their semantics. Shard events (framework hand-off, job completion,
+//! SLA checks) are the hot path — and they only touch their own shard.
+//! Per time step the executor drains the maximal run of same-instant
+//! shard events up to the next control event, groups it by shard,
+//! processes the groups — **in parallel through the rayon shim when the
+//! run spans shards and is big enough to pay for the fan-out** — and
+//! then applies the collected [`Effect`]s sequentially in canonical
+//! `(due, vc_id, seq)`-keyed order: a stable sort on the keys, whose
+//! globally-unique `seq` makes the application order the exact global
+//! schedule order the pre-shard monolith walked.
+//!
+//! Thread-count independence is structural: shard groups share no
+//! state, group processing is deterministic per shard, and the
+//! canonical effect order never depends on which worker finished
+//! first. The same argument makes the batched loop equivalent to the
+//! one-event-at-a-time [`ShardExecutor::step`] path: shard handlers
+//! read no fabric state and no state that effect application writes
+//! (the one exception — an SLA check that may escalate to the cloud
+//! market — is routed to the control plane instead of a shard), so
+//! deferring a run's effects to its barrier and replaying them in
+//! schedule order produces the identical mutation sequence.
+
+use std::sync::Arc;
+
+use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, MapReduceFramework};
+use meryn_sim::metrics::SeriesSet;
+use meryn_sim::{earliest_key, EventQueue, SimDuration, SimRng, SimTime};
+use meryn_sla::pricing::PricingParams;
+use meryn_sla::{AppTimes, Money};
+use meryn_vmm::{CloudId, ImageRegistry, Location, PrivatePool, PublicCloud, VmId};
+use meryn_workloads::Submission;
+use rayon::prelude::*;
+
+use crate::app::{AppPhase, Application};
+use crate::bidding::BidRequest;
+use crate::client_manager::admit;
+use crate::cluster_manager::{VcView, VirtualCluster};
+use crate::config::PlatformConfig;
+use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
+use crate::engine::fabric::SharedFabric;
+use crate::engine::shard::{Lending, PendingAcquisition, VcShard};
+use crate::events::{Event, EventOwner};
+use crate::ids::{AppId, Placement, VcId};
+use crate::policy::{self, BiddingPolicy, PlacementPolicy};
+use crate::protocol::{select_resources, Decision, ProtocolParams};
+use crate::report::{AppRecord, RunReport};
+
+/// One shard's drained slice of a same-instant run: `(seq, event)`
+/// pairs in global seq order.
+type RunSlice = Vec<(u64, Event)>;
+
+/// Minimum number of same-instant shard events (across ≥ 2 shards)
+/// before a run is fanned out to worker threads. Below this the scoped
+/// thread spawn costs more than the work; the sequential path walks the
+/// identical per-shard groups, so results do not depend on the gate.
+const PARALLEL_RUN_MIN_EVENTS: usize = 24;
+
+/// The assembled engine: shards + fabric + control plane.
+pub struct ShardExecutor {
+    pub(crate) cfg: PlatformConfig,
+    placement: Arc<dyn PlacementPolicy>,
+    bidding: Arc<dyn BiddingPolicy>,
+    /// One shard per deployed VC, `VcId` order.
+    pub(crate) shards: Vec<VcShard>,
+    /// The shared singletons.
+    pub(crate) fabric: SharedFabric,
+    /// Order-sensitive events: arrivals and fabric choreography.
+    control: EventQueue<Event>,
+    /// The global sequence counter all queues share.
+    next_seq: u64,
+    now: SimTime,
+    /// `AppId → VcId`, appended at admission (AppIds are dense).
+    app_vc: Vec<VcId>,
+    next_app: u64,
+    /// Recycled scratch for fabric-apply follow-up events.
+    scratch_out: Vec<(SimTime, Event)>,
+    /// Recycled per-shard event-run buffers (the batch loop's inputs).
+    event_bufs: Vec<RunSlice>,
+    /// Recycled effect buffers (the batch loop's outputs).
+    effect_bufs: Vec<Vec<SequencedEffect>>,
+    /// Recycled merge buffer for one batch's canonical effect stream.
+    effect_gather: Vec<SequencedEffect>,
+    /// Same-instant runs wide enough to fan out to worker threads.
+    parallel_runs: u64,
+}
+
+impl ShardExecutor {
+    /// Deploys the platform described by `cfg`: boots the initial VC
+    /// slaves on the private pool (deployment precedes the workload, so
+    /// initial VMs come up instantly at t = 0) and pre-stages every
+    /// framework image in every cloud (§3.5).
+    pub fn new(cfg: PlatformConfig) -> Self {
+        cfg.validate();
+        let placement = policy::placement(&cfg.policy).expect("validated policy resolves");
+        let bidding = policy::bidding(&cfg.bidding).expect("validated bidding policy resolves");
+        let master = SimRng::new(cfg.seed);
+        let mut pool = PrivatePool::with_vm_capacity(
+            cfg.private_capacity,
+            cfg.vm_spec,
+            cfg.latencies.transfer_boot,
+            cfg.latencies.transfer_stop,
+            1.0,
+            master.fork(1),
+        );
+        let mut images = ImageRegistry::new();
+        let pricing =
+            PricingParams::new(cfg.vm_price, cfg.penalty_factor).with_bound(cfg.penalty_bound);
+
+        let mut vcs: Vec<VirtualCluster> = Vec::with_capacity(cfg.vcs.len());
+        for (i, vc_cfg) in cfg.vcs.iter().enumerate() {
+            let image = images.register(format!("{}-image", vc_cfg.name), 4096);
+            let framework: Box<dyn Framework> = match vc_cfg.kind {
+                FrameworkKind::Batch => {
+                    if vc_cfg.backfill {
+                        Box::new(BatchFramework::with_backfill())
+                    } else {
+                        Box::new(BatchFramework::new())
+                    }
+                }
+                FrameworkKind::MapReduce => Box::new(MapReduceFramework::with_locality_penalty(
+                    vc_cfg.locality_penalty_pct,
+                )),
+            };
+            vcs.push(VirtualCluster::new(
+                VcId(i),
+                vc_cfg.name.clone(),
+                vc_cfg.kind,
+                image,
+                framework,
+                pricing,
+            ));
+        }
+
+        let mut clouds = Vec::with_capacity(cfg.clouds.len());
+        for (i, c) in cfg.clouds.iter().enumerate() {
+            let mut cloud = PublicCloud::new(
+                CloudId(i as u16),
+                c.name.clone(),
+                c.price.clone(),
+                cfg.latencies.cloud_provision,
+                cfg.latencies.cloud_release,
+                c.speed,
+                c.quota,
+                master.fork(100 + i as u64),
+            );
+            for vc in &vcs {
+                cloud.stage_image(vc.image);
+            }
+            clouds.push(cloud);
+        }
+
+        // Initial deployment: boot each VC's share instantly at t=0.
+        for (vc, vc_cfg) in vcs.iter_mut().zip(&cfg.vcs) {
+            for _ in 0..vc_cfg.initial_vms {
+                let (vm, _boot) = pool
+                    .begin_start(vc.image, SimTime::ZERO)
+                    .expect("validated initial allocation fits");
+                pool.complete_start(vm, SimTime::ZERO)
+                    .expect("fresh VM completes start");
+                vc.add_slave(vm, 1.0, Location::Private, cfg.private_cost)
+                    .expect("fresh slave is unique");
+            }
+        }
+
+        let lat_rng = master.fork(2);
+        let fabric = SharedFabric::new(pool, clouds, images, cfg.client_managers, lat_rng);
+        // Steady-state pending events scale with the live estate; the
+        // workload bulk is reserved at enqueue time.
+        let control = EventQueue::with_capacity(4 * cfg.private_capacity as usize);
+        ShardExecutor {
+            cfg,
+            placement,
+            bidding,
+            shards: vcs.into_iter().map(VcShard::new).collect(),
+            fabric,
+            control,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            app_vc: Vec::new(),
+            next_app: 0,
+            scratch_out: Vec::new(),
+            event_bufs: Vec::new(),
+            effect_bufs: Vec::new(),
+            effect_gather: Vec::new(),
+            parallel_runs: 0,
+        }
+    }
+
+    /// Sets whether the used-VM step curves are sampled (on by
+    /// default). Peaks are tracked either way.
+    pub fn set_series_recording(&mut self, on: bool) {
+        self.fabric.record_series = on;
+    }
+
+    /// Current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far, summed over the control plane and every
+    /// shard queue.
+    pub fn events_processed(&self) -> u64 {
+        self.control.events_processed()
+            + self
+                .shards
+                .iter()
+                .map(VcShard::events_processed)
+                .sum::<u64>()
+    }
+
+    /// Events the control plane processed (arrivals + choreography).
+    pub fn control_events_processed(&self) -> u64 {
+        self.control.events_processed()
+    }
+
+    /// Same-instant cross-shard runs wide enough to be fanned out to
+    /// worker threads so far.
+    pub fn parallel_runs(&self) -> u64 {
+        self.parallel_runs
+    }
+
+    /// Looks an application up across shards.
+    pub fn app(&self, id: AppId) -> Option<&Application> {
+        let vc = *self.app_vc.get(id.0 as usize)?;
+        self.shards[vc.0].apps.get(&id)
+    }
+
+    // ---- scheduling --------------------------------------------------------
+
+    /// Assigns the next global sequence tag and routes `event` to its
+    /// owning queue.
+    fn push_event(&mut self, due: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Escalation-capable SLA checks may withdraw a queued job and
+        // lease from the shared cloud market mid-instant — that is
+        // order-sensitive control work. Report-mode checks only observe
+        // shard state and mark violations, which commutes, so they stay
+        // on the hot sharded path.
+        let escalating_check = matches!(event, Event::ControllerCheck { .. })
+            && self.cfg.violation_policy == crate::config::ViolationPolicy::EscalateToCloud;
+        let queue = match event.owner() {
+            _ if escalating_check => &mut self.control,
+            EventOwner::Control => &mut self.control,
+            EventOwner::Shard(vc) => &mut self.shards[vc.0].queue,
+            EventOwner::AppShard(app) => {
+                let vc = self.app_vc[app.0 as usize];
+                &mut self.shards[vc.0].queue
+            }
+        };
+        queue.push_tagged(due, seq, event);
+    }
+
+    /// Enqueues a workload's arrivals onto the control plane.
+    pub fn enqueue_workload<I>(&mut self, workload: I)
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Submission>,
+    {
+        use std::borrow::Borrow as _;
+        let workload = workload.into_iter();
+        self.control.reserve(workload.size_hint().0);
+        for sub in workload {
+            let sub = *sub.borrow();
+            self.push_event(sub.at, Event::Arrival(sub));
+        }
+    }
+
+    /// `(queue index, key)` of the globally next event; index 0 is the
+    /// control plane, `1 + i` is shard `i`.
+    fn next_source(&mut self) -> Option<(usize, (SimTime, u64))> {
+        let control_key = self.control.peek_key();
+        earliest_key(
+            std::iter::once(control_key).chain(self.shards.iter_mut().map(|s| s.queue.peek_key())),
+        )
+    }
+
+    /// Processes exactly one event (the single-step debugging/test
+    /// path). Equivalent to the batched loop: a batch is just a run of
+    /// these with the effect application deferred to the barrier.
+    pub fn step(&mut self) -> bool {
+        let Some((idx, (t, _))) = self.next_source() else {
+            return false;
+        };
+        self.now = t;
+        if idx == 0 {
+            let (_, seq, ev) = self.control.pop_keyed().expect("peeked");
+            self.handle_control(t, seq, ev);
+        } else {
+            let shard = idx - 1;
+            let (_, seq, ev) = self.shards[shard].queue.pop_keyed().expect("peeked");
+            let mut events = self.event_bufs.pop().unwrap_or_default();
+            events.push((seq, ev));
+            let effects_buf = self.effect_bufs.pop().unwrap_or_default();
+            let (events, effects) = self.shards[shard].process(t, events, effects_buf);
+            self.event_bufs.push(events);
+            self.apply_effects(effects);
+        }
+        true
+    }
+
+    /// Drains all queues: the batched, shard-parallel production loop.
+    pub fn run_to_completion(&mut self) {
+        loop {
+            let Some((idx, (t, _))) = self.next_source() else {
+                return;
+            };
+            self.now = t;
+            if idx == 0 {
+                let (_, seq, ev) = self.control.pop_keyed().expect("peeked");
+                self.handle_control(t, seq, ev);
+                continue;
+            }
+            // A shard event is next: drain the maximal same-instant run
+            // of shard events, bounded by the next control event at this
+            // instant (events scheduled *by* the run get later tags and
+            // join a subsequent run — exactly the monolith's order).
+            let barrier = match self.control.peek_key() {
+                Some((due, seq)) if due == t => seq,
+                _ => u64::MAX,
+            };
+            let mut total = 0usize;
+            let mut work: Vec<(&mut VcShard, RunSlice, Vec<SequencedEffect>)> = Vec::new();
+            for shard in &mut self.shards {
+                let mut events = self.event_bufs.pop().unwrap_or_default();
+                while let Some((due, seq)) = shard.queue.peek_key() {
+                    if due != t || seq >= barrier {
+                        break;
+                    }
+                    let (_, seq, ev) = shard.queue.pop_keyed().expect("peeked");
+                    events.push((seq, ev));
+                }
+                if events.is_empty() {
+                    self.event_bufs.push(events);
+                } else {
+                    total += events.len();
+                    let effects = self.effect_bufs.pop().unwrap_or_default();
+                    work.push((shard, events, effects));
+                }
+            }
+            debug_assert!(total > 0, "a shard peeked ready but drained nothing");
+            // Process the groups — concurrently when the run is wide
+            // enough to pay for the fan-out. Either path computes the
+            // identical per-shard effect buffers.
+            let results: Vec<(RunSlice, Vec<SequencedEffect>)> =
+                if work.len() >= 2 && total >= PARALLEL_RUN_MIN_EVENTS {
+                    self.parallel_runs += 1;
+                    work.into_par_iter()
+                        .map(|(shard, events, effects)| shard.process(t, events, effects))
+                        .collect()
+                } else {
+                    work.into_iter()
+                        .map(|(shard, events, effects)| shard.process(t, events, effects))
+                        .collect()
+                };
+            // Canonical application: merge the per-shard buffers by key.
+            // Seqs are globally unique, so the stable sort replays the
+            // run's effects in the exact global schedule order (ties —
+            // one event's own effects — keep emission order).
+            let mut gathered = std::mem::take(&mut self.effect_gather);
+            debug_assert!(gathered.is_empty());
+            for (mut events, mut effects) in results {
+                events.clear();
+                self.event_bufs.push(events);
+                gathered.append(&mut effects);
+                self.effect_bufs.push(effects);
+            }
+            gathered.sort_by_key(|e| e.key);
+            for item in gathered.drain(..) {
+                self.apply_one(item);
+            }
+            self.effect_gather = gathered;
+        }
+    }
+
+    // ---- effect application ------------------------------------------------
+
+    /// Applies an already-ordered effect buffer and recycles it (the
+    /// control-handler and single-step path; the batch loop merges
+    /// buffers itself and calls [`Self::apply_one`] directly).
+    fn apply_effects(&mut self, mut effects: Vec<SequencedEffect>) {
+        for item in effects.drain(..) {
+            self.apply_one(item);
+        }
+        self.effect_bufs.push(effects);
+    }
+
+    fn apply_one(&mut self, item: SequencedEffect) {
+        let SequencedEffect { key, effect } = item;
+        match effect {
+            Effect::ControllerVerdict {
+                app,
+                needs_attention,
+                violated,
+            } => self.apply_verdict(key.due, app, needs_attention, violated),
+            other => {
+                let mut out = std::mem::take(&mut self.scratch_out);
+                self.fabric.apply(key.due, other, &mut out);
+                for (due, ev) in out.drain(..) {
+                    self.push_event(due, ev);
+                }
+                self.scratch_out = out;
+            }
+        }
+    }
+
+    /// Acts on an Application Controller verdict: escalate, record the
+    /// violation, or re-arm the periodic check.
+    fn apply_verdict(
+        &mut self,
+        now: SimTime,
+        app_id: AppId,
+        needs_attention: bool,
+        violated: bool,
+    ) {
+        let Some(interval) = self.cfg.controller_check_interval else {
+            return;
+        };
+        if needs_attention
+            && self.cfg.violation_policy == crate::config::ViolationPolicy::EscalateToCloud
+            && self.try_escalate_to_cloud(now, app_id)
+        {
+            // Escalated: a fresh completion prediction is coming; keep
+            // monitoring.
+            self.push_event(now + interval, Event::ControllerCheck { app: app_id });
+            return;
+        }
+        if violated {
+            // Report once and retire: the violation is now the Cluster
+            // Manager's problem (§3.3) — and a never-completing job must
+            // not keep the event loop alive forever.
+            let vc = self.app_vc[app_id.0 as usize];
+            let app = self.shards[vc.0].apps.get_mut(&app_id).expect("app exists");
+            if app.violation_detected.is_none() {
+                app.violation_detected = Some(now);
+            }
+            return;
+        }
+        self.push_event(now + interval, Event::ControllerCheck { app: app_id });
+    }
+
+    /// Attempts the [`crate::config::ViolationPolicy::EscalateToCloud`]
+    /// action: pull the application's waiting job out of the framework
+    /// queue and burst it to the cheapest cloud. Returns `false` when
+    /// the application is not actually waiting in a queue or no cloud
+    /// can serve it.
+    fn try_escalate_to_cloud(&mut self, now: SimTime, app_id: AppId) -> bool {
+        let vc_id = self.app_vc[app_id.0 as usize];
+        let (spec, job) = {
+            let app = &self.shards[vc_id.0].apps[&app_id];
+            (app.spec, app.job)
+        };
+        let Some(job) = job else {
+            return false; // submission pipeline still in flight
+        };
+        if self.shards[vc_id.0].pending.contains_key(&app_id) {
+            return false; // an acquisition (or escalation) is in flight
+        }
+        let nb = spec.nb_vms();
+        let offer = self
+            .fabric
+            .clouds
+            .iter()
+            .filter(|c| c.can_lease(nb))
+            .map(|c| (c.id, c.price_at(now)))
+            .min_by_key(|&(_, r)| r);
+        let Some((cloud, _)) = offer else {
+            return false;
+        };
+        // `withdraw` fails exactly when the job is not waiting in the
+        // queue — running, held for lending, or done.
+        if self.shards[vc_id.0].vc.framework.withdraw(job).is_err() {
+            return false;
+        }
+        self.fabric.bursts += nb;
+        self.fabric.escalations += 1;
+        let image = self.shards[vc_id.0].vc.image;
+        let shape = self.cfg.vm_spec;
+        let c = &mut self.fabric.clouds[cloud.0 as usize];
+        let speed = c.speed();
+        let mut vms = Vec::with_capacity(nb as usize);
+        let mut ready = Vec::with_capacity(nb as usize);
+        for _ in 0..nb {
+            let (vm, prov, rate) = c
+                .begin_lease(image, shape, now)
+                .expect("can_lease checked above");
+            ready.push((now + prov, Event::CloudVmReady { app: app_id, vm }));
+            vms.push((vm, rate));
+        }
+        for (due, ev) in ready {
+            self.push_event(due, ev);
+        }
+        let shard = &mut self.shards[vc_id.0];
+        shard.pending.insert(
+            app_id,
+            PendingAcquisition::CloudLease {
+                cloud,
+                awaiting: nb,
+                vms,
+                speed,
+                existing_job: Some(job),
+            },
+        );
+        shard.apps.get_mut(&app_id).expect("app exists").placement = Placement::Cloud { cloud };
+        true
+    }
+
+    // ---- control plane -----------------------------------------------------
+
+    fn handle_control(&mut self, now: SimTime, seq: u64, ev: Event) {
+        match ev {
+            Event::Arrival(sub) => self.on_arrival(now, seq, sub),
+            Event::TransferVmStopped { app, vm } => self.on_transfer_stopped(now, app, vm),
+            Event::TransferVmBooted { app, vm } => self.on_transfer_booted(now, seq, app, vm),
+            Event::CloudVmReady { app, vm } => self.on_cloud_ready(now, seq, app, vm),
+            Event::ReturnVmStopped { ret, vm } => self.on_return_stopped(now, ret, vm),
+            Event::ReturnVmBooted { ret, vm } => self.on_return_booted(now, seq, ret, vm),
+            Event::CloudVmReleased { cloud, vm } => self.on_cloud_released(now, cloud, vm),
+            // Only escalation-capable checks land here (see push_event);
+            // Report-mode checks are shard events.
+            Event::ControllerCheck { app } => self.on_controller_check_control(now, app),
+            other => unreachable!("shard event routed to the control plane: {other:?}"),
+        }
+    }
+
+    /// The control-plane SLA check: the full monolith semantics, acting
+    /// at the event's exact schedule position (an escalation withdraws
+    /// a queued job and leases cloud VMs, so it must not be deferred
+    /// past later same-instant events).
+    fn on_controller_check_control(&mut self, now: SimTime, app_id: AppId) {
+        let vc = self.app_vc[app_id.0 as usize];
+        let app = self.shards[vc.0].apps.get(&app_id).expect("app exists");
+        if app.is_completed() {
+            return; // controller retires with its application
+        }
+        let status = meryn_sla::violation::check(&app.contract, &app.times, now);
+        self.apply_verdict(now, app_id, status.needs_attention(), status.is_violated());
+    }
+
+    fn on_arrival(&mut self, now: SimTime, seq: u64, sub: Submission) {
+        let max_vms = self.cfg.private_capacity;
+        let (vc_id, spec, contract, rounds, quoted_exec, decision) = {
+            let views: Vec<VcView<'_>> = self.shards.iter().map(VcShard::view).collect();
+            let admitted = admit(
+                &sub,
+                &views,
+                now,
+                self.cfg.quote_speed,
+                self.cfg.processing_allowance,
+                self.cfg.max_negotiation_rounds,
+                max_vms,
+            );
+            let (vc_id, spec, contract, rounds) = match admitted {
+                Ok(x) => x,
+                Err(_) => {
+                    drop(views);
+                    self.fabric.rejected += 1;
+                    return;
+                }
+            };
+            let quoted_exec = views[vc_id.0]
+                .vc
+                .framework
+                .estimate_exec(&spec, spec.nb_vms(), self.cfg.quote_speed, true)
+                .expect("admission type-checked the spec");
+            let req = BidRequest {
+                nb_vms: spec.nb_vms(),
+                duration: quoted_exec + self.cfg.processing_allowance,
+            };
+            let decision = select_resources(
+                self.placement.as_ref(),
+                self.bidding.as_ref(),
+                vc_id,
+                &views,
+                &self.fabric.clouds,
+                req,
+                now,
+                ProtocolParams {
+                    storage_rate: self.cfg.storage_rate,
+                    suspension_enabled: self.cfg.suspension_enabled,
+                    private_cost: self.cfg.private_cost,
+                },
+            );
+            (vc_id, spec, contract, rounds, quoted_exec, decision)
+        };
+
+        let app_id = AppId(self.next_app);
+        self.next_app += 1;
+        self.app_vc.push(vc_id);
+
+        let placement = match decision {
+            Decision::Local | Decision::Queue => Placement::Local,
+            Decision::LocalAfterSuspension { .. } => Placement::LocalAfterSuspension,
+            Decision::FromVc { src } => Placement::VcVms { from: src },
+            Decision::FromVcAfterSuspension { src, .. } => {
+                Placement::VcVmsAfterSuspension { from: src }
+            }
+            Decision::Cloud { cloud, .. } => Placement::Cloud { cloud },
+        };
+
+        self.shards[vc_id.0].apps.insert(
+            app_id,
+            Application {
+                id: app_id,
+                vc: vc_id,
+                spec,
+                contract,
+                times: AppTimes::submitted(now, quoted_exec, contract.terms.deadline),
+                job: None,
+                placement,
+                phase: AppPhase::Acquiring,
+                framework_submitted_at: None,
+                cost: Money::ZERO,
+                negotiation_rounds: rounds,
+                suspensions: 0,
+                violation_detected: None,
+            },
+        );
+
+        let handling = self.fabric.sample(self.cfg.latencies.base);
+        let base = self.fabric.cm_delay(now, handling);
+        let nb = spec.nb_vms();
+
+        match decision {
+            Decision::Local => {
+                let shard = &mut self.shards[vc_id.0];
+                let mut vms = shard.take_vm_buf();
+                shard.vc.framework.idle_slaves_into(nb as usize, &mut vms);
+                assert_eq!(
+                    vms.len() as u64,
+                    nb,
+                    "Local decision implies enough idle VMs"
+                );
+                for &vm in &vms {
+                    shard
+                        .vc
+                        .framework
+                        .reserve_slave(vm)
+                        .expect("idle slave is reservable");
+                }
+                shard.acquired.insert(app_id, vms);
+                self.push_event(now + base, Event::SubmitToFramework { app: app_id });
+            }
+            Decision::Queue => {
+                // Nothing can provide VMs now: hand to the framework and
+                // let FIFO/backfill handle it when capacity frees up.
+                self.push_event(now + base, Event::SubmitToFramework { app: app_id });
+            }
+            Decision::LocalAfterSuspension { victim } => {
+                let mut sink = EffectSink::new(now, vc_id, seq);
+                let freed = self.shards[vc_id.0].suspend_app(now, victim, &mut sink);
+                self.fabric.suspensions += 1;
+                self.apply_effects(sink.into_effects());
+                assert!(freed.len() as u64 >= nb);
+                let shard = &mut self.shards[vc_id.0];
+                shard
+                    .lendings
+                    .insert(app_id, Lending { src: vc_id, victim });
+                let mut vms = shard.take_vm_buf();
+                vms.extend(freed.into_iter().take(nb as usize));
+                for &vm in &vms {
+                    shard
+                        .vc
+                        .framework
+                        .reserve_slave(vm)
+                        .expect("freed slave is reservable");
+                }
+                shard.acquired.insert(app_id, vms);
+                let extra = self.fabric.sample(self.cfg.latencies.suspend_local);
+                self.push_event(now + base + extra, Event::SubmitToFramework { app: app_id });
+            }
+            Decision::FromVc { src } => {
+                self.fabric.transfers += nb;
+                let mut victims = self.shards[src.0].take_vm_buf();
+                self.shards[src.0]
+                    .vc
+                    .framework
+                    .idle_slaves_into(nb as usize, &mut victims);
+                assert_eq!(victims.len() as u64, nb, "zero bid implies enough idle VMs");
+                self.begin_transfer_stops(now, app_id, src, &victims, base);
+                self.shards[src.0].recycle_vm_buf(victims);
+            }
+            Decision::FromVcAfterSuspension { src, victim } => {
+                let mut sink = EffectSink::new(now, src, seq);
+                let freed = self.shards[src.0].suspend_app(now, victim, &mut sink);
+                self.fabric.suspensions += 1;
+                self.apply_effects(sink.into_effects());
+                assert!(
+                    freed.len() as u64 >= nb,
+                    "victim must hold at least the requested VMs"
+                );
+                self.shards[vc_id.0]
+                    .lendings
+                    .insert(app_id, Lending { src, victim });
+                let extra = self.fabric.sample(self.cfg.latencies.suspend_remote);
+                let mut take = self.shards[src.0].take_vm_buf();
+                take.extend(freed.into_iter().take(nb as usize));
+                self.begin_transfer_stops(now, app_id, src, &take, base + extra);
+                self.shards[src.0].recycle_vm_buf(take);
+            }
+            Decision::Cloud { cloud, .. } => {
+                self.fabric.bursts += nb;
+                let vc_image = self.shards[vc_id.0].vc.image;
+                let spec_shape = self.cfg.vm_spec;
+                let c = &mut self.fabric.clouds[cloud.0 as usize];
+                let speed = c.speed();
+                let mut vms = Vec::with_capacity(nb as usize);
+                let mut ready = Vec::with_capacity(nb as usize);
+                for _ in 0..nb {
+                    let (vm, prov, rate) = c
+                        .begin_lease(vc_image, spec_shape, now)
+                        .expect("protocol only offers clouds that can lease");
+                    ready.push((now + base + prov, Event::CloudVmReady { app: app_id, vm }));
+                    vms.push((vm, rate));
+                }
+                for (due, ev) in ready {
+                    self.push_event(due, ev);
+                }
+                self.shards[vc_id.0].pending.insert(
+                    app_id,
+                    PendingAcquisition::CloudLease {
+                        cloud,
+                        awaiting: nb,
+                        vms,
+                        speed,
+                        existing_job: None,
+                    },
+                );
+            }
+        }
+
+        if let Some(interval) = self.cfg.controller_check_interval {
+            self.push_event(now + interval, Event::ControllerCheck { app: app_id });
+        }
+    }
+
+    /// Removes `vms` from the source VC and begins stopping them in the
+    /// pool; each stop chains into a boot with the destination VC's
+    /// image.
+    fn begin_transfer_stops(
+        &mut self,
+        now: SimTime,
+        app: AppId,
+        src: VcId,
+        vms: &[VmId],
+        lead: SimDuration,
+    ) {
+        for &vm in vms {
+            self.shards[src.0]
+                .vc
+                .remove_slave(vm)
+                .expect("transfer candidates are idle slaves");
+            let stop = self
+                .fabric
+                .pool
+                .begin_stop(vm, now)
+                .expect("idle private slave can stop");
+            self.push_event(now + lead + stop, Event::TransferVmStopped { app, vm });
+        }
+        let dest = self.app_vc[app.0 as usize];
+        let shard = &mut self.shards[dest.0];
+        let collect = shard.take_vm_buf();
+        shard.pending.insert(
+            app,
+            PendingAcquisition::Transfer {
+                awaiting: vms.len() as u64,
+                vms: collect,
+            },
+        );
+    }
+
+    fn on_transfer_stopped(&mut self, now: SimTime, app: AppId, vm: VmId) {
+        self.fabric
+            .pool
+            .complete_stop(vm, now)
+            .expect("transfer stop completes");
+        let dest = self.app_vc[app.0 as usize];
+        let image = self.shards[dest.0].vc.image;
+        let (new_vm, boot) = self
+            .fabric
+            .pool
+            .begin_start(image, now)
+            .expect("the slot just freed");
+        self.push_event(now + boot, Event::TransferVmBooted { app, vm: new_vm });
+    }
+
+    fn on_transfer_booted(&mut self, now: SimTime, seq: u64, app: AppId, vm: VmId) {
+        self.fabric
+            .pool
+            .complete_start(vm, now)
+            .expect("transfer boot completes");
+        let dest = self.app_vc[app.0 as usize];
+        let shard = &mut self.shards[dest.0];
+        let done = {
+            let pending = shard.pending.get_mut(&app).expect("transfer in flight");
+            match pending {
+                PendingAcquisition::Transfer { awaiting, vms } => {
+                    vms.push(vm);
+                    *awaiting -= 1;
+                    *awaiting == 0
+                }
+                _ => unreachable!("transfer event for non-transfer pending"),
+            }
+        };
+        if done {
+            let Some(PendingAcquisition::Transfer { vms, .. }) = shard.pending.remove(&app) else {
+                unreachable!("just matched")
+            };
+            let rate = self.cfg.private_cost;
+            for &vm in &vms {
+                shard
+                    .vc
+                    .add_slave(vm, 1.0, Location::Private, rate)
+                    .expect("fresh transferred slave is unique");
+            }
+            let mut sink = EffectSink::new(now, dest, seq);
+            shard.submit_pinned_now(now, app, vms, &mut sink);
+            self.apply_effects(sink.into_effects());
+        }
+    }
+
+    fn on_cloud_ready(&mut self, now: SimTime, seq: u64, app: AppId, vm: VmId) {
+        let dest = self.app_vc[app.0 as usize];
+        let done = {
+            let pending = self.shards[dest.0]
+                .pending
+                .get_mut(&app)
+                .expect("lease in flight");
+            match pending {
+                PendingAcquisition::CloudLease {
+                    cloud, awaiting, ..
+                } => {
+                    self.fabric.clouds[cloud.0 as usize]
+                        .complete_lease(vm, now)
+                        .expect("lease completes");
+                    *awaiting -= 1;
+                    *awaiting == 0
+                }
+                _ => unreachable!("cloud event for non-cloud pending"),
+            }
+        };
+        if done {
+            let shard = &mut self.shards[dest.0];
+            let Some(PendingAcquisition::CloudLease {
+                cloud,
+                vms,
+                speed,
+                existing_job,
+                ..
+            }) = shard.pending.remove(&app)
+            else {
+                unreachable!("just matched")
+            };
+            let mut ids = shard.take_vm_buf();
+            ids.extend(vms.iter().map(|&(vm, _)| vm));
+            for (vm, rate) in vms {
+                shard
+                    .vc
+                    .add_slave(vm, speed, Location::Cloud(cloud), rate)
+                    .expect("fresh leased slave is unique");
+            }
+            let mut sink = EffectSink::new(now, dest, seq);
+            match existing_job {
+                None => shard.submit_pinned_now(now, app, ids, &mut sink),
+                Some(job) => {
+                    // SLA escalation: the job already exists and was
+                    // withdrawn from the queue; start it on the leases.
+                    let dispatch = shard
+                        .vc
+                        .framework
+                        .start_withdrawn_pinned(job, &ids, now)
+                        .expect("withdrawn job starts on its leases");
+                    shard.recycle_vm_buf(ids);
+                    shard.register_dispatch(now, dispatch, &mut sink);
+                }
+            }
+            self.apply_effects(sink.into_effects());
+        }
+    }
+
+    fn on_return_stopped(&mut self, now: SimTime, ret: u64, vm: VmId) {
+        self.fabric
+            .pool
+            .complete_stop(vm, now)
+            .expect("return stop completes");
+        let src = self.fabric.returns[&ret].src;
+        let image = self.shards[src.0].vc.image;
+        let (new_vm, boot) = self
+            .fabric
+            .pool
+            .begin_start(image, now)
+            .expect("the slot just freed");
+        self.push_event(now + boot, Event::ReturnVmBooted { ret, vm: new_vm });
+    }
+
+    fn on_return_booted(&mut self, now: SimTime, seq: u64, ret: u64, vm: VmId) {
+        self.fabric
+            .pool
+            .complete_start(vm, now)
+            .expect("return boot completes");
+        let done = {
+            let op = self.fabric.returns.get_mut(&ret).expect("return in flight");
+            op.vms.push(vm);
+            op.awaiting -= 1;
+            op.awaiting == 0
+        };
+        if done {
+            let op = self.fabric.returns.remove(&ret).expect("just checked");
+            let rate = self.cfg.private_cost;
+            let shard = &mut self.shards[op.src.0];
+            for vm in op.vms {
+                shard
+                    .vc
+                    .add_slave(vm, 1.0, Location::Private, rate)
+                    .expect("fresh returned slave is unique");
+            }
+            let victim_job = shard.apps[&op.victim].job.expect("held victim has a job");
+            shard
+                .vc
+                .framework
+                .requeue_held(victim_job)
+                .expect("victim was held");
+            let mut sink = EffectSink::new(now, op.src, seq);
+            shard.dispatch(now, &mut sink);
+            self.apply_effects(sink.into_effects());
+        }
+    }
+
+    fn on_cloud_released(&mut self, now: SimTime, cloud: CloudId, vm: VmId) {
+        let close = self.fabric.clouds[cloud.0 as usize]
+            .complete_release(vm, now)
+            .expect("release completes");
+        self.fabric.cloud_bill += close.cost;
+    }
+
+    // ---- reporting ---------------------------------------------------------
+
+    /// Builds the final report. Consumes the executor.
+    pub fn finalize(self) -> RunReport {
+        let total_apps: usize = self.shards.iter().map(|s| s.apps.len()).sum();
+        let mut apps: Vec<&Application> = Vec::with_capacity(total_apps);
+        for shard in &self.shards {
+            apps.extend(shard.apps.values());
+        }
+        // Shards hold disjoint id ranges interleaved by arrival order;
+        // the report lists applications in submission (= AppId) order.
+        apps.sort_by_key(|a| a.id);
+        let mut records = Vec::with_capacity(apps.len());
+        let mut completion = SimTime::ZERO;
+        for app in apps {
+            if let Some(at) = app.completed_at() {
+                completion = completion.max_of(at);
+            }
+            records.push(AppRecord {
+                id: app.id,
+                vc: app.vc,
+                vc_name: self.shards[app.vc.0].vc.name.clone(),
+                placement: app.placement.table1_case().to_owned(),
+                submitted: app.contract.agreed_at,
+                framework_submitted: app.framework_submitted_at,
+                completed: app.completed_at(),
+                processing: app.processing_time(),
+                exec: app.exec_duration(),
+                cost: app.cost,
+                price: app.contract.terms.price,
+                revenue: app.revenue().unwrap_or(Money::ZERO),
+                penalty: app.penalty().unwrap_or(Money::ZERO),
+                violated: app.violated(),
+                suspensions: app.suspensions,
+                negotiation_rounds: app.negotiation_rounds,
+            });
+        }
+        let events_processed = self.events_processed();
+        let (peak_private, peak_cloud) = self.fabric.peaks();
+        let mut series = SeriesSet::new();
+        series.add(self.fabric.used_private);
+        series.add(self.fabric.used_cloud);
+        RunReport {
+            mode: self.cfg.policy.clone(),
+            seed: self.cfg.seed,
+            apps: records,
+            rejected: self.fabric.rejected,
+            completion_time: completion,
+            series,
+            peak_private: peak_private as f64,
+            peak_cloud: peak_cloud as f64,
+            transfers: self.fabric.transfers,
+            bursts: self.fabric.bursts,
+            suspensions: self.fabric.suspensions,
+            escalations: self.fabric.escalations,
+            cloud_bill: self.fabric.cloud_bill,
+            events_processed,
+        }
+    }
+}

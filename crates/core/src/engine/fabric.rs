@@ -1,0 +1,239 @@
+//! The shared fabric: everything exactly-one-of in the platform.
+//!
+//! Private pool, public clouds, billing ledger, the used-VM metrics,
+//! the Client-Manager front-end queue and the latency RNG. Shards never
+//! touch any of it directly — they emit [`Effect`]s, and the fabric
+//! consumes them one at a time on the executor's thread, in canonical
+//! `(due, vc_id, seq)` order. That single-threaded, canonically-ordered
+//! consumption is what keeps the RNG streams (pool stop/boot, cloud
+//! provision/release draws) and the ledger deterministic no matter how
+//! the emitting shards were scheduled.
+
+use std::collections::BTreeMap;
+
+use meryn_sim::metrics::StepSeries;
+use meryn_sim::{SimDuration, SimRng, SimTime};
+use meryn_sla::Money;
+use meryn_vmm::{ImageRegistry, LatencyModel, Ledger, PrivatePool, PublicCloud, VmId};
+
+use crate::engine::effects::Effect;
+use crate::events::Event;
+use crate::ids::{AppId, VcId};
+
+/// A lent-VM return in flight (stop at borrower, boot at lender).
+#[derive(Debug, Clone)]
+pub(crate) struct ReturnOp {
+    pub(crate) src: VcId,
+    pub(crate) victim: AppId,
+    pub(crate) awaiting: u64,
+    pub(crate) vms: Vec<VmId>,
+}
+
+/// The platform's shared, singleton state.
+pub struct SharedFabric {
+    /// The provider-owned VM pool.
+    pub pool: PrivatePool,
+    /// The public cloud market.
+    pub clouds: Vec<PublicCloud>,
+    #[allow(dead_code)]
+    pub(crate) images: ImageRegistry,
+    /// The billing ledger.
+    pub ledger: Ledger,
+    pub(crate) cloud_bill: Money,
+    // Metrics.
+    busy_private: u64,
+    busy_cloud: u64,
+    /// Running maxima of the busy counters. The report's peak fields
+    /// come from these, so peaks survive even when curve recording is
+    /// gated off. Same-instant transients are coalesced exactly like
+    /// [`StepSeries::record`] coalesces them — only the *final* value
+    /// of an instant is observable — via the pending `usage_*` trio.
+    peak_busy_private: u64,
+    peak_busy_cloud: u64,
+    usage_at: SimTime,
+    usage_private: u64,
+    usage_cloud: u64,
+    /// Whether the used-VM step curves are sampled (peaks always are).
+    pub(crate) record_series: bool,
+    pub(crate) used_private: StepSeries,
+    pub(crate) used_cloud: StepSeries,
+    pub(crate) transfers: u64,
+    pub(crate) bursts: u64,
+    pub(crate) suspensions: u64,
+    pub(crate) escalations: u64,
+    pub(crate) rejected: usize,
+    /// Per-Client-Manager earliest-free instants (empty = unbounded
+    /// front-end concurrency).
+    cm_free_at: Vec<SimTime>,
+    lat_rng: SimRng,
+    /// Lent-VM returns in flight, by choreography id.
+    pub(crate) returns: BTreeMap<u64, ReturnOp>,
+    next_return: u64,
+}
+
+impl SharedFabric {
+    /// Assembles the fabric around an already-deployed pool and cloud
+    /// market.
+    ///
+    /// Public for the engine's property tests and for embedders that
+    /// drive the effect stream directly; the normal path is
+    /// [`crate::engine::ShardExecutor::new`].
+    pub fn new(
+        pool: PrivatePool,
+        clouds: Vec<PublicCloud>,
+        images: ImageRegistry,
+        client_managers: Option<usize>,
+        lat_rng: SimRng,
+    ) -> Self {
+        SharedFabric {
+            pool,
+            clouds,
+            images,
+            ledger: Ledger::new(),
+            cloud_bill: Money::ZERO,
+            busy_private: 0,
+            busy_cloud: 0,
+            peak_busy_private: 0,
+            peak_busy_cloud: 0,
+            usage_at: SimTime::ZERO,
+            usage_private: 0,
+            usage_cloud: 0,
+            record_series: true,
+            used_private: StepSeries::new("used_private_vms"),
+            used_cloud: StepSeries::new("used_cloud_vms"),
+            transfers: 0,
+            bursts: 0,
+            suspensions: 0,
+            escalations: 0,
+            rejected: 0,
+            cm_free_at: vec![SimTime::ZERO; client_managers.unwrap_or(0)],
+            lat_rng,
+            returns: BTreeMap::new(),
+            next_return: 0,
+        }
+    }
+
+    /// Draws one latency from `model` on the fabric's RNG stream.
+    pub(crate) fn sample(&mut self, model: LatencyModel) -> SimDuration {
+        model.sample(&mut self.lat_rng)
+    }
+
+    /// Front-end delay for one submission: the Client Manager handling
+    /// time plus, when Client Managers are a bounded resource, the wait
+    /// for one to become free. The busiest-period behaviour §3.2 warns
+    /// about emerges when a single CM serializes a burst of arrivals.
+    pub(crate) fn cm_delay(&mut self, now: SimTime, handling: SimDuration) -> SimDuration {
+        if self.cm_free_at.is_empty() {
+            return handling; // unbounded front end
+        }
+        let idx = self
+            .cm_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one Client Manager");
+        let start = self.cm_free_at[idx].max_of(now);
+        let done = start + handling;
+        self.cm_free_at[idx] = done;
+        done.since(now)
+    }
+
+    fn record_usage(&mut self, now: SimTime) {
+        // Commit the previous instant's *final* values into the peaks
+        // before observing a new instant; a same-instant re-record
+        // overwrites the pending observation instead, exactly like the
+        // step series coalesces same-instant samples.
+        if now > self.usage_at {
+            self.peak_busy_private = self.peak_busy_private.max(self.usage_private);
+            self.peak_busy_cloud = self.peak_busy_cloud.max(self.usage_cloud);
+            self.usage_at = now;
+        }
+        self.usage_private = self.busy_private;
+        self.usage_cloud = self.busy_cloud;
+        if self.record_series {
+            self.used_private.record(now, self.busy_private as f64);
+            self.used_cloud.record(now, self.busy_cloud as f64);
+        }
+    }
+
+    /// Peak busy counters with the still-pending last observation
+    /// folded in (the report's Fig 5 headline numbers).
+    pub(crate) fn peaks(&self) -> (u64, u64) {
+        (
+            self.peak_busy_private.max(self.usage_private),
+            self.peak_busy_cloud.max(self.usage_cloud),
+        )
+    }
+
+    /// Applies one fabric-directed effect at instant `now`, appending
+    /// any follow-up events to schedule onto `out`.
+    ///
+    /// [`Effect::ControllerVerdict`] is *not* handled here — acting on
+    /// a verdict reads shard state, so the executor owns it.
+    pub fn apply(&mut self, now: SimTime, effect: Effect, out: &mut Vec<(SimTime, Event)>) {
+        match effect {
+            Effect::Charge {
+                vm,
+                location,
+                from,
+                rate,
+            } => {
+                self.ledger.charge(vm, location, from, now, rate);
+            }
+            Effect::Usage {
+                private_delta,
+                cloud_delta,
+            } => {
+                self.busy_private = self
+                    .busy_private
+                    .checked_add_signed(private_delta)
+                    .expect("busy private VMs never go negative");
+                self.busy_cloud = self
+                    .busy_cloud
+                    .checked_add_signed(cloud_delta)
+                    .expect("busy cloud VMs never go negative");
+                self.record_usage(now);
+            }
+            Effect::Schedule { due, event } => out.push((due, event)),
+            Effect::ReleaseCloud { cloud, vms } => {
+                for vm in vms {
+                    let rel = self.clouds[cloud.0 as usize]
+                        .begin_release(vm, now)
+                        .expect("leased VM can release");
+                    out.push((now + rel, Event::CloudVmReleased { cloud, vm }));
+                }
+            }
+            Effect::ReturnVms { src, victim, vms } => {
+                let ret = self.next_return;
+                self.next_return += 1;
+                let awaiting = vms.len() as u64;
+                for vm in &vms {
+                    let stop = self
+                        .pool
+                        .begin_stop(*vm, now)
+                        .expect("borrowed private VM can stop");
+                    out.push((now + stop, Event::ReturnVmStopped { ret, vm: *vm }));
+                }
+                self.returns.insert(
+                    ret,
+                    ReturnOp {
+                        src,
+                        victim,
+                        awaiting,
+                        vms: Vec::with_capacity(vms.len()),
+                    },
+                );
+            }
+            Effect::ControllerVerdict { .. } => {
+                unreachable!("controller verdicts are applied by the executor")
+            }
+        }
+    }
+
+    /// Current usage counters (used by the executor's debug assertions
+    /// and the engine tests).
+    pub fn busy(&self) -> (u64, u64) {
+        (self.busy_private, self.busy_cloud)
+    }
+}

@@ -1,0 +1,415 @@
+//! One Virtual Cluster's shard: its framework, applications, stints and
+//! local event queue.
+//!
+//! A shard's handlers are the *framework-local* half of the old
+//! platform loop: framework submission and dispatch, job completion
+//! bookkeeping, SLA checks. They mutate only shard-owned state and emit
+//! [`Effect`]s for everything else (billing, usage metrics, VM
+//! tear-downs, follow-up events) — which is exactly what makes a batch
+//! of same-instant events from *different* shards safe to process on
+//! different worker threads.
+
+use std::collections::BTreeMap;
+
+use meryn_frameworks::{Dispatch, JobId};
+use meryn_sim::{EventQueue, SimTime};
+use meryn_sla::{Money, VmRate};
+use meryn_vmm::{CloudId, Location, VmId};
+
+use crate::app::{AppPhase, Application};
+use crate::cluster_manager::{VcView, VirtualCluster};
+use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
+use crate::events::Event;
+use crate::ids::{AppId, Placement, VcId};
+
+/// One execution stint of a job: which VMs, since when, at what cost.
+#[derive(Debug, Clone)]
+pub(crate) struct Stint {
+    pub(crate) started: SimTime,
+    pub(crate) vms: Vec<(VmId, Location, VmRate)>,
+}
+
+/// Multi-step VM acquisition in flight for an application.
+#[derive(Debug, Clone)]
+pub(crate) enum PendingAcquisition {
+    /// §3.4 transfer: VMs stopping at the source, then booting with the
+    /// destination image. `awaiting` counts boots still outstanding.
+    Transfer { awaiting: u64, vms: Vec<VmId> },
+    /// §3.5 bursting: leases provisioning. Rates were locked at
+    /// `begin_lease`. For SLA escalations of an already-submitted job,
+    /// `existing_job` carries the framework job to pin-start instead of
+    /// submitting a new one.
+    CloudLease {
+        cloud: CloudId,
+        awaiting: u64,
+        vms: Vec<(VmId, VmRate)>,
+        speed: f64,
+        existing_job: Option<JobId>,
+    },
+}
+
+/// A lending relationship: when the borrower finishes, `victim` (held
+/// in `src`) gets its VMs back and resumes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Lending {
+    pub(crate) src: VcId,
+    pub(crate) victim: AppId,
+}
+
+/// One Virtual Cluster's shard of the platform state.
+pub struct VcShard {
+    /// The cluster itself: framework master, slave bookkeeping, pricing.
+    pub vc: VirtualCluster,
+    /// The applications this VC hosts, by id.
+    pub apps: BTreeMap<AppId, Application>,
+    /// The shard-local event queue (globally-tagged; merged with its
+    /// siblings by the executor).
+    pub queue: EventQueue<Event>,
+    /// Open execution stints by framework job.
+    pub(crate) stints: BTreeMap<JobId, Stint>,
+    /// In-flight multi-step acquisitions by application.
+    pub(crate) pending: BTreeMap<AppId, PendingAcquisition>,
+    /// Slave VMs reserved for an application whose submission pipeline
+    /// is still in flight; the pinned submit claims them.
+    pub(crate) acquired: BTreeMap<AppId, Vec<VmId>>,
+    /// Outstanding lendings keyed by the borrowing application.
+    pub(crate) lendings: BTreeMap<AppId, Lending>,
+    /// Recycled `VmId` scratch buffers (see the PR-4 allocation notes:
+    /// the steady-state dispatch cycle allocates nothing).
+    vm_bufs: Vec<Vec<VmId>>,
+    /// Recycled stint buffers.
+    stint_bufs: Vec<Vec<(VmId, Location, VmRate)>>,
+}
+
+impl VcShard {
+    /// Wraps a deployed cluster into an empty shard.
+    pub fn new(vc: VirtualCluster) -> Self {
+        VcShard {
+            vc,
+            apps: BTreeMap::new(),
+            queue: EventQueue::new(),
+            stints: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            acquired: BTreeMap::new(),
+            lendings: BTreeMap::new(),
+            vm_bufs: Vec::new(),
+            stint_bufs: Vec::new(),
+        }
+    }
+
+    /// This shard's id.
+    pub fn id(&self) -> VcId {
+        self.vc.id
+    }
+
+    /// The read-only window scheduling entry points receive.
+    pub fn view(&self) -> VcView<'_> {
+        VcView {
+            vc: &self.vc,
+            apps: &self.apps,
+        }
+    }
+
+    /// Events this shard's queue has processed (the per-shard counter
+    /// surfaced by `scenario --bench`).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    // ---- scratch buffers --------------------------------------------------
+
+    pub(crate) fn take_vm_buf(&mut self) -> Vec<VmId> {
+        self.vm_bufs.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn recycle_vm_buf(&mut self, mut buf: Vec<VmId>) {
+        buf.clear();
+        self.vm_bufs.push(buf);
+    }
+
+    pub(crate) fn take_stint_buf(&mut self) -> Vec<(VmId, Location, VmRate)> {
+        self.stint_bufs.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn recycle_stint_buf(&mut self, mut buf: Vec<(VmId, Location, VmRate)>) {
+        buf.clear();
+        self.stint_bufs.push(buf);
+    }
+
+    // ---- the shard's slice of one time step -------------------------------
+
+    /// Processes this shard's slice of a same-instant batch, in global
+    /// seq order. Effects are collected into the recycled `effects`
+    /// buffer; both buffers come back (events cleared) so the executor
+    /// can pool them.
+    pub(crate) fn process(
+        &mut self,
+        due: SimTime,
+        mut events: Vec<(u64, Event)>,
+        effects: Vec<SequencedEffect>,
+    ) -> (Vec<(u64, Event)>, Vec<SequencedEffect>) {
+        let mut sink = EffectSink::with_buffer(due, self.vc.id, 0, effects);
+        for (seq, ev) in events.drain(..) {
+            sink.set_seq(seq);
+            self.handle(due, ev, &mut sink);
+        }
+        (events, sink.into_effects())
+    }
+
+    /// Dispatches one shard-owned event.
+    pub(crate) fn handle(&mut self, now: SimTime, ev: Event, sink: &mut EffectSink) {
+        match ev {
+            Event::SubmitToFramework { app } => self.on_submit(now, app, sink),
+            Event::JobFinished { vc, job, epoch } => {
+                debug_assert_eq!(vc, self.vc.id, "misrouted completion");
+                self.on_job_finished(now, job, epoch, sink);
+            }
+            Event::ControllerCheck { app } => self.on_controller_check(now, app, sink),
+            other => unreachable!("control event routed to a shard: {other:?}"),
+        }
+    }
+
+    // ---- framework hand-off -----------------------------------------------
+
+    fn on_submit(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        match self.acquired.remove(&app_id) {
+            Some(vms) => self.submit_pinned_now(now, app_id, vms, sink),
+            None => self.submit_queued(now, app_id, sink),
+        }
+    }
+
+    /// Hands the job to the framework queue (Queue decisions: no VMs
+    /// were acquired for it; it waits its FIFO turn).
+    fn submit_queued(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        let spec = self.apps[&app_id].spec;
+        let job = self
+            .vc
+            .framework
+            .submit(spec, now)
+            .expect("admission type-checked the spec");
+        self.vc.job_to_app.insert(job, app_id);
+        let app = self.apps.get_mut(&app_id).expect("app exists");
+        app.job = Some(job);
+        app.framework_submitted_at = Some(now);
+        app.phase = AppPhase::Submitted;
+        self.dispatch(now, sink);
+    }
+
+    /// Starts the job immediately on the exact VMs Algorithm 1 acquired
+    /// for it — transferred, lent, leased or locally reserved VMs are
+    /// dedicated to the requesting application.
+    pub(crate) fn submit_pinned_now(
+        &mut self,
+        now: SimTime,
+        app_id: AppId,
+        vms: Vec<VmId>,
+        sink: &mut EffectSink,
+    ) {
+        let spec = self.apps[&app_id].spec;
+        let (job, dispatch) = self
+            .vc
+            .framework
+            .submit_pinned(spec, &vms, now)
+            .expect("acquired VMs are idle slaves of the right framework");
+        self.recycle_vm_buf(vms);
+        self.vc.job_to_app.insert(job, app_id);
+        let app = self.apps.get_mut(&app_id).expect("app exists");
+        app.job = Some(job);
+        app.framework_submitted_at = Some(now);
+        app.phase = AppPhase::Submitted;
+        self.register_dispatch(now, dispatch, sink);
+    }
+
+    /// Lets the framework start whatever fits and schedules the
+    /// predicted completions.
+    pub(crate) fn dispatch(&mut self, now: SimTime, sink: &mut EffectSink) {
+        let dispatches = self.vc.framework.try_dispatch(now);
+        for d in dispatches {
+            self.register_dispatch(now, d, sink);
+        }
+    }
+
+    /// Records one job start: billing stint, used-VM deltas, Fig. 4
+    /// times, and the predicted completion event.
+    pub(crate) fn register_dispatch(&mut self, now: SimTime, d: Dispatch, sink: &mut EffectSink) {
+        let app_id = self.vc.app_of(d.job);
+        let mut vms = self.take_stint_buf();
+        vms.extend(d.vms.iter().map(|vm| {
+            let meta = self
+                .vc
+                .slave_meta
+                .get(vm)
+                .expect("dispatched slave has meta");
+            (*vm, meta.location, meta.cost_rate)
+        }));
+        let (mut dp, mut dc) = (0i64, 0i64);
+        for &(_, loc, _) in &vms {
+            match loc {
+                Location::Private => dp += 1,
+                Location::Cloud(_) => dc += 1,
+            }
+        }
+        sink.emit(Effect::Usage {
+            private_delta: dp,
+            cloud_delta: dc,
+        });
+        let app = self.apps.get_mut(&app_id).expect("app exists");
+        app.times.start(now);
+        let done = app.times.progress_t(now);
+        app.times.set_exec_t(done + d.exec_total);
+        self.stints.insert(d.job, Stint { started: now, vms });
+        sink.emit(Effect::Schedule {
+            due: d.finish_at,
+            event: Event::JobFinished {
+                vc: self.vc.id,
+                job: d.job,
+                epoch: d.epoch,
+            },
+        });
+    }
+
+    // ---- completion -------------------------------------------------------
+
+    /// Closes a job's execution stint: computes each VM interval's cost
+    /// (a pure function of dispatch instant and rate), books it onto
+    /// the application, and emits the ledger charges plus the used-VM
+    /// deltas. Returns the stint's VMs.
+    pub(crate) fn close_stint(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        sink: &mut EffectSink,
+    ) -> Vec<(VmId, Location, VmRate)> {
+        let stint = self
+            .stints
+            .remove(&job)
+            .expect("running job has an open stint");
+        let app_id = self.vc.app_of(job);
+        let mut total = Money::ZERO;
+        let (mut dp, mut dc) = (0i64, 0i64);
+        for &(vm, loc, rate) in &stint.vms {
+            total += rate.cost_for(now.since(stint.started));
+            sink.emit(Effect::Charge {
+                vm,
+                location: loc,
+                from: stint.started,
+                rate,
+            });
+            match loc {
+                Location::Private => dp -= 1,
+                Location::Cloud(_) => dc -= 1,
+            }
+        }
+        self.apps.get_mut(&app_id).expect("app exists").cost += total;
+        sink.emit(Effect::Usage {
+            private_delta: dp,
+            cloud_delta: dc,
+        });
+        stint.vms
+    }
+
+    /// Suspends `victim` (running in this VC), holding it for later
+    /// requeue. Returns the freed VMs.
+    pub(crate) fn suspend_app(
+        &mut self,
+        now: SimTime,
+        victim: AppId,
+        sink: &mut EffectSink,
+    ) -> Vec<VmId> {
+        let job = self.apps[&victim].job.expect("running victim has a job");
+        let closed = self.close_stint(now, job, sink);
+        self.recycle_stint_buf(closed);
+        let freed = self
+            .vc
+            .framework
+            .suspend_and_hold(job, now)
+            .expect("protocol only suspends running jobs");
+        let app = self.apps.get_mut(&victim).expect("victim exists");
+        app.times.suspend(now);
+        app.suspensions += 1;
+        freed
+    }
+
+    fn on_job_finished(&mut self, now: SimTime, job: JobId, epoch: u64, sink: &mut EffectSink) {
+        let done = self
+            .vc
+            .framework
+            .on_finished(job, epoch, now)
+            .expect("job known to its framework");
+        if done.is_none() {
+            return; // stale completion: the job was suspended meanwhile
+        }
+        let app_id = self.vc.app_of(job);
+        let stint_vms = self.close_stint(now, job, sink);
+
+        {
+            let app = self.apps.get_mut(&app_id).expect("app exists");
+            // Bank the final stint's progress, then mark completion.
+            app.times.suspend(now);
+            app.phase = AppPhase::Completed { at: now };
+        }
+
+        match self.apps[&app_id].placement {
+            Placement::Cloud { cloud } => {
+                let mut vms = Vec::with_capacity(stint_vms.len());
+                for (vm, _, _) in &stint_vms {
+                    self.vc
+                        .remove_slave(*vm)
+                        .expect("finished job's slaves are idle");
+                    vms.push(*vm);
+                }
+                sink.emit(Effect::ReleaseCloud { cloud, vms });
+            }
+            Placement::LocalAfterSuspension => {
+                let lending = self
+                    .lendings
+                    .remove(&app_id)
+                    .expect("local suspension recorded a lending");
+                let victim_job = self.apps[&lending.victim]
+                    .job
+                    .expect("held victim has a job");
+                self.vc
+                    .framework
+                    .requeue_held(victim_job)
+                    .expect("victim was held");
+            }
+            Placement::VcVmsAfterSuspension { from } => {
+                let lending = self
+                    .lendings
+                    .remove(&app_id)
+                    .expect("vc suspension recorded a lending");
+                debug_assert_eq!(lending.src, from);
+                let mut vms = Vec::with_capacity(stint_vms.len());
+                for (vm, _, _) in &stint_vms {
+                    self.vc
+                        .remove_slave(*vm)
+                        .expect("finished job's slaves are idle");
+                    vms.push(*vm);
+                }
+                sink.emit(Effect::ReturnVms {
+                    src: from,
+                    victim: lending.victim,
+                    vms,
+                });
+            }
+            Placement::Local | Placement::VcVms { .. } => {}
+        }
+        self.recycle_stint_buf(stint_vms);
+        self.dispatch(now, sink);
+    }
+
+    // ---- SLA monitoring ---------------------------------------------------
+
+    fn on_controller_check(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        let app = self.apps.get(&app_id).expect("app exists");
+        if app.is_completed() {
+            return; // controller retires with its application
+        }
+        let status = meryn_sla::violation::check(&app.contract, &app.times, now);
+        sink.emit(Effect::ControllerVerdict {
+            app: app_id,
+            needs_attention: status.needs_attention(),
+            violated: status.is_violated(),
+        });
+    }
+}

@@ -85,3 +85,42 @@ pub enum Event {
         app: AppId,
     },
 }
+
+/// Which state machine owns an event under the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventOwner {
+    /// The executor's sequential control plane: arrivals (which read
+    /// cross-shard state) and every choreography step that touches the
+    /// shared fabric's pools and RNG streams.
+    Control,
+    /// A specific VC shard's local state machine.
+    Shard(VcId),
+    /// The shard hosting the given application (the executor resolves
+    /// the `AppId → VcId` mapping it maintains).
+    AppShard(AppId),
+}
+
+impl Event {
+    /// Routes the event to its owning state machine.
+    ///
+    /// Shard-owned events are exactly those whose handlers mutate only
+    /// their VC's framework, applications and stints — everything they
+    /// need from the shared fabric travels back as typed
+    /// [`crate::engine::Effect`]s, which is what makes the per-instant
+    /// shard batches safe to process in parallel.
+    pub fn owner(&self) -> EventOwner {
+        match *self {
+            Event::JobFinished { vc, .. } => EventOwner::Shard(vc),
+            Event::SubmitToFramework { app } | Event::ControllerCheck { app } => {
+                EventOwner::AppShard(app)
+            }
+            Event::Arrival(_)
+            | Event::TransferVmStopped { .. }
+            | Event::TransferVmBooted { .. }
+            | Event::CloudVmReady { .. }
+            | Event::ReturnVmStopped { .. }
+            | Event::ReturnVmBooted { .. }
+            | Event::CloudVmReleased { .. } => EventOwner::Control,
+        }
+    }
+}

@@ -20,7 +20,8 @@
 //! | [`bidding`] | §4.2.2 Algorithm 2: bid computation |
 //! | [`policy`] | pluggable placement/bidding strategies + the string-keyed registry |
 //! | [`protocol`] | §4.1 Algorithm 1: resource selection |
-//! | [`platform`] | the simulation driver tying it together (the prototype's shell glue) |
+//! | [`engine`] | the sharded executor: per-VC shard state machines, the shared fabric, typed effects |
+//! | [`platform`] | the historical `Platform` facade over the engine |
 //! | [`config`] | deployment knobs; [`config::PlatformConfig::paper`] reproduces the evaluation setup |
 //! | [`report`] | the measurements behind Figures 5–6 and Table 1 |
 //!
@@ -46,6 +47,7 @@ pub mod bidding;
 pub mod client_manager;
 pub mod cluster_manager;
 pub mod config;
+pub mod engine;
 pub mod events;
 pub mod ids;
 pub mod platform;

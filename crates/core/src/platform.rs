@@ -1,278 +1,48 @@
-//! The platform driver: deployment, event loop and the choreography of
-//! §3.3 (submission), §3.4 (VM exchange) and §3.5 (cloud bursting).
+//! The platform facade: deployment, event loop and reporting.
 //!
 //! The paper's prototype glues its components together with shell
-//! scripts over two Snooze installations; here the glue is a
-//! discrete-event loop over the same operations, with every latency
-//! drawn from the calibrated models in
-//! [`Latencies`](crate::config::Latencies).
+//! scripts over two Snooze installations; here the glue is the sharded
+//! discrete-event engine in [`crate::engine`] — a [`VcShard`] state
+//! machine per Virtual Cluster, a [`SharedFabric`] for the singletons
+//! (pool, clouds, ledger, metrics) and a [`ShardExecutor`] that merges
+//! their queues into one deterministic schedule and fans same-instant
+//! shard batches out across worker threads.
+//!
+//! `Platform` keeps the historical surface — `new → run → RunReport` —
+//! as a thin veneer over the executor, so drivers, benches and tests
+//! are unaffected by the monolith's decomposition.
 
 use std::borrow::Borrow;
-use std::collections::BTreeMap;
-use std::sync::Arc;
 
-use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, JobId, MapReduceFramework};
-use meryn_sim::metrics::{SeriesSet, StepSeries};
-use meryn_sim::{EventQueue, SimRng, SimTime};
-use meryn_sla::pricing::PricingParams;
-use meryn_sla::violation;
-use meryn_sla::{AppTimes, Money, VmRate};
-use meryn_vmm::{
-    CloudId, ImageRegistry, LatencyModel, Ledger, Location, PrivatePool, PublicCloud, VmId,
-};
+use meryn_vmm::{Ledger, PrivatePool, PublicCloud};
 use meryn_workloads::Submission;
 
-use crate::app::{AppPhase, Application};
-use crate::bidding::BidRequest;
-use crate::client_manager::admit;
+use crate::app::Application;
 use crate::cluster_manager::VirtualCluster;
 use crate::config::PlatformConfig;
-use crate::events::Event;
-use crate::ids::{AppId, Placement, VcId};
-use crate::policy::{self, BiddingPolicy, PlacementPolicy};
-use crate::protocol::{select_resources, Decision, ProtocolParams};
-use crate::report::{AppRecord, RunReport};
-
-/// One execution stint of a job: which VMs, since when, at what cost.
-#[derive(Debug, Clone)]
-struct Stint {
-    started: SimTime,
-    vms: Vec<(VmId, Location, VmRate)>,
-}
-
-/// Multi-step VM acquisition in flight for an application.
-#[derive(Debug, Clone)]
-enum PendingAcquisition {
-    /// §3.4 transfer: VMs stopping at the source, then booting with the
-    /// destination image. `awaiting` counts boots still outstanding.
-    Transfer { awaiting: u64, vms: Vec<VmId> },
-    /// §3.5 bursting: leases provisioning. Rates were locked at
-    /// `begin_lease`. For SLA escalations of an already-submitted job,
-    /// `existing_job` carries the framework job to pin-start instead of
-    /// submitting a new one.
-    CloudLease {
-        cloud: CloudId,
-        awaiting: u64,
-        vms: Vec<(VmId, VmRate)>,
-        speed: f64,
-        existing_job: Option<JobId>,
-    },
-}
-
-/// A lending relationship: when the borrower finishes, `victim` (held in
-/// `src`) gets its VMs back and resumes.
-#[derive(Debug, Clone, Copy)]
-struct Lending {
-    src: VcId,
-    victim: AppId,
-}
-
-/// A lent-VM return in flight (stop at borrower, boot at lender).
-#[derive(Debug, Clone)]
-struct ReturnOp {
-    src: VcId,
-    victim: AppId,
-    awaiting: u64,
-    vms: Vec<VmId>,
-}
+use crate::engine::ShardExecutor;
+use crate::ids::AppId;
+use crate::report::RunReport;
 
 /// The assembled Meryn platform.
 pub struct Platform {
-    cfg: PlatformConfig,
-    placement: Arc<dyn PlacementPolicy>,
-    bidding: Arc<dyn BiddingPolicy>,
-    queue: EventQueue<Event>,
-    pool: PrivatePool,
-    clouds: Vec<PublicCloud>,
-    #[allow(dead_code)]
-    images: ImageRegistry,
-    vcs: Vec<VirtualCluster>,
-    apps: BTreeMap<AppId, Application>,
-    next_app: u64,
-    ledger: Ledger,
-    stints: BTreeMap<(VcId, JobId), Stint>,
-    pending: BTreeMap<AppId, PendingAcquisition>,
-    /// Specific slave VMs reserved (Local paths) for an application
-    /// whose submission pipeline is still in flight; the pinned submit
-    /// claims them.
-    acquired: BTreeMap<AppId, Vec<VmId>>,
-    lendings: BTreeMap<AppId, Lending>,
-    returns: BTreeMap<u64, ReturnOp>,
-    next_return: u64,
-    // Metrics.
-    busy_private: u64,
-    busy_cloud: u64,
-    /// Running maxima of the busy counters. The report's peak fields
-    /// come from these, so peaks survive even when curve recording is
-    /// gated off. Same-instant transients are coalesced exactly like
-    /// [`StepSeries::record`] coalesces them — only the *final* value
-    /// of an instant is observable — via the pending `usage_*` trio.
-    peak_busy_private: u64,
-    peak_busy_cloud: u64,
-    /// Instant of the not-yet-committed usage observation.
-    usage_at: SimTime,
-    /// Busy counts as of `usage_at` (folded into the peaks once a later
-    /// instant is observed, mirroring the series' same-instant
-    /// overwrite).
-    usage_private: u64,
-    usage_cloud: u64,
-    /// Whether the used-VM step curves are sampled. Defaults to on; the
-    /// scenario runner turns it off when the requested outputs never
-    /// read the curves, so a 100k-submission run does not accumulate
-    /// samples nobody looks at.
-    record_series: bool,
-    used_private: StepSeries,
-    used_cloud: StepSeries,
-    transfers: u64,
-    bursts: u64,
-    suspensions: u64,
-    escalations: u64,
-    cloud_bill: Money,
-    rejected: usize,
-    /// Per-Client-Manager earliest-free instants (empty = unbounded
-    /// front-end concurrency).
-    cm_free_at: Vec<SimTime>,
-    lat_rng: SimRng,
-    /// Recycled `VmId` scratch buffers: the acquisition pipeline
-    /// (idle-slave collects, transfer sets, lease id lists) takes a
-    /// buffer here and returns it when the pinned submit consumes it,
-    /// so the steady-state dispatch cycle allocates nothing.
-    vm_bufs: Vec<Vec<VmId>>,
-    /// Recycled stint buffers (the dispatch→billing cycle's VM lists).
-    stint_bufs: Vec<Vec<(VmId, Location, VmRate)>>,
+    exec: ShardExecutor,
 }
 
 impl Platform {
-    /// Deploys the platform described by `cfg`: boots the initial VC
-    /// slaves on the private pool (deployment precedes the workload, so
-    /// initial VMs come up instantly at t = 0) and pre-stages every
-    /// framework image in every cloud (§3.5).
+    /// Deploys the platform described by `cfg` (see
+    /// [`ShardExecutor::new`] for the deployment choreography).
     pub fn new(cfg: PlatformConfig) -> Self {
-        cfg.validate();
-        let placement = policy::placement(&cfg.policy).expect("validated policy resolves");
-        let bidding = policy::bidding(&cfg.bidding).expect("validated bidding policy resolves");
-        let master = SimRng::new(cfg.seed);
-        let mut pool = PrivatePool::with_vm_capacity(
-            cfg.private_capacity,
-            cfg.vm_spec,
-            cfg.latencies.transfer_boot,
-            cfg.latencies.transfer_stop,
-            1.0,
-            master.fork(1),
-        );
-        let mut images = ImageRegistry::new();
-        let pricing =
-            PricingParams::new(cfg.vm_price, cfg.penalty_factor).with_bound(cfg.penalty_bound);
-
-        let mut vcs: Vec<VirtualCluster> = Vec::with_capacity(cfg.vcs.len());
-        for (i, vc_cfg) in cfg.vcs.iter().enumerate() {
-            let image = images.register(format!("{}-image", vc_cfg.name), 4096);
-            let framework: Box<dyn Framework> = match vc_cfg.kind {
-                FrameworkKind::Batch => {
-                    if vc_cfg.backfill {
-                        Box::new(BatchFramework::with_backfill())
-                    } else {
-                        Box::new(BatchFramework::new())
-                    }
-                }
-                FrameworkKind::MapReduce => Box::new(MapReduceFramework::with_locality_penalty(
-                    vc_cfg.locality_penalty_pct,
-                )),
-            };
-            vcs.push(VirtualCluster::new(
-                VcId(i),
-                vc_cfg.name.clone(),
-                vc_cfg.kind,
-                image,
-                framework,
-                pricing,
-            ));
-        }
-
-        let mut clouds = Vec::with_capacity(cfg.clouds.len());
-        for (i, c) in cfg.clouds.iter().enumerate() {
-            let mut cloud = PublicCloud::new(
-                CloudId(i as u16),
-                c.name.clone(),
-                c.price.clone(),
-                cfg.latencies.cloud_provision,
-                cfg.latencies.cloud_release,
-                c.speed,
-                c.quota,
-                master.fork(100 + i as u64),
-            );
-            for vc in &vcs {
-                cloud.stage_image(vc.image);
-            }
-            clouds.push(cloud);
-        }
-
-        // Initial deployment: boot each VC's share instantly at t=0.
-        for (vc, vc_cfg) in vcs.iter_mut().zip(&cfg.vcs) {
-            for _ in 0..vc_cfg.initial_vms {
-                let (vm, _boot) = pool
-                    .begin_start(vc.image, SimTime::ZERO)
-                    .expect("validated initial allocation fits");
-                pool.complete_start(vm, SimTime::ZERO)
-                    .expect("fresh VM completes start");
-                vc.add_slave(vm, 1.0, Location::Private, cfg.private_cost)
-                    .expect("fresh slave is unique");
-            }
-        }
-
-        let lat_rng = master.fork(2);
-        let cm_free_at = vec![SimTime::ZERO; cfg.client_managers.unwrap_or(0)];
-        // Steady-state pending events scale with the live estate (every
-        // busy VM has at most a few lifecycle/completion events in
-        // flight); the workload bulk is reserved at enqueue time from
-        // the workload's own length.
-        let queue = EventQueue::with_capacity(4 * cfg.private_capacity as usize);
         Platform {
-            cfg,
-            placement,
-            bidding,
-            queue,
-            pool,
-            clouds,
-            images,
-            vcs,
-            apps: BTreeMap::new(),
-            next_app: 0,
-            ledger: Ledger::new(),
-            stints: BTreeMap::new(),
-            pending: BTreeMap::new(),
-            acquired: BTreeMap::new(),
-            lendings: BTreeMap::new(),
-            returns: BTreeMap::new(),
-            next_return: 0,
-            busy_private: 0,
-            busy_cloud: 0,
-            peak_busy_private: 0,
-            peak_busy_cloud: 0,
-            usage_at: SimTime::ZERO,
-            usage_private: 0,
-            usage_cloud: 0,
-            record_series: true,
-            used_private: StepSeries::new("used_private_vms"),
-            used_cloud: StepSeries::new("used_cloud_vms"),
-            transfers: 0,
-            bursts: 0,
-            suspensions: 0,
-            escalations: 0,
-            cloud_bill: Money::ZERO,
-            rejected: 0,
-            cm_free_at,
-            lat_rng,
-            vm_bufs: Vec::new(),
-            stint_bufs: Vec::new(),
+            exec: ShardExecutor::new(cfg),
         }
     }
 
     /// Sets whether the used-VM step curves are sampled (on by
     /// default). Peaks are tracked either way; only the full
-    /// [`StepSeries`] sample vectors are skipped when off.
+    /// step-series sample vectors are skipped when off.
     pub fn with_series_recording(mut self, on: bool) -> Self {
-        self.record_series = on;
+        self.exec.set_series_recording(on);
         self
     }
 
@@ -285,29 +55,22 @@ impl Platform {
         I: IntoIterator,
         I::Item: Borrow<Submission>,
     {
-        let workload = workload.into_iter();
-        // Pre-size the queue from the workload length (exact for slices
-        // and `Vec`s, a lower bound for lazy generators).
-        self.queue.reserve(workload.size_hint().0);
-        for sub in workload {
-            let sub = *sub.borrow();
-            self.queue.push(sub.at, Event::Arrival(sub));
-        }
+        self.exec.enqueue_workload(workload);
     }
 
-    /// Processes one event; `false` when the queue is drained.
+    /// Processes one event; `false` when all queues are drained.
+    ///
+    /// The single-step path is strictly sequential; the batched
+    /// [`Self::run_to_completion`] loop produces the same trajectory
+    /// (that equivalence is pinned by the engine's determinism tests).
     pub fn step(&mut self) -> bool {
-        let Some((now, ev)) = self.queue.pop() else {
-            return false;
-        };
-        self.handle(now, ev);
-        true
+        self.exec.step()
     }
 
-    /// Drains the event queue (the `while step() {}` loop external
-    /// drivers used to hand-roll).
+    /// Drains the event queues through the batched, shard-parallel
+    /// executor loop.
     pub fn run_to_completion(&mut self) {
-        while self.step() {}
+        self.exec.run_to_completion();
     }
 
     /// **The** entry point for external drivers: enqueues `workload`,
@@ -327,838 +90,59 @@ impl Platform {
 
     // ---- accessors (used by tests and examples) ---------------------------
 
-    /// The deployed Virtual Clusters.
-    pub fn vcs(&self) -> &[VirtualCluster] {
-        &self.vcs
+    /// The deployed Virtual Clusters, `VcId` order.
+    pub fn vcs(&self) -> impl Iterator<Item = &VirtualCluster> {
+        self.exec.shards.iter().map(|s| &s.vc)
     }
 
     /// The private pool.
     pub fn pool(&self) -> &PrivatePool {
-        &self.pool
+        &self.exec.fabric.pool
     }
 
     /// The public clouds.
     pub fn clouds(&self) -> &[PublicCloud] {
-        &self.clouds
+        &self.exec.fabric.clouds
     }
 
-    /// The applications seen so far.
-    pub fn apps(&self) -> &BTreeMap<AppId, Application> {
-        &self.apps
+    /// Looks one application up across shards.
+    pub fn app(&self, id: AppId) -> Option<&Application> {
+        self.exec.app(id)
     }
 
     /// The billing ledger.
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        &self.exec.fabric.ledger
     }
 
     /// Current simulation instant.
-    pub fn now(&self) -> SimTime {
-        self.queue.now()
+    pub fn now(&self) -> meryn_sim::SimTime {
+        self.exec.now()
     }
 
-    // ---- event handling ----------------------------------------------------
-
-    fn handle(&mut self, now: SimTime, ev: Event) {
-        match ev {
-            Event::Arrival(sub) => self.on_arrival(now, sub),
-            Event::SubmitToFramework { app } => self.on_submit(now, app),
-            Event::TransferVmStopped { app, vm } => self.on_transfer_stopped(now, app, vm),
-            Event::TransferVmBooted { app, vm } => self.on_transfer_booted(now, app, vm),
-            Event::CloudVmReady { app, vm } => self.on_cloud_ready(now, app, vm),
-            Event::JobFinished { vc, job, epoch } => self.on_job_finished(now, vc, job, epoch),
-            Event::ReturnVmStopped { ret, vm } => self.on_return_stopped(now, ret, vm),
-            Event::ReturnVmBooted { ret, vm } => self.on_return_booted(now, ret, vm),
-            Event::CloudVmReleased { cloud, vm } => self.on_cloud_released(now, cloud, vm),
-            Event::ControllerCheck { app } => self.on_controller_check(now, app),
-        }
+    /// Same-instant cross-shard event runs the executor fanned out to
+    /// worker threads so far.
+    pub fn parallel_runs(&self) -> u64 {
+        self.exec.parallel_runs()
     }
 
-    fn sample(&mut self, model: LatencyModel) -> meryn_sim::SimDuration {
-        model.sample(&mut self.lat_rng)
-    }
-
-    // ---- scratch buffers ---------------------------------------------------
-    //
-    // The acquisition→dispatch→return cycle shuttles short VM lists
-    // around on every event. Both list kinds are pooled: a consumer
-    // that finishes with a buffer hands it back cleared, so steady
-    // state performs no allocation at all.
-
-    fn take_vm_buf(&mut self) -> Vec<VmId> {
-        self.vm_bufs.pop().unwrap_or_default()
-    }
-
-    fn recycle_vm_buf(&mut self, mut buf: Vec<VmId>) {
-        buf.clear();
-        self.vm_bufs.push(buf);
-    }
-
-    fn take_stint_buf(&mut self) -> Vec<(VmId, Location, VmRate)> {
-        self.stint_bufs.pop().unwrap_or_default()
-    }
-
-    fn recycle_stint_buf(&mut self, mut buf: Vec<(VmId, Location, VmRate)>) {
-        buf.clear();
-        self.stint_bufs.push(buf);
-    }
-
-    /// Front-end delay for one submission: the Client Manager handling
-    /// time plus, when Client Managers are a bounded resource, the wait
-    /// for one to become free. The busiest-period behaviour §3.2 warns
-    /// about emerges when a single CM serializes a burst of arrivals.
-    fn cm_delay(
-        &mut self,
-        now: SimTime,
-        handling: meryn_sim::SimDuration,
-    ) -> meryn_sim::SimDuration {
-        if self.cm_free_at.is_empty() {
-            return handling; // unbounded front end
-        }
-        let idx = self
-            .cm_free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .map(|(i, _)| i)
-            .expect("at least one Client Manager");
-        let start = self.cm_free_at[idx].max_of(now);
-        let done = start + handling;
-        self.cm_free_at[idx] = done;
-        done.since(now)
-    }
-
-    fn on_arrival(&mut self, now: SimTime, sub: Submission) {
-        let max_vms = self.cfg.private_capacity;
-        let admitted = admit(
-            &sub,
-            &self.vcs,
-            now,
-            self.cfg.quote_speed,
-            self.cfg.processing_allowance,
-            self.cfg.max_negotiation_rounds,
-            max_vms,
+    /// Per-shard processed-event counters as `(vc name, events)` pairs,
+    /// plus the control plane under the name `"control"` — the
+    /// `scenario --bench` breakdown.
+    pub fn shard_event_counts(&self) -> Vec<(String, u64)> {
+        let mut counts = vec![("control".to_owned(), self.exec.control_events_processed())];
+        counts.extend(
+            self.exec
+                .shards
+                .iter()
+                .map(|s| (s.vc.name.clone(), s.events_processed())),
         );
-        let (vc_id, spec, contract, rounds) = match admitted {
-            Ok(x) => x,
-            Err(_) => {
-                self.rejected += 1;
-                return;
-            }
-        };
-
-        let quoted_exec = self.vcs[vc_id.0]
-            .framework
-            .estimate_exec(&spec, spec.nb_vms(), self.cfg.quote_speed, true)
-            .expect("admission type-checked the spec");
-
-        let app_id = AppId(self.next_app);
-        self.next_app += 1;
-
-        let req = BidRequest {
-            nb_vms: spec.nb_vms(),
-            duration: quoted_exec + self.cfg.processing_allowance,
-        };
-        let decision = select_resources(
-            self.placement.as_ref(),
-            self.bidding.as_ref(),
-            vc_id,
-            &self.vcs,
-            &self.apps,
-            &self.clouds,
-            req,
-            now,
-            ProtocolParams {
-                storage_rate: self.cfg.storage_rate,
-                suspension_enabled: self.cfg.suspension_enabled,
-                private_cost: self.cfg.private_cost,
-            },
-        );
-
-        let placement = match decision {
-            Decision::Local | Decision::Queue => Placement::Local,
-            Decision::LocalAfterSuspension { .. } => Placement::LocalAfterSuspension,
-            Decision::FromVc { src } => Placement::VcVms { from: src },
-            Decision::FromVcAfterSuspension { src, .. } => {
-                Placement::VcVmsAfterSuspension { from: src }
-            }
-            Decision::Cloud { cloud, .. } => Placement::Cloud { cloud },
-        };
-
-        self.apps.insert(
-            app_id,
-            Application {
-                id: app_id,
-                vc: vc_id,
-                spec,
-                contract,
-                times: AppTimes::submitted(now, quoted_exec, contract.terms.deadline),
-                job: None,
-                placement,
-                phase: AppPhase::Acquiring,
-                framework_submitted_at: None,
-                cost: Money::ZERO,
-                negotiation_rounds: rounds,
-                suspensions: 0,
-                violation_detected: None,
-            },
-        );
-
-        let handling = self.sample(self.cfg.latencies.base);
-        let base = self.cm_delay(now, handling);
-        let nb = spec.nb_vms();
-
-        match decision {
-            Decision::Local => {
-                let mut vms = self.take_vm_buf();
-                self.vcs[vc_id.0]
-                    .framework
-                    .idle_slaves_into(nb as usize, &mut vms);
-                assert_eq!(
-                    vms.len() as u64,
-                    nb,
-                    "Local decision implies enough idle VMs"
-                );
-                for &vm in &vms {
-                    self.vcs[vc_id.0]
-                        .framework
-                        .reserve_slave(vm)
-                        .expect("idle slave is reservable");
-                }
-                self.acquired.insert(app_id, vms);
-                self.queue
-                    .push(now + base, Event::SubmitToFramework { app: app_id });
-            }
-            Decision::Queue => {
-                // Nothing can provide VMs now: hand to the framework and
-                // let FIFO/backfill handle it when capacity frees up.
-                self.queue
-                    .push(now + base, Event::SubmitToFramework { app: app_id });
-            }
-            Decision::LocalAfterSuspension { victim } => {
-                let freed = self.suspend_app(now, vc_id, victim);
-                assert!(freed.len() as u64 >= nb);
-                self.lendings.insert(app_id, Lending { src: vc_id, victim });
-                let mut vms = self.take_vm_buf();
-                vms.extend(freed.into_iter().take(nb as usize));
-                for &vm in &vms {
-                    self.vcs[vc_id.0]
-                        .framework
-                        .reserve_slave(vm)
-                        .expect("freed slave is reservable");
-                }
-                self.acquired.insert(app_id, vms);
-                let extra = self.sample(self.cfg.latencies.suspend_local);
-                self.queue
-                    .push(now + base + extra, Event::SubmitToFramework { app: app_id });
-            }
-            Decision::FromVc { src } => {
-                self.transfers += nb;
-                let mut victims = self.take_vm_buf();
-                self.vcs[src.0]
-                    .framework
-                    .idle_slaves_into(nb as usize, &mut victims);
-                assert_eq!(victims.len() as u64, nb, "zero bid implies enough idle VMs");
-                self.begin_transfer_stops(now, app_id, &victims, base, None);
-                self.recycle_vm_buf(victims);
-            }
-            Decision::FromVcAfterSuspension { src, victim } => {
-                let freed = self.suspend_app(now, src, victim);
-                assert!(
-                    freed.len() as u64 >= nb,
-                    "victim must hold at least the requested VMs"
-                );
-                self.lendings.insert(app_id, Lending { src, victim });
-                let extra = self.sample(self.cfg.latencies.suspend_remote);
-                let mut take = self.take_vm_buf();
-                take.extend(freed.into_iter().take(nb as usize));
-                self.begin_transfer_stops(now, app_id, &take, base, Some(extra));
-                self.recycle_vm_buf(take);
-            }
-            Decision::Cloud { cloud, .. } => {
-                self.bursts += nb;
-                let vc_image = self.vcs[vc_id.0].image;
-                let spec_shape = self.cfg.vm_spec;
-                let c = &mut self.clouds[cloud.0 as usize];
-                let speed = c.speed();
-                let mut vms = Vec::with_capacity(nb as usize);
-                for _ in 0..nb {
-                    let (vm, prov, rate) = c
-                        .begin_lease(vc_image, spec_shape, now)
-                        .expect("protocol only offers clouds that can lease");
-                    self.queue
-                        .push(now + base + prov, Event::CloudVmReady { app: app_id, vm });
-                    vms.push((vm, rate));
-                }
-                self.pending.insert(
-                    app_id,
-                    PendingAcquisition::CloudLease {
-                        cloud,
-                        awaiting: nb,
-                        vms,
-                        speed,
-                        existing_job: None,
-                    },
-                );
-            }
-        }
-
-        if let Some(interval) = self.cfg.controller_check_interval {
-            self.queue
-                .push(now + interval, Event::ControllerCheck { app: app_id });
-        }
+        counts
     }
-
-    /// Removes `vms` from their VC and begins stopping them in the pool;
-    /// each stop chains into a boot with the destination VC's image.
-    fn begin_transfer_stops(
-        &mut self,
-        now: SimTime,
-        app: AppId,
-        vms: &[VmId],
-        base: meryn_sim::SimDuration,
-        extra: Option<meryn_sim::SimDuration>,
-    ) {
-        let src_vc = self.apps[&app].placement;
-        let src = match src_vc {
-            Placement::VcVms { from } | Placement::VcVmsAfterSuspension { from } => from,
-            _ => unreachable!("transfer only for vc placements"),
-        };
-        let lead = base + extra.unwrap_or(meryn_sim::SimDuration::ZERO);
-        for &vm in vms {
-            self.vcs[src.0]
-                .remove_slave(vm)
-                .expect("transfer candidates are idle slaves");
-            let stop = self
-                .pool
-                .begin_stop(vm, now)
-                .expect("idle private slave can stop");
-            self.queue
-                .push(now + lead + stop, Event::TransferVmStopped { app, vm });
-        }
-        let collect = self.take_vm_buf();
-        self.pending.insert(
-            app,
-            PendingAcquisition::Transfer {
-                awaiting: vms.len() as u64,
-                vms: collect,
-            },
-        );
-    }
-
-    /// Suspends `victim` (running in `vc`), holding it for later
-    /// requeue. Returns the freed VMs.
-    fn suspend_app(&mut self, now: SimTime, vc: VcId, victim: AppId) -> Vec<VmId> {
-        let job = self.apps[&victim].job.expect("running victim has a job");
-        let closed = self.close_stint(now, vc, job);
-        self.recycle_stint_buf(closed);
-        let freed = self.vcs[vc.0]
-            .framework
-            .suspend_and_hold(job, now)
-            .expect("protocol only suspends running jobs");
-        let app = self.apps.get_mut(&victim).expect("victim exists");
-        app.times.suspend(now);
-        app.suspensions += 1;
-        self.suspensions += 1;
-        freed
-    }
-
-    /// Closes a job's execution stint: bills each VM interval and
-    /// updates the used-VM series. Returns the stint's VMs.
-    fn close_stint(&mut self, now: SimTime, vc: VcId, job: JobId) -> Vec<(VmId, Location, VmRate)> {
-        let stint = self
-            .stints
-            .remove(&(vc, job))
-            .expect("running job has an open stint");
-        let app_id = self.vcs[vc.0].app_of(job);
-        let mut total = Money::ZERO;
-        for &(vm, loc, rate) in &stint.vms {
-            total += self.ledger.charge(vm, loc, stint.started, now, rate);
-            match loc {
-                Location::Private => self.busy_private -= 1,
-                Location::Cloud(_) => self.busy_cloud -= 1,
-            }
-        }
-        self.apps.get_mut(&app_id).expect("app exists").cost += total;
-        self.record_usage(now);
-        stint.vms
-    }
-
-    fn record_usage(&mut self, now: SimTime) {
-        // Commit the previous instant's *final* values into the peaks
-        // before observing a new instant; a same-instant re-record
-        // overwrites the pending observation instead, exactly like the
-        // step series coalesces same-instant samples. (An intra-instant
-        // transient — busy rising then falling within one event
-        // cascade — must not register as a peak.)
-        if now > self.usage_at {
-            self.peak_busy_private = self.peak_busy_private.max(self.usage_private);
-            self.peak_busy_cloud = self.peak_busy_cloud.max(self.usage_cloud);
-            self.usage_at = now;
-        }
-        self.usage_private = self.busy_private;
-        self.usage_cloud = self.busy_cloud;
-        if self.record_series {
-            self.used_private.record(now, self.busy_private as f64);
-            self.used_cloud.record(now, self.busy_cloud as f64);
-        }
-    }
-
-    fn on_submit(&mut self, now: SimTime, app_id: AppId) {
-        match self.acquired.remove(&app_id) {
-            Some(vms) => self.submit_pinned_now(now, app_id, vms),
-            None => self.submit_queued(now, app_id),
-        }
-    }
-
-    /// Hands the job to the framework queue (Queue decisions: no VMs
-    /// were acquired for it; it waits its FIFO turn).
-    fn submit_queued(&mut self, now: SimTime, app_id: AppId) {
-        let (vc_id, spec) = {
-            let app = &self.apps[&app_id];
-            (app.vc, app.spec)
-        };
-        let job = self.vcs[vc_id.0]
-            .framework
-            .submit(spec, now)
-            .expect("admission type-checked the spec");
-        self.vcs[vc_id.0].job_to_app.insert(job, app_id);
-        let app = self.apps.get_mut(&app_id).expect("app exists");
-        app.job = Some(job);
-        app.framework_submitted_at = Some(now);
-        app.phase = AppPhase::Submitted;
-        self.dispatch(now, vc_id);
-    }
-
-    /// Starts the job immediately on the exact VMs Algorithm 1 acquired
-    /// for it — transferred, lent, leased or locally reserved VMs are
-    /// dedicated to the requesting application.
-    fn submit_pinned_now(&mut self, now: SimTime, app_id: AppId, vms: Vec<VmId>) {
-        let (vc_id, spec) = {
-            let app = &self.apps[&app_id];
-            (app.vc, app.spec)
-        };
-        let (job, dispatch) = self.vcs[vc_id.0]
-            .framework
-            .submit_pinned(spec, &vms, now)
-            .expect("acquired VMs are idle slaves of the right framework");
-        self.recycle_vm_buf(vms);
-        self.vcs[vc_id.0].job_to_app.insert(job, app_id);
-        let app = self.apps.get_mut(&app_id).expect("app exists");
-        app.job = Some(job);
-        app.framework_submitted_at = Some(now);
-        app.phase = AppPhase::Submitted;
-        self.register_dispatch(now, vc_id, dispatch);
-    }
-
-    /// Lets a VC's framework start whatever fits and schedules the
-    /// predicted completions.
-    fn dispatch(&mut self, now: SimTime, vc_id: VcId) {
-        let dispatches = self.vcs[vc_id.0].framework.try_dispatch(now);
-        for d in dispatches {
-            self.register_dispatch(now, vc_id, d);
-        }
-    }
-
-    /// Records one job start: billing stint, used-VM series, Fig. 4
-    /// times, and the predicted completion event.
-    fn register_dispatch(&mut self, now: SimTime, vc_id: VcId, d: meryn_frameworks::Dispatch) {
-        let app_id = self.vcs[vc_id.0].app_of(d.job);
-        let mut vms = self.take_stint_buf();
-        vms.extend(d.vms.iter().map(|vm| {
-            let meta = self.vcs[vc_id.0]
-                .slave_meta
-                .get(vm)
-                .expect("dispatched slave has meta");
-            (*vm, meta.location, meta.cost_rate)
-        }));
-        for &(_, loc, _) in &vms {
-            match loc {
-                Location::Private => self.busy_private += 1,
-                Location::Cloud(_) => self.busy_cloud += 1,
-            }
-        }
-        self.record_usage(now);
-        let app = self.apps.get_mut(&app_id).expect("app exists");
-        app.times.start(now);
-        let done = app.times.progress_t(now);
-        app.times.set_exec_t(done + d.exec_total);
-        self.stints
-            .insert((vc_id, d.job), Stint { started: now, vms });
-        self.queue.push(
-            d.finish_at,
-            Event::JobFinished {
-                vc: vc_id,
-                job: d.job,
-                epoch: d.epoch,
-            },
-        );
-    }
-
-    fn on_transfer_stopped(&mut self, now: SimTime, app: AppId, vm: VmId) {
-        self.pool
-            .complete_stop(vm, now)
-            .expect("transfer stop completes");
-        let image = self.vcs[self.apps[&app].vc.0].image;
-        let (new_vm, boot) = self
-            .pool
-            .begin_start(image, now)
-            .expect("the slot just freed");
-        self.queue
-            .push(now + boot, Event::TransferVmBooted { app, vm: new_vm });
-    }
-
-    fn on_transfer_booted(&mut self, now: SimTime, app: AppId, vm: VmId) {
-        self.pool
-            .complete_start(vm, now)
-            .expect("transfer boot completes");
-        let done = {
-            let pending = self.pending.get_mut(&app).expect("transfer in flight");
-            match pending {
-                PendingAcquisition::Transfer { awaiting, vms } => {
-                    vms.push(vm);
-                    *awaiting -= 1;
-                    *awaiting == 0
-                }
-                _ => unreachable!("transfer event for non-transfer pending"),
-            }
-        };
-        if done {
-            let Some(PendingAcquisition::Transfer { vms, .. }) = self.pending.remove(&app) else {
-                unreachable!("just matched")
-            };
-            let vc_id = self.apps[&app].vc;
-            let rate = self.cfg.private_cost;
-            for &vm in &vms {
-                self.vcs[vc_id.0]
-                    .add_slave(vm, 1.0, Location::Private, rate)
-                    .expect("fresh transferred slave is unique");
-            }
-            self.submit_pinned_now(now, app, vms);
-        }
-    }
-
-    fn on_cloud_ready(&mut self, now: SimTime, app: AppId, vm: VmId) {
-        let done = {
-            let pending = self.pending.get_mut(&app).expect("lease in flight");
-            match pending {
-                PendingAcquisition::CloudLease {
-                    cloud, awaiting, ..
-                } => {
-                    let c = &mut self.clouds[cloud.0 as usize];
-                    c.complete_lease(vm, now).expect("lease completes");
-                    *awaiting -= 1;
-                    *awaiting == 0
-                }
-                _ => unreachable!("cloud event for non-cloud pending"),
-            }
-        };
-        if done {
-            let Some(PendingAcquisition::CloudLease {
-                cloud,
-                vms,
-                speed,
-                existing_job,
-                ..
-            }) = self.pending.remove(&app)
-            else {
-                unreachable!("just matched")
-            };
-            let vc_id = self.apps[&app].vc;
-            let mut ids = self.take_vm_buf();
-            ids.extend(vms.iter().map(|&(vm, _)| vm));
-            for (vm, rate) in vms {
-                self.vcs[vc_id.0]
-                    .add_slave(vm, speed, Location::Cloud(cloud), rate)
-                    .expect("fresh leased slave is unique");
-            }
-            match existing_job {
-                None => self.submit_pinned_now(now, app, ids),
-                Some(job) => {
-                    // SLA escalation: the job already exists and was
-                    // withdrawn from the queue; start it on the leases.
-                    let dispatch = self.vcs[vc_id.0]
-                        .framework
-                        .start_withdrawn_pinned(job, &ids, now)
-                        .expect("withdrawn job starts on its leases");
-                    self.recycle_vm_buf(ids);
-                    self.register_dispatch(now, vc_id, dispatch);
-                }
-            }
-        }
-    }
-
-    fn on_job_finished(&mut self, now: SimTime, vc_id: VcId, job: JobId, epoch: u64) {
-        let done = self.vcs[vc_id.0]
-            .framework
-            .on_finished(job, epoch, now)
-            .expect("job known to its framework");
-        if done.is_none() {
-            return; // stale completion: the job was suspended meanwhile
-        }
-        let app_id = self.vcs[vc_id.0].app_of(job);
-        let stint_vms = self.close_stint(now, vc_id, job);
-
-        {
-            let app = self.apps.get_mut(&app_id).expect("app exists");
-            // Bank the final stint's progress, then mark completion.
-            app.times.suspend(now);
-            app.phase = AppPhase::Completed { at: now };
-        }
-
-        match self.apps[&app_id].placement {
-            Placement::Cloud { cloud } => {
-                for (vm, _, _) in &stint_vms {
-                    self.vcs[vc_id.0]
-                        .remove_slave(*vm)
-                        .expect("finished job's slaves are idle");
-                    let rel = self.clouds[cloud.0 as usize]
-                        .begin_release(*vm, now)
-                        .expect("leased VM can release");
-                    self.queue
-                        .push(now + rel, Event::CloudVmReleased { cloud, vm: *vm });
-                }
-            }
-            Placement::LocalAfterSuspension => {
-                let lending = self
-                    .lendings
-                    .remove(&app_id)
-                    .expect("local suspension recorded a lending");
-                let victim_job = self.apps[&lending.victim]
-                    .job
-                    .expect("held victim has a job");
-                self.vcs[vc_id.0]
-                    .framework
-                    .requeue_held(victim_job)
-                    .expect("victim was held");
-            }
-            Placement::VcVmsAfterSuspension { from } => {
-                let lending = self
-                    .lendings
-                    .remove(&app_id)
-                    .expect("vc suspension recorded a lending");
-                debug_assert_eq!(lending.src, from);
-                let ret = self.next_return;
-                self.next_return += 1;
-                for (vm, _, _) in &stint_vms {
-                    self.vcs[vc_id.0]
-                        .remove_slave(*vm)
-                        .expect("finished job's slaves are idle");
-                    let stop = self
-                        .pool
-                        .begin_stop(*vm, now)
-                        .expect("borrowed private VM can stop");
-                    self.queue
-                        .push(now + stop, Event::ReturnVmStopped { ret, vm: *vm });
-                }
-                self.returns.insert(
-                    ret,
-                    ReturnOp {
-                        src: from,
-                        victim: lending.victim,
-                        awaiting: stint_vms.len() as u64,
-                        vms: Vec::with_capacity(stint_vms.len()),
-                    },
-                );
-            }
-            Placement::Local | Placement::VcVms { .. } => {}
-        }
-        self.recycle_stint_buf(stint_vms);
-        self.dispatch(now, vc_id);
-    }
-
-    fn on_return_stopped(&mut self, now: SimTime, ret: u64, vm: VmId) {
-        self.pool
-            .complete_stop(vm, now)
-            .expect("return stop completes");
-        let src = self.returns[&ret].src;
-        let image = self.vcs[src.0].image;
-        let (new_vm, boot) = self
-            .pool
-            .begin_start(image, now)
-            .expect("the slot just freed");
-        self.queue
-            .push(now + boot, Event::ReturnVmBooted { ret, vm: new_vm });
-    }
-
-    fn on_return_booted(&mut self, now: SimTime, ret: u64, vm: VmId) {
-        self.pool
-            .complete_start(vm, now)
-            .expect("return boot completes");
-        let done = {
-            let op = self.returns.get_mut(&ret).expect("return in flight");
-            op.vms.push(vm);
-            op.awaiting -= 1;
-            op.awaiting == 0
-        };
-        if done {
-            let op = self.returns.remove(&ret).expect("just checked");
-            let rate = self.cfg.private_cost;
-            for vm in op.vms {
-                self.vcs[op.src.0]
-                    .add_slave(vm, 1.0, Location::Private, rate)
-                    .expect("fresh returned slave is unique");
-            }
-            let victim_job = self.apps[&op.victim].job.expect("held victim has a job");
-            self.vcs[op.src.0]
-                .framework
-                .requeue_held(victim_job)
-                .expect("victim was held");
-            self.dispatch(now, op.src);
-        }
-    }
-
-    fn on_cloud_released(&mut self, now: SimTime, cloud: CloudId, vm: VmId) {
-        let close = self.clouds[cloud.0 as usize]
-            .complete_release(vm, now)
-            .expect("release completes");
-        self.cloud_bill += close.cost;
-    }
-
-    /// Attempts the [`ViolationPolicy::EscalateToCloud`] action: pull the
-    /// application's waiting job out of the framework queue and burst it
-    /// to the cheapest cloud. Returns `false` when the application is
-    /// not actually waiting in a queue (still acquiring, running, held
-    /// for lending, or already escalated) or no cloud can serve it.
-    fn try_escalate_to_cloud(&mut self, now: SimTime, app_id: AppId) -> bool {
-        let (vc_id, spec, job) = {
-            let app = &self.apps[&app_id];
-            (app.vc, app.spec, app.job)
-        };
-        let Some(job) = job else {
-            return false; // submission pipeline still in flight
-        };
-        if self.pending.contains_key(&app_id) {
-            return false; // an acquisition (or escalation) is in flight
-        }
-        let nb = spec.nb_vms();
-        let offer = self
-            .clouds
-            .iter()
-            .filter(|c| c.can_lease(nb))
-            .map(|c| (c.id, c.price_at(now)))
-            .min_by_key(|&(_, r)| r);
-        let Some((cloud, _)) = offer else {
-            return false;
-        };
-        // `withdraw` fails exactly when the job is not waiting in the
-        // queue — running, held for lending, or done.
-        if self.vcs[vc_id.0].framework.withdraw(job).is_err() {
-            return false;
-        }
-        self.bursts += nb;
-        self.escalations += 1;
-        let image = self.vcs[vc_id.0].image;
-        let shape = self.cfg.vm_spec;
-        let c = &mut self.clouds[cloud.0 as usize];
-        let speed = c.speed();
-        let mut vms = Vec::with_capacity(nb as usize);
-        for _ in 0..nb {
-            let (vm, prov, rate) = c
-                .begin_lease(image, shape, now)
-                .expect("can_lease checked above");
-            self.queue
-                .push(now + prov, Event::CloudVmReady { app: app_id, vm });
-            vms.push((vm, rate));
-        }
-        self.pending.insert(
-            app_id,
-            PendingAcquisition::CloudLease {
-                cloud,
-                awaiting: nb,
-                vms,
-                speed,
-                existing_job: Some(job),
-            },
-        );
-        self.apps.get_mut(&app_id).expect("app exists").placement = Placement::Cloud { cloud };
-        true
-    }
-
-    fn on_controller_check(&mut self, now: SimTime, app_id: AppId) {
-        let Some(interval) = self.cfg.controller_check_interval else {
-            return;
-        };
-        let app = self.apps.get_mut(&app_id).expect("app exists");
-        if app.is_completed() {
-            return; // controller retires with its application
-        }
-        let status = violation::check(&app.contract, &app.times, now);
-        if status.needs_attention()
-            && self.cfg.violation_policy == crate::config::ViolationPolicy::EscalateToCloud
-            && self.try_escalate_to_cloud(now, app_id)
-        {
-            // Escalated: a fresh completion prediction is coming; keep
-            // monitoring.
-            self.queue
-                .push(now + interval, Event::ControllerCheck { app: app_id });
-            return;
-        }
-        let app = self.apps.get_mut(&app_id).expect("app exists");
-        if status.is_violated() {
-            // Report once and retire: the violation is now the Cluster
-            // Manager's problem (§3.3) — and a never-completing job must
-            // not keep the event loop alive forever.
-            if app.violation_detected.is_none() {
-                app.violation_detected = Some(now);
-            }
-            return;
-        }
-        self.queue
-            .push(now + interval, Event::ControllerCheck { app: app_id });
-    }
-
-    // ---- reporting ---------------------------------------------------------
 
     /// Builds the final report. Consumes the platform.
     pub fn finalize(self) -> RunReport {
-        let mut records = Vec::with_capacity(self.apps.len());
-        let mut completion = SimTime::ZERO;
-        for app in self.apps.values() {
-            if let Some(at) = app.completed_at() {
-                completion = completion.max_of(at);
-            }
-            records.push(AppRecord {
-                id: app.id,
-                vc: app.vc,
-                vc_name: self.vcs[app.vc.0].name.clone(),
-                placement: app.placement.table1_case().to_owned(),
-                submitted: app.contract.agreed_at,
-                framework_submitted: app.framework_submitted_at,
-                completed: app.completed_at(),
-                processing: app.processing_time(),
-                exec: app.exec_duration(),
-                cost: app.cost,
-                price: app.contract.terms.price,
-                revenue: app.revenue().unwrap_or(Money::ZERO),
-                penalty: app.penalty().unwrap_or(Money::ZERO),
-                violated: app.violated(),
-                suspensions: app.suspensions,
-                negotiation_rounds: app.negotiation_rounds,
-            });
-        }
-        // Fold the still-pending last observation into the peaks.
-        let peak_private = self.peak_busy_private.max(self.usage_private) as f64;
-        let peak_cloud = self.peak_busy_cloud.max(self.usage_cloud) as f64;
-        let mut series = SeriesSet::new();
-        series.add(self.used_private);
-        series.add(self.used_cloud);
-        RunReport {
-            mode: self.cfg.policy.clone(),
-            seed: self.cfg.seed,
-            apps: records,
-            rejected: self.rejected,
-            completion_time: completion,
-            series,
-            peak_private,
-            peak_cloud,
-            transfers: self.transfers,
-            bursts: self.bursts,
-            suspensions: self.suspensions,
-            escalations: self.escalations,
-            cloud_bill: self.cloud_bill,
-            events_processed: self.queue.events_processed(),
-        }
+        self.exec.finalize()
     }
 }
 
@@ -1167,8 +151,9 @@ mod tests {
     use super::*;
     use crate::config::{PlatformConfig, VcConfig};
     use meryn_frameworks::{JobSpec, ScalingLaw};
-    use meryn_sim::SimDuration;
+    use meryn_sim::{SimDuration, SimTime};
     use meryn_sla::negotiation::UserStrategy;
+    use meryn_sla::Money;
     use meryn_workloads::{Submission, VcTarget};
 
     fn batch_sub(at_secs: u64, vc: usize, work_secs: u64) -> Submission {
@@ -1290,6 +275,25 @@ mod tests {
     }
 
     #[test]
+    fn stepped_loop_matches_batched_executor() {
+        // The one-event-at-a-time `step` path and the batched
+        // shard-parallel `run_to_completion` path must walk the same
+        // trajectory.
+        let subs: Vec<Submission> = (0..12)
+            .map(|i| batch_sub(5 + (i / 4) * 5, (i % 2) as usize, 150 + i * 30))
+            .collect();
+        let batched = Platform::new(small_cfg("meryn")).run(&subs);
+        let mut stepped = Platform::new(small_cfg("meryn"));
+        stepped.enqueue_workload(&subs);
+        while stepped.step() {}
+        let stepped = stepped.finalize();
+        assert_eq!(
+            serde_json::to_string(&batched).unwrap(),
+            serde_json::to_string(&stepped).unwrap()
+        );
+    }
+
+    #[test]
     fn different_seeds_change_latencies_not_outcomes() {
         let subs = vec![batch_sub(5, 0, 100)];
         let r1 = Platform::new(small_cfg("meryn").with_seed(1)).run(&subs);
@@ -1347,10 +351,8 @@ mod tests {
         cfg.private_capacity = 1;
         cfg.vcs = vec![VcConfig::batch("VC1", 1)];
         cfg.clouds.clear();
-        // Two tight-deadline apps: suspension of the first would be
-        // pointless (no bid beats... there is no cloud, but suspension
-        // bid exists) — use nb_vms = 2 for the second so nothing can
-        // hold it and it queues.
+        // Use nb_vms = 2 for the second app so nothing can hold it and
+        // it queues.
         let subs = vec![
             batch_sub(5, 0, 300),
             Submission::new(
@@ -1429,5 +431,21 @@ mod tests {
         let report = Platform::new(cfg).run([sub]);
         assert_eq!(report.apps.len(), 0);
         assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn shard_event_counts_cover_all_events() {
+        let cfg = small_cfg("meryn");
+        let subs = vec![batch_sub(5, 0, 200), batch_sub(10, 1, 200)];
+        let mut platform = Platform::new(cfg);
+        platform.enqueue_workload(&subs);
+        platform.run_to_completion();
+        let counts = platform.shard_event_counts();
+        assert_eq!(counts.len(), 3); // control + 2 shards
+        assert_eq!(counts[0].0, "control");
+        let total: u64 = counts.iter().map(|(_, n)| n).sum();
+        let report = platform.finalize();
+        assert_eq!(total, report.events_processed);
+        assert!(report.events_processed > 0);
     }
 }

@@ -41,19 +41,22 @@ use meryn_vmm::{CloudId, PublicCloud};
 
 use crate::app::Application;
 use crate::bidding::{compute_bid, Bid, BidRequest};
-use crate::cluster_manager::VirtualCluster;
+use crate::cluster_manager::{VcView, VirtualCluster};
 use crate::ids::{AppId, VcId};
 use crate::protocol::{Decision, ProtocolParams};
 
 /// Everything a placement policy may consult: the paper's protocol
 /// inputs plus the bidding policy the platform runs.
+///
+/// Since the engine sharded, policies no longer see one platform-wide
+/// application map: every deployed VC appears as a [`VcView`] — the
+/// cluster plus the applications *that shard* hosts — in `VcId` order.
 pub struct PlacementContext<'a> {
     /// The requesting ("local") VC.
     pub local: VcId,
-    /// All deployed VCs, including the local one.
-    pub vcs: &'a [VirtualCluster],
-    /// Every application seen so far (bid computation reads contracts).
-    pub apps: &'a BTreeMap<AppId, Application>,
+    /// One view per deployed VC shard, including the local one, in
+    /// `VcId` order.
+    pub shards: &'a [VcView<'a>],
     /// The public cloud market.
     pub clouds: &'a [PublicCloud],
     /// The circulating VM request.
@@ -66,10 +69,15 @@ pub struct PlacementContext<'a> {
     pub bidding: &'a dyn BiddingPolicy,
 }
 
-impl PlacementContext<'_> {
+impl<'a> PlacementContext<'a> {
+    /// The requesting shard's view.
+    pub fn local_view(&self) -> &VcView<'a> {
+        &self.shards[self.local.0]
+    }
+
     /// The requesting VC.
     pub fn local_vc(&self) -> &VirtualCluster {
-        &self.vcs[self.local.0]
+        self.local_view().vc
     }
 
     /// Whether the local VC can serve the request from idle VMs.
@@ -77,19 +85,19 @@ impl PlacementContext<'_> {
         self.local_vc().available() >= self.req.nb_vms
     }
 
-    /// `vc`'s answer to the request, through the bidding policy.
-    pub fn bid_of(&self, vc: &VirtualCluster) -> Bid {
+    /// A shard's answer to the request, through the bidding policy.
+    pub fn bid_of(&self, shard: &VcView<'_>) -> Bid {
         self.bidding
-            .bid(vc, self.apps, self.req, self.now, &self.params)
+            .bid(shard.vc, shard.apps, self.req, self.now, &self.params)
     }
 
     /// Bids from every sibling VC, in VC-id order ("request all Cluster
     /// Managers to propose a bid").
     pub fn sibling_bids(&self) -> Vec<(VcId, Bid)> {
-        self.vcs
+        self.shards
             .iter()
-            .filter(|vc| vc.id != self.local)
-            .map(|vc| (vc.id, self.bid_of(vc)))
+            .filter(|s| s.vc.id != self.local)
+            .map(|s| (s.vc.id, self.bid_of(s)))
             .collect()
     }
 
@@ -211,7 +219,7 @@ fn meryn_decision(ctx: &PlacementContext<'_>, allow_cloud: bool) -> Decision {
     }
 
     // Local bid, "in the same way as the other Cluster Managers".
-    let local_bid = ctx.bid_of(ctx.local_vc());
+    let local_bid = ctx.bid_of(ctx.local_view());
 
     // Smallest remote suspension bid.
     let best_vc: Option<(VcId, AppId, Money)> = vc_bids
@@ -353,7 +361,7 @@ impl PlacementPolicy for CostGreedyPolicy {
         if let Some(&(src, _)) = vc_bids.iter().find(|(_, b)| b.is_free()) {
             candidates.push((private, Decision::FromVc { src }));
         }
-        if let Bid::Suspension { victim, cost } = ctx.bid_of(ctx.local_vc()) {
+        if let Bid::Suspension { victim, cost } = ctx.bid_of(ctx.local_view()) {
             candidates.push((cost + private, Decision::LocalAfterSuspension { victim }));
         }
         if let Some((src, victim, cost)) = vc_bids

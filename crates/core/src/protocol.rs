@@ -18,15 +18,12 @@
 //! Algorithm 1, its static baseline, and any registered alternative)
 //! live in [`crate::policy`]; [`select_resources`] runs one of them.
 
-use std::collections::BTreeMap;
-
 use meryn_sim::SimTime;
 use meryn_sla::VmRate;
 use meryn_vmm::{CloudId, PublicCloud};
 
-use crate::app::Application;
 use crate::bidding::BidRequest;
-use crate::cluster_manager::VirtualCluster;
+use crate::cluster_manager::VcView;
 use crate::ids::{AppId, VcId};
 use crate::policy::{BiddingPolicy, PlacementContext, PlacementPolicy};
 
@@ -98,14 +95,18 @@ impl ProtocolParams {
 }
 
 /// Runs `placement` for a request by VC `local` (the "local cluster
-/// manager") at instant `now`, with VCs answering through `bidding`.
+/// manager") at instant `now`, with VC shards answering through
+/// `bidding`.
+///
+/// `shards` is one [`VcView`] per deployed VC in `VcId` order — the
+/// shard context the sharded engine hands out instead of whole-platform
+/// borrows.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's protocol inputs
 pub fn select_resources(
     placement: &dyn PlacementPolicy,
     bidding: &dyn BiddingPolicy,
     local: VcId,
-    vcs: &[VirtualCluster],
-    apps: &BTreeMap<AppId, Application>,
+    shards: &[VcView<'_>],
     clouds: &[PublicCloud],
     req: BidRequest,
     now: SimTime,
@@ -113,8 +114,7 @@ pub fn select_resources(
 ) -> Decision {
     placement.decide(&PlacementContext {
         local,
-        vcs,
-        apps,
+        shards,
         clouds,
         req,
         now,
@@ -126,7 +126,8 @@ pub fn select_resources(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::AppPhase;
+    use crate::app::{AppPhase, Application};
+    use crate::cluster_manager::VirtualCluster;
     use crate::ids::Placement;
     use crate::policy::{self, StandardBidding};
     use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
@@ -134,6 +135,7 @@ mod tests {
     use meryn_sla::pricing::PricingParams;
     use meryn_sla::{AppTimes, Money, SlaContract, SlaTerms};
     use meryn_vmm::{HostTag, ImageId, LatencyModel, Location, PriceModel, VmId};
+    use std::collections::BTreeMap;
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -146,6 +148,15 @@ mod tests {
 
     fn pricing() -> PricingParams {
         PricingParams::new(VmRate::per_vm_second(4), 1)
+    }
+
+    /// One view per VC, all sharing the test's single app map (a
+    /// superset of each shard's own applications is fine for reads).
+    fn views<'a>(
+        vcs: &'a [VirtualCluster],
+        apps: &'a BTreeMap<AppId, Application>,
+    ) -> Vec<VcView<'a>> {
+        vcs.iter().map(|vc| VcView { vc, apps }).collect()
     }
 
     /// Runs the named registered placement policy with standard bidding.
@@ -163,8 +174,7 @@ mod tests {
             placement.as_ref(),
             &StandardBidding,
             local,
-            vcs,
-            apps,
+            &views(vcs, apps),
             clouds,
             req,
             now,
@@ -598,8 +608,7 @@ mod tests {
             placement.as_ref(),
             bidding.as_ref(),
             VcId(0),
-            &vcs,
-            &apps,
+            &views(&vcs, &apps),
             &[cloud(40)],
             req(1, 1000),
             t(10),
@@ -623,8 +632,7 @@ mod tests {
             placement.as_ref(),
             &StandardBidding,
             VcId(0),
-            &vcs,
-            &apps,
+            &views(&vcs, &apps),
             &[cloud(40)],
             req(1, 1000),
             t(10),

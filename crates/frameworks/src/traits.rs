@@ -34,7 +34,12 @@ impl FrameworkKind {
 }
 
 /// Object-safe facade over a programming framework's master daemon.
-pub trait Framework {
+///
+/// `Send` is part of the contract: a framework master is owned by one
+/// VC shard, and the sharded executor moves `&mut` shard borrows across
+/// worker threads when it fans same-instant event batches out — so a
+/// framework may hold no thread-affine state.
+pub trait Framework: Send {
     /// Which application type this framework hosts.
     fn kind(&self) -> FrameworkKind;
 

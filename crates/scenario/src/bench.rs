@@ -18,6 +18,16 @@ use serde::Serialize;
 use crate::runner::expand_variants;
 use crate::spec::Scenario;
 
+/// One queue's share of a run's events (the control plane or one VC
+/// shard).
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueEvents {
+    /// Queue name: `"control"` or the VC's name.
+    pub queue: String,
+    /// Events that queue processed.
+    pub events: u64,
+}
+
 /// One variant's throughput measurement.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchVariant {
@@ -25,6 +35,12 @@ pub struct BenchVariant {
     pub label: String,
     /// Simulation events processed by the run.
     pub events: u64,
+    /// Per-queue breakdown: the sequential control plane first, then
+    /// one entry per VC shard, `VcId` order.
+    pub events_by_queue: Vec<QueueEvents>,
+    /// Same-instant cross-shard runs the executor fanned out to worker
+    /// threads.
+    pub parallel_runs: u64,
     /// Wall-clock seconds for the run (enqueue + drain + finalize).
     pub wall_secs: f64,
     /// `events / wall_secs`.
@@ -77,6 +93,18 @@ impl BenchReport {
                 "{:<label_w$} {:>12} {:>10.3} {:>14.0}",
                 v.label, v.events, v.wall_secs, v.events_per_sec
             );
+            let shares: Vec<String> = v
+                .events_by_queue
+                .iter()
+                .map(|q| format!("{}={}", q.queue, q.events))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<label_w$}   {} parallel_runs={}",
+                "",
+                shares.join(" "),
+                v.parallel_runs
+            );
         }
         let _ = writeln!(
             out,
@@ -99,6 +127,7 @@ impl BenchReport {
 /// # Errors
 /// Only workload materialization can fail (an unreadable `TraceFile`).
 pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
+    crate::policies::install();
     let base_seed = scenario.sweep.base_seed;
     let record_series = scenario.outputs.series;
     let mut variants_out = Vec::new();
@@ -108,9 +137,16 @@ pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
         let workload = scenario.workload.materialize(&variant.modifier)?;
         let cfg = variant.cfg.clone().with_seed(base_seed);
         let start = Instant::now();
-        let report = Platform::new(cfg)
-            .with_series_recording(record_series)
-            .run(&workload);
+        let mut platform = Platform::new(cfg).with_series_recording(record_series);
+        platform.enqueue_workload(&workload);
+        platform.run_to_completion();
+        let events_by_queue: Vec<QueueEvents> = platform
+            .shard_event_counts()
+            .into_iter()
+            .map(|(queue, events)| QueueEvents { queue, events })
+            .collect();
+        let parallel_runs = platform.parallel_runs();
+        let report = platform.finalize();
         let wall = start.elapsed().as_secs_f64();
         let events = report.events_processed;
         total_events += events;
@@ -118,6 +154,8 @@ pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
         variants_out.push(BenchVariant {
             label: variant.label,
             events,
+            events_by_queue,
+            parallel_runs,
             wall_secs: wall,
             events_per_sec: if wall > 0.0 {
                 events as f64 / wall
@@ -156,6 +194,14 @@ mod tests {
             b.total_events,
             b.variants.iter().map(|v| v.events).sum::<u64>()
         );
+        for v in &b.variants {
+            assert_eq!(v.events_by_queue[0].queue, "control");
+            assert_eq!(
+                v.events,
+                v.events_by_queue.iter().map(|q| q.events).sum::<u64>(),
+                "per-queue breakdown must cover every event"
+            );
+        }
         let rendered = b.render();
         assert!(rendered.contains("events/sec"));
         assert!(b.to_json().contains("\"total_events\""));

@@ -203,14 +203,50 @@ pub fn representative_datacenter() -> Scenario {
     }
 }
 
+/// The cross-crate extension policy at work: `deadline-aware` (defined
+/// and registered in [`crate::policies`], *not* in `meryn-core`)
+/// against the two paper policies on a pressured estate. Suspensions
+/// under `deadline-aware` are zero by construction; the cost of that
+/// guarantee shows up as extra cloud spend.
+pub fn deadline_aware() -> Scenario {
+    crate::policies::install();
+    let mut platform = PlatformConfig::paper("deadline-aware");
+    // Penalty factor 4 makes meryn's suspension bids competitive, so
+    // the never-suspend contrast is visible in the placements.
+    platform.penalty_factor = 4;
+    Scenario {
+        name: "deadline-aware".into(),
+        description: "The deadline-aware extension policy (registered from meryn-scenario, \
+                      outside meryn-core) vs meryn and static at penalty factor N=4: \
+                      free VMs or cloud only — running tenants keep their deadlines."
+            .into(),
+        platform,
+        workload: WorkloadSpec::Paper(PaperWorkloadParams::default()),
+        sweep: SweepSpec {
+            replicas: 3,
+            axes: vec![SweepAxis::Policy {
+                values: vec!["deadline-aware".into(), "meryn".into(), "static".into()],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            placements: true,
+            comparison: true,
+            ..Default::default()
+        },
+    }
+}
+
 /// Every shipped scenario, as `(file stem, spec)` pairs.
 pub fn shipped() -> Vec<(&'static str, Scenario)> {
+    crate::policies::install();
     vec![
         ("paper", paper()),
         ("high-load", high_load()),
         ("cheap-cloud", cheap_cloud()),
         ("no-suspension", no_suspension()),
         ("representative-datacenter", representative_datacenter()),
+        ("deadline-aware", deadline_aware()),
     ]
 }
 

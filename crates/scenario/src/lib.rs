@@ -14,6 +14,7 @@
 //! | [`runner`] | [`run_scenario`] → [`runner::ScenarioReport`] (+ human rendering) |
 //! | [`bench`] | [`bench_scenario`] → events/sec over a scenario's base runs (`scenario --bench`) |
 //! | [`catalog`] | the shipped specs behind `scenarios/*.json` |
+//! | [`policies`] | extension policies registered from outside `meryn-core` (e.g. `deadline-aware`) |
 //! | [`sweep`] | seed fanout, parallel map, replica aggregation |
 //! | [`paper`] | the paper's fixed fixtures (65-app run, Table 1 micro-scenarios) |
 //!
@@ -35,11 +36,13 @@
 pub mod bench;
 pub mod catalog;
 pub mod paper;
+pub mod policies;
 pub mod runner;
 pub mod spec;
 pub mod sweep;
 
 pub use bench::{bench_scenario, BenchReport};
 pub use paper::{measure_case, paper_range, run_paper, run_paper_with, TABLE1_CASES};
+pub use policies::DeadlineAwarePolicy;
 pub use runner::{run_scenario, ScenarioReport};
 pub use spec::Scenario;

@@ -275,6 +275,7 @@ pub struct ScenarioReport {
 /// `TraceFile`); everything else panics on spec inconsistencies, like
 /// the platform itself does on an invalid config.
 pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
+    crate::policies::install();
     let variants = expand_variants(scenario);
     let base_seed = scenario.sweep.base_seed;
     let replicas = scenario.sweep.replicas;

@@ -18,10 +18,12 @@
 //!   cheap forking for per-component independence.
 //!
 //! The kernel is intentionally *passive*: it owns no components and runs no
-//! threads. Higher layers (see `meryn-core::platform`) own the loop and the
-//! domain state. Parallelism in this workspace lives at the *replica* level —
-//! one simulation per thread — which is why nothing here needs interior
-//! mutability or locks.
+//! threads. Higher layers (see `meryn-core::engine`) own the loop and the
+//! domain state. Parallelism in this workspace lives at two levels — one
+//! simulation per thread (the replica sweeps) and, inside one simulation,
+//! per-shard batches of same-instant events merged back through
+//! [`queue::earliest_key`] — and neither needs interior mutability or locks
+//! here: queues are owned by their shards and merged by value-level keys.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +34,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{earliest_key, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

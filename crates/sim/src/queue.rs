@@ -220,6 +220,25 @@ impl<E> EventQueue<E> {
         self.push(due, event);
     }
 
+    /// Schedules `event` at `due` with an externally-assigned sequence
+    /// tag.
+    ///
+    /// This is the multi-queue entry point: when several queues (e.g.
+    /// per-shard queues plus a control queue) share one global ordering,
+    /// a single external counter hands out the tags and the queues are
+    /// merged by [`EventQueue::peek_key`]. Tags must be handed to any
+    /// one queue in increasing order — the same monotonicity `push`
+    /// maintains internally — so the drain-buffer fast path stays exact.
+    pub fn push_tagged(&mut self, due: SimTime, seq: u64, event: E) {
+        assert!(
+            seq >= self.seq,
+            "externally-assigned seq must not go backwards: got {seq}, queue at {}",
+            self.seq
+        );
+        self.seq = seq;
+        self.push(due, event);
+    }
+
     /// Advances `cursor` to the tick of the next pending event and fills
     /// the drain buffer with that tick's events, in `(due, seq)` order.
     /// No-op while the drain buffer still holds events.
@@ -280,13 +299,7 @@ impl<E> EventQueue<E> {
 
     /// Pops the next event, advancing the clock to its due time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.ensure_front();
-        let sched = self.drain.pop_front()?;
-        debug_assert!(sched.due >= self.now);
-        self.now = sched.due;
-        self.popped += 1;
-        self.len -= 1;
-        Some((sched.due, sched.event))
+        self.pop_keyed().map(|(due, _, event)| (due, event))
     }
 
     /// Due time of the next pending event without popping it.
@@ -296,6 +309,28 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.ensure_front();
         self.drain.front().map(|s| s.due)
+    }
+
+    /// `(due, seq)` of the next pending event without popping it — the
+    /// merge key a multi-queue executor compares across queues.
+    ///
+    /// Takes `&mut self` for the same reason as
+    /// [`EventQueue::peek_time`].
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.ensure_front();
+        self.drain.front().map(|s| (s.due, s.seq))
+    }
+
+    /// Pops the next event together with its sequence tag, advancing
+    /// the clock to its due time.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        self.ensure_front();
+        let sched = self.drain.pop_front()?;
+        debug_assert!(sched.due >= self.now);
+        self.now = sched.due;
+        self.popped += 1;
+        self.len -= 1;
+        Some((sched.due, sched.seq, sched.event))
     }
 
     /// Drops every pending event, keeping the clock where it is.
@@ -310,6 +345,24 @@ impl<E> EventQueue<E> {
         self.overflow.clear();
         self.len = 0;
     }
+}
+
+/// The merge point of a multi-queue executor: given the
+/// [`EventQueue::peek_key`] of every queue sharing one globally-tagged
+/// event space, returns the index of the queue holding the globally
+/// next event and that event's `(due, seq)` key.
+///
+/// This is the *shard barrier*: everything strictly before the returned
+/// key has already been popped, so a batch of same-instant events
+/// drained up to the next foreign key can be processed out of line
+/// (e.g. shard-parallel) without reordering the global schedule.
+pub fn earliest_key(
+    keys: impl IntoIterator<Item = Option<(SimTime, u64)>>,
+) -> Option<(usize, (SimTime, u64))> {
+    keys.into_iter()
+        .enumerate()
+        .filter_map(|(i, k)| k.map(|k| (i, k)))
+        .min_by_key(|&(_, k)| k)
 }
 
 #[cfg(test)]
@@ -461,6 +514,51 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 22);
         assert_eq!(q.pop().unwrap().1, 3);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tagged_pushes_merge_across_queues_by_global_key() {
+        // Two queues sharing one external counter: the merged pop order
+        // must equal what a single queue would have produced.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let t = SimTime::from_secs(3);
+        a.push_tagged(t, 0, "a0");
+        b.push_tagged(t, 1, "b1");
+        a.push_tagged(t, 2, "a2");
+        b.push_tagged(SimTime::from_secs(1), 3, "b3");
+        let mut order = Vec::new();
+        while let Some((idx, _)) = earliest_key([a.peek_key(), b.peek_key()]) {
+            let q = if idx == 0 { &mut a } else { &mut b };
+            let (_, _, ev) = q.pop_keyed().unwrap();
+            order.push(ev);
+        }
+        assert_eq!(order, vec!["b3", "a0", "b1", "a2"]);
+    }
+
+    #[test]
+    fn peek_key_matches_pop_keyed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), "x");
+        q.push(SimTime::from_secs(2), "y");
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(2), 0)));
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(2), 0, "x")));
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(2), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not go backwards")]
+    fn tagged_push_rejects_seq_regression() {
+        let mut q = EventQueue::new();
+        q.push_tagged(SimTime::from_secs(1), 5, ());
+        q.push_tagged(SimTime::from_secs(2), 3, ());
+    }
+
+    #[test]
+    fn earliest_key_skips_empty_queues() {
+        assert_eq!(earliest_key([None::<(SimTime, u64)>, None]), None);
+        let k = (SimTime::from_secs(9), 4);
+        assert_eq!(earliest_key([None, Some(k)]), Some((1, k)));
     }
 
     #[test]

@@ -177,7 +177,9 @@ fn violation_detection_fires_before_completion() {
     let mut platform = Platform::new(cfg);
     platform.enqueue_workload(&workload);
     while platform.step() {}
-    let second = &platform.apps()[&meryn_core::AppId(1)];
+    let second = platform
+        .app(meryn_core::AppId(1))
+        .expect("second app admitted");
     assert!(second.violated());
     assert!(
         second.violation_detected.is_some(),

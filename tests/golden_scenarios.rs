@@ -1,0 +1,92 @@
+//! Per-scenario golden reports.
+//!
+//! `scenarios/goldens/<name>.json` holds the exact `--json` report
+//! bytes of every checked-in spec (recorded at `RAYON_NUM_THREADS=1`;
+//! reports are thread-count-independent, so the recording thread count
+//! is irrelevant). Every spec must reproduce its golden **byte for
+//! byte** — this is the repository-wide regression net that replaced
+//! the single paper.json-only golden check, and it is what pinned the
+//! engine's shard refactor to the pre-refactor monolith's behaviour.
+//!
+//! When a behaviour change is intentional, regenerate with:
+//!
+//! ```text
+//! cargo build --release -p meryn-bench --bin scenario
+//! for s in scenarios/*.json; do \
+//!   target/release/scenario "$s" --quiet --json "scenarios/goldens/$(basename "$s")"; done
+//! ```
+
+use meryn_bench::{run_scenario, Scenario};
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/..")).join(rel)
+}
+
+fn golden_for(stem: &str) -> String {
+    let path = repo_path(&format!("scenarios/goldens/{stem}.json"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} — record the golden first", path.display()))
+}
+
+fn reproduce(stem: &str) {
+    let spec = Scenario::load(repo_path(&format!("scenarios/{stem}.json"))).expect("spec loads");
+    let report = run_scenario(&spec).expect("spec needs no extra files");
+    let golden = golden_for(stem);
+    assert_eq!(
+        report.to_json(),
+        golden,
+        "{stem}: report drifted from scenarios/goldens/{stem}.json — if intentional, \
+         regenerate the golden (see this file's module docs)"
+    );
+}
+
+#[test]
+fn every_checked_in_spec_has_a_golden() {
+    for entry in std::fs::read_dir(repo_path("scenarios")).expect("scenarios/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        assert!(
+            repo_path(&format!("scenarios/goldens/{stem}.json")).exists(),
+            "scenarios/goldens/{stem}.json missing — every spec ships with its golden"
+        );
+    }
+}
+
+#[test]
+fn paper_reproduces_its_golden() {
+    reproduce("paper");
+}
+
+#[test]
+fn high_load_reproduces_its_golden() {
+    reproduce("high-load");
+}
+
+#[test]
+fn cheap_cloud_reproduces_its_golden() {
+    reproduce("cheap-cloud");
+}
+
+#[test]
+fn no_suspension_reproduces_its_golden() {
+    reproduce("no-suspension");
+}
+
+#[test]
+fn deadline_aware_reproduces_its_golden() {
+    reproduce("deadline-aware");
+}
+
+/// ~100k submissions over a simulated month: minutes of work without
+/// optimizations, so the byte comparison only runs in release builds
+/// (CI additionally `cmp`s the release binary's report against this
+/// golden for every spec, this one included).
+#[cfg(not(debug_assertions))]
+#[test]
+fn representative_datacenter_reproduces_its_golden() {
+    reproduce("representative-datacenter");
+}

@@ -78,6 +78,77 @@ fn table1_case_sweep_is_thread_count_independent() {
     }
 }
 
+/// A deployment engineered for wide same-instant shard batches: four
+/// VCs, zero front-end latency, and arrival waves landing whole
+/// cohorts of submissions on the same millisecond — so the sharded
+/// executor's *intra*-simulation parallel path (cross-shard event runs
+/// fanned out through the rayon shim) actually fires, instead of the
+/// usual one-event instants of calibrated-latency runs.
+fn collision_heavy_report(threads: usize) -> (String, u64) {
+    use meryn_core::config::{PlatformConfig, VcConfig};
+    use meryn_core::Platform;
+    use meryn_frameworks::{JobSpec, ScalingLaw};
+    use meryn_sim::{SimDuration, SimTime};
+    use meryn_sla::negotiation::UserStrategy;
+    use meryn_vmm::LatencyModel;
+    use meryn_workloads::{Submission, VcTarget};
+
+    let mut cfg = PlatformConfig::paper("meryn");
+    cfg.private_capacity = 48;
+    cfg.vcs = vec![
+        VcConfig::batch("A", 12),
+        VcConfig::batch("B", 12),
+        VcConfig::batch("C", 12),
+        VcConfig::batch("D", 12),
+    ];
+    cfg.latencies.base = LatencyModel::ZERO;
+    let mut workload = Vec::new();
+    for wave in 0..4u64 {
+        for i in 0..40u64 {
+            workload.push(Submission::new(
+                SimTime::from_secs(5 + wave * 500),
+                VcTarget::Index((i % 4) as usize),
+                JobSpec::Batch {
+                    // Same per-wave work: the wave's cohort finishes on
+                    // one instant too, across all four shards.
+                    work: SimDuration::from_secs(100 + wave * 20),
+                    nb_vms: 1,
+                    scaling: ScalingLaw::Fixed,
+                },
+                UserStrategy::AcceptCheapest,
+            ));
+        }
+    }
+    at_threads(threads, || {
+        let mut platform = Platform::new(cfg.clone());
+        platform.enqueue_workload(&workload);
+        platform.run_to_completion();
+        let parallel_runs = platform.parallel_runs();
+        let report = platform.finalize();
+        (
+            serde_json::to_string(&report).expect("report serializes"),
+            parallel_runs,
+        )
+    })
+}
+
+#[test]
+fn intra_simulation_shard_batches_are_thread_count_independent() {
+    let (sequential, runs_1) = collision_heavy_report(1);
+    assert!(
+        runs_1 > 0,
+        "the collision-heavy deployment must produce fan-out-width runs"
+    );
+    for threads in [2, 8] {
+        let (threaded, runs_n) = collision_heavy_report(threads);
+        assert_eq!(
+            sequential, threaded,
+            "single-simulation report diverged between 1 and {threads} threads"
+        );
+        assert_eq!(runs_1, runs_n, "run batching must not depend on threads");
+    }
+}
+
 #[test]
 fn replica_streams_are_independent_of_sweep_width() {
     // Replica i's report must not change when the sweep grows: its RNG
