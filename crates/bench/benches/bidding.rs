@@ -1,8 +1,6 @@
 //! Criterion micro-benchmark: Algorithm 2 bid computation as the number
 //! of running applications (suspension candidates) grows.
 
-use std::collections::BTreeMap;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meryn_core::app::{AppPhase, Application};
 use meryn_core::bidding::{compute_bid, BidRequest};
@@ -14,7 +12,7 @@ use meryn_sla::pricing::PricingParams;
 use meryn_sla::{AppTimes, Money, SlaContract, SlaTerms, VmRate};
 use meryn_vmm::{HostTag, ImageId, Location, VmId};
 
-fn fixture(apps_running: usize) -> (VirtualCluster, BTreeMap<AppId, Application>) {
+fn fixture(apps_running: usize) -> (VirtualCluster, meryn_core::app::AppMap) {
     let pricing = PricingParams::new(VmRate::per_vm_second(4), 1);
     let mut vc = VirtualCluster::new(
         VcId(0),
@@ -24,7 +22,7 @@ fn fixture(apps_running: usize) -> (VirtualCluster, BTreeMap<AppId, Application>
         Box::new(BatchFramework::new()),
         pricing,
     );
-    let mut apps = BTreeMap::new();
+    let mut apps = meryn_core::app::AppMap::default();
     for i in 0..apps_running {
         vc.add_slave(
             VmId::new(HostTag(1), i as u64),

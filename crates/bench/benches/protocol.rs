@@ -3,8 +3,6 @@
 //! argues the decentralized protocol avoids "prohibitive communication
 //! and computation costs" — this measures the computation side.
 
-use std::collections::BTreeMap;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meryn_core::app::{AppPhase, Application};
 use meryn_core::bidding::BidRequest;
@@ -28,10 +26,10 @@ fn fixture(
     apps_per_vc: usize,
 ) -> (
     Vec<VirtualCluster>,
-    BTreeMap<AppId, Application>,
+    meryn_core::app::AppMap,
     Vec<PublicCloud>,
 ) {
-    let mut apps = BTreeMap::new();
+    let mut apps = meryn_core::app::AppMap::default();
     let mut next = 0u64;
     let mut vcs = Vec::with_capacity(n_vcs);
     for v in 0..n_vcs {
@@ -105,7 +103,7 @@ fn fixture(
 }
 
 /// One shard view per VC, every view over the shared app map.
-fn views<'a>(vcs: &'a [VirtualCluster], apps: &'a BTreeMap<AppId, Application>) -> Vec<VcView<'a>> {
+fn views<'a>(vcs: &'a [VirtualCluster], apps: &'a meryn_core::app::AppMap) -> Vec<VcView<'a>> {
     vcs.iter().map(|vc| VcView { vc, apps }).collect()
 }
 

@@ -1,20 +1,30 @@
 //! Compares two `ScenarioReport` JSON files and prints per-metric
-//! deltas.
+//! deltas — or regenerates the shipped goldens and reports what moved.
 //!
 //! ```text
 //! cargo run --release -p meryn-bench --bin scenario-diff -- a.json b.json
+//! cargo run --release -p meryn-bench --bin scenario-diff -- --regen [goldens-dir]
 //! ```
 //!
-//! Exit status: `0` when the reports are identical, `1` when any metric
-//! differs (CI gates on this — e.g. the golden-report comparison), `2`
-//! on usage or I/O errors. Numeric leaves print `a → b (Δ)`; structural
-//! mismatches (missing keys, different lengths or kinds) are reported
-//! at their JSON path.
+//! `--regen` re-runs every `meryn_scenario::catalog::shipped()` spec
+//! (the same source of truth the checked-in `scenarios/*.json` files
+//! byte-match) and rewrites `scenarios/goldens/<stem>.json`, printing
+//! the per-metric delta of each golden that changed. Run it once per
+//! intentional behaviour change and commit the summary with the
+//! rewrite — that is the repository's re-baseline policy.
+//!
+//! Exit status: `0` when the reports are identical (no golden moved),
+//! `1` when any metric differs (CI gates on this — e.g. the
+//! golden-report comparison), `2` on usage or I/O errors. Numeric
+//! leaves print `a → b (Δ)`; structural mismatches (missing keys,
+//! different lengths or kinds) are reported at their JSON path.
 
+use meryn_bench::{catalog, run_scenario};
 use serde_json::Value;
 
 fn usage() -> ! {
     eprintln!("usage: scenario-diff <a.json> <b.json> [--quiet]");
+    eprintln!("       scenario-diff --regen [goldens-dir] [--quiet]");
     std::process::exit(2);
 }
 
@@ -114,15 +124,82 @@ fn load(path: &str) -> Value {
     }
 }
 
+/// `--regen`: rewrite every shipped golden from the catalog, printing
+/// a per-metric delta summary of the ones that moved.
+fn regen(dir: &str, quiet: bool) -> ! {
+    let mut rewritten = 0usize;
+    for (stem, scenario) in catalog::shipped() {
+        let path = format!("{dir}/{stem}.json");
+        let fresh = match run_scenario(&scenario) {
+            Ok(report) => report.to_json(),
+            Err(e) => {
+                eprintln!("error: {stem}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let old_text = std::fs::read_to_string(&path).ok();
+        if old_text.as_deref() == Some(fresh.as_str()) {
+            if !quiet {
+                println!("unchanged: {path}");
+            }
+            continue;
+        }
+        rewritten += 1;
+        if let Err(e) = std::fs::write(&path, &fresh) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        if quiet {
+            continue;
+        }
+        match old_text {
+            None => println!("new golden: {path}"),
+            Some(old) => {
+                let (a, b): (Value, Value) =
+                    match (serde_json::from_str(&old), serde_json::from_str(&fresh)) {
+                        (Ok(a), Ok(b)) => (a, b),
+                        _ => {
+                            println!("rewritten (old golden was not valid JSON): {path}");
+                            continue;
+                        }
+                    };
+                let mut diffs = Vec::new();
+                walk("$", &a, &b, &mut diffs);
+                println!("rewritten: {path} — {} metric(s) moved:", diffs.len());
+                for d in &diffs {
+                    println!("  {:<60} {}", d.path, d.detail);
+                }
+            }
+        }
+    }
+    if !quiet {
+        println!(
+            "{rewritten} golden(s) rewritten — verify with `cargo test --release -q` \
+             (tests/golden_scenarios.rs byte-compares every spec)"
+        );
+    }
+    std::process::exit(if rewritten == 0 { 0 } else { 1 });
+}
+
 fn main() {
     let mut paths = Vec::new();
     let mut quiet = false;
+    let mut do_regen = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quiet" => quiet = true,
+            "--regen" => do_regen = true,
             other if !other.starts_with("--") => paths.push(other.to_owned()),
             _ => usage(),
         }
+    }
+    if do_regen {
+        let dir = match paths.as_slice() {
+            [] => "scenarios/goldens",
+            [dir] => dir.as_str(),
+            _ => usage(),
+        };
+        regen(dir, quiet);
     }
     let [a_path, b_path] = paths.as_slice() else {
         usage()

@@ -13,6 +13,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::{AppId, Placement, VcId};
 
+/// A shard's application table.
+///
+/// Keyed lookups on every hot path; iterated only when assembling the
+/// final report (which sorts by [`AppId`] afterwards), so the
+/// deterministic hash map's unordered iteration never reaches
+/// simulation state. The fixed-seed hashing keeps two runs of the same
+/// binary bit-identical — see [`meryn_sim::hash`].
+pub type AppMap = meryn_sim::DetHashMap<AppId, Application>;
+
 /// Coarse lifecycle of an application inside the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AppPhase {

@@ -12,12 +12,10 @@
 //! models — this is the decentralization the paper leans on: no central
 //! component ever needs a framework's internals.
 
-use std::collections::BTreeMap;
-
 use meryn_sim::{SimDuration, SimTime};
 use meryn_sla::{Money, VmRate};
 
-use crate::app::Application;
+use crate::app::{AppMap, Application};
 use crate::cluster_manager::VirtualCluster;
 use crate::ids::AppId;
 
@@ -71,7 +69,7 @@ impl Bid {
 /// worth of application data staged for the lending duration.
 pub fn compute_bid(
     vc: &VirtualCluster,
-    apps: &BTreeMap<AppId, Application>,
+    apps: &AppMap,
     req: BidRequest,
     now: SimTime,
     storage_rate: VmRate,
@@ -159,10 +157,7 @@ mod tests {
 
     /// A VC with `slaves` slave VMs and one running app per entry in
     /// `running`, each holding (nb_vms, deadline_secs) and started at 0.
-    fn vc_with_running(
-        slaves: u64,
-        running: &[(u64, u64)],
-    ) -> (VirtualCluster, BTreeMap<AppId, Application>) {
+    fn vc_with_running(slaves: u64, running: &[(u64, u64)]) -> (VirtualCluster, AppMap) {
         let mut vc = VirtualCluster::new(
             VcId(1),
             "VC2",
@@ -175,7 +170,7 @@ mod tests {
             vc.add_slave(vid(i), 1.0, Location::Private, VmRate::per_vm_second(2))
                 .unwrap();
         }
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         for (i, &(nb_vms, deadline)) in running.iter().enumerate() {
             let spec = JobSpec::Batch {
                 work: d(1000),

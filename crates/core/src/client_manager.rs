@@ -111,11 +111,9 @@ mod tests {
 
     fn views(vcs: &[VirtualCluster]) -> Vec<VcView<'_>> {
         // Tests negotiate only; an empty shared app map per view is fine.
-        use std::collections::BTreeMap;
         use std::sync::OnceLock;
-        static EMPTY: OnceLock<BTreeMap<crate::ids::AppId, crate::app::Application>> =
-            OnceLock::new();
-        let apps = EMPTY.get_or_init(BTreeMap::new);
+        static EMPTY: OnceLock<crate::app::AppMap> = OnceLock::new();
+        let apps = EMPTY.get_or_init(crate::app::AppMap::default);
         vcs.iter().map(|vc| VcView { vc, apps }).collect()
     }
 

@@ -6,10 +6,8 @@
 //! *framework-specific* part proposes SLAs from the framework's
 //! performance model — implemented here as [`VcQuoter`].
 
-use std::collections::BTreeMap;
-
 use meryn_frameworks::{Framework, FrameworkKind, JobId, JobSpec};
-use meryn_sim::SimDuration;
+use meryn_sim::{DetHashMap, SimDuration};
 use meryn_sla::negotiation::{Quote, Quoter};
 use meryn_sla::pricing::PricingParams;
 use meryn_sla::{Money, VmRate};
@@ -31,7 +29,7 @@ pub struct VcView<'a> {
     /// The shard's cluster (framework, slaves, pricing).
     pub vc: &'a VirtualCluster,
     /// The applications hosted by this shard, by id.
-    pub apps: &'a std::collections::BTreeMap<crate::ids::AppId, crate::app::Application>,
+    pub apps: &'a crate::app::AppMap,
 }
 
 /// Billing metadata the VC keeps for each of its slave VMs.
@@ -60,9 +58,9 @@ pub struct VirtualCluster {
     /// the same idle slave twice.
     pub reserved: u64,
     /// Framework job → platform application mapping.
-    pub job_to_app: BTreeMap<JobId, AppId>,
+    pub job_to_app: DetHashMap<JobId, AppId>,
     /// Billing metadata per slave.
-    pub slave_meta: BTreeMap<VmId, SlaveMeta>,
+    pub slave_meta: DetHashMap<VmId, SlaveMeta>,
     /// Pricing regime this VC signs contracts under.
     pub pricing: PricingParams,
 }
@@ -97,8 +95,8 @@ impl VirtualCluster {
             image,
             framework,
             reserved: 0,
-            job_to_app: BTreeMap::new(),
-            slave_meta: BTreeMap::new(),
+            job_to_app: DetHashMap::default(),
+            slave_meta: DetHashMap::default(),
             pricing,
         }
     }

@@ -94,18 +94,57 @@ pub enum Effect {
         /// The VMs to give back, in stint order.
         vms: Vec<VmId>,
     },
-    /// An Application Controller check's findings. The *verdict* is
-    /// computed shard-side (it reads only the app's contract and
-    /// times); acting on it — escalating to a cloud, marking the
-    /// violation, re-arming the check — needs fabric and queue access,
-    /// so the executor applies it.
-    ControllerVerdict {
-        /// The monitored application.
+    /// An SLA check decided its application should burst to the cloud
+    /// market. Everything shard-observable was already decided inside
+    /// [`crate::engine::VcShard::check_sla`] — the verdict needed
+    /// attention, the job exists, no acquisition is in flight; only the
+    /// market transaction (cloud offer, queue withdrawal, leases)
+    /// remains, and that is executor work. When the market declines,
+    /// the executor falls back on `violated` exactly like the
+    /// report-mode path: mark and retire, or re-arm.
+    Escalate {
+        /// The application asking to burst.
         app: AppId,
-        /// Whether the check wants corrective action.
-        needs_attention: bool,
-        /// Whether the SLA is already violated.
+        /// Whether the SLA was already violated at check time (drives
+        /// the fallback when no cloud can serve the escalation).
         violated: bool,
+    },
+    /// A transfer's stop batch completed: the executor completes the
+    /// pool stops and begins the replacement boots with the destination
+    /// image (pool RNG draws — canonical-order work), then schedules
+    /// the coalesced [`crate::events::Event::TransferReady`].
+    TransferStopped {
+        /// The acquiring application.
+        app: AppId,
+        /// The stopped VMs, stint order.
+        vms: Vec<VmId>,
+    },
+    /// A lent-VM return's stop batch completed: the executor completes
+    /// the pool stops and begins the reboots with the lender's image,
+    /// then schedules the coalesced
+    /// [`crate::events::Event::ReturnReady`].
+    ReturnStopped {
+        /// The lending VC.
+        src: VcId,
+        /// The suspended application awaiting its VMs.
+        victim: AppId,
+        /// The stopped VMs, stint order.
+        vms: Vec<VmId>,
+    },
+    /// Mark a batch of private-pool boots complete (the VMs were
+    /// already handed to their shard as slaves; frameworks never read
+    /// VMM state, so the pool transition is pure fabric bookkeeping).
+    CompleteStarts {
+        /// The freshly booted VMs.
+        vms: Vec<VmId>,
+    },
+    /// Mark a batch of cloud leases complete — billing starts at the
+    /// batch's ready instant.
+    CompleteLeases {
+        /// The cloud leased from.
+        cloud: CloudId,
+        /// The provisioned VMs.
+        vms: Vec<VmId>,
     },
 }
 

@@ -8,11 +8,18 @@
 //! by that key ([`meryn_sim::earliest_key`]), so the *schedule* is a
 //! single total order — the same one the pre-shard monolith walked.
 //!
-//! Control events (arrivals, VM-lifecycle choreography) are processed
-//! sequentially: they read cross-shard state (Algorithm 1 consults
-//! every VC's bids) and consume shared RNG streams, so their order *is*
-//! their semantics. Shard events (framework hand-off, job completion,
-//! SLA checks) are the hot path — and they only touch their own shard.
+//! Control events — arrivals and cloud-lease closes, nothing else —
+//! are processed sequentially: arrivals read cross-shard state
+//! (Algorithm 1 consults every VC's bids) and consume shared RNG
+//! streams, so their order *is* their semantics. Everything else is
+//! shard-owned: framework hand-off, job completion, SLA checks
+//! ([`VcShard::check_sla`]) and the coalesced VM choreography
+//! (transfer/return/lease batches expand inside their shard and send
+//! the pool work back as effects). Latency draws for a VC's arrivals
+//! and acquisitions come from that shard's own RNG stream
+//! (`stream_seed(seed, SHARD_STREAM_BASE + vc)`), so one VC's draw
+//! sequence never depends on another VC's traffic.
+//!
 //! Per time step the executor drains the maximal run of same-instant
 //! shard events up to the next control event, groups it by shard,
 //! processes the groups — **in parallel through the rayon shim when the
@@ -25,13 +32,18 @@
 //! Thread-count independence is structural: shard groups share no
 //! state, group processing is deterministic per shard, and the
 //! canonical effect order never depends on which worker finished
-//! first. The same argument makes the batched loop equivalent to the
-//! one-event-at-a-time [`ShardExecutor::step`] path: shard handlers
-//! read no fabric state and no state that effect application writes
-//! (the one exception — an SLA check that may escalate to the cloud
-//! market — is routed to the control plane instead of a shard), so
-//! deferring a run's effects to its barrier and replaying them in
-//! schedule order produces the identical mutation sequence.
+//! first. The batched loop is likewise equivalent to the
+//! one-event-at-a-time [`ShardExecutor::step`] path for report-mode
+//! deployments: shard handlers read no fabric state and no state that
+//! effect application writes, so deferring a run's effects to its
+//! barrier and replaying them in schedule order produces the identical
+//! mutation sequence. Under
+//! [`crate::config::ViolationPolicy::EscalateToCloud`] the barrier
+//! semantics are authoritative: an [`Effect::Escalate`] applies at its
+//! canonical position in the run's effect stream — still identical at
+//! every thread count — while the single-step path applies it
+//! immediately after its event, which can resolve a same-instant
+//! escalation/dispatch race for one job differently.
 
 use std::sync::Arc;
 
@@ -51,7 +63,7 @@ use crate::cluster_manager::{VcView, VirtualCluster};
 use crate::config::PlatformConfig;
 use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
 use crate::engine::fabric::SharedFabric;
-use crate::engine::shard::{Lending, PendingAcquisition, VcShard};
+use crate::engine::shard::{next_check, Lending, PendingAcquisition, ShardPolicy, VcShard};
 use crate::events::{Event, EventOwner};
 use crate::ids::{AppId, Placement, VcId};
 use crate::policy::{self, BiddingPolicy, PlacementPolicy};
@@ -68,6 +80,13 @@ type RunSlice = Vec<(u64, Event)>;
 /// identical per-shard groups, so results do not depend on the gate.
 const PARALLEL_RUN_MIN_EVENTS: usize = 24;
 
+/// Base of the per-shard latency stream ids: shard `i` draws from
+/// `SimRng::stream_seed(cfg.seed, SHARD_STREAM_BASE + i)`. The high
+/// bit block keeps the shard streams disjoint from the fixed fork ids
+/// the deployment hands out (pool `1`, residual control plane `2`,
+/// cloud `100 + i`) at any realistic VC count.
+const SHARD_STREAM_BASE: u64 = 1 << 32;
+
 /// The assembled engine: shards + fabric + control plane.
 pub struct ShardExecutor {
     pub(crate) cfg: PlatformConfig,
@@ -77,8 +96,11 @@ pub struct ShardExecutor {
     pub(crate) shards: Vec<VcShard>,
     /// The shared singletons.
     pub(crate) fabric: SharedFabric,
-    /// Order-sensitive events: arrivals and fabric choreography.
+    /// Order-sensitive events: arrivals and cloud-lease closes.
     control: EventQueue<Event>,
+    /// Extra logical ticks of coalesced control events (one per VM in a
+    /// lease-close batch beyond the event the queue counted).
+    control_extra_ticks: u64,
     /// The global sequence counter all queues share.
     next_seq: u64,
     now: SimTime,
@@ -180,13 +202,28 @@ impl ShardExecutor {
         // Steady-state pending events scale with the live estate; the
         // workload bulk is reserved at enqueue time.
         let control = EventQueue::with_capacity(4 * cfg.private_capacity as usize);
+        let shard_policy = ShardPolicy {
+            violation_policy: cfg.violation_policy,
+            check_interval: cfg.controller_check_interval,
+            private_cost: cfg.private_cost,
+        };
+        let seed = cfg.seed;
+        let shards = vcs
+            .into_iter()
+            .enumerate()
+            .map(|(i, vc)| {
+                let rng = SimRng::new(SimRng::stream_seed(seed, SHARD_STREAM_BASE + i as u64));
+                VcShard::new(vc, shard_policy, rng)
+            })
+            .collect();
         ShardExecutor {
             cfg,
             placement,
             bidding,
-            shards: vcs.into_iter().map(VcShard::new).collect(),
+            shards,
             fabric,
             control,
+            control_extra_ticks: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             app_vc: Vec::new(),
@@ -210,10 +247,12 @@ impl ShardExecutor {
         self.now
     }
 
-    /// Events processed so far, summed over the control plane and every
-    /// shard queue.
+    /// Logical events processed so far, summed over the control plane
+    /// and every shard queue (coalesced choreography events count one
+    /// tick per VM in their batch, keeping the unit comparable with the
+    /// pre-coalescing engine).
     pub fn events_processed(&self) -> u64 {
-        self.control.events_processed()
+        self.control_events_processed()
             + self
                 .shards
                 .iter()
@@ -221,9 +260,10 @@ impl ShardExecutor {
                 .sum::<u64>()
     }
 
-    /// Events the control plane processed (arrivals + choreography).
+    /// Logical events the control plane processed (arrivals +
+    /// cloud-lease closes).
     pub fn control_events_processed(&self) -> u64 {
-        self.control.events_processed()
+        self.control.events_processed() + self.control_extra_ticks
     }
 
     /// Same-instant cross-shard runs wide enough to be fanned out to
@@ -245,15 +285,7 @@ impl ShardExecutor {
     fn push_event(&mut self, due: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        // Escalation-capable SLA checks may withdraw a queued job and
-        // lease from the shared cloud market mid-instant — that is
-        // order-sensitive control work. Report-mode checks only observe
-        // shard state and mark violations, which commutes, so they stay
-        // on the hot sharded path.
-        let escalating_check = matches!(event, Event::ControllerCheck { .. })
-            && self.cfg.violation_policy == crate::config::ViolationPolicy::EscalateToCloud;
         let queue = match event.owner() {
-            _ if escalating_check => &mut self.control,
             EventOwner::Control => &mut self.control,
             EventOwner::Shard(vc) => &mut self.shards[vc.0].queue,
             EventOwner::AppShard(app) => {
@@ -352,20 +384,33 @@ impl ShardExecutor {
                 }
             }
             debug_assert!(total > 0, "a shard peeked ready but drained nothing");
+            // Single-shard fast path (the common case: scattered job
+            // completions and per-app submits): one shard's effect
+            // buffer is already in canonical key order — `due` is fixed
+            // at `t`, seqs arrive nondecreasing and the vc is constant —
+            // so skip the merge machinery and apply it directly.
+            if work.len() == 1 {
+                let (shard, events, effects) = work.pop().expect("length checked");
+                let (events, effects) = shard.process(t, events, effects);
+                debug_assert!(effects.is_sorted_by_key(|e| e.key));
+                self.event_bufs.push(events);
+                self.apply_effects(effects);
+                continue;
+            }
             // Process the groups — concurrently when the run is wide
             // enough to pay for the fan-out. Either path computes the
             // identical per-shard effect buffers.
-            let results: Vec<(RunSlice, Vec<SequencedEffect>)> =
-                if work.len() >= 2 && total >= PARALLEL_RUN_MIN_EVENTS {
-                    self.parallel_runs += 1;
-                    work.into_par_iter()
-                        .map(|(shard, events, effects)| shard.process(t, events, effects))
-                        .collect()
-                } else {
-                    work.into_iter()
-                        .map(|(shard, events, effects)| shard.process(t, events, effects))
-                        .collect()
-                };
+            let results: Vec<(RunSlice, Vec<SequencedEffect>)> = if total >= PARALLEL_RUN_MIN_EVENTS
+            {
+                self.parallel_runs += 1;
+                work.into_par_iter()
+                    .map(|(shard, events, effects)| shard.process(t, events, effects))
+                    .collect()
+            } else {
+                work.into_iter()
+                    .map(|(shard, events, effects)| shard.process(t, events, effects))
+                    .collect()
+            };
             // Canonical application: merge the per-shard buffers by key.
             // Seqs are globally unique, so the stable sort replays the
             // run's effects in the exact global schedule order (ties —
@@ -401,11 +446,17 @@ impl ShardExecutor {
     fn apply_one(&mut self, item: SequencedEffect) {
         let SequencedEffect { key, effect } = item;
         match effect {
-            Effect::ControllerVerdict {
-                app,
-                needs_attention,
-                violated,
-            } => self.apply_verdict(key.due, app, needs_attention, violated),
+            // The most common effect by far (every check re-arm, every
+            // dispatch's completion): route it straight to its queue
+            // instead of bouncing through the fabric's follow-up buffer.
+            Effect::Schedule { due, event } => self.push_event(due, event),
+            Effect::Escalate { app, violated } => self.on_escalate(key.due, app, violated),
+            Effect::TransferStopped { app, vms } => {
+                self.apply_transfer_stopped(key.due, app, vms);
+            }
+            Effect::ReturnStopped { src, victim, vms } => {
+                self.apply_return_stopped(key.due, src, victim, vms);
+            }
             other => {
                 let mut out = std::mem::take(&mut self.scratch_out);
                 self.fabric.apply(key.due, other, &mut out);
@@ -417,31 +468,25 @@ impl ShardExecutor {
         }
     }
 
-    /// Acts on an Application Controller verdict: escalate, record the
-    /// violation, or re-arm the periodic check.
-    fn apply_verdict(
-        &mut self,
-        now: SimTime,
-        app_id: AppId,
-        needs_attention: bool,
-        violated: bool,
-    ) {
+    /// Acts on a shard's escalation request: the shard already vetted
+    /// everything it can see (verdict needs attention, job submitted,
+    /// no acquisition in flight); the market transaction happens here.
+    /// When no cloud serves it, fall back exactly like the report-mode
+    /// path: mark a violated SLA and retire, or keep monitoring.
+    fn on_escalate(&mut self, now: SimTime, app_id: AppId, violated: bool) {
         let Some(interval) = self.cfg.controller_check_interval else {
             return;
         };
-        if needs_attention
-            && self.cfg.violation_policy == crate::config::ViolationPolicy::EscalateToCloud
-            && self.try_escalate_to_cloud(now, app_id)
-        {
+        if self.try_escalate_to_cloud(now, app_id) {
             // Escalated: a fresh completion prediction is coming; keep
             // monitoring.
-            self.push_event(now + interval, Event::ControllerCheck { app: app_id });
+            self.push_event(
+                next_check(now, interval),
+                Event::ControllerCheck { app: app_id },
+            );
             return;
         }
         if violated {
-            // Report once and retire: the violation is now the Cluster
-            // Manager's problem (§3.3) — and a never-completing job must
-            // not keep the event loop alive forever.
             let vc = self.app_vc[app_id.0 as usize];
             let app = self.shards[vc.0].apps.get_mut(&app_id).expect("app exists");
             if app.violation_detected.is_none() {
@@ -449,7 +494,64 @@ impl ShardExecutor {
             }
             return;
         }
-        self.push_event(now + interval, Event::ControllerCheck { app: app_id });
+        self.push_event(
+            next_check(now, interval),
+            Event::ControllerCheck { app: app_id },
+        );
+    }
+
+    /// Expands a transfer's completed stop batch: complete each pool
+    /// stop, boot a replacement with the destination image in the slot
+    /// it freed (pool RNG draws — canonical-order work), park the
+    /// replacements in the pending acquisition and schedule the
+    /// coalesced ready event at the slowest boot.
+    fn apply_transfer_stopped(&mut self, now: SimTime, app: AppId, mut vms: Vec<VmId>) {
+        let dest = self.app_vc[app.0 as usize];
+        let image = self.shards[dest.0].vc.image;
+        let mut done = SimDuration::ZERO;
+        for vm in vms.iter_mut() {
+            self.fabric
+                .pool
+                .complete_stop(*vm, now)
+                .expect("transfer stop completes");
+            let (new_vm, boot) = self
+                .fabric
+                .pool
+                .begin_start(image, now)
+                .expect("the slot just freed");
+            *vm = new_vm;
+            done = done.max_of(boot);
+        }
+        let Some(PendingAcquisition::Transfer { vms: slot }) =
+            self.shards[dest.0].pending.get_mut(&app)
+        else {
+            unreachable!("transfer batch without pending acquisition")
+        };
+        debug_assert!(slot.is_empty(), "stop batch arrives exactly once");
+        *slot = vms;
+        self.push_event(now + done, Event::TransferReady { app });
+    }
+
+    /// Expands a return's completed stop batch: complete each pool
+    /// stop, reboot with the lender's image, and schedule the coalesced
+    /// ready event at the slowest boot.
+    fn apply_return_stopped(&mut self, now: SimTime, src: VcId, victim: AppId, mut vms: Vec<VmId>) {
+        let image = self.shards[src.0].vc.image;
+        let mut done = SimDuration::ZERO;
+        for vm in vms.iter_mut() {
+            self.fabric
+                .pool
+                .complete_stop(*vm, now)
+                .expect("return stop completes");
+            let (new_vm, boot) = self
+                .fabric
+                .pool
+                .begin_start(image, now)
+                .expect("the slot just freed");
+            *vm = new_vm;
+            done = done.max_of(boot);
+        }
+        self.push_event(now + done, Event::ReturnReady { src, victim, vms });
     }
 
     /// Attempts the [`crate::config::ViolationPolicy::EscalateToCloud`]
@@ -492,23 +594,20 @@ impl ShardExecutor {
         let c = &mut self.fabric.clouds[cloud.0 as usize];
         let speed = c.speed();
         let mut vms = Vec::with_capacity(nb as usize);
-        let mut ready = Vec::with_capacity(nb as usize);
+        let mut done = SimDuration::ZERO;
         for _ in 0..nb {
             let (vm, prov, rate) = c
                 .begin_lease(image, shape, now)
                 .expect("can_lease checked above");
-            ready.push((now + prov, Event::CloudVmReady { app: app_id, vm }));
+            done = done.max_of(prov);
             vms.push((vm, rate));
         }
-        for (due, ev) in ready {
-            self.push_event(due, ev);
-        }
+        self.push_event(now + done, Event::CloudVmsReady { app: app_id });
         let shard = &mut self.shards[vc_id.0];
         shard.pending.insert(
             app_id,
             PendingAcquisition::CloudLease {
                 cloud,
-                awaiting: nb,
                 vms,
                 speed,
                 existing_job: Some(job),
@@ -523,31 +622,9 @@ impl ShardExecutor {
     fn handle_control(&mut self, now: SimTime, seq: u64, ev: Event) {
         match ev {
             Event::Arrival(sub) => self.on_arrival(now, seq, sub),
-            Event::TransferVmStopped { app, vm } => self.on_transfer_stopped(now, app, vm),
-            Event::TransferVmBooted { app, vm } => self.on_transfer_booted(now, seq, app, vm),
-            Event::CloudVmReady { app, vm } => self.on_cloud_ready(now, seq, app, vm),
-            Event::ReturnVmStopped { ret, vm } => self.on_return_stopped(now, ret, vm),
-            Event::ReturnVmBooted { ret, vm } => self.on_return_booted(now, seq, ret, vm),
-            Event::CloudVmReleased { cloud, vm } => self.on_cloud_released(now, cloud, vm),
-            // Only escalation-capable checks land here (see push_event);
-            // Report-mode checks are shard events.
-            Event::ControllerCheck { app } => self.on_controller_check_control(now, app),
+            Event::CloudReleased { cloud, vms } => self.on_cloud_released(now, cloud, vms),
             other => unreachable!("shard event routed to the control plane: {other:?}"),
         }
-    }
-
-    /// The control-plane SLA check: the full monolith semantics, acting
-    /// at the event's exact schedule position (an escalation withdraws
-    /// a queued job and leases cloud VMs, so it must not be deferred
-    /// past later same-instant events).
-    fn on_controller_check_control(&mut self, now: SimTime, app_id: AppId) {
-        let vc = self.app_vc[app_id.0 as usize];
-        let app = self.shards[vc.0].apps.get(&app_id).expect("app exists");
-        if app.is_completed() {
-            return; // controller retires with its application
-        }
-        let status = meryn_sla::violation::check(&app.contract, &app.times, now);
-        self.apply_verdict(now, app_id, status.needs_attention(), status.is_violated());
     }
 
     fn on_arrival(&mut self, now: SimTime, seq: u64, sub: Submission) {
@@ -630,7 +707,10 @@ impl ShardExecutor {
             },
         );
 
-        let handling = self.fabric.sample(self.cfg.latencies.base);
+        // Latency draws for this arrival come from the *destination*
+        // shard's stream: the draw sequence of a VC depends only on its
+        // own arrival history, never on its neighbours' traffic.
+        let handling = self.shards[vc_id.0].sample(self.cfg.latencies.base);
         let base = self.fabric.cm_delay(now, handling);
         let nb = spec.nb_vms();
 
@@ -679,7 +759,7 @@ impl ShardExecutor {
                         .expect("freed slave is reservable");
                 }
                 shard.acquired.insert(app_id, vms);
-                let extra = self.fabric.sample(self.cfg.latencies.suspend_local);
+                let extra = self.shards[vc_id.0].sample(self.cfg.latencies.suspend_local);
                 self.push_event(now + base + extra, Event::SubmitToFramework { app: app_id });
             }
             Decision::FromVc { src } => {
@@ -705,7 +785,7 @@ impl ShardExecutor {
                 self.shards[vc_id.0]
                     .lendings
                     .insert(app_id, Lending { src, victim });
-                let extra = self.fabric.sample(self.cfg.latencies.suspend_remote);
+                let extra = self.shards[vc_id.0].sample(self.cfg.latencies.suspend_remote);
                 let mut take = self.shards[src.0].take_vm_buf();
                 take.extend(freed.into_iter().take(nb as usize));
                 self.begin_transfer_stops(now, app_id, src, &take, base + extra);
@@ -718,22 +798,19 @@ impl ShardExecutor {
                 let c = &mut self.fabric.clouds[cloud.0 as usize];
                 let speed = c.speed();
                 let mut vms = Vec::with_capacity(nb as usize);
-                let mut ready = Vec::with_capacity(nb as usize);
+                let mut done = SimDuration::ZERO;
                 for _ in 0..nb {
                     let (vm, prov, rate) = c
                         .begin_lease(vc_image, spec_shape, now)
                         .expect("protocol only offers clouds that can lease");
-                    ready.push((now + base + prov, Event::CloudVmReady { app: app_id, vm }));
+                    done = done.max_of(prov);
                     vms.push((vm, rate));
                 }
-                for (due, ev) in ready {
-                    self.push_event(due, ev);
-                }
+                self.push_event(now + base + done, Event::CloudVmsReady { app: app_id });
                 self.shards[vc_id.0].pending.insert(
                     app_id,
                     PendingAcquisition::CloudLease {
                         cloud,
-                        awaiting: nb,
                         vms,
                         speed,
                         existing_job: None,
@@ -742,14 +819,21 @@ impl ShardExecutor {
             }
         }
 
+        // First check on the next global check tick: all live
+        // applications share check instants (see
+        // [`crate::engine::shard::next_check`]), which is what turns
+        // SLA monitoring into wide cross-shard same-instant runs.
         if let Some(interval) = self.cfg.controller_check_interval {
-            self.push_event(now + interval, Event::ControllerCheck { app: app_id });
+            self.push_event(
+                next_check(now, interval),
+                Event::ControllerCheck { app: app_id },
+            );
         }
     }
 
     /// Removes `vms` from the source VC and begins stopping them in the
-    /// pool; each stop chains into a boot with the destination VC's
-    /// image.
+    /// pool; the coalesced stops-done event lands when the slowest stop
+    /// does and the destination shard takes over from there.
     fn begin_transfer_stops(
         &mut self,
         now: SimTime,
@@ -758,6 +842,7 @@ impl ShardExecutor {
         vms: &[VmId],
         lead: SimDuration,
     ) {
+        let mut done = SimDuration::ZERO;
         for &vm in vms {
             self.shards[src.0]
                 .vc
@@ -768,182 +853,28 @@ impl ShardExecutor {
                 .pool
                 .begin_stop(vm, now)
                 .expect("idle private slave can stop");
-            self.push_event(now + lead + stop, Event::TransferVmStopped { app, vm });
+            done = done.max_of(stop);
         }
         let dest = self.app_vc[app.0 as usize];
         let shard = &mut self.shards[dest.0];
-        let collect = shard.take_vm_buf();
-        shard.pending.insert(
-            app,
-            PendingAcquisition::Transfer {
-                awaiting: vms.len() as u64,
-                vms: collect,
-            },
-        );
+        let mut collect = shard.take_vm_buf();
+        collect.extend_from_slice(vms);
+        shard
+            .pending
+            .insert(app, PendingAcquisition::Transfer { vms: collect });
+        self.push_event(now + lead + done, Event::TransferStopsDone { app });
     }
 
-    fn on_transfer_stopped(&mut self, now: SimTime, app: AppId, vm: VmId) {
-        self.fabric
-            .pool
-            .complete_stop(vm, now)
-            .expect("transfer stop completes");
-        let dest = self.app_vc[app.0 as usize];
-        let image = self.shards[dest.0].vc.image;
-        let (new_vm, boot) = self
-            .fabric
-            .pool
-            .begin_start(image, now)
-            .expect("the slot just freed");
-        self.push_event(now + boot, Event::TransferVmBooted { app, vm: new_vm });
-    }
-
-    fn on_transfer_booted(&mut self, now: SimTime, seq: u64, app: AppId, vm: VmId) {
-        self.fabric
-            .pool
-            .complete_start(vm, now)
-            .expect("transfer boot completes");
-        let dest = self.app_vc[app.0 as usize];
-        let shard = &mut self.shards[dest.0];
-        let done = {
-            let pending = shard.pending.get_mut(&app).expect("transfer in flight");
-            match pending {
-                PendingAcquisition::Transfer { awaiting, vms } => {
-                    vms.push(vm);
-                    *awaiting -= 1;
-                    *awaiting == 0
-                }
-                _ => unreachable!("transfer event for non-transfer pending"),
-            }
-        };
-        if done {
-            let Some(PendingAcquisition::Transfer { vms, .. }) = shard.pending.remove(&app) else {
-                unreachable!("just matched")
-            };
-            let rate = self.cfg.private_cost;
-            for &vm in &vms {
-                shard
-                    .vc
-                    .add_slave(vm, 1.0, Location::Private, rate)
-                    .expect("fresh transferred slave is unique");
-            }
-            let mut sink = EffectSink::new(now, dest, seq);
-            shard.submit_pinned_now(now, app, vms, &mut sink);
-            self.apply_effects(sink.into_effects());
+    /// Closes a coalesced lease batch: every release completed, bill
+    /// each lease. One logical tick per VM.
+    fn on_cloud_released(&mut self, now: SimTime, cloud: CloudId, vms: Vec<VmId>) {
+        self.control_extra_ticks += (vms.len() as u64).saturating_sub(1);
+        for vm in vms {
+            let close = self.fabric.clouds[cloud.0 as usize]
+                .complete_release(vm, now)
+                .expect("release completes");
+            self.fabric.cloud_bill += close.cost;
         }
-    }
-
-    fn on_cloud_ready(&mut self, now: SimTime, seq: u64, app: AppId, vm: VmId) {
-        let dest = self.app_vc[app.0 as usize];
-        let done = {
-            let pending = self.shards[dest.0]
-                .pending
-                .get_mut(&app)
-                .expect("lease in flight");
-            match pending {
-                PendingAcquisition::CloudLease {
-                    cloud, awaiting, ..
-                } => {
-                    self.fabric.clouds[cloud.0 as usize]
-                        .complete_lease(vm, now)
-                        .expect("lease completes");
-                    *awaiting -= 1;
-                    *awaiting == 0
-                }
-                _ => unreachable!("cloud event for non-cloud pending"),
-            }
-        };
-        if done {
-            let shard = &mut self.shards[dest.0];
-            let Some(PendingAcquisition::CloudLease {
-                cloud,
-                vms,
-                speed,
-                existing_job,
-                ..
-            }) = shard.pending.remove(&app)
-            else {
-                unreachable!("just matched")
-            };
-            let mut ids = shard.take_vm_buf();
-            ids.extend(vms.iter().map(|&(vm, _)| vm));
-            for (vm, rate) in vms {
-                shard
-                    .vc
-                    .add_slave(vm, speed, Location::Cloud(cloud), rate)
-                    .expect("fresh leased slave is unique");
-            }
-            let mut sink = EffectSink::new(now, dest, seq);
-            match existing_job {
-                None => shard.submit_pinned_now(now, app, ids, &mut sink),
-                Some(job) => {
-                    // SLA escalation: the job already exists and was
-                    // withdrawn from the queue; start it on the leases.
-                    let dispatch = shard
-                        .vc
-                        .framework
-                        .start_withdrawn_pinned(job, &ids, now)
-                        .expect("withdrawn job starts on its leases");
-                    shard.recycle_vm_buf(ids);
-                    shard.register_dispatch(now, dispatch, &mut sink);
-                }
-            }
-            self.apply_effects(sink.into_effects());
-        }
-    }
-
-    fn on_return_stopped(&mut self, now: SimTime, ret: u64, vm: VmId) {
-        self.fabric
-            .pool
-            .complete_stop(vm, now)
-            .expect("return stop completes");
-        let src = self.fabric.returns[&ret].src;
-        let image = self.shards[src.0].vc.image;
-        let (new_vm, boot) = self
-            .fabric
-            .pool
-            .begin_start(image, now)
-            .expect("the slot just freed");
-        self.push_event(now + boot, Event::ReturnVmBooted { ret, vm: new_vm });
-    }
-
-    fn on_return_booted(&mut self, now: SimTime, seq: u64, ret: u64, vm: VmId) {
-        self.fabric
-            .pool
-            .complete_start(vm, now)
-            .expect("return boot completes");
-        let done = {
-            let op = self.fabric.returns.get_mut(&ret).expect("return in flight");
-            op.vms.push(vm);
-            op.awaiting -= 1;
-            op.awaiting == 0
-        };
-        if done {
-            let op = self.fabric.returns.remove(&ret).expect("just checked");
-            let rate = self.cfg.private_cost;
-            let shard = &mut self.shards[op.src.0];
-            for vm in op.vms {
-                shard
-                    .vc
-                    .add_slave(vm, 1.0, Location::Private, rate)
-                    .expect("fresh returned slave is unique");
-            }
-            let victim_job = shard.apps[&op.victim].job.expect("held victim has a job");
-            shard
-                .vc
-                .framework
-                .requeue_held(victim_job)
-                .expect("victim was held");
-            let mut sink = EffectSink::new(now, op.src, seq);
-            shard.dispatch(now, &mut sink);
-            self.apply_effects(sink.into_effects());
-        }
-    }
-
-    fn on_cloud_released(&mut self, now: SimTime, cloud: CloudId, vm: VmId) {
-        let close = self.fabric.clouds[cloud.0 as usize]
-            .complete_release(vm, now)
-            .expect("release completes");
-        self.fabric.cloud_bill += close.cost;
     }
 
     // ---- reporting ---------------------------------------------------------

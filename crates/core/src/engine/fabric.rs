@@ -9,25 +9,13 @@
 //! provision/release draws) and the ledger deterministic no matter how
 //! the emitting shards were scheduled.
 
-use std::collections::BTreeMap;
-
 use meryn_sim::metrics::StepSeries;
 use meryn_sim::{SimDuration, SimRng, SimTime};
 use meryn_sla::Money;
-use meryn_vmm::{ImageRegistry, LatencyModel, Ledger, PrivatePool, PublicCloud, VmId};
+use meryn_vmm::{ImageRegistry, Ledger, PrivatePool, PublicCloud};
 
 use crate::engine::effects::Effect;
 use crate::events::Event;
-use crate::ids::{AppId, VcId};
-
-/// A lent-VM return in flight (stop at borrower, boot at lender).
-#[derive(Debug, Clone)]
-pub(crate) struct ReturnOp {
-    pub(crate) src: VcId,
-    pub(crate) victim: AppId,
-    pub(crate) awaiting: u64,
-    pub(crate) vms: Vec<VmId>,
-}
 
 /// The platform's shared, singleton state.
 pub struct SharedFabric {
@@ -65,10 +53,14 @@ pub struct SharedFabric {
     /// Per-Client-Manager earliest-free instants (empty = unbounded
     /// front-end concurrency).
     cm_free_at: Vec<SimTime>,
+    /// The residual control-plane latency stream (`master.fork(2)`).
+    /// Since the per-shard streams took over the arrival and
+    /// acquisition draws, nothing draws from it in the shipped engine —
+    /// it stays reserved so embedders driving the fabric directly keep
+    /// a deterministic stream of their own and the constructor
+    /// signature stays stable.
+    #[allow(dead_code)]
     lat_rng: SimRng,
-    /// Lent-VM returns in flight, by choreography id.
-    pub(crate) returns: BTreeMap<u64, ReturnOp>,
-    next_return: u64,
 }
 
 impl SharedFabric {
@@ -108,14 +100,7 @@ impl SharedFabric {
             rejected: 0,
             cm_free_at: vec![SimTime::ZERO; client_managers.unwrap_or(0)],
             lat_rng,
-            returns: BTreeMap::new(),
-            next_return: 0,
         }
-    }
-
-    /// Draws one latency from `model` on the fabric's RNG stream.
-    pub(crate) fn sample(&mut self, model: LatencyModel) -> SimDuration {
-        model.sample(&mut self.lat_rng)
     }
 
     /// Front-end delay for one submission: the Client Manager handling
@@ -169,8 +154,10 @@ impl SharedFabric {
     /// Applies one fabric-directed effect at instant `now`, appending
     /// any follow-up events to schedule onto `out`.
     ///
-    /// [`Effect::ControllerVerdict`] is *not* handled here — acting on
-    /// a verdict reads shard state, so the executor owns it.
+    /// [`Effect::Escalate`], [`Effect::TransferStopped`] and
+    /// [`Effect::ReturnStopped`] are *not* handled here — acting on
+    /// them reads shard state or schedules onto shard queues with pool
+    /// draws interleaved, so the executor owns them.
     pub fn apply(&mut self, now: SimTime, effect: Effect, out: &mut Vec<(SimTime, Event)>) {
         match effect {
             Effect::Charge {
@@ -197,36 +184,46 @@ impl SharedFabric {
             }
             Effect::Schedule { due, event } => out.push((due, event)),
             Effect::ReleaseCloud { cloud, vms } => {
-                for vm in vms {
+                // The batch closes when its slowest release does.
+                let mut done = SimDuration::ZERO;
+                for vm in &vms {
                     let rel = self.clouds[cloud.0 as usize]
-                        .begin_release(vm, now)
+                        .begin_release(*vm, now)
                         .expect("leased VM can release");
-                    out.push((now + rel, Event::CloudVmReleased { cloud, vm }));
+                    done = done.max_of(rel);
                 }
+                out.push((now + done, Event::CloudReleased { cloud, vms }));
             }
             Effect::ReturnVms { src, victim, vms } => {
-                let ret = self.next_return;
-                self.next_return += 1;
-                let awaiting = vms.len() as u64;
+                let mut done = SimDuration::ZERO;
                 for vm in &vms {
                     let stop = self
                         .pool
                         .begin_stop(*vm, now)
                         .expect("borrowed private VM can stop");
-                    out.push((now + stop, Event::ReturnVmStopped { ret, vm: *vm }));
+                    done = done.max_of(stop);
                 }
-                self.returns.insert(
-                    ret,
-                    ReturnOp {
-                        src,
-                        victim,
-                        awaiting,
-                        vms: Vec::with_capacity(vms.len()),
-                    },
-                );
+                out.push((now + done, Event::ReturnStopsDone { src, victim, vms }));
             }
-            Effect::ControllerVerdict { .. } => {
-                unreachable!("controller verdicts are applied by the executor")
+            Effect::CompleteStarts { vms } => {
+                for vm in vms {
+                    self.pool
+                        .complete_start(vm, now)
+                        .expect("booted VM completes start");
+                }
+            }
+            Effect::CompleteLeases { cloud, vms } => {
+                for vm in vms {
+                    self.clouds[cloud.0 as usize]
+                        .complete_lease(vm, now)
+                        .expect("lease completes");
+                }
+            }
+            Effect::Escalate { .. } | Effect::TransferStopped { .. } => {
+                unreachable!("escalations and transfer batches are applied by the executor")
+            }
+            Effect::ReturnStopped { .. } => {
+                unreachable!("return batches are applied by the executor")
             }
         }
     }

@@ -12,15 +12,27 @@
 use std::collections::BTreeMap;
 
 use meryn_frameworks::{Dispatch, JobId};
-use meryn_sim::{EventQueue, SimTime};
+use meryn_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use meryn_sla::{Money, VmRate};
-use meryn_vmm::{CloudId, Location, VmId};
+use meryn_vmm::{CloudId, LatencyModel, Location, VmId};
 
-use crate::app::{AppPhase, Application};
+use crate::app::{AppMap, AppPhase};
 use crate::cluster_manager::{VcView, VirtualCluster};
+use crate::config::ViolationPolicy;
 use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
 use crate::events::Event;
 use crate::ids::{AppId, Placement, VcId};
+
+/// Aligns the next Application Controller check onto the global check
+/// grid: the first multiple of `interval` strictly after `now`. All
+/// live applications therefore check on shared instants — which is what
+/// turns SLA monitoring into wide same-instant cross-shard runs the
+/// executor can fan out, instead of one-event instants scattered by
+/// arrival phase.
+pub(crate) fn next_check(now: SimTime, interval: SimDuration) -> SimTime {
+    let step = interval.as_millis().max(1);
+    SimTime::from_millis((now.as_millis() / step + 1) * step)
+}
 
 /// One execution stint of a job: which VMs, since when, at what cost.
 #[derive(Debug, Clone)]
@@ -30,22 +42,36 @@ pub(crate) struct Stint {
 }
 
 /// Multi-step VM acquisition in flight for an application.
+///
+/// The per-VM ticks are coalesced: one event marks each batch boundary
+/// (stops done, boots done, leases ready), so no outstanding-count is
+/// tracked — `vms` holds the whole batch.
 #[derive(Debug, Clone)]
 pub(crate) enum PendingAcquisition {
     /// §3.4 transfer: VMs stopping at the source, then booting with the
-    /// destination image. `awaiting` counts boots still outstanding.
-    Transfer { awaiting: u64, vms: Vec<VmId> },
+    /// destination image. Holds the stopping VMs until the stop batch
+    /// completes, then the booting replacements.
+    Transfer { vms: Vec<VmId> },
     /// §3.5 bursting: leases provisioning. Rates were locked at
     /// `begin_lease`. For SLA escalations of an already-submitted job,
     /// `existing_job` carries the framework job to pin-start instead of
     /// submitting a new one.
     CloudLease {
         cloud: CloudId,
-        awaiting: u64,
         vms: Vec<(VmId, VmRate)>,
         speed: f64,
         existing_job: Option<JobId>,
     },
+}
+
+/// The slice of the platform config a shard acts on locally: how SLA
+/// verdicts are handled, the check cadence, and the private-VM rate
+/// freshly booted slaves are added at.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardPolicy {
+    pub(crate) violation_policy: ViolationPolicy,
+    pub(crate) check_interval: Option<SimDuration>,
+    pub(crate) private_cost: VmRate,
 }
 
 /// A lending relationship: when the borrower finishes, `victim` (held
@@ -61,7 +87,7 @@ pub struct VcShard {
     /// The cluster itself: framework master, slave bookkeeping, pricing.
     pub vc: VirtualCluster,
     /// The applications this VC hosts, by id.
-    pub apps: BTreeMap<AppId, Application>,
+    pub apps: AppMap,
     /// The shard-local event queue (globally-tagged; merged with its
     /// siblings by the executor).
     pub queue: EventQueue<Event>,
@@ -74,6 +100,19 @@ pub struct VcShard {
     pub(crate) acquired: BTreeMap<AppId, Vec<VmId>>,
     /// Outstanding lendings keyed by the borrowing application.
     pub(crate) lendings: BTreeMap<AppId, Lending>,
+    /// The config slice this shard applies locally.
+    pub(crate) policy: ShardPolicy,
+    /// This shard's latency stream: `stream_seed(cfg.seed,
+    /// SHARD_STREAM_BASE + vc)`. Arrival and acquisition-latency draws
+    /// for this VC come from here, so one shard's draw sequence is a
+    /// pure function of `(seed, vc)` — independent of every other VC's
+    /// traffic.
+    pub(crate) lat_rng: SimRng,
+    /// Logical ticks credited beyond the queue's own count: a coalesced
+    /// choreography event stands for one tick per VM in its batch, and
+    /// the extra `len - 1` land here so the "events processed" unit
+    /// stays the per-VM tick it was before coalescing.
+    pub(crate) extra_ticks: u64,
     /// Recycled `VmId` scratch buffers (see the PR-4 allocation notes:
     /// the steady-state dispatch cycle allocates nothing).
     vm_bufs: Vec<Vec<VmId>>,
@@ -83,18 +122,26 @@ pub struct VcShard {
 
 impl VcShard {
     /// Wraps a deployed cluster into an empty shard.
-    pub fn new(vc: VirtualCluster) -> Self {
+    pub(crate) fn new(vc: VirtualCluster, policy: ShardPolicy, lat_rng: SimRng) -> Self {
         VcShard {
             vc,
-            apps: BTreeMap::new(),
+            apps: AppMap::default(),
             queue: EventQueue::new(),
             stints: BTreeMap::new(),
             pending: BTreeMap::new(),
             acquired: BTreeMap::new(),
             lendings: BTreeMap::new(),
+            policy,
+            lat_rng,
+            extra_ticks: 0,
             vm_bufs: Vec::new(),
             stint_bufs: Vec::new(),
         }
+    }
+
+    /// Draws one latency from `model` on this shard's RNG stream.
+    pub(crate) fn sample(&mut self, model: LatencyModel) -> SimDuration {
+        model.sample(&mut self.lat_rng)
     }
 
     /// This shard's id.
@@ -110,10 +157,17 @@ impl VcShard {
         }
     }
 
-    /// Events this shard's queue has processed (the per-shard counter
-    /// surfaced by `scenario --bench`).
+    /// Logical events this shard has processed (the per-shard counter
+    /// surfaced by `scenario --bench`): the queue's own count plus the
+    /// extra per-VM ticks coalesced choreography events stand for.
     pub fn events_processed(&self) -> u64 {
-        self.queue.events_processed()
+        self.queue.events_processed() + self.extra_ticks
+    }
+
+    /// Credits the extra logical ticks of a coalesced batch of `n` VMs
+    /// (the queue already counted the event itself as one).
+    fn credit_batch(&mut self, n: usize) {
+        self.extra_ticks += (n as u64).saturating_sub(1);
     }
 
     // ---- scratch buffers --------------------------------------------------
@@ -164,7 +218,19 @@ impl VcShard {
                 debug_assert_eq!(vc, self.vc.id, "misrouted completion");
                 self.on_job_finished(now, job, epoch, sink);
             }
-            Event::ControllerCheck { app } => self.on_controller_check(now, app, sink),
+            Event::ControllerCheck { app } => self.check_sla(now, app, sink),
+            Event::TransferStopsDone { app } => self.on_transfer_stops_done(app, sink),
+            Event::TransferReady { app } => self.on_transfer_ready(now, app, sink),
+            Event::CloudVmsReady { app } => self.on_cloud_vms_ready(now, app, sink),
+            Event::ReturnStopsDone { src, victim, vms } => {
+                debug_assert_eq!(src, self.vc.id, "misrouted return");
+                self.credit_batch(vms.len());
+                sink.emit(Effect::ReturnStopped { src, victim, vms });
+            }
+            Event::ReturnReady { src, victim, vms } => {
+                debug_assert_eq!(src, self.vc.id, "misrouted return");
+                self.on_return_ready(now, victim, vms, sink);
+            }
             other => unreachable!("control event routed to a shard: {other:?}"),
         }
     }
@@ -398,18 +464,430 @@ impl VcShard {
         self.dispatch(now, sink);
     }
 
+    // ---- coalesced choreography -------------------------------------------
+
+    /// A transfer's stop batch finished at the source: hand the stopped
+    /// VMs to the executor, which completes the pool stops and begins
+    /// the replacement boots (canonical-order pool RNG work).
+    fn on_transfer_stops_done(&mut self, app_id: AppId, sink: &mut EffectSink) {
+        let Some(PendingAcquisition::Transfer { vms }) = self.pending.get_mut(&app_id) else {
+            unreachable!("transfer event for non-transfer pending")
+        };
+        let vms = std::mem::take(vms);
+        self.credit_batch(vms.len());
+        sink.emit(Effect::TransferStopped { app: app_id, vms });
+    }
+
+    /// A transfer's boot batch finished: the replacements join this VC
+    /// as slaves and the job starts pinned on exactly these VMs.
+    fn on_transfer_ready(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        let Some(PendingAcquisition::Transfer { vms }) = self.pending.remove(&app_id) else {
+            unreachable!("transfer event for non-transfer pending")
+        };
+        self.credit_batch(vms.len());
+        let rate = self.policy.private_cost;
+        for &vm in &vms {
+            self.vc
+                .add_slave(vm, 1.0, Location::Private, rate)
+                .expect("fresh transferred slave is unique");
+        }
+        sink.emit(Effect::CompleteStarts { vms: vms.clone() });
+        self.submit_pinned_now(now, app_id, vms, sink);
+    }
+
+    /// A cloud lease batch finished provisioning: the leases join this
+    /// VC as slaves and the job starts pinned (or, for an SLA
+    /// escalation, the withdrawn job restarts on them).
+    fn on_cloud_vms_ready(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        let Some(PendingAcquisition::CloudLease {
+            cloud,
+            vms,
+            speed,
+            existing_job,
+        }) = self.pending.remove(&app_id)
+        else {
+            unreachable!("cloud event for non-cloud pending")
+        };
+        self.credit_batch(vms.len());
+        let mut ids = self.take_vm_buf();
+        ids.extend(vms.iter().map(|&(vm, _)| vm));
+        for (vm, rate) in vms {
+            self.vc
+                .add_slave(vm, speed, Location::Cloud(cloud), rate)
+                .expect("fresh leased slave is unique");
+        }
+        sink.emit(Effect::CompleteLeases {
+            cloud,
+            vms: ids.clone(),
+        });
+        match existing_job {
+            None => self.submit_pinned_now(now, app_id, ids, sink),
+            Some(job) => {
+                // SLA escalation: the job already exists and was
+                // withdrawn from the queue; start it on the leases.
+                let dispatch = self
+                    .vc
+                    .framework
+                    .start_withdrawn_pinned(job, &ids, now)
+                    .expect("withdrawn job starts on its leases");
+                self.recycle_vm_buf(ids);
+                self.register_dispatch(now, dispatch, sink);
+            }
+        }
+    }
+
+    /// A return's boot batch finished at this (lending) VC: the VMs
+    /// rejoin as slaves, the held victim requeues, and the framework
+    /// dispatches whatever now fits.
+    fn on_return_ready(
+        &mut self,
+        now: SimTime,
+        victim: AppId,
+        vms: Vec<VmId>,
+        sink: &mut EffectSink,
+    ) {
+        self.credit_batch(vms.len());
+        let rate = self.policy.private_cost;
+        for &vm in &vms {
+            self.vc
+                .add_slave(vm, 1.0, Location::Private, rate)
+                .expect("fresh returned slave is unique");
+        }
+        sink.emit(Effect::CompleteStarts { vms });
+        let victim_job = self.apps[&victim].job.expect("held victim has a job");
+        self.vc
+            .framework
+            .requeue_held(victim_job)
+            .expect("victim was held");
+        self.dispatch(now, sink);
+    }
+
     // ---- SLA monitoring ---------------------------------------------------
 
-    fn on_controller_check(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+    /// One Application Controller check, run entirely shard-side.
+    ///
+    /// Everything the old control-plane path decided from shard state
+    /// is decided here: a completed application retires its controller;
+    /// a verdict that wants cloud attention — escalation policy, job
+    /// submitted, no acquisition in flight — emits
+    /// [`Effect::Escalate`] for the executor (only the market
+    /// transaction leaves the shard); a violated report-mode verdict is
+    /// recorded locally and the check retires; everything else re-arms
+    /// on the next global check tick.
+    pub(crate) fn check_sla(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        let Some(interval) = self.policy.check_interval else {
+            return; // unmonitored deployment: nothing ever arms a check
+        };
         let app = self.apps.get(&app_id).expect("app exists");
         if app.is_completed() {
             return; // controller retires with its application
         }
         let status = meryn_sla::violation::check(&app.contract, &app.times, now);
-        sink.emit(Effect::ControllerVerdict {
-            app: app_id,
-            needs_attention: status.needs_attention(),
-            violated: status.is_violated(),
+        if status.needs_attention()
+            && self.policy.violation_policy == ViolationPolicy::EscalateToCloud
+            && app.job.is_some()
+            && !self.pending.contains_key(&app_id)
+        {
+            // The market decides; on failure the executor falls back to
+            // the mark-or-re-arm below using `violated`.
+            sink.emit(Effect::Escalate {
+                app: app_id,
+                violated: status.is_violated(),
+            });
+            return;
+        }
+        if status.is_violated() {
+            // Report once and retire: the violation is now the Cluster
+            // Manager's problem (§3.3) — and a never-completing job must
+            // not keep the event loop alive forever.
+            let app = self.apps.get_mut(&app_id).expect("app exists");
+            if app.violation_detected.is_none() {
+                app.violation_detected = Some(now);
+            }
+            return;
+        }
+        sink.emit(Effect::Schedule {
+            due: next_check(now, interval),
+            event: Event::ControllerCheck { app: app_id },
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Application;
+    use crate::ids::Placement;
+    use meryn_frameworks::{BatchFramework, FrameworkKind, JobSpec, ScalingLaw};
+    use meryn_sla::pricing::PricingParams;
+    use meryn_sla::{AppTimes, SlaContract, SlaTerms};
+    use meryn_vmm::ImageId;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn shard(policy: ViolationPolicy, interval: Option<u64>) -> VcShard {
+        let vc = VirtualCluster::new(
+            VcId(0),
+            "VC1",
+            FrameworkKind::Batch,
+            ImageId(0),
+            Box::new(BatchFramework::new()),
+            PricingParams::new(VmRate::per_vm_second(2), 2),
+        );
+        VcShard::new(
+            vc,
+            ShardPolicy {
+                violation_policy: policy,
+                check_interval: interval.map(d),
+                private_cost: VmRate::per_vm_second(2),
+            },
+            SimRng::new(SimRng::stream_seed(0xC0FFEE, 1 << 32)),
+        )
+    }
+
+    /// Submitted at 0 s, 1000 s of work, 1100 s deadline — the same
+    /// shape `meryn_sla::violation`'s own tests use, so each `now`
+    /// below lands on a known [`meryn_sla::SlaStatus`].
+    fn app(id: AppId) -> Application {
+        let pricing = PricingParams::new(VmRate::per_vm_second(2), 2);
+        Application {
+            id,
+            vc: VcId(0),
+            spec: JobSpec::Batch {
+                work: d(1000),
+                nb_vms: 1,
+                scaling: ScalingLaw::Fixed,
+            },
+            contract: SlaContract::sign(
+                SlaTerms::new(d(1100), Money::from_units(2000), 1),
+                t(0),
+                pricing,
+            ),
+            times: AppTimes::submitted(t(0), d(1000), d(1100)),
+            job: None,
+            placement: Placement::Local,
+            phase: AppPhase::Acquiring,
+            framework_submitted_at: None,
+            cost: Money::ZERO,
+            negotiation_rounds: 1,
+            suspensions: 0,
+            violation_detected: None,
+        }
+    }
+
+    /// What one check must do — the full decision surface of the old
+    /// control-plane path, which the shard-local port must reproduce.
+    #[derive(Debug, PartialEq)]
+    enum Expect {
+        /// Hand the case to the cloud market, nothing else.
+        Escalate { violated: bool },
+        /// Re-arm the controller on the global check grid.
+        Rearm { due: u64 },
+        /// Emit nothing and leave the application untouched.
+        Retire,
+        /// Emit nothing; record the violation instant locally.
+        Mark,
+    }
+
+    struct Case {
+        name: &'static str,
+        policy: ViolationPolicy,
+        /// Execution start instant, if dispatched.
+        started: Option<u64>,
+        /// Check instant (seconds).
+        now: u64,
+        completed: bool,
+        has_job: bool,
+        /// Whether a multi-step acquisition is already in flight.
+        pending: bool,
+        expect: Expect,
+    }
+
+    /// Escalations leave the shard exactly when the old control plane
+    /// would have gone to the cloud market: the verdict needs
+    /// attention, escalation is the configured policy, a framework job
+    /// exists to act on, and no acquisition is already in flight.
+    /// Every other verdict resolves silently inside the shard.
+    #[test]
+    fn check_sla_escalates_exactly_when_the_market_would_act() {
+        use ViolationPolicy::{EscalateToCloud, Report};
+        let cases = [
+            Case {
+                name: "completed app retires its controller",
+                policy: EscalateToCloud,
+                started: Some(50),
+                now: 500,
+                completed: true,
+                has_job: true,
+                pending: false,
+                expect: Expect::Retire,
+            },
+            Case {
+                name: "on-track check re-arms on the 30 s grid",
+                policy: EscalateToCloud,
+                started: Some(50),
+                // Predicted completion 1050 < 1100: margin to spare.
+                now: 100,
+                completed: false,
+                has_job: true,
+                pending: false,
+                expect: Expect::Rearm { due: 120 },
+            },
+            Case {
+                name: "at-risk job goes to the market before the deadline",
+                policy: EscalateToCloud,
+                // Started 200 s late: predicted 1200 > deadline 1100.
+                started: Some(200),
+                now: 200,
+                completed: false,
+                has_job: true,
+                pending: false,
+                expect: Expect::Escalate { violated: false },
+            },
+            Case {
+                name: "past-deadline job goes to the market flagged violated",
+                policy: EscalateToCloud,
+                started: Some(200),
+                now: 1200,
+                completed: false,
+                has_job: true,
+                pending: false,
+                expect: Expect::Escalate { violated: true },
+            },
+            Case {
+                name: "at-risk without a framework job just re-arms",
+                policy: EscalateToCloud,
+                started: Some(200),
+                now: 200,
+                completed: false,
+                has_job: false,
+                pending: false,
+                expect: Expect::Rearm { due: 210 },
+            },
+            Case {
+                name: "at-risk with an acquisition in flight re-arms",
+                policy: EscalateToCloud,
+                started: Some(200),
+                now: 200,
+                completed: false,
+                has_job: true,
+                pending: true,
+                expect: Expect::Rearm { due: 210 },
+            },
+            Case {
+                name: "report mode records the violation and retires",
+                policy: Report,
+                started: Some(200),
+                now: 1200,
+                completed: false,
+                has_job: true,
+                pending: false,
+                expect: Expect::Mark,
+            },
+            Case {
+                name: "violated but jobless app is marked, not escalated",
+                policy: EscalateToCloud,
+                started: Some(200),
+                now: 1200,
+                completed: false,
+                has_job: false,
+                pending: false,
+                expect: Expect::Mark,
+            },
+        ];
+        for case in cases {
+            let mut shard = shard(case.policy, Some(30));
+            let id = AppId(7);
+            let mut a = app(id);
+            if let Some(s) = case.started {
+                a.times.start(t(s));
+            }
+            if case.completed {
+                a.phase = AppPhase::Completed { at: t(case.now) };
+            }
+            if case.has_job {
+                a.job = Some(JobId(3));
+            }
+            shard.apps.insert(id, a);
+            if case.pending {
+                shard
+                    .pending
+                    .insert(id, PendingAcquisition::Transfer { vms: Vec::new() });
+            }
+            let mut sink = EffectSink::new(t(case.now), VcId(0), 1);
+            shard.check_sla(t(case.now), id, &mut sink);
+            let effects = sink.into_effects();
+            match case.expect {
+                Expect::Escalate { violated } => {
+                    assert_eq!(effects.len(), 1, "{}: exactly one effect", case.name);
+                    assert_eq!(
+                        effects[0].effect,
+                        Effect::Escalate { app: id, violated },
+                        "{}",
+                        case.name
+                    );
+                }
+                Expect::Rearm { due } => {
+                    assert_eq!(effects.len(), 1, "{}: exactly one effect", case.name);
+                    assert_eq!(
+                        effects[0].effect,
+                        Effect::Schedule {
+                            due: t(due),
+                            event: Event::ControllerCheck { app: id },
+                        },
+                        "{}",
+                        case.name
+                    );
+                }
+                Expect::Retire | Expect::Mark => {
+                    assert!(effects.is_empty(), "{}: must emit nothing", case.name);
+                }
+            }
+            let marked = shard.apps[&id].violation_detected;
+            if case.expect == Expect::Mark {
+                assert_eq!(marked, Some(t(case.now)), "{}: records now", case.name);
+            } else {
+                assert_eq!(marked, None, "{}: must not mark", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn check_sla_keeps_the_first_detection_instant() {
+        let mut shard = shard(ViolationPolicy::Report, Some(30));
+        let id = AppId(1);
+        let mut a = app(id);
+        a.times.start(t(200));
+        a.violation_detected = Some(t(1130));
+        shard.apps.insert(id, a);
+        let mut sink = EffectSink::new(t(1200), VcId(0), 1);
+        shard.check_sla(t(1200), id, &mut sink);
+        assert!(sink.into_effects().is_empty());
+        assert_eq!(
+            shard.apps[&id].violation_detected,
+            Some(t(1130)),
+            "a later check must not overwrite the first detection"
+        );
+    }
+
+    #[test]
+    fn check_sla_is_inert_on_unmonitored_deployments() {
+        let mut shard = shard(ViolationPolicy::EscalateToCloud, None);
+        let id = AppId(2);
+        let mut a = app(id);
+        a.times.start(t(200));
+        a.job = Some(JobId(3));
+        shard.apps.insert(id, a);
+        // Even a long-violated application draws no reaction: nothing
+        // ever arms checks, so none may fire effects.
+        let mut sink = EffectSink::new(t(5000), VcId(0), 1);
+        shard.check_sla(t(5000), id, &mut sink);
+        assert!(sink.into_effects().is_empty());
+        assert_eq!(shard.apps[&id].violation_detected, None);
     }
 }

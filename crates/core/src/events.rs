@@ -5,6 +5,13 @@
 //! processing pipeline, VM transfer steps (§3.4), cloud VM provisioning
 //! (§3.5), job completions predicted by the frameworks, lent-VM returns
 //! and Application Controller checks.
+//!
+//! Choreography events are **coalesced**: one event marks the instant a
+//! whole batch of per-VM stop/boot/provision ticks finishes (the batch
+//! completes when its *slowest* member does — latencies are drawn per
+//! VM, the event lands at the maximum). Each coalesced event expands
+//! locally in its owning shard, so the sequential control plane owns
+//! only arrivals and cloud-lease closes.
 
 use meryn_frameworks::JobId;
 use meryn_vmm::{CloudId, VmId};
@@ -25,28 +32,26 @@ pub enum Event {
         /// The application being submitted.
         app: AppId,
     },
-    /// One VM of an inbound transfer finished shutting down at the
-    /// source (§3.4: source CM removes VMs, Resource Manager stops them).
-    TransferVmStopped {
+    /// Every VM of an inbound transfer finished shutting down at the
+    /// source (§3.4: source CM removes VMs, Resource Manager stops
+    /// them). The destination shard expands this into the replacement
+    /// boots.
+    TransferStopsDone {
         /// The acquiring application.
         app: AppId,
-        /// The stopped VM.
-        vm: VmId,
     },
-    /// One replacement VM finished booting with the destination VC's
-    /// image (§3.4: destination CM starts and configures new VMs).
-    TransferVmBooted {
+    /// Every replacement VM finished booting with the destination VC's
+    /// image (§3.4: destination CM starts and configures new VMs); the
+    /// acquisition completes and the job starts pinned.
+    TransferReady {
         /// The acquiring application.
         app: AppId,
-        /// The freshly booted VM.
-        vm: VmId,
     },
-    /// One leased cloud VM finished provisioning (§3.5).
-    CloudVmReady {
+    /// Every leased cloud VM finished provisioning (§3.5); the
+    /// acquisition completes and the job starts pinned.
+    CloudVmsReady {
         /// The acquiring application.
         app: AppId,
-        /// The leased VM.
-        vm: VmId,
     },
     /// A framework predicted this completion when it dispatched the job;
     /// stale epochs are dropped.
@@ -58,26 +63,33 @@ pub enum Event {
         /// Dispatch epoch at scheduling time.
         epoch: u64,
     },
-    /// One VM of a lent-VM return finished stopping at the borrower.
-    ReturnVmStopped {
-        /// Return choreography id.
-        ret: u64,
-        /// The stopped VM.
-        vm: VmId,
+    /// Every VM of a lent-VM return finished stopping at the borrower;
+    /// the lender's shard expands this into the reboots with its image.
+    ReturnStopsDone {
+        /// The lending VC.
+        src: VcId,
+        /// The suspended application awaiting its VMs.
+        victim: AppId,
+        /// The stopped VMs, stint order.
+        vms: Vec<VmId>,
     },
-    /// One VM of a lent-VM return finished booting at the lender.
-    ReturnVmBooted {
-        /// Return choreography id.
-        ret: u64,
-        /// The freshly booted VM.
-        vm: VmId,
+    /// Every returned VM finished booting at the lender; the held
+    /// victim requeues and the lender dispatches.
+    ReturnReady {
+        /// The lending VC.
+        src: VcId,
+        /// The suspended application awaiting its VMs.
+        victim: AppId,
+        /// The freshly booted VMs.
+        vms: Vec<VmId>,
     },
-    /// A cloud VM finished releasing; the lease closes and is billed.
-    CloudVmReleased {
-        /// The cloud it belonged to.
+    /// Every cloud VM of a finished application's lease batch completed
+    /// releasing; the leases close and are billed.
+    CloudReleased {
+        /// The cloud they belonged to.
         cloud: CloudId,
-        /// The released VM.
-        vm: VmId,
+        /// The released VMs.
+        vms: Vec<VmId>,
     },
     /// Periodic Application Controller SLA check.
     ControllerCheck {
@@ -90,8 +102,8 @@ pub enum Event {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventOwner {
     /// The executor's sequential control plane: arrivals (which read
-    /// cross-shard state) and every choreography step that touches the
-    /// shared fabric's pools and RNG streams.
+    /// cross-shard state and consume the shared placement inputs) and
+    /// cloud-lease closes (pure fabric billing, no shard state at all).
     Control,
     /// A specific VC shard's local state machine.
     Shard(VcId),
@@ -110,17 +122,15 @@ impl Event {
     /// shard batches safe to process in parallel.
     pub fn owner(&self) -> EventOwner {
         match *self {
-            Event::JobFinished { vc, .. } => EventOwner::Shard(vc),
-            Event::SubmitToFramework { app } | Event::ControllerCheck { app } => {
-                EventOwner::AppShard(app)
-            }
-            Event::Arrival(_)
-            | Event::TransferVmStopped { .. }
-            | Event::TransferVmBooted { .. }
-            | Event::CloudVmReady { .. }
-            | Event::ReturnVmStopped { .. }
-            | Event::ReturnVmBooted { .. }
-            | Event::CloudVmReleased { .. } => EventOwner::Control,
+            Event::JobFinished { vc, .. }
+            | Event::ReturnStopsDone { src: vc, .. }
+            | Event::ReturnReady { src: vc, .. } => EventOwner::Shard(vc),
+            Event::SubmitToFramework { app }
+            | Event::ControllerCheck { app }
+            | Event::TransferStopsDone { app }
+            | Event::TransferReady { app }
+            | Event::CloudVmsReady { app } => EventOwner::AppShard(app),
+            Event::Arrival(_) | Event::CloudReleased { .. } => EventOwner::Control,
         }
     }
 }

@@ -39,7 +39,7 @@ use meryn_sim::SimTime;
 use meryn_sla::{Money, VmRate};
 use meryn_vmm::{CloudId, PublicCloud};
 
-use crate::app::Application;
+use crate::app::AppMap;
 use crate::bidding::{compute_bid, Bid, BidRequest};
 use crate::cluster_manager::{VcView, VirtualCluster};
 use crate::ids::{AppId, VcId};
@@ -135,7 +135,7 @@ pub trait BiddingPolicy: Send + Sync {
     fn bid(
         &self,
         vc: &VirtualCluster,
-        apps: &BTreeMap<AppId, Application>,
+        apps: &AppMap,
         req: BidRequest,
         now: SimTime,
         params: &ProtocolParams,
@@ -157,7 +157,7 @@ impl BiddingPolicy for StandardBidding {
     fn bid(
         &self,
         vc: &VirtualCluster,
-        apps: &BTreeMap<AppId, Application>,
+        apps: &AppMap,
         req: BidRequest,
         now: SimTime,
         params: &ProtocolParams,
@@ -181,7 +181,7 @@ impl BiddingPolicy for FreeOnlyBidding {
     fn bid(
         &self,
         vc: &VirtualCluster,
-        _apps: &BTreeMap<AppId, Application>,
+        _apps: &AppMap,
         req: BidRequest,
         _now: SimTime,
         _params: &ProtocolParams,

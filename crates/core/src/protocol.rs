@@ -126,7 +126,7 @@ pub fn select_resources(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::{AppPhase, Application};
+    use crate::app::{AppMap, AppPhase, Application};
     use crate::cluster_manager::VirtualCluster;
     use crate::ids::Placement;
     use crate::policy::{self, StandardBidding};
@@ -135,7 +135,6 @@ mod tests {
     use meryn_sla::pricing::PricingParams;
     use meryn_sla::{AppTimes, Money, SlaContract, SlaTerms};
     use meryn_vmm::{HostTag, ImageId, LatencyModel, Location, PriceModel, VmId};
-    use std::collections::BTreeMap;
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -152,10 +151,7 @@ mod tests {
 
     /// One view per VC, all sharing the test's single app map (a
     /// superset of each shard's own applications is fine for reads).
-    fn views<'a>(
-        vcs: &'a [VirtualCluster],
-        apps: &'a BTreeMap<AppId, Application>,
-    ) -> Vec<VcView<'a>> {
+    fn views<'a>(vcs: &'a [VirtualCluster], apps: &'a AppMap) -> Vec<VcView<'a>> {
         vcs.iter().map(|vc| VcView { vc, apps }).collect()
     }
 
@@ -164,7 +160,7 @@ mod tests {
         policy_name: &str,
         local: VcId,
         vcs: &[VirtualCluster],
-        apps: &BTreeMap<AppId, Application>,
+        apps: &AppMap,
         clouds: &[PublicCloud],
         req: BidRequest,
         now: SimTime,
@@ -189,7 +185,7 @@ mod tests {
         id: usize,
         idle: u64,
         running_deadlines: &[u64],
-        apps: &mut BTreeMap<AppId, Application>,
+        apps: &mut AppMap,
         next_app: &mut u64,
     ) -> VirtualCluster {
         let mut vc = VirtualCluster::new(
@@ -275,7 +271,7 @@ mod tests {
 
     #[test]
     fn option1_local_vms_win_when_free() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 2, &[], &mut apps, &mut n),
@@ -295,7 +291,7 @@ mod tests {
 
     #[test]
     fn option2_zero_bid_from_sibling() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[], &mut apps, &mut n),
@@ -317,7 +313,7 @@ mod tests {
     fn option3_local_suspension_when_cheapest() {
         // Local running app has a huge deadline (cheap to suspend);
         // sibling is empty-handed; cloud is expensive.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[100_000], &mut apps, &mut n),
@@ -339,7 +335,7 @@ mod tests {
     fn option4_sibling_suspension_when_cheapest() {
         // Local app is tight (expensive), sibling app is slack (cheap),
         // cloud expensive.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[1_050], &mut apps, &mut n),
@@ -366,7 +362,7 @@ mod tests {
     #[test]
     fn option5_cloud_when_cheapest() {
         // Both VCs full with tight deadlines; cheap cloud.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[1_050], &mut apps, &mut n),
@@ -389,7 +385,7 @@ mod tests {
 
     #[test]
     fn cheapest_cloud_is_selected() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![build_vc(0, 0, &[], &mut apps, &mut n)];
         let mut c0 = cloud(8);
@@ -426,7 +422,7 @@ mod tests {
     #[test]
     fn static_mode_never_exchanges() {
         // Sibling has plenty of idle VMs, but static must burst.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[], &mut apps, &mut n),
@@ -446,7 +442,7 @@ mod tests {
 
     #[test]
     fn static_mode_still_uses_local_vms() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![build_vc(0, 1, &[], &mut apps, &mut n)];
         let dec = decide(
@@ -464,7 +460,7 @@ mod tests {
     #[test]
     fn queue_when_nothing_available() {
         // No idle VMs, no running apps to suspend, no clouds.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[], &mut apps, &mut n),
@@ -488,7 +484,7 @@ mod tests {
         // near-deadline apps (free ≈ 200 s), cloud at 4 u/s, duration
         // 1754 s. Suspension bids ≈ storage 877 + (1754−200)×4 ≈ 7093;
         // cloud = 1754×4 = 7016 → cloud wins, no suspension.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         // deadline 1200 on exec 1000 started at 0 → free = 200 at t=0.
         let vcs = vec![
@@ -514,7 +510,7 @@ mod tests {
     fn never_burst_ignores_the_cloud() {
         // Sibling suspension is possible but pricey; a dirt-cheap cloud
         // exists — never-burst must still pick the suspension.
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[], &mut apps, &mut n),
@@ -537,7 +533,7 @@ mod tests {
 
     #[test]
     fn always_burst_leases_even_with_free_local_vms() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![build_vc(0, 5, &[], &mut apps, &mut n)];
         let dec = decide(
@@ -565,7 +561,7 @@ mod tests {
 
     #[test]
     fn cost_greedy_lets_a_cheap_cloud_outbid_free_local_vms() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![build_vc(0, 5, &[], &mut apps, &mut n)];
         // Cloud at 1 u/s beats the private cost of 2 u/s.
@@ -594,7 +590,7 @@ mod tests {
 
     #[test]
     fn free_only_bidding_never_offers_suspension() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[], &mut apps, &mut n),
@@ -619,7 +615,7 @@ mod tests {
 
     #[test]
     fn suspension_disabled_knob_downgrades_standard_bids() {
-        let mut apps = BTreeMap::new();
+        let mut apps = AppMap::default();
         let mut n = 0;
         let vcs = vec![
             build_vc(0, 0, &[], &mut apps, &mut n),

@@ -1,0 +1,125 @@
+//! The shard-local control plane's determinism battery.
+//!
+//! PR 6 moved latency draws, SLA checks and VM choreography out of the
+//! sequential control plane into the per-VC shards, which is exactly
+//! what lets same-instant cross-shard runs fan out to worker threads.
+//! This property test pins the contract that migration must honour:
+//! for *random* workloads over 2–16 VCs, the finalized report is
+//! **byte-identical** at 1, 2 and 8 threads — and the fan-out path
+//! actually fires (`parallel_runs > 0`), so the equality is exercised,
+//! not vacuous.
+//!
+//! The workload generator deliberately lands whole cohorts on shared
+//! instants (wave arrivals, zero front-end latency) and keeps dozens
+//! of applications live at once, so the 30-second controller-check
+//! grid produces same-instant runs wide enough to clear the executor's
+//! fan-out gate at every generated case.
+
+use meryn_core::config::{PlatformConfig, VcConfig};
+use meryn_core::Platform;
+use meryn_frameworks::{JobSpec, ScalingLaw};
+use meryn_sim::{SimDuration, SimTime};
+use meryn_sla::negotiation::UserStrategy;
+use meryn_vmm::LatencyModel;
+use meryn_workloads::{Submission, VcTarget};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// VMs deployed per VC; capacity is sized so every VC's share fits.
+const VMS_PER_VC: u64 = 4;
+
+fn at_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool build is infallible")
+        .install(op)
+}
+
+/// One random deployment + workload, fully described by plain data so
+/// every thread-count run rebuilds an identical platform.
+#[derive(Debug, Clone)]
+struct Case {
+    vcs: usize,
+    seed: u64,
+    /// `(wave, target, work_secs, nb_vms)` per submission.
+    subs: Vec<(u64, usize, u64, u64)>,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        2usize..=16,
+        any::<u64>(),
+        prop::collection::vec((0u64..6, 0usize..16, 120u64..900, 1u64..=2), 40..90),
+    )
+        .prop_map(|(vcs, seed, subs)| Case { vcs, seed, subs })
+}
+
+/// Runs the case on `threads` workers; returns the serialized report
+/// and the number of fanned-out runs.
+fn run_case(case: &Case, threads: usize) -> (String, u64) {
+    let mut cfg = PlatformConfig::paper("meryn");
+    cfg.seed = case.seed;
+    cfg.private_capacity = case.vcs as u64 * (VMS_PER_VC + 2);
+    cfg.vcs = (0..case.vcs)
+        .map(|i| VcConfig::batch(format!("vc-{i:02}"), VMS_PER_VC))
+        .collect();
+    // Zero front-end latency keeps each wave's cohort on one instant;
+    // the shard streams still draw for every acquisition latency.
+    cfg.latencies.base = LatencyModel::ZERO;
+    let workload: Vec<Submission> = case
+        .subs
+        .iter()
+        .map(|&(wave, target, work, nb_vms)| {
+            Submission::new(
+                SimTime::from_secs(5 + wave * 120),
+                VcTarget::Index(target % case.vcs),
+                JobSpec::Batch {
+                    work: SimDuration::from_secs(work),
+                    nb_vms,
+                    scaling: ScalingLaw::Fixed,
+                },
+                UserStrategy::AcceptCheapest,
+            )
+        })
+        .collect();
+    at_threads(threads, || {
+        let mut platform = Platform::new(cfg.clone());
+        platform.enqueue_workload(&workload);
+        platform.run_to_completion();
+        let parallel_runs = platform.parallel_runs();
+        let report = platform.finalize();
+        (
+            serde_json::to_string(&report).expect("report serializes"),
+            parallel_runs,
+        )
+    })
+}
+
+proptest! {
+    // Each case runs three full simulations; a handful of cases keeps
+    // the battery meaningful without dominating the suite's wall time.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_workloads_are_thread_count_independent(case in case_strategy()) {
+        let (sequential, runs_1) = run_case(&case, 1);
+        prop_assert!(
+            runs_1 > 0,
+            "no run cleared the fan-out gate — the case never exercised the parallel path"
+        );
+        for threads in [2usize, 8] {
+            let (threaded, runs_n) = run_case(&case, threads);
+            prop_assert_eq!(
+                &sequential,
+                &threaded,
+                "report diverged between 1 and {} threads", threads
+            );
+            prop_assert_eq!(
+                runs_1,
+                runs_n,
+                "run batching must not depend on the thread count"
+            );
+        }
+    }
+}

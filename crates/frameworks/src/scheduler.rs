@@ -10,6 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use meryn_sim::DetHashMap;
+
 use meryn_sim::{SimDuration, SimTime};
 use meryn_vmm::VmId;
 use serde::{Deserialize, Serialize};
@@ -88,7 +90,13 @@ struct Slave {
 pub struct DedicatedScheduler<M> {
     model: M,
     slaves: BTreeMap<VmId, Slave>,
-    jobs: BTreeMap<JobId, Job>,
+    /// Append-only job table: finished jobs stay queryable for the
+    /// report, so this grows with the whole submission history. Keyed
+    /// lookups only — dispatch order comes from `queue`/`running`/
+    /// `held`, never from iterating this map — so the deterministic
+    /// hash map keeps every lookup O(1) instead of paying a tree walk
+    /// over the history (see `meryn_sim::hash`).
+    jobs: DetHashMap<JobId, Job>,
     queue: VecDeque<JobId>,
     held: BTreeSet<JobId>,
     /// Ids of jobs currently in [`JobState::Running`]. The `jobs` map is
@@ -108,7 +116,7 @@ impl<M: ExecModel> DedicatedScheduler<M> {
         DedicatedScheduler {
             model,
             slaves: BTreeMap::new(),
-            jobs: BTreeMap::new(),
+            jobs: DetHashMap::default(),
             queue: VecDeque::new(),
             held: BTreeSet::new(),
             running: BTreeSet::new(),

@@ -10,7 +10,7 @@ use meryn_frameworks::{FrameworkKind, ScalingLaw};
 use meryn_sim::SimDuration;
 use meryn_sla::negotiation::UserStrategy;
 use meryn_sla::VmRate;
-use meryn_vmm::PriceModel;
+use meryn_vmm::{LatencyModel, PriceModel};
 use meryn_workloads::generators::{ArrivalProcess, GeneratorConfig, WorkDistribution};
 use meryn_workloads::{PaperWorkloadParams, VcTarget};
 
@@ -203,6 +203,66 @@ pub fn representative_datacenter() -> Scenario {
     }
 }
 
+/// The shard-parallelism showcase: sixteen batch VCs, each large
+/// enough that one arrival cohort exactly fills it, with every latency
+/// that feeds the choreography held *fixed*. Cohorts of 1024
+/// submissions land at one instant (negotiation sizes each job at two
+/// VMs, so a cohort occupies all 2048 slots), so their Cluster-Manager
+/// handoffs, dispatches, completions and (interval-aligned)
+/// Application Controller checks all share instants too — every such
+/// instant is a ~1k-event batch spread evenly across all sixteen
+/// shards, which is exactly the shape the parallel executor pays off
+/// on. This is the CI thread-speedup gate's scenario: its report must
+/// be byte-identical at any `RAYON_NUM_THREADS`, and the threaded run
+/// must not be slower.
+pub fn many_vc() -> Scenario {
+    let mut platform = PlatformConfig::paper("meryn");
+    platform.private_capacity = 2048;
+    platform.vcs = (0..16)
+        .map(|i| VcConfig::batch(format!("vc-{i:02}"), 128))
+        .collect();
+    // A fixed handling latency keeps a cohort's submits on one shared
+    // instant (the paper's uniform 7–15 s draw would fan one cohort
+    // out over thousands of distinct instants and serialize the run).
+    platform.latencies.base = LatencyModel::Fixed(SimDuration::from_secs(10));
+    Scenario {
+        name: "many-vc".into(),
+        description: "Shard-parallelism showcase: 16 batch VCs of 128 VMs, 1024-submission \
+                      cohorts with fixed latencies and work — aligned controller ticks make \
+                      ~1k-event cross-shard batches (the CI thread-speedup gate scenario)."
+            .into(),
+        platform,
+        workload: WorkloadSpec::Generated {
+            config: GeneratorConfig {
+                count: 8192,
+                arrivals: ArrivalProcess::Bursty {
+                    burst_len: 1024,
+                    fast: SimDuration::ZERO,
+                    idle: SimDuration::from_secs(2400),
+                },
+                work: WorkDistribution::Fixed(SimDuration::from_secs(1800)),
+                nb_vms_choices: vec![1],
+                targets: (0..16).map(|i| (VcTarget::Index(i), 1)).collect(),
+                strategy: UserStrategy::AcceptCheapest,
+                scaling: ScalingLaw::Linear,
+            },
+            seed: 0x16C5,
+        },
+        sweep: SweepSpec {
+            replicas: 0,
+            axes: Vec::new(),
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            summary: true,
+            placements: false,
+            series: false,
+            comparison: false,
+            table1_samples: None,
+        },
+    }
+}
+
 /// The cross-crate extension policy at work: `deadline-aware` (defined
 /// and registered in [`crate::policies`], *not* in `meryn-core`)
 /// against the two paper policies on a pressured estate. Suspensions
@@ -246,6 +306,7 @@ pub fn shipped() -> Vec<(&'static str, Scenario)> {
         ("cheap-cloud", cheap_cloud()),
         ("no-suspension", no_suspension()),
         ("representative-datacenter", representative_datacenter()),
+        ("many-vc", many_vc()),
         ("deadline-aware", deadline_aware()),
     ]
 }

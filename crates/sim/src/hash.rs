@@ -1,0 +1,158 @@
+//! Deterministic hashing for hot lookup tables.
+//!
+//! The engine's hottest maps (applications by id, framework jobs by
+//! id) are keyed by dense integer newtypes, grow monotonically over a
+//! run — every application ever admitted stays addressable for the
+//! final report — and are *indexed but never iterated* on any path
+//! that feeds simulation state. An ordered tree pays a pointer chase
+//! per level on every lookup; a hash table pays one. `std`'s default
+//! `RandomState` is unusable here, though: its per-process random seed
+//! would make iteration order differ between two runs of the same
+//! binary, which turns any accidental order dependence into a
+//! nondeterminism bug that only reproduces sometimes.
+//!
+//! [`DetState`] closes that hole: a fixed-seed, SplitMix64-finalized
+//! hasher. Two runs of any binary build identical tables, so even
+//! iteration order — which callers still must not let leak into
+//! simulation state across *code* versions — is at least identical
+//! between runs and thread counts, keeping golden-report comparisons
+//! meaningful while lookups cost O(1).
+//!
+//! ```
+//! use meryn_sim::hash::DetHashMap;
+//!
+//! let mut by_id: DetHashMap<u64, &str> = DetHashMap::default();
+//! by_id.insert(7, "seven");
+//! assert_eq!(by_id[&7], "seven");
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fixed-seed hasher built on the SplitMix64 finalizer.
+///
+/// Integer writes fold the value into the state and run it through the
+/// full avalanche, so dense ids (0, 1, 2, …) — exactly what the engine
+/// hands out — spread over the whole table. Byte slices are folded in
+/// 8-byte words with a length-tagged tail, which is enough for the
+/// occasional string key; this is a lookup-table hasher, not a
+/// cryptographic one.
+#[derive(Debug, Default, Clone)]
+pub struct DetHasher(u64);
+
+impl DetHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        // SplitMix64 output function over (state ⊕ input) + γ.
+        let mut z = (self.0 ^ word).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+        // Length tag: distinguishes "" from "\0" and friends.
+        self.mix(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// The fixed-seed build-hasher: every table built with it hashes
+/// identically in every run of every binary.
+pub type DetState = BuildHasherDefault<DetHasher>;
+
+/// A `HashMap` with deterministic (fixed-seed) hashing.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
+/// A `HashSet` with deterministic (fixed-seed) hashing.
+pub type DetHashSet<T> = std::collections::HashSet<T, DetState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        DetState::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"meryn"), hash_of(&"meryn"));
+        assert_eq!(hash_of(&(3u32, 4u64)), hash_of(&(3u32, 4u64)));
+    }
+
+    #[test]
+    fn dense_ids_spread() {
+        // The engine's keys are dense counters; the finalizer must not
+        // map consecutive ids to consecutive (or colliding) hashes.
+        let hashes: Vec<u64> = (0u64..1000).map(|i| hash_of(&i)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len(), "no collisions on 1k dense ids");
+        // Low bits (the table-index bits) must vary too.
+        let low_bits: DetHashSet<u64> = hashes.iter().map(|h| h & 0xFF).collect();
+        assert!(low_bits.len() > 200, "low bits cover most of one byte");
+    }
+
+    #[test]
+    fn length_tag_separates_prefixes() {
+        assert_ne!(hash_of(&[0u8; 0][..]), hash_of(&[0u8; 1][..]));
+        assert_ne!(hash_of(&[0u8; 7][..]), hash_of(&[0u8; 8][..]));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * i);
+        }
+        for i in 0..100 {
+            assert_eq!(m[&i], i * i);
+        }
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hash;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use hash::{DetHashMap, DetHashSet};
 pub use queue::{earliest_key, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

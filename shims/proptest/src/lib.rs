@@ -22,7 +22,7 @@ pub mod test_runner;
 /// Prelude mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }

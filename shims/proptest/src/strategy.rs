@@ -2,7 +2,8 @@
 //! and `prop_map`.
 
 use crate::test_runner::TestRng;
-use std::ops::Range;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of type [`Strategy::Value`].
 pub trait Strategy {
@@ -114,6 +115,65 @@ macro_rules! int_range_strategy {
 int_range_strategy! {
     u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
     i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+}
+
+macro_rules! int_range_inclusive_strategy {
+    ($($ty:ty => $u:ty),+ $(,)?) => {$(
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                // span + 1 can wrap to 0 on the full domain; that case
+                // means "any value", which the modulo-free path gives.
+                let off = match span.checked_add(1) {
+                    Some(m) => (rng.next_u64() as $u) % m,
+                    None => rng.next_u64() as $u,
+                };
+                (lo as $u).wrapping_add(off) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_inclusive_strategy! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+}
+
+/// The strategy returned by [`any`]: the full domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates any value of `T` uniformly (primitive types only).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_strategy {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+any_strategy! { u8, u16, u32, u64, usize, i8, i16, i32, i64, isize }
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
 }
 
 impl Strategy for Range<f64> {

@@ -248,7 +248,9 @@ impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
     }
 }
 
-impl<T: Serialize + Ord + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+impl<T: Serialize + Ord + std::hash::Hash, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashSet<T, S>
+{
     fn to_value(&self) -> Value {
         let mut items: Vec<&T> = self.iter().collect();
         items.sort();
@@ -256,7 +258,11 @@ impl<T: Serialize + Ord + std::hash::Hash> Serialize for std::collections::HashS
     }
 }
 
-impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
     fn from_value(v: &Value) -> Result<Self, DeError> {
         Ok(Vec::<T>::from_value(v)?.into_iter().collect())
     }
@@ -319,7 +325,9 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTr
     }
 }
 
-impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+impl<K: Serialize + Ord, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
     fn to_value(&self) -> Value {
         let mut entries: Vec<(&K, &V)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
@@ -332,8 +340,11 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::HashMap<K
     }
 }
 
-impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
-    for std::collections::HashMap<K, V>
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {

@@ -11,10 +11,12 @@
 //! When a behaviour change is intentional, regenerate with:
 //!
 //! ```text
-//! cargo build --release -p meryn-bench --bin scenario
-//! for s in scenarios/*.json; do \
-//!   target/release/scenario "$s" --quiet --json "scenarios/goldens/$(basename "$s")"; done
+//! cargo build --release -p meryn-bench --bin scenario-diff
+//! target/release/scenario-diff --regen
 //! ```
+//!
+//! and put the printed per-scenario delta summary in the PR
+//! description (see `scenarios/README.md` for the re-baseline policy).
 
 use meryn_bench::{run_scenario, Scenario};
 use std::path::PathBuf;
@@ -81,6 +83,11 @@ fn deadline_aware_reproduces_its_golden() {
     reproduce("deadline-aware");
 }
 
+#[test]
+fn many_vc_reproduces_its_golden() {
+    reproduce("many-vc");
+}
+
 /// ~100k submissions over a simulated month: minutes of work without
 /// optimizations, so the byte comparison only runs in release builds
 /// (CI additionally `cmp`s the release binary's report against this
@@ -89,4 +96,23 @@ fn deadline_aware_reproduces_its_golden() {
 #[test]
 fn representative_datacenter_reproduces_its_golden() {
     reproduce("representative-datacenter");
+}
+
+/// The `scenario-diff --regen` round-trip: regenerating every golden
+/// must be a byte-for-byte no-op against what is checked in. This
+/// sweeps *all* specs (future ones included), so a spec added without
+/// re-recording — or a golden edited by hand — fails here even before
+/// its dedicated reproduce test exists. Release-only: the sweep
+/// includes the month-long representative-datacenter run.
+#[cfg(not(debug_assertions))]
+#[test]
+fn regenerating_every_golden_is_a_no_op() {
+    for entry in std::fs::read_dir(repo_path("scenarios")).expect("scenarios/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        reproduce(&stem);
+    }
 }

@@ -149,6 +149,90 @@ fn intra_simulation_shard_batches_are_thread_count_independent() {
     }
 }
 
+/// Runs a purely-local deployment of `vc_count` VCs under the paper's
+/// calibrated (randomized) latencies and returns each VC's application
+/// records with the platform-global [`AppId`]s normalized away —
+/// dropping a VC shifts later ids, but nothing else may move.
+fn per_vc_records(vc_count: usize) -> Vec<Vec<meryn_core::report::AppRecord>> {
+    use meryn_core::config::{PlatformConfig, VcConfig};
+    use meryn_core::ids::{AppId, VcId};
+    use meryn_core::Platform;
+    use meryn_frameworks::{JobSpec, ScalingLaw};
+    use meryn_sim::{SimDuration, SimTime};
+    use meryn_sla::negotiation::UserStrategy;
+    use meryn_workloads::{Submission, VcTarget};
+
+    const FULL_WIDTH: usize = 4;
+    let mut cfg = PlatformConfig::paper("meryn");
+    // Capacity for the *full* roster either way, and per-VC room for
+    // every job it will ever host: all decisions stay Local, so no
+    // pool, market or cloud state ever couples the shards.
+    cfg.private_capacity = 96;
+    // 12 slaves per VC comfortably covers each VC's peak concurrency
+    // (≤ 5 jobs × ≤ 2 VMs), so no VC ever needs to borrow.
+    cfg.vcs = (0..vc_count)
+        .map(|i| VcConfig::batch(format!("vc-{i}"), 12))
+        .collect();
+    let workload: Vec<Submission> = (0..48u64)
+        .filter_map(|i| {
+            let target = (i % FULL_WIDTH as u64) as usize;
+            (target < vc_count).then(|| {
+                Submission::new(
+                    SimTime::from_secs(10 + i * 37),
+                    VcTarget::Index(target),
+                    JobSpec::Batch {
+                        work: SimDuration::from_secs(300 + (i * 53) % 400),
+                        nb_vms: 1 + i % 2,
+                        scaling: ScalingLaw::Fixed,
+                    },
+                    UserStrategy::AcceptCheapest,
+                )
+            })
+        })
+        .collect();
+    let mut platform = Platform::new(cfg);
+    platform.enqueue_workload(&workload);
+    platform.run_to_completion();
+    let report = platform.finalize();
+    assert_eq!(report.rejected, 0, "ample capacity must admit everything");
+    assert_eq!(report.bursts, 0, "a purely-local run must not burst");
+    assert_eq!(report.transfers, 0, "a purely-local run must not transfer");
+    (0..vc_count)
+        .map(|vc| {
+            report
+                .apps
+                .iter()
+                .filter(|a| a.vc == VcId(vc))
+                .cloned()
+                .map(|mut a| {
+                    a.id = AppId(0);
+                    a
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn shard_rng_streams_are_independent_across_the_roster() {
+    // Per-shard latency streams are seeded from the shard index alone
+    // (`stream_seed(seed, SHARD_STREAM_BASE + i)`), so removing the
+    // *last* VC — and with it every draw that VC ever made — must
+    // leave the surviving shards' entire trajectories bit-identical.
+    // Under a single shared control-plane stream this fails instantly:
+    // the fourth VC's draws would interleave into everyone's sequence.
+    let wide = per_vc_records(4);
+    let narrow = per_vc_records(3);
+    for (vc, (w, n)) in wide.iter().zip(&narrow).enumerate() {
+        assert!(!w.is_empty(), "vc {vc} must host applications");
+        assert_eq!(
+            serde_json::to_string(w).unwrap(),
+            serde_json::to_string(n).unwrap(),
+            "vc {vc}'s records changed when the roster shrank from 4 to 3 VCs"
+        );
+    }
+}
+
 #[test]
 fn replica_streams_are_independent_of_sweep_width() {
     // Replica i's report must not change when the sweep grows: its RNG
