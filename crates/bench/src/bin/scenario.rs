@@ -4,33 +4,70 @@
 //! cargo run --release -p meryn-bench --bin scenario -- scenarios/paper.json
 //! cargo run --release -p meryn-bench --bin scenario -- scenarios/paper.json --json out.json
 //! cargo run --release -p meryn-bench --bin scenario -- scenarios/representative-datacenter.json --bench
+//! cargo run --release -p meryn-bench --bin scenario -- --catalog hyperscale --bench
+//! cargo run --release -p meryn-bench --bin scenario -- scenarios/hyperscale-ci.json --single --json full.json
+//! cargo run --release -p meryn-bench --bin scenario -- scenarios/hyperscale-ci.json --checkpoint cp.json --checkpoint-at 1200000
+//! cargo run --release -p meryn-bench --bin scenario -- scenarios/hyperscale-ci.json --resume cp.json --json resumed.json
 //! ```
 //!
 //! The `--json` report is byte-identical at any thread count (CI
 //! byte-compares `RAYON_NUM_THREADS=1` against the threaded run for
 //! every checked-in spec). `--quiet` suppresses the human rendering.
 //! `--bench` measures engine throughput instead of producing a report:
-//! it times every variant's base-seed run and prints events/second
-//! (with `--json`, writes the `BENCH_4.json`-style artifact — timings
-//! are machine-dependent, so bench JSON is never byte-compared).
-//! `--emit-shipped DIR` regenerates the checked-in spec files from the
-//! `meryn_scenario::catalog` source of truth instead of running one.
+//! it times every variant's base-seed run and prints events/second and
+//! peak RSS (with `--json`, writes the `BENCH_4.json`-style artifact —
+//! timings are machine-dependent, so bench JSON is never
+//! byte-compared). `--emit-shipped DIR` regenerates the checked-in
+//! spec files from the `meryn_scenario::catalog` source of truth
+//! instead of running one. `--catalog NAME` loads a catalog entry by
+//! name instead of a file — the only way to reach the unshipped full
+//! `hyperscale` spec.
+//!
+//! The checkpoint workflow operates on the scenario's base-seed
+//! first-variant run (see `meryn_scenario::single_run_start`):
+//! `--single` runs it uninterrupted and writes its `RunReport`;
+//! `--checkpoint FILE --checkpoint-at SECS` stops at the first event
+//! due after SECS, snapshots the complete engine state to FILE and
+//! exits; `--resume FILE` restores and runs to completion. The
+//! resumed report is byte-identical to the `--single` one — CI `cmp`s
+//! them.
 
-use meryn_bench::{bench_scenario, catalog, run_scenario, Scenario};
+use meryn_bench::{
+    bench_scenario, catalog, run_scenario, single_run_resume, single_run_start, Scenario,
+};
+use meryn_core::EngineCheckpoint;
+use meryn_sim::SimTime;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario <spec.json> [--json FILE] [--quiet] [--bench] \
+        "usage: scenario <spec.json | --catalog NAME> [--json FILE] [--quiet] [--bench] \
+         [--single | --checkpoint FILE --checkpoint-at SECS | --resume FILE] \
          | scenario --emit-shipped DIR"
     );
     std::process::exit(2);
 }
 
+fn write_run_report(report: &meryn_core::RunReport, json_path: Option<&str>, quiet: bool) {
+    if let Some(path) = json_path {
+        let mut json = serde_json::to_string_pretty(report).expect("report serializes");
+        json.push('\n');
+        std::fs::write(path, json).expect("write run report JSON");
+        if !quiet {
+            println!("wrote {path}");
+        }
+    }
+}
+
 fn main() {
     let mut spec_path: Option<String> = None;
+    let mut catalog_name: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut quiet = false;
     let mut bench = false;
+    let mut single = false;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_at: Option<u64> = None;
+    let mut resume_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -47,23 +84,87 @@ fn main() {
                 }
                 return;
             }
+            "--catalog" => match args.next() {
+                Some(name) => catalog_name = Some(name),
+                None => usage(),
+            },
             "--quiet" => quiet = true,
             "--bench" => bench = true,
+            "--single" => single = true,
+            "--checkpoint" => match args.next() {
+                Some(path) => checkpoint_path = Some(path),
+                None => usage(),
+            },
+            "--checkpoint-at" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(secs) => checkpoint_at = Some(secs),
+                None => usage(),
+            },
+            "--resume" => match args.next() {
+                Some(path) => resume_path = Some(path),
+                None => usage(),
+            },
             other if spec_path.is_none() && !other.starts_with("--") => {
                 spec_path = Some(other.to_owned());
             }
             _ => usage(),
         }
     }
-    let Some(spec_path) = spec_path else { usage() };
 
-    let scenario = match Scenario::load(&spec_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot load scenario: {e}");
-            std::process::exit(2);
-        }
+    let scenario = match (&spec_path, &catalog_name) {
+        (Some(path), None) => match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot load scenario: {e}");
+                std::process::exit(2);
+            }
+        },
+        (None, Some(name)) => match catalog::all().into_iter().find(|(stem, _)| stem == name) {
+            Some((_, s)) => s,
+            None => {
+                let names: Vec<&str> = catalog::all().iter().map(|(stem, _)| *stem).collect();
+                eprintln!("error: unknown catalog scenario {name:?}; known: {names:?}");
+                std::process::exit(2);
+            }
+        },
+        _ => usage(),
     };
+
+    // The single-run checkpoint workflow.
+    if single {
+        let mut platform = single_run_start(&scenario).expect("workload materializes");
+        platform.run_to_completion();
+        let report = platform.finalize();
+        write_run_report(&report, json_path.as_deref(), quiet);
+        return;
+    }
+    if let Some(cp_path) = checkpoint_path {
+        let Some(secs) = checkpoint_at else { usage() };
+        let mut platform = single_run_start(&scenario).expect("workload materializes");
+        let more = platform.run_until(SimTime::from_secs(secs));
+        let cp = platform.checkpoint();
+        let mut json = serde_json::to_string(&cp).expect("checkpoint serializes");
+        json.push('\n');
+        std::fs::write(&cp_path, json).expect("write checkpoint");
+        if !quiet {
+            println!(
+                "checkpointed {} at t={} s ({}): {cp_path}",
+                scenario.name,
+                cp.taken_at().as_secs(),
+                if more { "events remain" } else { "drained" },
+            );
+        }
+        return;
+    }
+    if let Some(cp_path) = resume_path {
+        let text = std::fs::read_to_string(&cp_path).expect("read checkpoint");
+        let cp: EngineCheckpoint = serde_json::from_str(&text).expect("checkpoint parses");
+        let mut platform = single_run_resume(&scenario, cp);
+        platform.run_to_completion();
+        let report = platform.finalize();
+        write_run_report(&report, json_path.as_deref(), quiet);
+        return;
+    }
+
     if bench {
         let report = match bench_scenario(&scenario) {
             Ok(r) => r,

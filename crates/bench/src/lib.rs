@@ -17,7 +17,7 @@ pub use meryn_scenario::spec;
 pub use meryn_scenario::sweep;
 pub use meryn_scenario::{
     bench_scenario, catalog, measure_case, paper_range, run_paper, run_paper_with, run_scenario,
-    BenchReport, Scenario, ScenarioReport, TABLE1_CASES,
+    single_run_resume, single_run_start, BenchReport, Scenario, ScenarioReport, TABLE1_CASES,
 };
 
 use meryn_sim::stats::Summary;

@@ -6,12 +6,13 @@
 //! *framework-specific* part proposes SLAs from the framework's
 //! performance model — implemented here as [`VcQuoter`].
 
-use meryn_frameworks::{Framework, FrameworkKind, JobId, JobSpec};
+use meryn_frameworks::{Framework, FrameworkKind, FrameworkSnapshot, JobId, JobSpec};
 use meryn_sim::{DetHashMap, SimDuration};
 use meryn_sla::negotiation::{Quote, Quoter};
 use meryn_sla::pricing::PricingParams;
 use meryn_sla::{Money, VmRate};
 use meryn_vmm::{ImageId, Location, VmId};
+use serde::{Deserialize, Serialize};
 
 use crate::ids::{AppId, VcId};
 
@@ -33,7 +34,7 @@ pub struct VcView<'a> {
 }
 
 /// Billing metadata the VC keeps for each of its slave VMs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SlaveMeta {
     /// Where the VM runs.
     pub location: Location,
@@ -145,6 +146,65 @@ impl VirtualCluster {
             .job_to_app
             .get(&job)
             .expect("every framework job belongs to an application")
+    }
+
+    /// Captures the cluster's full state for a checkpoint. The
+    /// framework master — a trait object — serializes through its
+    /// concrete-typed [`FrameworkSnapshot`].
+    pub fn snapshot(&self) -> VcSnapshot {
+        VcSnapshot {
+            id: self.id,
+            name: self.name.clone(),
+            kind: self.kind,
+            image: self.image,
+            framework: self.framework.snapshot(),
+            reserved: self.reserved,
+            job_to_app: self.job_to_app.clone(),
+            slave_meta: self.slave_meta.clone(),
+            pricing: self.pricing,
+        }
+    }
+}
+
+/// A [`VirtualCluster`]'s serializable state (checkpoint form): the
+/// trait-object framework master is captured as a concrete-typed
+/// [`FrameworkSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VcSnapshot {
+    /// The VC's id.
+    pub id: VcId,
+    /// Display name.
+    pub name: String,
+    /// Hosted application type.
+    pub kind: FrameworkKind,
+    /// The framework disk image slaves boot from.
+    pub image: ImageId,
+    /// The framework master's full state.
+    pub framework: FrameworkSnapshot,
+    /// VMs promised to in-flight submissions.
+    pub reserved: u64,
+    /// Framework job → platform application mapping.
+    pub job_to_app: DetHashMap<JobId, AppId>,
+    /// Billing metadata per slave.
+    pub slave_meta: DetHashMap<VmId, SlaveMeta>,
+    /// Pricing regime.
+    pub pricing: PricingParams,
+}
+
+impl VcSnapshot {
+    /// Rebuilds the live cluster this snapshot was taken from.
+    pub fn into_cluster(self) -> VirtualCluster {
+        VirtualCluster {
+            id: self.id,
+            name: self.name,
+            kind: self.kind,
+            image: self.image,
+            framework: self.framework.into_framework(),
+            reserved: self.reserved,
+            job_to_app: self.job_to_app,
+            slave_meta: self.slave_meta,
+            pricing: self.pricing,
+        }
     }
 }
 

@@ -131,6 +131,19 @@ pub enum Effect {
         /// The stopped VMs, stint order.
         vms: Vec<VmId>,
     },
+    /// A completed application asks to be folded into the run's
+    /// aggregate tallies and forgotten (emitted only under
+    /// [`crate::report::ReportMode::Aggregate`]). Reading the
+    /// application record, folding it and dropping the per-app state
+    /// spans shard *and* executor structures (`app_vc` stays — it
+    /// routes stale per-app events), so the executor owns this effect;
+    /// the fabric never sees it.
+    Retire {
+        /// The completed application to fold and forget.
+        app: AppId,
+        /// Its framework job, retired from the framework's job table.
+        job: meryn_frameworks::JobId,
+    },
     /// Mark a batch of private-pool boots complete (the VMs were
     /// already handed to their shard as slaves; frameworks never read
     /// VMM state, so the pool transition is pure fabric bookkeeping).

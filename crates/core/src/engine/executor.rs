@@ -47,14 +47,15 @@
 
 use std::sync::Arc;
 
-use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, MapReduceFramework};
+use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, JobId, MapReduceFramework};
 use meryn_sim::metrics::SeriesSet;
-use meryn_sim::{earliest_key, EventQueue, SimDuration, SimRng, SimTime};
+use meryn_sim::{earliest_key, EventQueue, QueueSnapshot, SimDuration, SimRng, SimTime};
 use meryn_sla::pricing::PricingParams;
 use meryn_sla::{AppTimes, Money};
 use meryn_vmm::{CloudId, ImageRegistry, Location, PrivatePool, PublicCloud, VmId};
 use meryn_workloads::Submission;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::app::{AppPhase, Application};
 use crate::bidding::BidRequest;
@@ -63,12 +64,14 @@ use crate::cluster_manager::{VcView, VirtualCluster};
 use crate::config::PlatformConfig;
 use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
 use crate::engine::fabric::SharedFabric;
-use crate::engine::shard::{next_check, Lending, PendingAcquisition, ShardPolicy, VcShard};
+use crate::engine::shard::{
+    next_check, Lending, PendingAcquisition, ShardPolicy, ShardSnapshot, VcShard,
+};
 use crate::events::{Event, EventOwner};
 use crate::ids::{AppId, Placement, VcId};
 use crate::policy::{self, BiddingPolicy, PlacementPolicy};
 use crate::protocol::{select_resources, Decision, ProtocolParams};
-use crate::report::{AppRecord, RunReport};
+use crate::report::{AggregateReport, AppRecord, ReportMode, RunReport};
 
 /// One shard's drained slice of a same-instant run: `(seq, event)`
 /// pairs in global seq order.
@@ -117,6 +120,139 @@ pub struct ShardExecutor {
     effect_gather: Vec<SequencedEffect>,
     /// Same-instant runs wide enough to fan out to worker threads.
     parallel_runs: u64,
+    /// Aggregate tallies; `Some` exactly under
+    /// [`ReportMode::Aggregate`], where completed applications fold in
+    /// and retire instead of accumulating per-app records.
+    aggregate: Option<AggregateReport>,
+    /// Latest completion folded into `aggregate` (retired applications
+    /// are gone by `finalize`, so the report's completion time is
+    /// tracked as they retire).
+    agg_completion: SimTime,
+    /// Streamed arrival source, when the workload was attached with
+    /// [`Self::stream_workload`] instead of being enqueued in bulk.
+    arrivals: Option<ArrivalSource>,
+}
+
+/// A streamed workload: submissions pulled lazily from an iterator,
+/// carrying the exact sequence tags bulk enqueueing would have
+/// assigned (the block was reserved at attach time), so the streamed
+/// run's schedule — and report — is byte-identical to the batch run's
+/// while holding O(1) workload memory.
+struct ArrivalSource {
+    /// The submission stream, arrival order (`at` nondecreasing).
+    iter: Box<dyn Iterator<Item = Submission> + Send>,
+    /// Buffered head: peeked but not yet processed.
+    head: Option<Submission>,
+    /// Sequence tag of the next streamed arrival.
+    next_seq: u64,
+    /// One past the last reserved tag.
+    end_seq: u64,
+    /// Arrivals popped so far (the checkpoint cursor: a resumed run
+    /// re-creates the iterator and skips this many).
+    emitted: u64,
+}
+
+impl ArrivalSource {
+    /// Key of the next streamed arrival, `None` when exhausted.
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.head.is_none() {
+            self.head = self.iter.next();
+        }
+        self.head.as_ref().map(|s| (s.at, self.next_seq))
+    }
+
+    /// Takes the peeked arrival with its sequence tag.
+    fn pop(&mut self) -> (u64, Submission) {
+        let sub = self.head.take().expect("stream peeked before popping");
+        let seq = self.next_seq;
+        assert!(
+            seq < self.end_seq,
+            "streamed workload exceeded its declared submission count"
+        );
+        self.next_seq += 1;
+        self.emitted += 1;
+        (seq, sub)
+    }
+}
+
+/// The serializable cursor of an [`ArrivalSource`]: workloads are
+/// deterministic functions of their generator config and seed, so a
+/// checkpoint stores only how far the stream got.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArrivalCheckpoint {
+    next_seq: u64,
+    end_seq: u64,
+    emitted: u64,
+}
+
+/// A full engine snapshot: every shard (framework masters included),
+/// the shared fabric (pool, clouds, ledger, metrics, RNG stream
+/// positions), the control queue, the global sequence counter and the
+/// streamed-arrival cursor. Serializable with serde; resuming from it
+/// reproduces the uninterrupted run byte-for-byte at any thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// The deployment configuration; placement/bidding policies and
+    /// per-shard policy slices are rebuilt from it at restore.
+    pub cfg: PlatformConfig,
+    shards: Vec<ShardSnapshot>,
+    fabric: SharedFabric,
+    control: QueueSnapshot<Event>,
+    control_extra_ticks: u64,
+    next_seq: u64,
+    now: SimTime,
+    app_vc: Vec<VcId>,
+    next_app: u64,
+    aggregate: Option<AggregateReport>,
+    agg_completion: SimTime,
+    arrivals: Option<ArrivalCheckpoint>,
+    parallel_runs: u64,
+}
+
+impl EngineCheckpoint {
+    /// Whether the checkpointed run streamed its workload — if so,
+    /// resume with [`ShardExecutor::from_checkpoint_streaming`],
+    /// handing back a fresh iterator over the same workload.
+    pub fn needs_workload(&self) -> bool {
+        self.arrivals.is_some()
+    }
+
+    /// The checkpoint instant.
+    pub fn taken_at(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// Builds one application's report record.
+fn app_record(app: &Application, vc_name: &str) -> AppRecord {
+    AppRecord {
+        id: app.id,
+        vc: app.vc,
+        vc_name: vc_name.to_owned(),
+        placement: app.placement.table1_case().to_owned(),
+        submitted: app.contract.agreed_at,
+        framework_submitted: app.framework_submitted_at,
+        completed: app.completed_at(),
+        processing: app.processing_time(),
+        exec: app.exec_duration(),
+        cost: app.cost,
+        price: app.contract.terms.price,
+        revenue: app.revenue().unwrap_or(Money::ZERO),
+        penalty: app.penalty().unwrap_or(Money::ZERO),
+        violated: app.violated(),
+        suspensions: app.suspensions,
+        negotiation_rounds: app.negotiation_rounds,
+    }
+}
+
+/// The config slice shards apply locally (rebuilt, not serialized).
+fn shard_policy(cfg: &PlatformConfig, retire_on_completion: bool) -> ShardPolicy {
+    ShardPolicy {
+        violation_policy: cfg.violation_policy,
+        check_interval: cfg.controller_check_interval,
+        private_cost: cfg.private_cost,
+        retire_on_completion,
+    }
 }
 
 impl ShardExecutor {
@@ -202,18 +338,14 @@ impl ShardExecutor {
         // Steady-state pending events scale with the live estate; the
         // workload bulk is reserved at enqueue time.
         let control = EventQueue::with_capacity(4 * cfg.private_capacity as usize);
-        let shard_policy = ShardPolicy {
-            violation_policy: cfg.violation_policy,
-            check_interval: cfg.controller_check_interval,
-            private_cost: cfg.private_cost,
-        };
+        let policy = shard_policy(&cfg, false);
         let seed = cfg.seed;
         let shards = vcs
             .into_iter()
             .enumerate()
             .map(|(i, vc)| {
                 let rng = SimRng::new(SimRng::stream_seed(seed, SHARD_STREAM_BASE + i as u64));
-                VcShard::new(vc, shard_policy, rng)
+                VcShard::new(vc, policy, rng)
             })
             .collect();
         ShardExecutor {
@@ -233,6 +365,40 @@ impl ShardExecutor {
             effect_bufs: Vec::new(),
             effect_gather: Vec::new(),
             parallel_runs: 0,
+            aggregate: None,
+            agg_completion: SimTime::ZERO,
+            arrivals: None,
+        }
+    }
+
+    /// Selects how much per-application detail the run keeps; must be
+    /// chosen before the run starts.
+    ///
+    /// [`ReportMode::Aggregate`] keeps engine memory O(live) instead of
+    /// O(history): the ledger stops retaining per-charge entries
+    /// (running totals remain exact), and every completed application
+    /// folds into per-VC aggregates and retires its engine-side state
+    /// at its canonical effect position — so the aggregates are
+    /// byte-identical at any thread count.
+    pub fn set_report_mode(&mut self, mode: ReportMode) {
+        assert!(
+            self.now == SimTime::ZERO && self.next_app == 0,
+            "report mode must be chosen before the run starts"
+        );
+        let aggregate = mode == ReportMode::Aggregate;
+        self.aggregate = aggregate.then(|| AggregateReport::new(self.shards.len()));
+        self.fabric.ledger.set_retain_entries(!aggregate);
+        for shard in &mut self.shards {
+            shard.policy.retire_on_completion = aggregate;
+        }
+    }
+
+    /// The run's report mode (see [`Self::set_report_mode`]).
+    pub fn report_mode(&self) -> ReportMode {
+        if self.aggregate.is_some() {
+            ReportMode::Aggregate
+        } else {
+            ReportMode::Full
         }
     }
 
@@ -311,13 +477,53 @@ impl ShardExecutor {
         }
     }
 
+    /// Attaches a streamed workload of exactly `count` submissions,
+    /// reserving their sequence-tag block up front: streamed arrivals
+    /// carry the exact tags [`Self::enqueue_workload`] would have
+    /// assigned, so the run's schedule — and report — is byte-identical
+    /// to the batch-enqueued run while holding O(1) workload memory.
+    ///
+    /// The iterator must yield submissions in nondecreasing `at` order
+    /// (workload generators do) and at most `count` of them. One
+    /// streamed workload per run, attached before it starts.
+    pub fn stream_workload<I>(&mut self, count: u64, workload: I)
+    where
+        I: IntoIterator<Item = Submission>,
+        I::IntoIter: Send + 'static,
+    {
+        assert!(self.arrivals.is_none(), "one streamed workload per run");
+        let first = self.next_seq;
+        self.next_seq += count;
+        self.arrivals = Some(ArrivalSource {
+            iter: Box::new(workload.into_iter().fuse()),
+            head: None,
+            next_seq: first,
+            end_seq: first + count,
+            emitted: 0,
+        });
+    }
+
     /// `(queue index, key)` of the globally next event; index 0 is the
-    /// control plane, `1 + i` is shard `i`.
+    /// control plane, 1 the streamed-arrival source, `2 + i` shard `i`.
     fn next_source(&mut self) -> Option<(usize, (SimTime, u64))> {
         let control_key = self.control.peek_key();
+        let stream_key = self.arrivals.as_mut().and_then(ArrivalSource::peek_key);
         earliest_key(
-            std::iter::once(control_key).chain(self.shards.iter_mut().map(|s| s.queue.peek_key())),
+            [control_key, stream_key]
+                .into_iter()
+                .chain(self.shards.iter_mut().map(|s| s.queue.peek_key())),
         )
+    }
+
+    /// Pops the streamed arrival at `t` and processes it as the control
+    /// plane would, crediting the logical tick the control queue would
+    /// have counted.
+    fn step_stream(&mut self, t: SimTime) {
+        let src = self.arrivals.as_mut().expect("stream peeked");
+        let (seq, sub) = src.pop();
+        debug_assert_eq!(sub.at, t, "streamed arrivals fire at their instant");
+        self.control_extra_ticks += 1;
+        self.on_arrival(t, seq, sub);
     }
 
     /// Processes exactly one event (the single-step debugging/test
@@ -331,8 +537,10 @@ impl ShardExecutor {
         if idx == 0 {
             let (_, seq, ev) = self.control.pop_keyed().expect("peeked");
             self.handle_control(t, seq, ev);
+        } else if idx == 1 {
+            self.step_stream(t);
         } else {
-            let shard = idx - 1;
+            let shard = idx - 2;
             let (_, seq, ev) = self.shards[shard].queue.pop_keyed().expect("peeked");
             let mut events = self.event_bufs.pop().unwrap_or_default();
             events.push((seq, ev));
@@ -346,24 +554,46 @@ impl ShardExecutor {
 
     /// Drains all queues: the batched, shard-parallel production loop.
     pub fn run_to_completion(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// The batched loop, stopping once the next event is due strictly
+    /// after `stop` (events *at* `stop` are processed). Returns `true`
+    /// while undrained events remain — at which point the engine sits
+    /// on a clean instant boundary, ready to be checkpointed or
+    /// resumed.
+    pub fn run_until(&mut self, stop: SimTime) -> bool {
         loop {
             let Some((idx, (t, _))) = self.next_source() else {
-                return;
+                return false;
             };
+            if t > stop {
+                return true;
+            }
             self.now = t;
             if idx == 0 {
                 let (_, seq, ev) = self.control.pop_keyed().expect("peeked");
                 self.handle_control(t, seq, ev);
                 continue;
             }
+            if idx == 1 {
+                self.step_stream(t);
+                continue;
+            }
             // A shard event is next: drain the maximal same-instant run
-            // of shard events, bounded by the next control event at this
-            // instant (events scheduled *by* the run get later tags and
-            // join a subsequent run — exactly the monolith's order).
-            let barrier = match self.control.peek_key() {
-                Some((due, seq)) if due == t => seq,
-                _ => u64::MAX,
-            };
+            // of shard events, bounded by the next control-plane event —
+            // queued or streamed — at this instant (events scheduled *by*
+            // the run get later tags and join a subsequent run — exactly
+            // the monolith's order).
+            let control_key = self.control.peek_key();
+            let stream_key = self.arrivals.as_mut().and_then(ArrivalSource::peek_key);
+            let barrier = [control_key, stream_key]
+                .into_iter()
+                .flatten()
+                .filter(|&(due, _)| due == t)
+                .map(|(_, seq)| seq)
+                .min()
+                .unwrap_or(u64::MAX);
             let mut total = 0usize;
             let mut work: Vec<(&mut VcShard, RunSlice, Vec<SequencedEffect>)> = Vec::new();
             for shard in &mut self.shards {
@@ -457,6 +687,7 @@ impl ShardExecutor {
             Effect::ReturnStopped { src, victim, vms } => {
                 self.apply_return_stopped(key.due, src, victim, vms);
             }
+            Effect::Retire { app, job } => self.apply_retire(app, job),
             other => {
                 let mut out = std::mem::take(&mut self.scratch_out);
                 self.fabric.apply(key.due, other, &mut out);
@@ -466,6 +697,35 @@ impl ShardExecutor {
                 self.scratch_out = out;
             }
         }
+    }
+
+    /// Applies [`Effect::Retire`] (aggregate mode): folds the completed
+    /// application into the run aggregates and drops its per-app state
+    /// — the application record, the job → app mapping and the
+    /// framework's job entry. Only `app_vc` keeps its 8-byte entry: it
+    /// still routes stale per-app events (a ControllerCheck armed
+    /// before completion) to a shard that then ignores them.
+    fn apply_retire(&mut self, app_id: AppId, job: JobId) {
+        let vc = self.app_vc[app_id.0 as usize];
+        let shard = &mut self.shards[vc.0];
+        let app = shard
+            .apps
+            .remove(&app_id)
+            .expect("retiring application exists");
+        let rec = app_record(&app, &shard.vc.name);
+        if let Some(at) = app.completed_at() {
+            self.agg_completion = self.agg_completion.max_of(at);
+        }
+        self.aggregate
+            .as_mut()
+            .expect("retirements are emitted only in aggregate mode")
+            .push(&rec);
+        shard.vc.job_to_app.remove(&job);
+        shard
+            .vc
+            .framework
+            .retire_job(job)
+            .expect("retiring job just completed");
     }
 
     /// Acts on a shard's escalation request: the shard already vetted
@@ -877,10 +1137,136 @@ impl ShardExecutor {
         }
     }
 
+    // ---- checkpointing -----------------------------------------------------
+
+    /// Captures the engine's full state at the current instant. Call
+    /// between events — after [`Self::run_until`] returns, the engine
+    /// sits on such a boundary. Resuming the checkpoint reproduces the
+    /// uninterrupted run's report byte-for-byte at any thread count.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            cfg: self.cfg.clone(),
+            shards: self.shards.iter().map(VcShard::snapshot).collect(),
+            fabric: self.fabric.clone(),
+            control: self.control.snapshot(),
+            control_extra_ticks: self.control_extra_ticks,
+            next_seq: self.next_seq,
+            now: self.now,
+            app_vc: self.app_vc.clone(),
+            next_app: self.next_app,
+            aggregate: self.aggregate.clone(),
+            agg_completion: self.agg_completion,
+            arrivals: self.arrivals.as_ref().map(|a| ArrivalCheckpoint {
+                next_seq: a.next_seq,
+                end_seq: a.end_seq,
+                emitted: a.emitted,
+            }),
+            parallel_runs: self.parallel_runs,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint of a bulk-enqueued run.
+    ///
+    /// # Panics
+    /// When the checkpointed run streamed its workload — resume those
+    /// with [`Self::from_checkpoint_streaming`].
+    pub fn from_checkpoint(cp: EngineCheckpoint) -> Self {
+        assert!(
+            cp.arrivals.is_none(),
+            "checkpoint streamed its workload; resume with from_checkpoint_streaming"
+        );
+        Self::restore(cp, None)
+    }
+
+    /// Rebuilds an engine from a checkpoint of a streamed run,
+    /// re-attaching a fresh iterator over the *same* workload
+    /// (workloads are deterministic in their generator seed); the
+    /// already-processed prefix is skipped.
+    pub fn from_checkpoint_streaming<I>(cp: EngineCheckpoint, workload: I) -> Self
+    where
+        I: IntoIterator<Item = Submission>,
+        I::IntoIter: Send + 'static,
+    {
+        assert!(
+            cp.arrivals.is_some(),
+            "checkpoint did not stream its workload"
+        );
+        Self::restore(cp, Some(Box::new(workload.into_iter().fuse())))
+    }
+
+    fn restore(
+        cp: EngineCheckpoint,
+        workload: Option<Box<dyn Iterator<Item = Submission> + Send>>,
+    ) -> Self {
+        let EngineCheckpoint {
+            cfg,
+            shards,
+            fabric,
+            control,
+            control_extra_ticks,
+            next_seq,
+            now,
+            app_vc,
+            next_app,
+            aggregate,
+            agg_completion,
+            arrivals,
+            parallel_runs,
+        } = cp;
+        cfg.validate();
+        let placement = policy::placement(&cfg.policy).expect("validated policy resolves");
+        let bidding = policy::bidding(&cfg.bidding).expect("validated bidding policy resolves");
+        let policy = shard_policy(&cfg, aggregate.is_some());
+        let shards = shards
+            .into_iter()
+            .map(|s| VcShard::from_snapshot(s, policy))
+            .collect();
+        let arrivals = arrivals.map(|a| {
+            let mut iter = workload.expect("streamed checkpoint resumes with its workload");
+            for _ in 0..a.emitted {
+                iter.next()
+                    .expect("resumed workload is shorter than the checkpoint cursor");
+            }
+            ArrivalSource {
+                iter,
+                head: None,
+                next_seq: a.next_seq,
+                end_seq: a.end_seq,
+                emitted: a.emitted,
+            }
+        });
+        ShardExecutor {
+            cfg,
+            placement,
+            bidding,
+            shards,
+            fabric,
+            control: EventQueue::from_snapshot(control),
+            control_extra_ticks,
+            next_seq,
+            now,
+            app_vc,
+            next_app,
+            scratch_out: Vec::new(),
+            event_bufs: Vec::new(),
+            effect_bufs: Vec::new(),
+            effect_gather: Vec::new(),
+            parallel_runs,
+            aggregate,
+            agg_completion,
+            arrivals,
+        }
+    }
+
     // ---- reporting ---------------------------------------------------------
 
     /// Builds the final report. Consumes the executor.
-    pub fn finalize(self) -> RunReport {
+    ///
+    /// In aggregate mode the still-live applications (never completed:
+    /// violated-and-stuck, or mid-flight at an early finalize) fold
+    /// into the aggregates in submission order and `apps` stays empty.
+    pub fn finalize(mut self) -> RunReport {
+        let mut aggregate = self.aggregate.take();
         let total_apps: usize = self.shards.iter().map(|s| s.apps.len()).sum();
         let mut apps: Vec<&Application> = Vec::with_capacity(total_apps);
         for shard in &self.shards {
@@ -889,30 +1275,26 @@ impl ShardExecutor {
         // Shards hold disjoint id ranges interleaved by arrival order;
         // the report lists applications in submission (= AppId) order.
         apps.sort_by_key(|a| a.id);
-        let mut records = Vec::with_capacity(apps.len());
-        let mut completion = SimTime::ZERO;
-        for app in apps {
-            if let Some(at) = app.completed_at() {
-                completion = completion.max_of(at);
+        let mut records = Vec::new();
+        let mut completion = self.agg_completion;
+        match aggregate.as_mut() {
+            Some(agg) => {
+                for app in apps {
+                    if let Some(at) = app.completed_at() {
+                        completion = completion.max_of(at);
+                    }
+                    agg.push(&app_record(app, &self.shards[app.vc.0].vc.name));
+                }
             }
-            records.push(AppRecord {
-                id: app.id,
-                vc: app.vc,
-                vc_name: self.shards[app.vc.0].vc.name.clone(),
-                placement: app.placement.table1_case().to_owned(),
-                submitted: app.contract.agreed_at,
-                framework_submitted: app.framework_submitted_at,
-                completed: app.completed_at(),
-                processing: app.processing_time(),
-                exec: app.exec_duration(),
-                cost: app.cost,
-                price: app.contract.terms.price,
-                revenue: app.revenue().unwrap_or(Money::ZERO),
-                penalty: app.penalty().unwrap_or(Money::ZERO),
-                violated: app.violated(),
-                suspensions: app.suspensions,
-                negotiation_rounds: app.negotiation_rounds,
-            });
+            None => {
+                records.reserve(total_apps);
+                for app in apps {
+                    if let Some(at) = app.completed_at() {
+                        completion = completion.max_of(at);
+                    }
+                    records.push(app_record(app, &self.shards[app.vc.0].vc.name));
+                }
+            }
         }
         let events_processed = self.events_processed();
         let (peak_private, peak_cloud) = self.fabric.peaks();
@@ -934,6 +1316,7 @@ impl ShardExecutor {
             escalations: self.fabric.escalations,
             cloud_bill: self.fabric.cloud_bill,
             events_processed,
+            aggregate,
         }
     }
 }

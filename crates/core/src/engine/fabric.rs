@@ -13,11 +13,18 @@ use meryn_sim::metrics::StepSeries;
 use meryn_sim::{SimDuration, SimRng, SimTime};
 use meryn_sla::Money;
 use meryn_vmm::{ImageRegistry, Ledger, PrivatePool, PublicCloud};
+use serde::{Deserialize, Serialize};
 
 use crate::engine::effects::Effect;
 use crate::events::Event;
 
 /// The platform's shared, singleton state.
+///
+/// Serializable as a whole: a checkpoint captures the pool and cloud
+/// states (including their RNG stream positions), the ledger, the usage
+/// metrics and the front-end queue, so a restored run observes the
+/// exact fabric the interrupted one would have.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SharedFabric {
     /// The provider-owned VM pool.
     pub pool: PrivatePool,
@@ -219,8 +226,10 @@ impl SharedFabric {
                         .expect("lease completes");
                 }
             }
-            Effect::Escalate { .. } | Effect::TransferStopped { .. } => {
-                unreachable!("escalations and transfer batches are applied by the executor")
+            Effect::Escalate { .. } | Effect::TransferStopped { .. } | Effect::Retire { .. } => {
+                unreachable!(
+                    "escalations, transfer batches and retirements are applied by the executor"
+                )
             }
             Effect::ReturnStopped { .. } => {
                 unreachable!("return batches are applied by the executor")

@@ -12,12 +12,13 @@
 use std::collections::BTreeMap;
 
 use meryn_frameworks::{Dispatch, JobId};
-use meryn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use meryn_sim::{EventQueue, QueueSnapshot, SimDuration, SimRng, SimTime};
 use meryn_sla::{Money, VmRate};
 use meryn_vmm::{CloudId, LatencyModel, Location, VmId};
+use serde::{Deserialize, Serialize};
 
 use crate::app::{AppMap, AppPhase};
-use crate::cluster_manager::{VcView, VirtualCluster};
+use crate::cluster_manager::{VcSnapshot, VcView, VirtualCluster};
 use crate::config::ViolationPolicy;
 use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
 use crate::events::Event;
@@ -35,7 +36,7 @@ pub(crate) fn next_check(now: SimTime, interval: SimDuration) -> SimTime {
 }
 
 /// One execution stint of a job: which VMs, since when, at what cost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Stint {
     pub(crate) started: SimTime,
     pub(crate) vms: Vec<(VmId, Location, VmRate)>,
@@ -46,7 +47,7 @@ pub(crate) struct Stint {
 /// The per-VM ticks are coalesced: one event marks each batch boundary
 /// (stops done, boots done, leases ready), so no outstanding-count is
 /// tracked — `vms` holds the whole batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) enum PendingAcquisition {
     /// §3.4 transfer: VMs stopping at the source, then booting with the
     /// destination image. Holds the stopping VMs until the stop batch
@@ -72,11 +73,16 @@ pub(crate) struct ShardPolicy {
     pub(crate) violation_policy: ViolationPolicy,
     pub(crate) check_interval: Option<SimDuration>,
     pub(crate) private_cost: VmRate,
+    /// [`crate::report::ReportMode::Aggregate`]: a finished job emits
+    /// [`Effect::Retire`] so the executor folds the application into
+    /// the run's aggregates and drops its per-app state (O(live)
+    /// memory instead of O(history)).
+    pub(crate) retire_on_completion: bool,
 }
 
 /// A lending relationship: when the borrower finishes, `victim` (held
 /// in `src`) gets its VMs back and resumes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub(crate) struct Lending {
     pub(crate) src: VcId,
     pub(crate) victim: AppId,
@@ -397,6 +403,9 @@ impl VcShard {
     }
 
     fn on_job_finished(&mut self, now: SimTime, job: JobId, epoch: u64, sink: &mut EffectSink) {
+        if !self.vc.job_to_app.contains_key(&job) {
+            return; // stale completion: the job was retired meanwhile
+        }
         let done = self
             .vc
             .framework
@@ -462,6 +471,13 @@ impl VcShard {
         }
         self.recycle_stint_buf(stint_vms);
         self.dispatch(now, sink);
+        if self.policy.retire_on_completion {
+            // Aggregate mode: ask the executor to fold this application
+            // into the run tallies and drop its state. Emitted after the
+            // dispatch so the retirement applies at its canonical
+            // position — identical at every thread count.
+            sink.emit(Effect::Retire { app: app_id, job });
+        }
     }
 
     // ---- coalesced choreography -------------------------------------------
@@ -578,7 +594,9 @@ impl VcShard {
         let Some(interval) = self.policy.check_interval else {
             return; // unmonitored deployment: nothing ever arms a check
         };
-        let app = self.apps.get(&app_id).expect("app exists");
+        let Some(app) = self.apps.get(&app_id) else {
+            return; // aggregate mode already retired the application
+        };
         if app.is_completed() {
             return; // controller retires with its application
         }
@@ -611,6 +629,58 @@ impl VcShard {
             event: Event::ControllerCheck { app: app_id },
         });
     }
+
+    // ---- checkpointing ----------------------------------------------------
+
+    /// Captures this shard's full state. Scratch buffers are transient
+    /// by construction (always empty between events) and are not
+    /// captured; [`ShardPolicy`] is rebuilt from the platform config at
+    /// restore.
+    pub(crate) fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            vc: self.vc.snapshot(),
+            apps: self.apps.clone(),
+            queue: self.queue.snapshot(),
+            stints: self.stints.clone(),
+            pending: self.pending.clone(),
+            acquired: self.acquired.clone(),
+            lendings: self.lendings.clone(),
+            lat_rng: self.lat_rng.clone(),
+            extra_ticks: self.extra_ticks,
+        }
+    }
+
+    /// Rebuilds the live shard a snapshot was taken from.
+    pub(crate) fn from_snapshot(snap: ShardSnapshot, policy: ShardPolicy) -> Self {
+        VcShard {
+            vc: snap.vc.into_cluster(),
+            apps: snap.apps,
+            queue: EventQueue::from_snapshot(snap.queue),
+            stints: snap.stints,
+            pending: snap.pending,
+            acquired: snap.acquired,
+            lendings: snap.lendings,
+            policy,
+            lat_rng: snap.lat_rng,
+            extra_ticks: snap.extra_ticks,
+            vm_bufs: Vec::new(),
+            stint_bufs: Vec::new(),
+        }
+    }
+}
+
+/// A [`VcShard`]'s serializable state (checkpoint form).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    vc: VcSnapshot,
+    apps: AppMap,
+    queue: QueueSnapshot<Event>,
+    stints: BTreeMap<JobId, Stint>,
+    pending: BTreeMap<AppId, PendingAcquisition>,
+    acquired: BTreeMap<AppId, Vec<VmId>>,
+    lendings: BTreeMap<AppId, Lending>,
+    lat_rng: SimRng,
+    extra_ticks: u64,
 }
 
 #[cfg(test)]
@@ -645,6 +715,7 @@ mod tests {
                 violation_policy: policy,
                 check_interval: interval.map(d),
                 private_cost: VmRate::per_vm_second(2),
+                retire_on_completion: false,
             },
             SimRng::new(SimRng::stream_seed(0xC0FFEE, 1 << 32)),
         )

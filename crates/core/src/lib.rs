@@ -56,6 +56,7 @@ pub mod protocol;
 pub mod report;
 
 pub use config::PlatformConfig;
+pub use engine::EngineCheckpoint;
 pub use ids::{AppId, Placement, VcId};
 pub use platform::Platform;
-pub use report::RunReport;
+pub use report::{ReportMode, RunReport};

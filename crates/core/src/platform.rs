@@ -20,9 +20,9 @@ use meryn_workloads::Submission;
 use crate::app::Application;
 use crate::cluster_manager::VirtualCluster;
 use crate::config::PlatformConfig;
-use crate::engine::ShardExecutor;
+use crate::engine::{EngineCheckpoint, ShardExecutor};
 use crate::ids::AppId;
-use crate::report::RunReport;
+use crate::report::{ReportMode, RunReport};
 
 /// The assembled Meryn platform.
 pub struct Platform {
@@ -46,6 +46,51 @@ impl Platform {
         self
     }
 
+    /// Selects the reporting mode (see [`ReportMode`]). In
+    /// [`ReportMode::Aggregate`] the engine retires each application as
+    /// it completes, folding it into running per-VC totals, so resident
+    /// memory stays `O(live applications)` instead of `O(history)` —
+    /// the hyperscale configuration. Must be called before any events
+    /// are processed.
+    pub fn with_report_mode(mut self, mode: ReportMode) -> Self {
+        self.exec.set_report_mode(mode);
+        self
+    }
+
+    /// Restores a platform from a [`checkpoint`](Self::checkpoint)
+    /// taken on a run whose workload was fully enqueued up front.
+    /// Resuming walks the exact event trajectory of the uninterrupted
+    /// run — reports are byte-identical.
+    pub fn from_checkpoint(cp: EngineCheckpoint) -> Self {
+        Platform {
+            exec: ShardExecutor::from_checkpoint(cp),
+        }
+    }
+
+    /// Restores a platform from a checkpoint taken on a streaming run
+    /// ([`Self::stream_workload`]). `workload` must be the same
+    /// deterministic submission sequence the original run streamed; the
+    /// engine skips the already-consumed prefix using the checkpoint's
+    /// cursor.
+    pub fn from_checkpoint_streaming<I>(cp: EngineCheckpoint, workload: I) -> Self
+    where
+        I: IntoIterator<Item = Submission>,
+        I::IntoIter: Send + 'static,
+    {
+        Platform {
+            exec: ShardExecutor::from_checkpoint_streaming(cp, workload),
+        }
+    }
+
+    /// Snapshots the complete engine state — shard state machines,
+    /// shared fabric (pool, clouds, ledger, metrics, RNG stream
+    /// positions), queues and the streaming cursor — at the current
+    /// instant. Serializable with serde; see
+    /// [`Self::from_checkpoint`] / [`Self::from_checkpoint_streaming`].
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        self.exec.checkpoint()
+    }
+
     /// Enqueues a workload's arrivals. Accepts owned and borrowed
     /// submissions alike (`Vec<Submission>`, `&[Submission]`, any
     /// iterator of either), so drivers never clone a workload to feed
@@ -56,6 +101,19 @@ impl Platform {
         I::Item: Borrow<Submission>,
     {
         self.exec.enqueue_workload(workload);
+    }
+
+    /// Feeds `count` arrivals lazily from `workload` instead of
+    /// enqueueing them up front — the event queue holds only the next
+    /// pending arrival, so a 10-million-submission quarter costs O(1)
+    /// arrival memory. Byte-identical to [`Self::enqueue_workload`]
+    /// with the same submissions.
+    pub fn stream_workload<I>(&mut self, count: u64, workload: I)
+    where
+        I: IntoIterator<Item = Submission>,
+        I::IntoIter: Send + 'static,
+    {
+        self.exec.stream_workload(count, workload);
     }
 
     /// Processes one event; `false` when all queues are drained.
@@ -71,6 +129,14 @@ impl Platform {
     /// executor loop.
     pub fn run_to_completion(&mut self) {
         self.exec.run_to_completion();
+    }
+
+    /// Runs until the next event is due strictly after `stop`, leaving
+    /// the engine on a clean instant boundary (a safe point to
+    /// [`checkpoint`](Self::checkpoint)). Returns `true` if events
+    /// remain past `stop`, `false` when the queues drained first.
+    pub fn run_until(&mut self, stop: meryn_sim::SimTime) -> bool {
+        self.exec.run_until(stop)
     }
 
     /// **The** entry point for external drivers: enqueues `workload`,

@@ -1,7 +1,9 @@
 //! Run reports — the measurements behind Table 1 and Figures 5–6.
 
+use std::collections::BTreeMap;
+
 use meryn_sim::metrics::SeriesSet;
-use meryn_sim::stats::{improvement_pct, Summary};
+use meryn_sim::stats::{improvement_pct, OnlineStats, Summary};
 use meryn_sim::{SimDuration, SimTime};
 use meryn_sla::Money;
 use serde::{Deserialize, Serialize};
@@ -62,6 +64,122 @@ pub struct GroupStats {
     pub violations: usize,
 }
 
+/// How much per-application detail a run keeps.
+///
+/// [`ReportMode::Full`] (the default) records one [`AppRecord`] per
+/// submission — O(history) memory, required for per-app outputs like
+/// Table 1 and the placement listings. [`ReportMode::Aggregate`] folds
+/// every application into per-VC running statistics the moment it
+/// completes and retires its records from the engine, keeping memory
+/// O(live) — the only mode that survives hyperscale submission counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReportMode {
+    /// Keep every per-application record (the default).
+    #[default]
+    Full,
+    /// Fold completed applications into aggregates; `apps` stays empty.
+    Aggregate,
+}
+
+/// One VC's running aggregates, folded in canonical completion order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VcAggregate {
+    /// Applications folded in.
+    pub count: u64,
+    /// Execution-time statistics [s].
+    pub exec_secs: OnlineStats,
+    /// Provider-cost statistics [units].
+    pub cost_units: OnlineStats,
+    /// Total provider cost.
+    pub total_cost: Money,
+    /// Total revenue.
+    pub total_revenue: Money,
+    /// Total delay penalties paid.
+    pub total_penalty: Money,
+    /// Deadline violations.
+    pub violations: u64,
+    /// Placement histogram (case label → count).
+    pub placements: BTreeMap<String, u64>,
+}
+
+impl VcAggregate {
+    /// Folds one completed application in.
+    pub fn push(&mut self, rec: &AppRecord) {
+        self.count += 1;
+        self.exec_secs.push(rec.exec.as_secs_f64());
+        self.cost_units.push(rec.cost.as_units_f64());
+        self.total_cost += rec.cost;
+        self.total_revenue += rec.revenue;
+        self.total_penalty += rec.penalty;
+        self.violations += u64::from(rec.violated);
+        *self.placements.entry(rec.placement.clone()).or_default() += 1;
+    }
+
+    /// Merges another aggregate in (used when combining per-shard
+    /// tallies; callers must merge in a canonical order).
+    pub fn merge(&mut self, other: &VcAggregate) {
+        self.count += other.count;
+        self.exec_secs.merge(&other.exec_secs);
+        self.cost_units.merge(&other.cost_units);
+        self.total_cost += other.total_cost;
+        self.total_revenue += other.total_revenue;
+        self.total_penalty += other.total_penalty;
+        self.violations += other.violations;
+        for (k, v) in &other.placements {
+            *self.placements.entry(k.clone()).or_default() += v;
+        }
+    }
+}
+
+/// The aggregate-only substitute for `RunReport::apps`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AggregateReport {
+    /// Per-VC aggregates, indexed by `VcId`.
+    pub per_vc: Vec<VcAggregate>,
+    /// Submission processing-time statistics [s] across all apps.
+    pub processing_secs: OnlineStats,
+}
+
+impl AggregateReport {
+    /// Creates aggregates for `vcs` virtual clusters.
+    pub fn new(vcs: usize) -> Self {
+        AggregateReport {
+            per_vc: (0..vcs).map(|_| VcAggregate::default()).collect(),
+            processing_secs: OnlineStats::new(),
+        }
+    }
+
+    /// Folds one completed application in.
+    pub fn push(&mut self, rec: &AppRecord) {
+        self.per_vc[rec.vc.0].push(rec);
+        if let Some(p) = rec.processing {
+            self.processing_secs.push(p.as_secs_f64());
+        }
+    }
+
+    /// Group stats over all VCs (`None`) or one VC.
+    pub fn group(&self, vc: Option<VcId>) -> GroupStats {
+        let mut folded = VcAggregate::default();
+        let agg = match vc {
+            Some(v) => self.per_vc.get(v.0).unwrap_or(&folded),
+            None => {
+                for a in &self.per_vc {
+                    folded.merge(a);
+                }
+                &folded
+            }
+        };
+        GroupStats {
+            count: agg.count as usize,
+            avg_exec_secs: agg.exec_secs.mean(),
+            avg_cost_units: agg.cost_units.mean(),
+            total_cost: agg.total_cost,
+            total_revenue: agg.total_revenue,
+            violations: agg.violations as usize,
+        }
+    }
+}
+
 /// Everything one platform run produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -95,41 +213,74 @@ pub struct RunReport {
     pub cloud_bill: Money,
     /// Events the simulation processed.
     pub events_processed: u64,
+    /// Aggregate-only tallies; `Some` exactly when the run used
+    /// [`ReportMode::Aggregate`] (and `apps` is then empty).
+    #[serde(default)]
+    pub aggregate: Option<AggregateReport>,
 }
 
 impl RunReport {
-    /// Aggregates over all apps (`None`) or one VC's apps.
+    /// Aggregates over all apps (`None`) or one VC's apps, folded in a
+    /// single pass with no intermediate allocation.
     pub fn group(&self, vc: Option<VcId>) -> GroupStats {
-        let apps: Vec<&AppRecord> = self
-            .apps
-            .iter()
-            .filter(|a| vc.is_none_or(|v| a.vc == v))
-            .collect();
-        let count = apps.len();
+        if let Some(agg) = &self.aggregate {
+            return agg.group(vc);
+        }
+        let mut count = 0usize;
         let mut exec = Summary::new();
         let mut cost = Summary::new();
-        for a in &apps {
+        let mut total_cost = Money::ZERO;
+        let mut total_revenue = Money::ZERO;
+        let mut violations = 0usize;
+        for a in self.apps.iter().filter(|a| vc.is_none_or(|v| a.vc == v)) {
+            count += 1;
             exec.push(a.exec.as_secs_f64());
             cost.push(a.cost.as_units_f64());
+            total_cost += a.cost;
+            total_revenue += a.revenue;
+            violations += usize::from(a.violated);
         }
         GroupStats {
             count,
             avg_exec_secs: exec.mean(),
             avg_cost_units: cost.mean(),
-            total_cost: apps.iter().map(|a| a.cost).sum(),
-            total_revenue: apps.iter().map(|a| a.revenue).sum(),
-            violations: apps.iter().filter(|a| a.violated).count(),
+            total_cost,
+            total_revenue,
+            violations,
+        }
+    }
+
+    /// Admitted applications (record count in full mode, fold count in
+    /// aggregate mode).
+    pub fn apps_count(&self) -> usize {
+        match &self.aggregate {
+            Some(agg) => agg.per_vc.iter().map(|a| a.count as usize).sum(),
+            None => self.apps.len(),
         }
     }
 
     /// Total provider cost across all applications.
     pub fn total_cost(&self) -> Money {
-        self.apps.iter().map(|a| a.cost).sum()
+        match &self.aggregate {
+            Some(agg) => agg.per_vc.iter().map(|a| a.total_cost).sum(),
+            None => self.apps.iter().map(|a| a.cost).sum(),
+        }
     }
 
     /// Total revenue across all applications.
     pub fn total_revenue(&self) -> Money {
-        self.apps.iter().map(|a| a.revenue).sum()
+        match &self.aggregate {
+            Some(agg) => agg.per_vc.iter().map(|a| a.total_revenue).sum(),
+            None => self.apps.iter().map(|a| a.revenue).sum(),
+        }
+    }
+
+    /// Total delay penalties paid across all applications.
+    pub fn total_penalty(&self) -> Money {
+        match &self.aggregate {
+            Some(agg) => agg.per_vc.iter().map(|a| a.total_penalty).sum(),
+            None => self.apps.iter().map(|a| a.penalty).sum(),
+        }
     }
 
     /// Provider profit: revenue − cost.
@@ -139,7 +290,10 @@ impl RunReport {
 
     /// Number of deadline violations.
     pub fn violations(&self) -> usize {
-        self.apps.iter().filter(|a| a.violated).count()
+        match &self.aggregate {
+            Some(agg) => agg.per_vc.iter().map(|a| a.violations as usize).sum(),
+            None => self.apps.iter().filter(|a| a.violated).count(),
+        }
     }
 
     /// Workload completion time (the Fig. 6(a) "Workload" bar).
@@ -147,7 +301,8 @@ impl RunReport {
         self.completion_time.as_secs_f64()
     }
 
-    /// Processing-time summary for one Table 1 case label.
+    /// Processing-time summary for one Table 1 case label. Requires
+    /// full mode (aggregate runs keep no per-case samples).
     pub fn processing_summary(&self, case: &str) -> Summary {
         let mut s = Summary::new();
         for a in &self.apps {
@@ -160,11 +315,41 @@ impl RunReport {
         s
     }
 
+    /// Mean and worst submission processing time [s], in either mode.
+    pub fn processing_mean_max_secs(&self) -> (f64, f64) {
+        match &self.aggregate {
+            Some(agg) => {
+                let s = &agg.processing_secs;
+                (s.mean(), if s.count() == 0 { 0.0 } else { s.max() })
+            }
+            None => {
+                let mut s = Summary::new();
+                for a in &self.apps {
+                    if let Some(p) = a.processing {
+                        s.push(p.as_secs_f64());
+                    }
+                }
+                (s.mean(), if s.is_empty() { 0.0 } else { s.max() })
+            }
+        }
+    }
+
     /// Placement histogram: (case label, count), label order.
     pub fn placement_counts(&self) -> Vec<(String, usize)> {
-        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
-        for a in &self.apps {
-            *counts.entry(a.placement.as_str()).or_default() += 1;
+        let mut counts: BTreeMap<&str, usize> = Default::default();
+        match &self.aggregate {
+            Some(agg) => {
+                for vc_agg in &agg.per_vc {
+                    for (case, n) in &vc_agg.placements {
+                        *counts.entry(case.as_str()).or_default() += *n as usize;
+                    }
+                }
+            }
+            None => {
+                for a in &self.apps {
+                    *counts.entry(a.placement.as_str()).or_default() += 1;
+                }
+            }
         }
         counts.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
     }
@@ -240,6 +425,7 @@ mod tests {
             escalations: 0,
             cloud_bill: Money::ZERO,
             events_processed: 100,
+            aggregate: None,
         }
     }
 
@@ -260,6 +446,43 @@ mod tests {
         let vc1 = r.group(Some(VcId(1)));
         assert_eq!(vc1.count, 1);
         assert_eq!(vc1.total_cost, Money::from_units(3100));
+    }
+
+    #[test]
+    fn aggregate_mode_answers_the_same_headlines() {
+        let records = vec![
+            record(0, 1550, 3100, false),
+            record(0, 1670, 6680, true),
+            record(1, 1550, 3100, false),
+        ];
+        let full = report(records.clone());
+        let mut agg = AggregateReport::new(2);
+        for r in &records {
+            agg.push(r);
+        }
+        let mut lean = report(Vec::new());
+        lean.aggregate = Some(agg);
+
+        assert_eq!(lean.apps_count(), full.apps.len());
+        assert_eq!(lean.total_cost(), full.total_cost());
+        assert_eq!(lean.total_revenue(), full.total_revenue());
+        assert_eq!(lean.profit(), full.profit());
+        assert_eq!(lean.violations(), full.violations());
+        assert_eq!(lean.placement_counts(), full.placement_counts());
+        for vc in [None, Some(VcId(0)), Some(VcId(1))] {
+            let a = lean.group(vc);
+            let b = full.group(vc);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.total_cost, b.total_cost);
+            assert_eq!(a.total_revenue, b.total_revenue);
+            assert_eq!(a.violations, b.violations);
+            assert!((a.avg_exec_secs - b.avg_exec_secs).abs() < 1e-9);
+            assert!((a.avg_cost_units - b.avg_cost_units).abs() < 1e-9);
+        }
+        let (mean, max) = lean.processing_mean_max_secs();
+        assert_eq!((mean, max), full.processing_mean_max_secs());
+        assert_eq!(mean, 10.0);
+        assert_eq!(max, 10.0);
     }
 
     #[test]

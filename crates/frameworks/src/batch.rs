@@ -70,7 +70,7 @@ impl Default for BatchFramework {
     }
 }
 
-delegate_framework!(BatchFramework, FrameworkKind::Batch);
+delegate_framework!(BatchFramework, FrameworkKind::Batch, Batch);
 
 #[cfg(test)]
 mod tests {
@@ -158,5 +158,46 @@ mod tests {
         let fw = BatchFramework::default();
         assert_eq!(fw.slave_count(), 0);
         assert_eq!(fw.queued_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_run() {
+        let mut fw = BatchFramework::new();
+        fw.add_slave(vid(0), 1.0, false).unwrap();
+        fw.add_slave(vid(1), 1.0, false).unwrap();
+        let a = fw.submit(pascal_job(), SimTime::ZERO).unwrap();
+        fw.submit(pascal_job(), SimTime::ZERO).unwrap();
+        let d = fw.try_dispatch(SimTime::ZERO);
+        assert_eq!(d.len(), 2);
+
+        let snap = fw.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let restored: crate::traits::FrameworkSnapshot = serde_json::from_str(&json).unwrap();
+        let mut back = restored.into_framework();
+        assert_eq!(back.kind(), FrameworkKind::Batch);
+        assert_eq!(back.slave_count(), 2);
+        assert_eq!(back.running_jobs().len(), 2);
+
+        // The restored master behaves like the original: completing job
+        // `a` with its live epoch frees its slave.
+        let epoch = d.iter().find(|x| x.job == a).unwrap().epoch;
+        let done = back.on_finished(a, epoch, d[0].finish_at).unwrap().unwrap();
+        assert_eq!(done.job, a);
+        assert_eq!(back.idle_count(), 1);
+    }
+
+    #[test]
+    fn retire_forgets_only_done_jobs() {
+        let mut fw = BatchFramework::new();
+        fw.add_slave(vid(0), 1.0, false).unwrap();
+        let j = fw.submit(pascal_job(), SimTime::ZERO).unwrap();
+        let d = fw.try_dispatch(SimTime::ZERO);
+        // Still running: refuse.
+        assert!(fw.retire_job(j).is_err());
+        fw.on_finished(j, d[0].epoch, d[0].finish_at).unwrap();
+        fw.retire_job(j).unwrap();
+        assert!(fw.job(j).is_none());
+        // Already gone: unknown.
+        assert!(fw.retire_job(j).is_err());
     }
 }

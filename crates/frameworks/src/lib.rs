@@ -38,4 +38,4 @@ pub use error::FrameworkError;
 pub use job::{Dispatch, JobId, JobSpec, JobState};
 pub use mapreduce::MapReduceFramework;
 pub use perf::ScalingLaw;
-pub use traits::{Framework, FrameworkKind};
+pub use traits::{Framework, FrameworkKind, FrameworkSnapshot};

@@ -101,7 +101,7 @@ impl Default for MapReduceFramework {
     }
 }
 
-delegate_framework!(MapReduceFramework, FrameworkKind::MapReduce);
+delegate_framework!(MapReduceFramework, FrameworkKind::MapReduce, MapReduce);
 
 #[cfg(test)]
 mod tests {

@@ -551,6 +551,24 @@ impl<M: ExecModel> DedicatedScheduler<M> {
         self.held.iter().copied().collect()
     }
 
+    /// Forgets a finished job, reclaiming its table entry. The `jobs`
+    /// map is otherwise append-only so finished jobs stay queryable for
+    /// the report; an aggregate-only run folds each completion into
+    /// running statistics instead and retires the record to keep the
+    /// table O(live). Only `Done` jobs can be retired — anything else is
+    /// still owned by the queue/running/held indexes.
+    pub fn retire_job(&mut self, job_id: JobId) -> Result<(), FrameworkError> {
+        let job = self
+            .jobs
+            .get(&job_id)
+            .ok_or(FrameworkError::UnknownJob(job_id))?;
+        if !matches!(job.state, JobState::Done { .. }) {
+            return Err(FrameworkError::NotRunning(job_id));
+        }
+        self.jobs.remove(&job_id);
+        Ok(())
+    }
+
     // ---- queries ------------------------------------------------------
 
     /// Looks a job up.

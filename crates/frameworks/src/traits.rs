@@ -33,6 +33,30 @@ impl FrameworkKind {
     }
 }
 
+/// A serializable owned snapshot of a framework master.
+///
+/// `Box<dyn Framework>` cannot be serialized directly, so the engine
+/// checkpoint stores this enum — one variant per concrete framework —
+/// and rebuilds the trait object on restore via
+/// [`FrameworkSnapshot::into_framework`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FrameworkSnapshot {
+    /// A batch (OGE-like) framework master.
+    Batch(crate::batch::BatchFramework),
+    /// A MapReduce (Hadoop-like) framework master.
+    MapReduce(crate::mapreduce::MapReduceFramework),
+}
+
+impl FrameworkSnapshot {
+    /// Rebuilds the boxed framework this snapshot was taken from.
+    pub fn into_framework(self) -> Box<dyn Framework> {
+        match self {
+            FrameworkSnapshot::Batch(fw) => Box::new(fw),
+            FrameworkSnapshot::MapReduce(fw) => Box::new(fw),
+        }
+    }
+}
+
 /// Object-safe facade over a programming framework's master daemon.
 ///
 /// `Send` is part of the contract: a framework master is owned by one
@@ -134,6 +158,14 @@ pub trait Framework: Send {
     /// Jobs waiting in the queue.
     fn queued_count(&self) -> usize;
 
+    /// Forgets a finished job, reclaiming its table entry (aggregate-only
+    /// runs retire records instead of keeping the whole history).
+    fn retire_job(&mut self, job: JobId) -> Result<(), FrameworkError>;
+
+    /// Takes a serializable snapshot of the whole master, for the engine
+    /// checkpoint.
+    fn snapshot(&self) -> FrameworkSnapshot;
+
     /// Predicted execution time of `spec` on `k` uniform slaves — the
     /// performance model behind SLA quoting.
     fn estimate_exec(
@@ -146,9 +178,10 @@ pub trait Framework: Send {
 }
 
 /// Delegates the entire [`Framework`] trait to a
-/// `DedicatedScheduler` field named `inner`, given the framework kind.
+/// `DedicatedScheduler` field named `inner`, given the framework kind
+/// and the matching [`FrameworkSnapshot`] variant.
 macro_rules! delegate_framework {
-    ($ty:ty, $kind:expr) => {
+    ($ty:ty, $kind:expr, $variant:ident) => {
         impl crate::traits::Framework for $ty {
             fn kind(&self) -> crate::traits::FrameworkKind {
                 $kind
@@ -272,6 +305,15 @@ macro_rules! delegate_framework {
             }
             fn queued_count(&self) -> usize {
                 self.inner.queued_count()
+            }
+            fn retire_job(
+                &mut self,
+                job: crate::job::JobId,
+            ) -> Result<(), crate::error::FrameworkError> {
+                self.inner.retire_job(job)
+            }
+            fn snapshot(&self) -> crate::traits::FrameworkSnapshot {
+                crate::traits::FrameworkSnapshot::$variant(self.clone())
             }
             fn estimate_exec(
                 &self,

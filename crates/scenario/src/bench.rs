@@ -12,7 +12,9 @@
 use std::io;
 use std::time::Instant;
 
+use meryn_core::report::ReportMode;
 use meryn_core::Platform;
+use meryn_workloads::generators::{GeneratedChunks, DEFAULT_CHUNK};
 use serde::Serialize;
 
 use crate::runner::expand_variants;
@@ -60,6 +62,21 @@ pub struct BenchReport {
     pub total_wall_secs: f64,
     /// Aggregate `total_events / total_wall_secs`.
     pub events_per_sec: f64,
+    /// Peak resident set size of the benchmarking process [bytes]
+    /// (Linux `VmHWM`, covering all variants; `None` elsewhere). The
+    /// hyperscale CI gate holds this under a ceiling to pin the
+    /// engine's O(live) memory behaviour.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Peak resident set size of this process [bytes]: the `VmHWM`
+/// high-water mark from `/proc/self/status`. `None` where procfs is
+/// unavailable (non-Linux platforms).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 impl BenchReport {
@@ -111,6 +128,9 @@ impl BenchReport {
             "{:<label_w$} {:>12} {:>10.3} {:>14.0}",
             "total", self.total_events, self.total_wall_secs, self.events_per_sec
         );
+        if let Some(rss) = self.peak_rss_bytes {
+            let _ = writeln!(out, "peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
         out
     }
 }
@@ -130,15 +150,36 @@ pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
     crate::policies::install();
     let base_seed = scenario.sweep.base_seed;
     let record_series = scenario.outputs.series;
+    let aggregate = scenario.outputs.aggregate;
     let mut variants_out = Vec::new();
     let mut total_events = 0u64;
     let mut total_wall = 0.0f64;
     for variant in expand_variants(scenario) {
-        let workload = scenario.workload.materialize(&variant.modifier)?;
+        // Aggregate `Generated` scenarios stream their arrivals in
+        // production (`run_scenario` does the same), so the bench
+        // streams too — generation is then part of the timed run, and
+        // the measured RSS reflects the O(1) arrival memory.
+        let stream = aggregate
+            .then(|| scenario.workload.streamable(&variant.modifier))
+            .flatten();
+        let workload = match &stream {
+            Some(_) => Vec::new(),
+            None => scenario.workload.materialize(&variant.modifier)?,
+        };
         let cfg = variant.cfg.clone().with_seed(base_seed);
         let start = Instant::now();
         let mut platform = Platform::new(cfg).with_series_recording(record_series);
-        platform.enqueue_workload(&workload);
+        if aggregate {
+            platform = platform.with_report_mode(ReportMode::Aggregate);
+        }
+        match stream {
+            Some((gen_cfg, seed)) => {
+                let count = gen_cfg.count as u64;
+                let subs = GeneratedChunks::new(&gen_cfg, seed, DEFAULT_CHUNK).submissions();
+                platform.stream_workload(count, subs);
+            }
+            None => platform.enqueue_workload(&workload),
+        }
         platform.run_to_completion();
         let events_by_queue: Vec<QueueEvents> = platform
             .shard_event_counts()
@@ -174,6 +215,7 @@ pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
         } else {
             0.0
         },
+        peak_rss_bytes: peak_rss_bytes(),
     })
 }
 

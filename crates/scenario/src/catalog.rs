@@ -41,6 +41,7 @@ pub fn paper() -> Scenario {
             series: false,
             comparison: true,
             table1_samples: Some(100),
+            aggregate: false,
         },
     }
 }
@@ -199,6 +200,7 @@ pub fn representative_datacenter() -> Scenario {
             series: false,
             comparison: true,
             table1_samples: None,
+            aggregate: false,
         },
     }
 }
@@ -259,7 +261,118 @@ pub fn many_vc() -> Scenario {
             series: false,
             comparison: false,
             table1_samples: None,
+            aggregate: false,
         },
+    }
+}
+
+/// The hyperscale survival run: 1024 single-VM batch VCs and ten
+/// million Poisson-diurnal submissions over a simulated quarter
+/// (~89 days at a 770 ms mean gap). Runs in aggregate report mode —
+/// applications retire into per-VC running totals the moment they
+/// complete, ledger entries are dropped at charge time and arrivals
+/// stream straight from the seeded generator — so resident memory is
+/// O(live applications), not O(10M history). Too big to ship as a
+/// checked-in spec + golden pair; reach it through
+/// `scenario --catalog hyperscale` (the [`hyperscale_ci`] scaling is
+/// the checked-in, golden-pinned CI gate).
+pub fn hyperscale() -> Scenario {
+    Scenario {
+        name: "hyperscale".into(),
+        description: "Hyperscale survival: 1024 single-VM VCs, 10M Poisson-diurnal \
+                      submissions over a simulated quarter in aggregate report mode — \
+                      memory stays O(live); the engine-scale stress scenario."
+            .into(),
+        platform: hyperscale_platform(1024),
+        workload: WorkloadSpec::Generated {
+            config: hyperscale_workload(10_000_000, 1024, SimDuration::from_millis(770)),
+            seed: 0x5CA1E,
+        },
+        sweep: SweepSpec {
+            replicas: 0,
+            axes: Vec::new(),
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            summary: true,
+            placements: true,
+            series: false,
+            comparison: false,
+            table1_samples: None,
+            aggregate: true,
+        },
+    }
+}
+
+/// [`hyperscale`] scaled 1:16 for the CI gate: 64 VCs, 200k
+/// submissions, the same per-VC load (the 770 ms mean gap stretched
+/// ×16). Checked in with a golden; CI additionally runs it under
+/// `scenario --bench` against an events/sec floor and a peak-RSS
+/// ceiling, and byte-compares a mid-run checkpoint + resume against
+/// the uninterrupted report.
+pub fn hyperscale_ci() -> Scenario {
+    Scenario {
+        name: "hyperscale-ci".into(),
+        description: "Hyperscale scaled 1:16 for CI: 64 single-VM VCs, 200k diurnal \
+                      submissions at the same per-VC load, aggregate report mode — the \
+                      events/sec + peak-RSS gate and the checkpoint/resume byte-compare \
+                      scenario."
+            .into(),
+        platform: hyperscale_platform(64),
+        workload: WorkloadSpec::Generated {
+            config: hyperscale_workload(200_000, 64, SimDuration::from_millis(770 * 16)),
+            seed: 0x5CA1E,
+        },
+        sweep: SweepSpec {
+            replicas: 0,
+            axes: Vec::new(),
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            summary: true,
+            placements: true,
+            series: false,
+            comparison: false,
+            table1_samples: None,
+            aggregate: true,
+        },
+    }
+}
+
+/// The shared hyperscale deployment: `vcs` single-VM batch VCs on an
+/// exactly-covering private estate, with the SLA-check cadence relaxed
+/// to 10 minutes so controller ticks don't dominate the quarter-long
+/// event stream.
+fn hyperscale_platform(vcs: usize) -> PlatformConfig {
+    let mut platform = PlatformConfig::paper("meryn");
+    platform.private_capacity = vcs as u64;
+    platform.vcs = (0..vcs)
+        .map(|i| VcConfig::batch(format!("vc-{i:04}"), 1))
+        .collect();
+    platform.controller_check_interval = Some(SimDuration::from_secs(600));
+    platform
+}
+
+/// The shared hyperscale workload shape: Poisson-diurnal arrivals
+/// spread uniformly over the VCs, heavy-tailed 1–60 min runtimes
+/// (mean ≈ 200 s → ~25% mean utilization, day peaks near 50%).
+fn hyperscale_workload(count: usize, vcs: usize, mean_gap: SimDuration) -> GeneratorConfig {
+    GeneratorConfig {
+        count,
+        arrivals: ArrivalProcess::Diurnal {
+            mean: mean_gap,
+            depth: 0.8,
+            period: SimDuration::from_secs(86_400),
+        },
+        work: WorkDistribution::BoundedPareto {
+            lo: SimDuration::from_secs(60),
+            hi: SimDuration::from_secs(3_600),
+            alpha: 1.3,
+        },
+        nb_vms_choices: vec![1],
+        targets: (0..vcs).map(|i| (VcTarget::Index(i), 1)).collect(),
+        strategy: UserStrategy::AcceptCheapest,
+        scaling: ScalingLaw::Linear,
     }
 }
 
@@ -308,7 +421,17 @@ pub fn shipped() -> Vec<(&'static str, Scenario)> {
         ("representative-datacenter", representative_datacenter()),
         ("many-vc", many_vc()),
         ("deadline-aware", deadline_aware()),
+        ("hyperscale-ci", hyperscale_ci()),
     ]
+}
+
+/// Every catalog scenario — the shipped set plus the unshipped full
+/// [`hyperscale`] run (too big for a checked-in golden) — for
+/// `scenario --catalog NAME` lookup.
+pub fn all() -> Vec<(&'static str, Scenario)> {
+    let mut entries = shipped();
+    entries.push(("hyperscale", hyperscale()));
+    entries
 }
 
 #[cfg(test)]

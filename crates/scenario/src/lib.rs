@@ -44,5 +44,5 @@ pub mod sweep;
 pub use bench::{bench_scenario, BenchReport};
 pub use paper::{measure_case, paper_range, run_paper, run_paper_with, TABLE1_CASES};
 pub use policies::DeadlineAwarePolicy;
-pub use runner::{run_scenario, ScenarioReport};
+pub use runner::{run_scenario, single_run_resume, single_run_start, ScenarioReport};
 pub use spec::Scenario;

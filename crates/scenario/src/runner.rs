@@ -14,11 +14,11 @@
 use std::io;
 
 use meryn_core::config::PlatformConfig;
-use meryn_core::report::{compare, RunReport};
-use meryn_core::{Platform, VcId};
+use meryn_core::report::{compare, ReportMode, RunReport};
+use meryn_core::{EngineCheckpoint, Platform, VcId};
 use meryn_sim::metrics::SeriesSet;
-use meryn_sim::stats::Summary;
 use meryn_sim::SimRng;
+use meryn_workloads::generators::{GeneratedChunks, GeneratorConfig, DEFAULT_CHUNK};
 use meryn_workloads::Submission;
 use serde::Serialize;
 
@@ -133,13 +133,12 @@ pub struct GroupSummary {
 
 impl RunSummary {
     fn from_report(report: &RunReport, vc_names: &[String]) -> Self {
+        // Every quantity goes through the mode-branching accessors so
+        // the same summary comes out of a full run and an aggregate
+        // (hyperscale) run; in full mode they compute exactly what the
+        // per-record folds here used to.
         let all = report.group(None);
-        let mut processing = Summary::new();
-        for a in &report.apps {
-            if let Some(p) = a.processing {
-                processing.push(p.as_secs_f64());
-            }
-        }
+        let (processing_mean_s, processing_max_s) = report.processing_mean_max_secs();
         RunSummary {
             completion_secs: report.completion_secs(),
             total_cost_units: report.total_cost().as_units_f64(),
@@ -152,17 +151,13 @@ impl RunSummary {
             bursts: report.bursts,
             suspensions: report.suspensions,
             escalations: report.escalations,
-            penalties_units: report.apps.iter().map(|a| a.penalty.as_units_f64()).sum(),
+            penalties_units: report.total_penalty().as_units_f64(),
             rejected: report.rejected,
-            apps: report.apps.len(),
+            apps: report.apps_count(),
             avg_exec_secs: all.avg_exec_secs,
             avg_cost_units: all.avg_cost_units,
-            processing_mean_s: processing.mean(),
-            processing_max_s: if processing.is_empty() {
-                0.0
-            } else {
-                processing.max()
-            },
+            processing_mean_s,
+            processing_max_s,
             groups: vc_names
                 .iter()
                 .enumerate()
@@ -288,22 +283,49 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
     // (when needed), then the derived replica streams. Flat fanout,
     // order preserved. Materialized workloads are memoized per
     // modifier, so a policy-only sweep over a trace file reads and
-    // parses it once, not once per variant.
+    // parses it once, not once per variant. Aggregate scenarios with a
+    // `Generated` workload never materialize at all: each job streams
+    // its submissions straight from the seeded generator, so arrival
+    // memory is O(1) even at hyperscale counts (the stream and the
+    // sorted vector are byte-identical — generator arrivals are
+    // nondecreasing).
+    enum JobInput {
+        Batch(std::sync::Arc<Vec<Submission>>),
+        Stream(GeneratorConfig, u64),
+    }
+    let streamed = outputs.aggregate
+        && matches!(
+            scenario.workload,
+            crate::spec::WorkloadSpec::Generated { .. }
+        );
     let mut materialized: Vec<(WorkloadModifier, std::sync::Arc<Vec<Submission>>)> = Vec::new();
-    let mut jobs: Vec<(PlatformConfig, std::sync::Arc<Vec<Submission>>)> = Vec::new();
+    let mut jobs: Vec<(PlatformConfig, JobInput)> = Vec::new();
     for variant in &variants {
-        let workload = match materialized.iter().find(|(m, _)| *m == variant.modifier) {
-            Some((_, w)) => std::sync::Arc::clone(w),
-            None => {
-                let w = std::sync::Arc::new(scenario.workload.materialize(&variant.modifier)?);
-                materialized.push((variant.modifier, std::sync::Arc::clone(&w)));
-                w
-            }
+        let input = if streamed {
+            let (gen_cfg, seed) = scenario
+                .workload
+                .streamable(&variant.modifier)
+                .expect("streamed implies a Generated workload");
+            JobInput::Stream(gen_cfg, seed)
+        } else {
+            let workload = match materialized.iter().find(|(m, _)| *m == variant.modifier) {
+                Some((_, w)) => std::sync::Arc::clone(w),
+                None => {
+                    let w = std::sync::Arc::new(scenario.workload.materialize(&variant.modifier)?);
+                    materialized.push((variant.modifier, std::sync::Arc::clone(&w)));
+                    w
+                }
+            };
+            JobInput::Batch(workload)
+        };
+        let clone_input = |input: &JobInput| match input {
+            JobInput::Batch(w) => JobInput::Batch(std::sync::Arc::clone(w)),
+            JobInput::Stream(c, s) => JobInput::Stream(c.clone(), *s),
         };
         if with_base {
             jobs.push((
                 variant.cfg.clone().with_seed(base_seed),
-                std::sync::Arc::clone(&workload),
+                clone_input(&input),
             ));
         }
         for i in 0..replicas {
@@ -312,7 +334,7 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
                     .cfg
                     .clone()
                     .with_seed(SimRng::stream_seed(base_seed, i)),
-                std::sync::Arc::clone(&workload),
+                clone_input(&input),
             ));
         }
     }
@@ -320,10 +342,22 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
     // the used-VM series when the requested outputs actually emit them.
     // Peaks (the Fig 5 headline numbers) are tracked either way.
     let record_series = outputs.series;
-    let reports: Vec<RunReport> = fanout(jobs, |(cfg, workload)| {
-        Platform::new(cfg)
-            .with_series_recording(record_series)
-            .run(workload.iter())
+    let aggregate = outputs.aggregate;
+    let reports: Vec<RunReport> = fanout(jobs, |(cfg, input)| {
+        let mut platform = Platform::new(cfg).with_series_recording(record_series);
+        if aggregate {
+            platform = platform.with_report_mode(ReportMode::Aggregate);
+        }
+        match input {
+            JobInput::Batch(workload) => platform.enqueue_workload(workload.iter()),
+            JobInput::Stream(gen_cfg, seed) => {
+                let count = gen_cfg.count as u64;
+                let subs = GeneratedChunks::new(&gen_cfg, seed, DEFAULT_CHUNK).submissions();
+                platform.stream_workload(count, subs);
+            }
+        }
+        platform.run_to_completion();
+        platform.finalize()
     });
 
     let per_variant = replicas as usize + usize::from(with_base);
@@ -390,6 +424,67 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
         comparison,
         table1,
     })
+}
+
+/// Prepares the *single run* the checkpoint workflow operates on: the
+/// base-seed run of the scenario's first expanded variant, with the
+/// scenario's report mode and workload delivery (streamed for
+/// aggregate `Generated` scenarios, enqueued otherwise) applied
+/// exactly as [`run_scenario`] would. Drive it with
+/// [`Platform::run_until`] + [`Platform::checkpoint`], or straight to
+/// completion for the uninterrupted comparator.
+pub fn single_run_start(scenario: &Scenario) -> io::Result<Platform> {
+    crate::policies::install();
+    let variant = expand_variants(scenario)
+        .into_iter()
+        .next()
+        .expect("a scenario always expands to at least one variant");
+    let cfg = variant.cfg.clone().with_seed(scenario.sweep.base_seed);
+    let mut platform = Platform::new(cfg).with_series_recording(scenario.outputs.series);
+    if scenario.outputs.aggregate {
+        platform = platform.with_report_mode(ReportMode::Aggregate);
+    }
+    match scenario
+        .outputs
+        .aggregate
+        .then(|| scenario.workload.streamable(&variant.modifier))
+        .flatten()
+    {
+        Some((gen_cfg, seed)) => {
+            let count = gen_cfg.count as u64;
+            let subs = GeneratedChunks::new(&gen_cfg, seed, DEFAULT_CHUNK).submissions();
+            platform.stream_workload(count, subs);
+        }
+        None => {
+            let workload = scenario.workload.materialize(&variant.modifier)?;
+            platform.enqueue_workload(&workload);
+        }
+    }
+    Ok(platform)
+}
+
+/// Resumes the [`single_run_start`] run from a checkpoint. Streaming
+/// checkpoints re-derive the submission stream from the scenario's
+/// generator (the workload is deterministic from its seed; the
+/// checkpoint only carries the cursor); batch checkpoints carry their
+/// remaining arrivals in the control queue and need nothing else.
+/// Resuming and running to completion is byte-identical to the
+/// uninterrupted run.
+pub fn single_run_resume(scenario: &Scenario, cp: EngineCheckpoint) -> Platform {
+    crate::policies::install();
+    if !cp.needs_workload() {
+        return Platform::from_checkpoint(cp);
+    }
+    let variant = expand_variants(scenario)
+        .into_iter()
+        .next()
+        .expect("a scenario always expands to at least one variant");
+    let (gen_cfg, seed) = scenario
+        .workload
+        .streamable(&variant.modifier)
+        .expect("checkpoint streams arrivals but the scenario workload is not Generated");
+    let subs = GeneratedChunks::new(&gen_cfg, seed, DEFAULT_CHUNK).submissions();
+    Platform::from_checkpoint_streaming(cp, subs)
 }
 
 impl ScenarioReport {
@@ -618,6 +713,7 @@ mod tests {
             series: false,
             comparison: false,
             table1_samples: Some(2),
+            aggregate: false,
         };
         let report = run_scenario(&s).unwrap();
         for v in &report.variants {

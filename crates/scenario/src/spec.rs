@@ -125,13 +125,11 @@ impl WorkloadSpec {
                 p.interarrival = p.interarrival.scale(1.0 / modifier.load_multiplier);
                 paper_workload(p)
             }
-            WorkloadSpec::Generated { config, seed } => {
-                let mut cfg = config.clone();
-                if let Some(gap) = modifier.interarrival {
-                    cfg.arrivals = cfg.arrivals.with_mean_gap(gap);
-                }
-                cfg.arrivals = cfg.arrivals.scaled(modifier.load_multiplier);
-                meryn_workloads::generators::generate(&cfg, *seed)
+            WorkloadSpec::Generated { .. } => {
+                let (cfg, seed) = self
+                    .streamable(modifier)
+                    .expect("Generated workloads are streamable");
+                meryn_workloads::generators::generate(&cfg, seed)
             }
             WorkloadSpec::Explicit { submissions } => {
                 assert!(
@@ -151,6 +149,25 @@ impl WorkloadSpec {
             }
         };
         Ok(meryn_workloads::submission::sort_by_arrival(subs))
+    }
+
+    /// For `Generated` workloads, the generator config (modifiers
+    /// applied) and seed — the inputs of a *streaming* run. Generator
+    /// output is nondecreasing by arrival, so streaming it is
+    /// byte-identical to enqueueing [`Self::materialize`]'s vector.
+    /// `None` for every other workload kind.
+    pub fn streamable(&self, modifier: &WorkloadModifier) -> Option<(GeneratorConfig, u64)> {
+        match self {
+            WorkloadSpec::Generated { config, seed } => {
+                let mut cfg = config.clone();
+                if let Some(gap) = modifier.interarrival {
+                    cfg.arrivals = cfg.arrivals.with_mean_gap(gap);
+                }
+                cfg.arrivals = cfg.arrivals.scaled(modifier.load_multiplier);
+                Some((cfg, *seed))
+            }
+            _ => None,
+        }
     }
 }
 
@@ -381,6 +398,14 @@ pub struct OutputSpec {
     /// seed-derived samples each.
     #[serde(default)]
     pub table1_samples: Option<u64>,
+    /// Run in `ReportMode::Aggregate`: applications retire into per-VC
+    /// running totals as they complete, ledger entries are dropped at
+    /// charge time and `Generated` workloads stream their arrivals —
+    /// memory stays O(live) instead of O(history). Required for
+    /// hyperscale submission counts. Placements and summaries still
+    /// work (from the aggregates); per-app listings do not.
+    #[serde(default)]
+    pub aggregate: bool,
 }
 
 impl OutputSpec {
@@ -400,6 +425,7 @@ impl Default for OutputSpec {
             series: false,
             comparison: false,
             table1_samples: None,
+            aggregate: false,
         }
     }
 }

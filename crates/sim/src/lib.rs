@@ -36,6 +36,6 @@ pub mod stats;
 pub mod time;
 
 pub use hash::{DetHashMap, DetHashSet};
-pub use queue::{earliest_key, EventQueue};
+pub use queue::{earliest_key, EventQueue, QueueSnapshot};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

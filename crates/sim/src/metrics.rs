@@ -163,8 +163,14 @@ impl StepSeries {
 
     /// Resamples the series onto a regular grid from zero to `until`
     /// (inclusive) with the given step, for plotting.
+    ///
+    /// The grid is capped at [`MAX_GRID_POINTS`]: when `until / step`
+    /// would exceed it (a quarter-long horizon at a 1 s step is ~8M
+    /// points), the step is widened by the smallest integral factor
+    /// that fits, so the output stays plot-sized for any horizon.
     pub fn resample(&self, until: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
         assert!(!step.is_zero(), "resample step must be positive");
+        let step = capped_step(until, step);
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
@@ -175,6 +181,24 @@ impl StepSeries {
             t += step;
         }
         out
+    }
+}
+
+/// Hard cap on the grid points any resampling loop in this module emits
+/// ([`StepSeries::resample`], [`SeriesSet::to_csv`],
+/// [`SeriesSet::to_ascii_chart`]). Requested steps that would build a
+/// larger grid are widened by the smallest integral factor that fits.
+pub const MAX_GRID_POINTS: usize = 10_000;
+
+/// Widens `step` so a zero-to-`until` grid stays within
+/// [`MAX_GRID_POINTS`].
+fn capped_step(until: SimTime, step: SimDuration) -> SimDuration {
+    let intervals = until.as_millis() / step.as_millis().max(1);
+    let max_intervals = (MAX_GRID_POINTS - 1) as u64;
+    if intervals <= max_intervals {
+        step
+    } else {
+        SimDuration::from_millis(step.as_millis() * intervals.div_ceil(max_intervals))
     }
 }
 
@@ -232,9 +256,11 @@ impl SeriesSet {
     }
 
     /// Renders all series resampled on a common grid as CSV
-    /// (`time_s,<name>,<name>,…`).
+    /// (`time_s,<name>,<name>,…`). The grid is capped at
+    /// [`MAX_GRID_POINTS`] rows like [`StepSeries::resample`].
     pub fn to_csv(&self, step: SimDuration) -> String {
         let until = self.horizon();
+        let step = capped_step(until, step);
         let mut out = String::from("time_s");
         for s in &self.series {
             let _ = write!(out, ",{}", s.name());
@@ -259,6 +285,7 @@ impl SeriesSet {
     /// scale — enough to eyeball the shape of Figure 5 in a terminal.
     pub fn to_ascii_chart(&self, width: usize, step: SimDuration) -> String {
         let until = self.horizon();
+        let step = capped_step(until, step);
         let peak = self
             .series
             .iter()
@@ -457,6 +484,30 @@ mod tests {
             grid,
             vec![(t(0), 0.0), (t(2), 0.0), (t(4), 7.0), (t(6), 7.0)]
         );
+    }
+
+    #[test]
+    fn resample_grid_is_capped() {
+        let mut s = StepSeries::new("x");
+        s.record(t(10), 3.0);
+        // A quarter-long horizon at a 1 s step: uncapped, ~7.8M points.
+        let quarter = SimTime::from_secs(90 * 86_400);
+        let grid = s.resample(quarter, SimDuration::from_secs(1));
+        assert!(
+            grid.len() <= MAX_GRID_POINTS,
+            "capped grid still has {} points",
+            grid.len()
+        );
+        assert_eq!(grid[0], (SimTime::ZERO, 0.0));
+        let last = *grid.last().unwrap();
+        assert!(last.0 >= quarter, "grid must cover the horizon");
+        assert_eq!(last.1, 3.0);
+        // A capped CSV of the same horizon stays line-bounded too.
+        let mut set = SeriesSet::new();
+        let i = set.add(StepSeries::new("y"));
+        set.get_mut(i).record(quarter, 1.0);
+        let csv = set.to_csv(SimDuration::from_secs(1));
+        assert!(csv.lines().count() <= MAX_GRID_POINTS + 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! Box–Muller on top of it rather than pulling in `rand_distr`.
 
 use rand::{Error, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
 
@@ -21,8 +22,9 @@ use crate::time::SimDuration;
 ///
 /// Implements [`rand::RngCore`] so it composes with the `rand` ecosystem
 /// (`gen_range`, shuffles, proptest interop) while keeping a stable
-/// algorithm under our control.
-#[derive(Debug, Clone)]
+/// algorithm under our control. The state serializes, so a checkpointed
+/// simulation resumes its streams mid-sequence exactly where they were.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimRng {
     state: u64,
 }

@@ -284,6 +284,45 @@ mod tests {
     }
 
     #[test]
+    fn saturation_near_micro_unit_boundary() {
+        // Hyperscale volumes shrink the ~10⁴× headroom the paper workload
+        // enjoys. Pin down behaviour right at the i64 micro-unit edge: every
+        // operation must clamp to MAX/MIN, never wrap to the other sign.
+        let near_max = Money::from_micro(i64::MAX - 1);
+        assert_eq!(near_max + Money::from_micro(1), Money::MAX);
+        assert_eq!(near_max + Money::from_micro(2), Money::MAX);
+        assert_eq!(near_max + near_max, Money::MAX);
+        assert!((near_max + Money::from_units(1)).as_micro() > 0);
+
+        let near_min = Money::from_micro(i64::MIN + 1);
+        assert_eq!(near_min - Money::from_micro(2), Money::from_micro(i64::MIN));
+        assert!((near_min - Money::from_units(1)).as_micro() < 0);
+        assert_eq!(-Money::from_micro(i64::MIN), Money::MAX);
+
+        // Multiplying by a VM count saturates instead of wrapping.
+        assert_eq!(near_max * 2, Money::MAX);
+        assert_eq!(near_max.times(u64::MAX), Money::MAX);
+        assert_eq!(Money::from_units(i64::MAX), Money::MAX);
+
+        // A rate × duration product that overflows the i64 micro-unit range
+        // clamps in the i128 intermediate rather than wrapping: one VM at
+        // the private rate for ~4.6e12 simulated years.
+        let rate = VmRate::per_vm_second(2);
+        let cost = rate.cost_for(SimDuration::from_millis(u64::MAX));
+        assert_eq!(cost, Money::MAX);
+        assert_eq!(
+            rate.cost_for_vms(u64::MAX, SimDuration::from_millis(u64::MAX)),
+            Money::MAX
+        );
+
+        // Summation over an iterator saturates via Add, preserving order.
+        let total: Money = [near_max, near_max, Money::from_units(-1)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Money::MAX - Money::from_units(1));
+    }
+
+    #[test]
     fn ordering_and_min() {
         let a = Money::from_units(2);
         let b = Money::from_units(3);

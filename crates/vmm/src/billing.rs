@@ -36,20 +36,71 @@ impl LedgerEntry {
     }
 }
 
-/// An append-only cost ledger.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// An append-only cost ledger with O(1) aggregate totals.
+///
+/// Per-location running totals are maintained at [`Ledger::charge`] time, so
+/// `total*()` never rescans history. Entry retention is optional: detailed
+/// per-interval queries ([`Ledger::entries`], [`Ledger::total_where`],
+/// [`Ledger::vm_seconds_where`]) need the entries, but a long-running
+/// aggregate-only simulation can drop them (see
+/// [`Ledger::aggregate_only`]) and keep memory O(1) regardless of how many
+/// intervals were billed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ledger {
     entries: Vec<LedgerEntry>,
+    retain_entries: bool,
+    charges: u64,
+    total: Money,
+    total_private: Money,
+    total_cloud: Money,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            retain_entries: true,
+            charges: 0,
+            total: Money::ZERO,
+            total_private: Money::ZERO,
+            total_cloud: Money::ZERO,
+        }
+    }
 }
 
 impl Ledger {
-    /// Creates an empty ledger.
+    /// Creates an empty ledger that retains every entry.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Charges the interval `[from, to)` on `vm` at `rate` and records
-    /// the entry. Returns the charged amount.
+    /// Creates an empty ledger that keeps only running totals: charges are
+    /// counted and summed, but individual [`LedgerEntry`] records are
+    /// dropped, so memory stays O(1) in the number of charges.
+    pub fn aggregate_only() -> Self {
+        Self {
+            retain_entries: false,
+            ..Self::default()
+        }
+    }
+
+    /// Switches entry retention on or off. Turning retention off also drops
+    /// entries already recorded; running totals are unaffected.
+    pub fn set_retain_entries(&mut self, retain: bool) {
+        self.retain_entries = retain;
+        if !retain {
+            self.entries = Vec::new();
+        }
+    }
+
+    /// True when individual entries are kept (the default).
+    pub fn retains_entries(&self) -> bool {
+        self.retain_entries
+    }
+
+    /// Charges the interval `[from, to)` on `vm` at `rate`, updates the
+    /// running totals and (when retention is on) records the entry.
+    /// Returns the charged amount.
     pub fn charge(
         &mut self,
         vm: VmId,
@@ -60,38 +111,48 @@ impl Ledger {
     ) -> Money {
         assert!(to >= from, "billing interval must not be negative");
         let cost = rate.cost_for(to.since(from));
-        self.entries.push(LedgerEntry {
-            vm,
-            location,
-            from,
-            to,
-            rate,
-            cost,
-        });
+        self.charges += 1;
+        self.total += cost;
+        if location.is_private() {
+            self.total_private += cost;
+        } else {
+            self.total_cloud += cost;
+        }
+        if self.retain_entries {
+            self.entries.push(LedgerEntry {
+                vm,
+                location,
+                from,
+                to,
+                rate,
+                cost,
+            });
+        }
         cost
     }
 
-    /// All recorded entries, in charge order.
+    /// All retained entries, in charge order. Empty when retention is off.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
     }
 
-    /// Total of all charges.
+    /// Total of all charges. O(1).
     pub fn total(&self) -> Money {
-        self.entries.iter().map(|e| e.cost).sum()
+        self.total
     }
 
-    /// Total of charges on private VMs.
+    /// Total of charges on private VMs. O(1).
     pub fn total_private(&self) -> Money {
-        self.total_where(|e| e.location.is_private())
+        self.total_private
     }
 
-    /// Total of charges on cloud VMs.
+    /// Total of charges on cloud VMs. O(1).
     pub fn total_cloud(&self) -> Money {
-        self.total_where(|e| !e.location.is_private())
+        self.total_cloud
     }
 
-    /// Total of charges matching a predicate.
+    /// Total of retained charges matching a predicate. Requires entry
+    /// retention: with retention off this only sees an empty history.
     pub fn total_where(&self, pred: impl Fn(&LedgerEntry) -> bool) -> Money {
         self.entries
             .iter()
@@ -100,7 +161,8 @@ impl Ledger {
             .sum()
     }
 
-    /// Total billed VM-seconds matching a predicate.
+    /// Total billed VM-seconds of retained charges matching a predicate.
+    /// Requires entry retention, like [`Ledger::total_where`].
     pub fn vm_seconds_where(&self, pred: impl Fn(&LedgerEntry) -> bool) -> f64 {
         self.entries
             .iter()
@@ -109,14 +171,14 @@ impl Ledger {
             .sum()
     }
 
-    /// Number of entries.
+    /// Number of charges ever made (retained or not).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.charges as usize
     }
 
     /// True when nothing was charged yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.charges == 0
     }
 }
 
@@ -207,6 +269,73 @@ mod tests {
             SimTime::from_secs(5),
             VmRate::per_vm_second(1),
         );
+    }
+
+    #[test]
+    fn aggregate_only_keeps_totals_without_entries() {
+        let mut l = Ledger::aggregate_only();
+        assert!(!l.retains_entries());
+        l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            VmRate::per_vm_second(2),
+        );
+        l.charge(
+            VmId::new(HostTag(1), 0),
+            Location::Cloud(CloudId(0)),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            VmRate::per_vm_second(4),
+        );
+        assert_eq!(l.total_private(), Money::from_units(200));
+        assert_eq!(l.total_cloud(), Money::from_units(400));
+        assert_eq!(l.total(), Money::from_units(600));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+        assert!(l.entries().is_empty());
+    }
+
+    #[test]
+    fn totals_match_entry_rescan() {
+        let mut l = Ledger::new();
+        for i in 0..10u64 {
+            let loc = if i % 2 == 0 {
+                Location::Private
+            } else {
+                Location::Cloud(CloudId(0))
+            };
+            l.charge(
+                vid(i),
+                loc,
+                SimTime::from_secs(i),
+                SimTime::from_secs(i + 7),
+                VmRate::per_vm_second(1 + (i % 3) as i64),
+            );
+        }
+        assert_eq!(l.total(), l.total_where(|_| true));
+        assert_eq!(
+            l.total_private(),
+            l.total_where(|e| e.location.is_private())
+        );
+        assert_eq!(l.total_cloud(), l.total_where(|e| !e.location.is_private()));
+    }
+
+    #[test]
+    fn disabling_retention_drops_history_not_totals() {
+        let mut l = Ledger::new();
+        l.charge(
+            vid(0),
+            Location::Private,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            VmRate::per_vm_second(2),
+        );
+        l.set_retain_entries(false);
+        assert!(l.entries().is_empty());
+        assert_eq!(l.total(), Money::from_units(20));
+        assert_eq!(l.len(), 1);
     }
 
     #[test]

@@ -136,12 +136,9 @@ pub struct PublicCloud {
     /// placement hot path for every arrival. No serde default: a
     /// snapshot missing the field must fail loudly, not desync.
     active: u64,
-    #[serde(skip, default = "default_rng")]
+    /// Serialized with the cloud so a restored checkpoint resumes its
+    /// latency stream exactly where the snapshot left it.
     rng: SimRng,
-}
-
-fn default_rng() -> SimRng {
-    SimRng::new(0)
 }
 
 impl PublicCloud {

@@ -38,12 +38,9 @@ pub struct PrivatePool {
     /// other field (no default): a snapshot missing it predates the
     /// counter and must fail loudly rather than deserialize desynced.
     active: u64,
-    #[serde(skip, default = "default_rng")]
+    /// Serialized with the pool so a restored checkpoint resumes its
+    /// jitter stream exactly where the snapshot left it.
     rng: SimRng,
-}
-
-fn default_rng() -> SimRng {
-    SimRng::new(0)
 }
 
 impl PrivatePool {
