@@ -247,6 +247,7 @@ impl PlatformConfig {
 
     /// Scales every cloud's whole price curve by `factor` (ablation
     /// A2) — static, diurnal and scheduled models alike.
+    // meryn-lint: allow(float-money) — the f64 is the ablation scale factor; the curve stays in integer Money
     pub fn with_cloud_price_factor(mut self, factor: f64) -> Self {
         for c in &mut self.clouds {
             c.price = c.price.clone().scaled(factor);

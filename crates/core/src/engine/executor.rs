@@ -328,6 +328,7 @@ impl ShardExecutor {
                     .expect("validated initial allocation fits");
                 pool.complete_start(vm, SimTime::ZERO)
                     .expect("fresh VM completes start");
+                // meryn-lint: allow(float-money) — 1.0 is the slave speed factor; private_cost is integer Money
                 vc.add_slave(vm, 1.0, Location::Private, cfg.private_cost)
                     .expect("fresh slave is unique");
             }
@@ -436,6 +437,13 @@ impl ShardExecutor {
     /// worker threads so far.
     pub fn parallel_runs(&self) -> u64 {
         self.parallel_runs
+    }
+
+    /// Audits the shared fabric's conservation invariants (see
+    /// [`SharedFabric::audit_invariants`]). Call at quiescent points —
+    /// after a restore, after the queues drain.
+    pub fn audit_invariants(&self) -> Result<(), String> {
+        self.fabric.audit_invariants()
     }
 
     /// Looks an application up across shards.

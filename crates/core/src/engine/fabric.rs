@@ -242,4 +242,33 @@ impl SharedFabric {
     pub fn busy(&self) -> (u64, u64) {
         (self.busy_private, self.busy_cloud)
     }
+
+    /// Audits the fabric's conservation invariants, promoting the hot
+    /// path's `debug_assert`s to release-mode checks: the pool and
+    /// every cloud recount their active counters against VM states,
+    /// and the busy counters (VMs doing work) can't exceed the VMs
+    /// holding resources. Meant for quiescent points — after a restore,
+    /// after a run drains — where any violation means a state-machine
+    /// or snapshot bug, not a transient.
+    pub fn audit_invariants(&self) -> Result<(), String> {
+        self.pool.audit()?;
+        for cloud in &self.clouds {
+            cloud.audit()?;
+        }
+        let pool_active = self.pool.active_count();
+        if self.busy_private > pool_active {
+            return Err(format!(
+                "busy private counter desynced: {} busy vs {pool_active} active in the pool",
+                self.busy_private
+            ));
+        }
+        let cloud_active: u64 = self.clouds.iter().map(PublicCloud::active_count).sum();
+        if self.busy_cloud > cloud_active {
+            return Err(format!(
+                "busy cloud counter desynced: {} busy vs {cloud_active} active across clouds",
+                self.busy_cloud
+            ));
+        }
+        Ok(())
+    }
 }

@@ -192,6 +192,16 @@ impl Platform {
         self.exec.parallel_runs()
     }
 
+    /// Audits the shared fabric's conservation invariants: active-VM
+    /// counters recounted against VM states, busy counters bounded by
+    /// active ones. `Err` carries the first violated invariant. The
+    /// checkpoint tests run this after a restore and after a run
+    /// drains, where any violation means a snapshot or state-machine
+    /// bug rather than a mid-event transient.
+    pub fn audit_invariants(&self) -> Result<(), String> {
+        self.exec.audit_invariants()
+    }
+
     /// Per-shard processed-event counters as `(vc name, events)` pairs,
     /// plus the control plane under the name `"control"` — the
     /// `scenario --bench` breakdown.

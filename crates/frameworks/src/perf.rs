@@ -80,10 +80,10 @@ pub fn mapreduce_exec_time(
     let mut map_phase = (map_work * map_waves).scale(1.0 / speed);
     if remote_vms > 0 {
         // Remote slaves lose data locality: scale the map phase by the
-        // fraction of remote VMs times the penalty.
+        // fraction of remote VMs times the locality slowdown.
         let remote_frac = remote_vms as f64 / speeds.len() as f64;
-        let penalty = 1.0 + remote_frac * f64::from(locality_penalty_pct) / 100.0;
-        map_phase = map_phase.scale(penalty);
+        let slowdown = 1.0 + remote_frac * f64::from(locality_penalty_pct) / 100.0;
+        map_phase = map_phase.scale(slowdown);
     }
     let reduce_phase = (reduce_work * reduce_waves).scale(1.0 / speed);
     map_phase + reduce_phase

@@ -63,20 +63,28 @@ pub struct BenchReport {
     /// Aggregate `total_events / total_wall_secs`.
     pub events_per_sec: f64,
     /// Peak resident set size of the benchmarking process [bytes]
-    /// (Linux `VmHWM`, covering all variants; `None` elsewhere). The
-    /// hyperscale CI gate holds this under a ceiling to pin the
-    /// engine's O(live) memory behaviour.
+    /// (Linux `VmHWM`, covering all variants; omitted from the JSON
+    /// where procfs can't answer). The hyperscale CI gate holds this
+    /// under a ceiling to pin the engine's O(live) memory behaviour.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub peak_rss_bytes: Option<u64>,
+}
+
+/// Extracts the `VmHWM` high-water mark [bytes] from a
+/// `/proc/<pid>/status` blob. `None` when the line is absent or its
+/// value column doesn't parse — the caller then omits the metric
+/// rather than reporting a bogus zero.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Peak resident set size of this process [bytes]: the `VmHWM`
 /// high-water mark from `/proc/self/status`. `None` where procfs is
-/// unavailable (non-Linux platforms).
+/// unavailable (non-Linux platforms) or the field is unparseable.
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kib * 1024)
+    parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").ok()?)
 }
 
 impl BenchReport {
@@ -146,6 +154,7 @@ impl BenchReport {
 ///
 /// # Errors
 /// Only workload materialization can fail (an unreadable `TraceFile`).
+#[allow(clippy::disallowed_methods)] // benchmark harness: wall clock is the measurement
 pub fn bench_scenario(scenario: &Scenario) -> io::Result<BenchReport> {
     crate::policies::install();
     let base_seed = scenario.sweep.base_seed;
@@ -247,5 +256,43 @@ mod tests {
         let rendered = b.render();
         assert!(rendered.contains("events/sec"));
         assert!(b.to_json().contains("\"total_events\""));
+    }
+
+    #[test]
+    fn vm_hwm_parses_a_well_formed_status() {
+        let status = "Name:\tscenario\nVmPeak:\t  123456 kB\nVmHWM:\t   98304 kB\nThreads:\t8\n";
+        assert_eq!(parse_vm_hwm(status), Some(98_304 * 1024));
+    }
+
+    #[test]
+    fn vm_hwm_is_none_when_the_line_is_missing_or_garbled() {
+        // No VmHWM line at all (procfs variants that omit it).
+        assert_eq!(parse_vm_hwm("Name:\tscenario\nThreads:\t8\n"), None);
+        // Present but with a non-numeric value column.
+        assert_eq!(parse_vm_hwm("VmHWM:\tlots kB\n"), None);
+        // Present but with no value column.
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
+        // Empty input (the /proc/self/status read failed upstream).
+        assert_eq!(parse_vm_hwm(""), None);
+    }
+
+    #[test]
+    fn missing_rss_is_omitted_from_the_json() {
+        let report = BenchReport {
+            scenario: "s".into(),
+            variants: Vec::new(),
+            total_events: 0,
+            total_wall_secs: 0.0,
+            events_per_sec: 0.0,
+            peak_rss_bytes: None,
+        };
+        assert!(!report.to_json().contains("peak_rss_bytes"));
+        assert!(!report.render().contains("peak RSS"));
+        let with = BenchReport {
+            peak_rss_bytes: Some(2 * 1024 * 1024),
+            ..report
+        };
+        assert!(with.to_json().contains("\"peak_rss_bytes\": 2097152"));
+        assert!(with.render().contains("peak RSS: 2.0 MiB"));
     }
 }

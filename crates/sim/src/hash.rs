@@ -103,9 +103,13 @@ impl Hasher for DetHasher {
 pub type DetState = BuildHasherDefault<DetHasher>;
 
 /// A `HashMap` with deterministic (fixed-seed) hashing.
+#[allow(clippy::disallowed_types)]
+// meryn-lint: allow(no-std-hash) — this alias IS the sanctioned wrapper the rule points to
 pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
 
 /// A `HashSet` with deterministic (fixed-seed) hashing.
+#[allow(clippy::disallowed_types)]
+// meryn-lint: allow(no-std-hash) — this alias IS the sanctioned wrapper the rule points to
 pub type DetHashSet<T> = std::collections::HashSet<T, DetState>;
 
 #[cfg(test)]

@@ -235,6 +235,34 @@ impl PublicCloud {
         self.vms.get(&id)
     }
 
+    /// Recounts the `active` counter against actual VM states and the
+    /// lease quota. [`PublicCloud::active_count`] runs the same recount
+    /// as a `debug_assert` on the hot path; this promotes it to a
+    /// `Result` so checkpoint/restore tests can audit a restored cloud
+    /// in release builds too.
+    pub fn audit(&self) -> Result<(), String> {
+        let counted = self
+            .vms
+            .values()
+            .filter(|v| v.state().holds_resources())
+            .count() as u64;
+        if counted != self.active {
+            return Err(format!(
+                "cloud {} active counter desynced: counter {} vs {counted} VMs holding resources",
+                self.name, self.active
+            ));
+        }
+        if let Some(q) = self.quota {
+            if self.active > q {
+                return Err(format!(
+                    "cloud {} over quota: {} active VMs on a quota of {q}",
+                    self.name, self.active
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Begins leasing a VM from `image`, locking the current market rate
     /// for the lease. Returns the id, the provisioning duration and the
     /// locked rate.

@@ -194,6 +194,33 @@ impl PrivatePool {
         Ok(self.stop.sample(&mut self.rng))
     }
 
+    /// Recounts the `active` counter against actual VM states and the
+    /// hosting capacity. [`PrivatePool::active_count`] runs the same
+    /// recount as a `debug_assert` on the hot path; this promotes it to
+    /// a `Result` so checkpoint/restore tests can audit a restored pool
+    /// in release builds too.
+    pub fn audit(&self) -> Result<(), String> {
+        let counted = self
+            .vms
+            .values()
+            .filter(|v| v.state().holds_resources())
+            .count() as u64;
+        if counted != self.active {
+            return Err(format!(
+                "private pool active counter desynced: counter {} vs {counted} VMs holding resources",
+                self.active
+            ));
+        }
+        let capacity = self.capacity();
+        if self.active > capacity {
+            return Err(format!(
+                "private pool over capacity: {} active VMs on {capacity} slots",
+                self.active
+            ));
+        }
+        Ok(())
+    }
+
     /// Completes a shutdown, releasing the VM's node resources.
     pub fn complete_stop(&mut self, id: VmId, now: SimTime) -> Result<(), VmmError> {
         let spec = self.spec;

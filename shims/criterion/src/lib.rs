@@ -121,6 +121,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, recording one sample per call batch.
+    #[allow(clippy::disallowed_methods)] // benchmark harness: wall clock is the measurement
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Calibrate: aim for samples of at least ~1 ms each.
         let t0 = Instant::now();

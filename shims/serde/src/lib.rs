@@ -248,6 +248,7 @@ impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
     }
 }
 
+#[allow(clippy::disallowed_types)] // generic over any BuildHasher, incl. DetState
 impl<T: Serialize + Ord + std::hash::Hash, S: std::hash::BuildHasher> Serialize
     for std::collections::HashSet<T, S>
 {
@@ -258,6 +259,7 @@ impl<T: Serialize + Ord + std::hash::Hash, S: std::hash::BuildHasher> Serialize
     }
 }
 
+#[allow(clippy::disallowed_types)] // generic over any BuildHasher, incl. DetState
 impl<T, S> Deserialize for std::collections::HashSet<T, S>
 where
     T: Deserialize + Eq + std::hash::Hash,
@@ -325,6 +327,7 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTr
     }
 }
 
+#[allow(clippy::disallowed_types)] // generic over any BuildHasher, incl. DetState
 impl<K: Serialize + Ord, V: Serialize, S: std::hash::BuildHasher> Serialize
     for std::collections::HashMap<K, V, S>
 {
@@ -340,6 +343,7 @@ impl<K: Serialize + Ord, V: Serialize, S: std::hash::BuildHasher> Serialize
     }
 }
 
+#[allow(clippy::disallowed_types)] // generic over any BuildHasher, incl. DetState
 impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
 where
     K: Deserialize + Eq + std::hash::Hash,

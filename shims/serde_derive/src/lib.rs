@@ -8,7 +8,8 @@
 //! Supported shapes: non-generic structs (named, tuple, unit) and enums
 //! (unit / tuple / struct variants) with the attributes the workspace
 //! uses: `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default =
-//! "path")]`, `#[serde(rename = "name")]`.
+//! "path")]`, `#[serde(rename = "name")]`,
+//! `#[serde(skip_serializing_if = "path")]`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -52,6 +53,9 @@ struct Field {
     skip: bool,
     skip_serializing: bool,
     skip_deserializing: bool,
+    /// Predicate path: the field is omitted from the output when
+    /// `path(&field)` is true.
+    skip_serializing_if: Option<String>,
     /// None = required; Some(None) = Default::default(); Some(Some(path)) = path().
     default: Option<Option<String>>,
 }
@@ -316,6 +320,7 @@ fn parse_serde_attr(stream: TokenStream, field: &mut Field) {
             "skip" => field.skip = true,
             "skip_serializing" => field.skip_serializing = true,
             "skip_deserializing" => field.skip_deserializing = true,
+            "skip_serializing_if" => field.skip_serializing_if = lit.clone(),
             "default" => field.default = Some(lit.clone()),
             "rename" => {
                 if let Some(name) = lit.clone() {
@@ -334,6 +339,7 @@ fn blank_field(name: String) -> Field {
         skip: false,
         skip_serializing: false,
         skip_deserializing: false,
+        skip_serializing_if: None,
         default: None,
     }
 }
@@ -416,12 +422,20 @@ fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
         if f.skip || f.skip_serializing {
             continue;
         }
-        out.push_str(&format!(
+        let push = format!(
             "__m.push((::std::string::String::from({wire:?}), ::serde::Serialize::to_value(&{prefix}{name})));\n",
             wire = f.wire,
             prefix = access_prefix,
             name = f.name,
-        ));
+        );
+        match &f.skip_serializing_if {
+            Some(path) => out.push_str(&format!(
+                "if !{path}(&{prefix}{name}) {{\n{push}}}\n",
+                prefix = access_prefix,
+                name = f.name,
+            )),
+            None => out.push_str(&push),
+        }
     }
     out.push_str(&format!("{V}::Map(__m)\n"));
     out
@@ -512,11 +526,18 @@ fn gen_serialize(item: &Item) -> String {
                             if f.skip || f.skip_serializing {
                                 continue;
                             }
-                            inner.push_str(&format!(
+                            let push = format!(
                                 "__m.push((::std::string::String::from({wire:?}), ::serde::Serialize::to_value({fname})));\n",
                                 wire = f.wire,
                                 fname = f.name,
-                            ));
+                            );
+                            match &f.skip_serializing_if {
+                                Some(path) => inner.push_str(&format!(
+                                    "if !{path}({fname}) {{\n{push}}}\n",
+                                    fname = f.name,
+                                )),
+                                None => inner.push_str(&push),
+                            }
                         }
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {binds} }} => {{\n{inner}\n{V}::Map(vec![(::std::string::String::from({vname:?}), {V}::Map(__m))])\n}},\n"

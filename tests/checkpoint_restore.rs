@@ -64,7 +64,13 @@ fn resumed_json(threads: usize, stop_secs: u64) -> String {
         let json = serde_json::to_string(&platform.checkpoint()).expect("checkpoint serializes");
         let cp: EngineCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
         let mut resumed = Platform::from_checkpoint(cp);
+        resumed
+            .audit_invariants()
+            .expect("restored fabric passes the conservation audit");
         resumed.run_to_completion();
+        resumed
+            .audit_invariants()
+            .expect("drained fabric passes the conservation audit");
         serde_json::to_string(&resumed.finalize()).expect("report serializes")
     })
 }
@@ -141,7 +147,13 @@ fn streaming_checkpoint_resumes_mid_stream() {
         "a mid-stream checkpoint must demand its workload back"
     );
     let mut resumed = single_run_resume(&s, cp);
+    resumed
+        .audit_invariants()
+        .expect("restored fabric passes the conservation audit");
     resumed.run_to_completion();
+    resumed
+        .audit_invariants()
+        .expect("drained fabric passes the conservation audit");
     let resumed = serde_json::to_string(&resumed.finalize()).unwrap();
     assert_eq!(resumed, full, "mid-stream resume diverged");
 }

@@ -1,0 +1,228 @@
+//! The ratchet baseline: grandfathered findings, allowed to shrink but
+//! never to grow.
+//!
+//! Entries are keyed `(rule, file, key)` with an occurrence count —
+//! deliberately no line numbers, so unrelated edits to a file don't
+//! invalidate the baseline. The ratchet:
+//!
+//! * a finding group **larger** than its baseline count is a new
+//!   violation — fix it or waive it inline with a reason;
+//! * a finding group **smaller** than its baseline count means code got
+//!   fixed — the baseline must be regenerated (`--write-baseline`) in
+//!   the same change, so it never overstates the debt.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rules::Finding;
+
+/// One grandfathered finding group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    /// The finding's stable key (e.g. the expect message).
+    pub key: String,
+    /// Occurrences of this key in this file.
+    pub count: usize,
+    /// Why this debt is acceptable.
+    pub why: String,
+}
+
+/// The checked-in baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Ratchet policy, restated where reviewers will see it.
+    #[serde(default)]
+    pub policy: String,
+    #[serde(default)]
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The ratchet verdict for one run.
+#[derive(Debug, Default, Serialize)]
+pub struct Ratchet {
+    /// Findings beyond the baseline — must be fixed or waived.
+    pub new: Vec<Finding>,
+    /// Baseline entries whose code-side findings shrank or vanished —
+    /// the baseline must be regenerated.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Ratchet {
+    pub fn clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+type GroupKey = (String, String, String);
+
+fn group(findings: &[Finding]) -> BTreeMap<GroupKey, Vec<&Finding>> {
+    let mut groups: BTreeMap<GroupKey, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        groups
+            .entry((f.rule.clone(), f.file.clone(), f.key.clone()))
+            .or_default()
+            .push(f);
+    }
+    groups
+}
+
+/// Applies the ratchet: splits `findings` into baselined debt, new
+/// violations and stale baseline entries.
+pub fn check(baseline: &Baseline, findings: &[Finding]) -> (usize, Ratchet) {
+    let by_key: BTreeMap<GroupKey, &BaselineEntry> = baseline
+        .entries
+        .iter()
+        .map(|e| ((e.rule.clone(), e.file.clone(), e.key.clone()), e))
+        .collect();
+    let groups = group(findings);
+    let mut ratchet = Ratchet::default();
+    let mut baselined = 0usize;
+    for (key, members) in &groups {
+        let allowed = by_key.get(key).map_or(0, |e| e.count);
+        if members.len() > allowed {
+            ratchet.new.extend(members.iter().map(|f| (*f).clone()));
+        } else {
+            baselined += members.len();
+            if members.len() < allowed {
+                ratchet.stale.push((*by_key[key]).clone());
+            }
+        }
+    }
+    for (key, entry) in &by_key {
+        if !groups.contains_key(key) {
+            ratchet.stale.push((*entry).clone());
+        }
+    }
+    ratchet
+        .stale
+        .sort_by(|a, b| (&a.rule, &a.file, &a.key).cmp(&(&b.rule, &b.file, &b.key)));
+    (baselined, ratchet)
+}
+
+/// Builds a fresh baseline from the current findings, keeping the
+/// `why` of entries that already existed.
+pub fn regenerate(previous: &Baseline, findings: &[Finding]) -> Baseline {
+    let old_whys: BTreeMap<GroupKey, &str> = previous
+        .entries
+        .iter()
+        .map(|e| {
+            (
+                (e.rule.clone(), e.file.clone(), e.key.clone()),
+                e.why.as_str(),
+            )
+        })
+        .collect();
+    let entries = group(findings)
+        .into_iter()
+        .map(|((rule, file, key), members)| {
+            let why = old_whys
+                .get(&(rule.clone(), file.clone(), key.clone()))
+                .map_or_else(
+                    || "TODO: justify this grandfathered finding".to_owned(),
+                    |w| (*w).to_owned(),
+                );
+            BaselineEntry {
+                rule,
+                file,
+                key,
+                count: members.len(),
+                why,
+            }
+        })
+        .collect();
+    Baseline {
+        policy: if previous.policy.is_empty() {
+            "ratchet: entries may shrink (regenerate with --write-baseline in the same \
+             change) but never grow — new findings need an inline waiver with a reason"
+                .to_owned()
+        } else {
+            previous.policy.clone()
+        },
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, file: &str, key: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line: 1,
+            key: key.into(),
+            message: String::new(),
+        }
+    }
+
+    fn e(rule: &str, file: &str, key: &str, count: usize) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.into(),
+            file: file.into(),
+            key: key.into(),
+            count,
+            why: "legacy".into(),
+        }
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let b = Baseline {
+            policy: String::new(),
+            entries: vec![e("panic-budget", "a.rs", "unwrap()", 2)],
+        };
+        let fs = vec![f("panic-budget", "a.rs", "unwrap()"); 2];
+        let (baselined, r) = check(&b, &fs);
+        assert_eq!(baselined, 2);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn growth_is_a_new_violation() {
+        let b = Baseline {
+            policy: String::new(),
+            entries: vec![e("panic-budget", "a.rs", "unwrap()", 1)],
+        };
+        let fs = vec![f("panic-budget", "a.rs", "unwrap()"); 2];
+        let (_, r) = check(&b, &fs);
+        assert_eq!(r.new.len(), 2, "the whole grown group is reported");
+    }
+
+    #[test]
+    fn shrinkage_marks_the_entry_stale() {
+        let b = Baseline {
+            policy: String::new(),
+            entries: vec![
+                e("panic-budget", "a.rs", "unwrap()", 2),
+                e("panic-budget", "b.rs", "panic!", 1),
+            ],
+        };
+        let fs = vec![f("panic-budget", "a.rs", "unwrap()")];
+        let (_, r) = check(&b, &fs);
+        assert!(r.new.is_empty());
+        assert_eq!(r.stale.len(), 2, "shrunk and vanished entries are stale");
+    }
+
+    #[test]
+    fn regenerate_keeps_existing_whys() {
+        let prev = Baseline {
+            policy: "p".into(),
+            entries: vec![e("panic-budget", "a.rs", "unwrap()", 5)],
+        };
+        let fs = vec![
+            f("panic-budget", "a.rs", "unwrap()"),
+            f("float-money", "c.rs", "cost"),
+        ];
+        let next = regenerate(&prev, &fs);
+        assert_eq!(next.entries.len(), 2);
+        let kept = next.entries.iter().find(|x| x.file == "a.rs").unwrap();
+        assert_eq!(kept.count, 1);
+        assert_eq!(kept.why, "legacy");
+        let fresh = next.entries.iter().find(|x| x.file == "c.rs").unwrap();
+        assert!(fresh.why.starts_with("TODO"));
+    }
+}

@@ -1,0 +1,315 @@
+//! `lint.toml` — rule scoping, parsed by a purpose-sized TOML reader.
+//!
+//! The offline workspace has no `toml` crate, so the subset the config
+//! actually uses is parsed here: `[workspace]` / `[rules.<name>]`
+//! tables, string values, booleans, and (possibly multi-line) arrays of
+//! strings, with `#` comments. The parsed [`LintConfig`] derives the
+//! serde shim traits, so it round-trips through `serde_json` — pinned
+//! by a ui test.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The rules meryn-lint knows how to run, in report order.
+pub const KNOWN_RULES: [&str; 6] = [
+    "no-std-hash",
+    "no-wall-clock",
+    "no-ambient-rng",
+    "effect-boundary",
+    "float-money",
+    "panic-budget",
+];
+
+/// Whole-tool configuration: one [`RuleConfig`] per enabled rule plus
+/// workspace-wide skip prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintConfig {
+    /// Workspace-relative path prefixes never scanned (fixture sources
+    /// contain deliberate violations).
+    pub skip: Vec<String>,
+    /// Per-rule scoping, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// One rule's scope and parameters. Empty lists mean "unused by this
+/// rule" — every rule interprets only the fields it documents.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleConfig {
+    /// Workspace-relative prefixes the rule applies to.
+    pub paths: Vec<String>,
+    /// Prefix exemptions inside `paths` (sanctioned sites).
+    pub allow: Vec<String>,
+    /// Rule-specific banned identifiers.
+    pub banned: Vec<String>,
+    /// `float-money`: case-insensitive substrings that mark an
+    /// identifier as money-like.
+    pub patterns: Vec<String>,
+    /// `float-money`: identifier suffixes exempted as the sanctioned
+    /// converted-at-the-report-boundary idiom.
+    pub allow_suffixes: Vec<String>,
+    /// `float-money`: exact identifiers exempted (e.g. the integer
+    /// `Money` type itself, which is the fix, not the bug).
+    pub allow_idents: Vec<String>,
+}
+
+impl LintConfig {
+    /// True when `rel_path` (forward-slash, workspace-relative) falls
+    /// inside `prefix` — an exact file match or a directory prefix.
+    pub fn path_matches(prefix: &str, rel_path: &str) -> bool {
+        rel_path == prefix || rel_path.starts_with(&format!("{prefix}/"))
+    }
+
+    /// The rule's scope decision for one file.
+    pub fn rule_applies(rule: &RuleConfig, rel_path: &str) -> bool {
+        rule.paths.iter().any(|p| Self::path_matches(p, rel_path))
+            && !rule.allow.iter().any(|p| Self::path_matches(p, rel_path))
+    }
+}
+
+/// Parses the `lint.toml` subset. Unknown sections and unknown rule
+/// names are hard errors so typos can't silently disable a rule.
+pub fn parse_toml(src: &str) -> Result<LintConfig, String> {
+    let mut cfg = LintConfig::default();
+    let mut section: Option<String> = None;
+    let mut pending: Option<(String, String)> = None; // key, partial array text
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line);
+        let line = line.trim();
+        if let Some((key, mut acc)) = pending.take() {
+            acc.push(' ');
+            acc.push_str(line);
+            if bracket_closed(&acc) {
+                let value = parse_value(&acc, lineno)?;
+                assign(&mut cfg, section.as_deref(), &key, value, lineno)?;
+            } else {
+                pending = Some((key, acc));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim();
+            if name == "workspace" {
+                section = Some("workspace".to_owned());
+            } else if let Some(rule) = name.strip_prefix("rules.") {
+                let rule = rule.trim();
+                if !KNOWN_RULES.contains(&rule) {
+                    return Err(format!("line {lineno}: unknown rule [rules.{rule}]"));
+                }
+                cfg.rules.entry(rule.to_owned()).or_default();
+                section = Some(rule.to_owned());
+            } else {
+                return Err(format!("line {lineno}: unknown section [{name}]"));
+            }
+            continue;
+        }
+        let Some((key, value_text)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`: {line}"));
+        };
+        let key = key.trim().to_owned();
+        let value_text = value_text.trim().to_owned();
+        if value_text.starts_with('[') && !bracket_closed(&value_text) {
+            pending = Some((key, value_text));
+            continue;
+        }
+        let value = parse_value(&value_text, lineno)?;
+        assign(&mut cfg, section.as_deref(), &key, value, lineno)?;
+    }
+    if pending.is_some() {
+        return Err("unterminated array at end of file".to_owned());
+    }
+    Ok(cfg)
+}
+
+enum TomlValue {
+    Strings(Vec<String>),
+}
+
+fn assign(
+    cfg: &mut LintConfig,
+    section: Option<&str>,
+    key: &str,
+    value: TomlValue,
+    lineno: usize,
+) -> Result<(), String> {
+    let TomlValue::Strings(items) = value;
+    match section {
+        Some("workspace") => match key {
+            "skip" => cfg.skip = items,
+            other => return Err(format!("line {lineno}: unknown workspace key `{other}`")),
+        },
+        Some(rule) => {
+            let rc = cfg
+                .rules
+                .get_mut(rule)
+                .expect("section insert precedes keys");
+            match key {
+                "paths" => rc.paths = items,
+                "allow" => rc.allow = items,
+                "banned" => rc.banned = items,
+                "patterns" => rc.patterns = items,
+                "allow_suffixes" => rc.allow_suffixes = items,
+                "allow_idents" => rc.allow_idents = items,
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` for rule {rule}"
+                    ))
+                }
+            }
+        }
+        None => return Err(format!("line {lineno}: `{key}` outside any section")),
+    }
+    Ok(())
+}
+
+/// Drops a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// True when `[` and `]` are balanced outside strings.
+fn bracket_closed(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for c in text.chars() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    depth == 0
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<TomlValue, String> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_string(part, lineno)?);
+        }
+        return Ok(TomlValue::Strings(items));
+    }
+    Ok(TomlValue::Strings(vec![parse_string(text, lineno)?]))
+}
+
+/// Splits array items on commas outside quotes.
+fn split_array(inner: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for c in inner.chars() {
+        match c {
+            '"' if !prev_escape => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => items.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    if !cur.trim().is_empty() {
+        items.push(cur);
+    }
+    items
+}
+
+fn parse_string(text: &str, lineno: usize) -> Result<String, String> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected quoted string, found {text}"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = parse_toml(
+            "# top comment\n\
+             [workspace]\n\
+             skip = [\"tools/x\"] # trailing\n\
+             \n\
+             [rules.no-std-hash]\n\
+             paths = [\n\
+                 \"crates/core\",\n\
+                 \"crates/sim\",\n\
+             ]\n\
+             allow = []\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.skip, ["tools/x"]);
+        let rule = &cfg.rules["no-std-hash"];
+        assert_eq!(rule.paths, ["crates/core", "crates/sim"]);
+        assert!(rule.allow.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        assert!(parse_toml("[rules.no-such-rule]\npaths = []\n").is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(parse_toml("[rules.no-std-hash]\npath = []\n").is_err());
+    }
+
+    #[test]
+    fn scope_matching_is_prefix_not_substring() {
+        assert!(LintConfig::path_matches(
+            "crates/sim",
+            "crates/sim/src/rng.rs"
+        ));
+        assert!(!LintConfig::path_matches(
+            "crates/sim",
+            "crates/sim2/src/rng.rs"
+        ));
+        assert!(LintConfig::path_matches(
+            "crates/scenario/src/bench.rs",
+            "crates/scenario/src/bench.rs"
+        ));
+    }
+}

@@ -1,0 +1,432 @@
+//! A line-aware Rust lexer, just deep enough for rule matching.
+//!
+//! Produces a per-line token stream with comments stripped (line, block
+//! — nested — and doc comments), string/char literals collapsed into
+//! [`Tok::Str`] tokens (their content preserved for baseline keys, but
+//! never ident-matched), lifetimes dropped, and a per-line `in_test`
+//! mask covering `#[cfg(test)]` / `#[test]` items so rules can exempt
+//! test code without understanding the module tree.
+
+/// One lexical token. Only the shapes rules match on are distinguished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal, verbatim (so rules can spot `.`/`e` floats).
+    Num(String),
+    /// String, raw-string, byte-string or char literal content.
+    Str(String),
+    /// Any other single character.
+    Punct(char),
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A lexed file: tokens and raw text per line (0-based index = line-1),
+/// plus the test-code mask.
+pub struct FileScan {
+    pub lines: Vec<Vec<Tok>>,
+    pub in_test: Vec<bool>,
+    pub raw: Vec<String>,
+}
+
+/// True for `ident` continuation characters.
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into per-line token streams.
+pub fn scan(src: &str) -> FileScan {
+    let raw: Vec<String> = src.lines().map(str::to_owned).collect();
+    let n_lines = raw.len();
+    let mut lines: Vec<Vec<Tok>> = vec![Vec::new(); n_lines.max(1)];
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 0usize;
+    let push = |lines: &mut Vec<Vec<Tok>>, line: usize, tok: Tok| {
+        if line < lines.len() {
+            lines[line].push(tok);
+        }
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (content, end) = lex_string(&chars, i + 1, &mut line);
+                push(&mut lines, start_line, Tok::Str(content));
+                i = end;
+            }
+            '\'' => {
+                // Lifetime vs char literal.
+                match chars.get(i + 1) {
+                    Some(&'\\') => {
+                        // Escaped char literal: '\n', '\'', '\\', '\u{..}'.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            if chars[j] == '\\' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                        let content: String = chars[i + 1..j.min(chars.len())].iter().collect();
+                        push(&mut lines, line, Tok::Str(content));
+                        i = (j + 1).min(chars.len());
+                    }
+                    Some(&next) if next.is_alphabetic() || next == '_' => {
+                        // Scan the ident run; a closing quote right after
+                        // makes it a char literal, otherwise a lifetime.
+                        let mut j = i + 1;
+                        while j < chars.len() && is_ident_cont(chars[j]) {
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'\'') && j == i + 2 {
+                            let content: String = chars[i + 1..j].iter().collect();
+                            push(&mut lines, line, Tok::Str(content));
+                            i = j + 1;
+                        } else {
+                            // Lifetime: drop the name entirely.
+                            i = j;
+                        }
+                    }
+                    Some(&next) if next != '\'' && chars.get(i + 2) == Some(&'\'') => {
+                        // '0', '+', ...
+                        push(&mut lines, line, Tok::Str(next.to_string()));
+                        i += 3;
+                    }
+                    _ => {
+                        push(&mut lines, line, Tok::Punct('\''));
+                        i += 1;
+                    }
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                // Raw / byte string prefixes: r".."  r#".."#  b".."  br#".."#
+                if let Some((content, end, lines_crossed)) = lex_raw_or_byte(&chars, i) {
+                    push(&mut lines, line, Tok::Str(content));
+                    line += lines_crossed;
+                    i = end;
+                    continue;
+                }
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                push(&mut lines, line, Tok::Ident(ident));
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                let mut saw_dot = false;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if is_ident_cont(d) {
+                        j += 1;
+                    } else if d == '.'
+                        && !saw_dot
+                        && chars.get(j + 1).is_some_and(char::is_ascii_digit)
+                    {
+                        saw_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let num: String = chars[i..j].iter().collect();
+                push(&mut lines, line, Tok::Num(num));
+                i = j;
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    push(&mut lines, line, Tok::Punct(c));
+                }
+                i += 1;
+            }
+        }
+    }
+    let in_test = test_mask(&lines);
+    FileScan {
+        lines,
+        in_test,
+        raw,
+    }
+}
+
+/// Lexes a normal (possibly multi-line) string body starting *after*
+/// the opening quote; returns (content, index past closing quote).
+fn lex_string(chars: &[char], mut i: usize, line: &mut usize) -> (String, usize) {
+    let mut content = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                if let Some(&e) = chars.get(i + 1) {
+                    content.push('\\');
+                    content.push(e);
+                    if e == '\n' {
+                        *line += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (content, i + 1),
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (content, i)
+}
+
+/// Detects and lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at
+/// `i`; `None` if the characters at `i` aren't such a prefix.
+fn lex_raw_or_byte(chars: &[char], i: usize) -> Option<(String, usize, usize)> {
+    let mut j = i;
+    let mut raw = false;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if j == i {
+        return None; // neither prefix letter
+    }
+    let mut hashes = 0usize;
+    while raw && chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    if !raw {
+        // Byte string: ordinary escape rules.
+        let mut line = 0usize;
+        let (content, end) = lex_string(chars, j, &mut line);
+        return Some((content, end, line));
+    }
+    let mut content = String::new();
+    let mut crossed = 0usize;
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((content, j + 1 + hashes, crossed));
+            }
+        }
+        if chars[j] == '\n' {
+            crossed += 1;
+        }
+        content.push(chars[j]);
+        j += 1;
+    }
+    Some((content, j, crossed))
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` or `#[test]` item.
+///
+/// After such an attribute the item's span runs to the matching close
+/// of its first top-level `{ … }` block (or to the first `;` for
+/// block-less items like `mod tests;`).
+fn test_mask(lines: &[Vec<Tok>]) -> Vec<bool> {
+    let flat: Vec<(usize, &Tok)> = lines
+        .iter()
+        .enumerate()
+        .flat_map(|(ln, toks)| toks.iter().map(move |t| (ln, t)))
+        .collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < flat.len() {
+        if flat[i].1.is_punct('#') && flat.get(i + 1).is_some_and(|(_, t)| t.is_punct('[')) {
+            // Collect the attribute tokens up to the matching ']'.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut attr: Vec<&Tok> = Vec::new();
+            while j < flat.len() && depth > 0 {
+                if flat[j].1.is_punct('[') {
+                    depth += 1;
+                } else if flat[j].1.is_punct(']') {
+                    depth -= 1;
+                }
+                if depth > 0 {
+                    attr.push(flat[j].1);
+                }
+                j += 1;
+            }
+            let is_test_attr = matches!(attr.as_slice(), [t] if t.is_ident("test"))
+                || matches!(
+                    attr.as_slice(),
+                    [c, o, t, cl]
+                        if c.is_ident("cfg")
+                            && o.is_punct('(')
+                            && t.is_ident("test")
+                            && cl.is_punct(')')
+                );
+            if is_test_attr {
+                let start_line = flat[i].0;
+                // Skip any further attributes, then span the item.
+                let mut k = j;
+                while k < flat.len()
+                    && flat[k].1.is_punct('#')
+                    && flat.get(k + 1).is_some_and(|(_, t)| t.is_punct('['))
+                {
+                    let mut d = 1i32;
+                    k += 2;
+                    while k < flat.len() && d > 0 {
+                        if flat[k].1.is_punct('[') {
+                            d += 1;
+                        } else if flat[k].1.is_punct(']') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let mut braces = 0i32;
+                let mut end_line = flat.get(k).map_or(start_line, |(ln, _)| *ln);
+                while k < flat.len() {
+                    let (ln, t) = flat[k];
+                    end_line = ln;
+                    if t.is_punct('{') {
+                        braces += 1;
+                    } else if t.is_punct('}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && braces == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                let stop = (end_line + 1).min(mask.len());
+                for m in mask.iter_mut().take(stop).skip(start_line) {
+                    *m = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(scan: &FileScan, line: usize) -> Vec<String> {
+        scan.lines[line]
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let scan = scan("let x = \"HashMap\"; // HashMap\n/* HashMap */ let y = 1.5;\n");
+        assert_eq!(idents(&scan, 0), ["let", "x"]);
+        assert_eq!(idents(&scan, 1), ["let", "y"]);
+        assert!(scan.lines[1]
+            .iter()
+            .any(|t| matches!(t, Tok::Num(n) if n == "1.5")));
+    }
+
+    #[test]
+    fn keeps_string_content_for_keys() {
+        let scan = scan("q.pop().expect(\"len > 0\");\n");
+        assert!(scan.lines[0]
+            .iter()
+            .any(|t| matches!(t, Tok::Str(s) if s == "len > 0")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let scan = scan("fn f<'a>(s: &'a str) -> bool { s == r#\"Instant::now\"# }\n");
+        let ids = idents(&scan, 0);
+        assert!(!ids.contains(&"Instant".to_owned()));
+        assert!(!ids.contains(&"a".to_owned()), "lifetime leaked: {ids:?}");
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_the_line() {
+        let scan = scan("let c = 'x'; let d = '\\n'; let e = owner;\n");
+        assert!(idents(&scan, 0).contains(&"owner".to_owned()));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let scan = scan(src);
+        assert!(!scan.in_test[0]);
+        assert!(scan.in_test[1] && scan.in_test[2] && scan.in_test[3] && scan.in_test[4]);
+        assert!(!scan.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let scan = scan("#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n");
+        assert!(!scan.in_test[1]);
+    }
+
+    #[test]
+    fn test_attribute_with_following_attrs_is_masked() {
+        let scan = scan("#[test]\n#[ignore]\nfn t() {\n  x.unwrap();\n}\n");
+        assert!(scan.in_test.iter().take(5).all(|&b| b));
+    }
+}

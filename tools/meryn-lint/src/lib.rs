@@ -1,0 +1,279 @@
+//! meryn-lint: determinism-invariant static analysis for the Meryn
+//! workspace.
+//!
+//! The engine's correctness contract — byte-identical replay at any
+//! thread count — rests on invariants the compiler can't see: no
+//! `RandomState` hash tables in simulation state, no wall-clock reads,
+//! no ambient RNG, shards speaking to the `SharedFabric` through typed
+//! `Effect`s only, money in integer `Money` until the report boundary,
+//! and a panic budget in the hot paths. This crate tokenizes the
+//! workspace's Rust sources ([`lexer`]), runs a scoped rule engine over
+//! them ([`rules`], scoped by the checked-in `lint.toml` — [`config`]),
+//! honours inline waivers (`// meryn-lint: allow(rule) — reason`, the
+//! reason is mandatory) and ratchets grandfathered findings through a
+//! baseline file ([`baseline`]).
+//!
+//! No dependencies beyond the offline serde shims, matching the
+//! workspace's no-network policy.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::config::{LintConfig, KNOWN_RULES};
+use crate::rules::Finding;
+
+/// One parsed inline waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on; it covers findings on
+    /// this line and the next (standalone-comment form).
+    pub line: usize,
+    pub rules: Vec<String>,
+}
+
+/// The result of scanning one file: findings still standing after
+/// waivers, plus waiver-syntax findings (those can't be waived).
+pub fn scan_file(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let scan = lexer::scan(src);
+    let (waivers, mut findings) = parse_waivers(rel_path, &scan.raw);
+    findings.extend(
+        rules::check_file(rel_path, &scan, cfg)
+            .into_iter()
+            .filter(|f| !waived(f, &waivers)),
+    );
+    findings.sort_by(|a, b| (a.line, &a.rule, &a.key).cmp(&(b.line, &b.rule, &b.key)));
+    findings
+}
+
+fn waived(f: &Finding, waivers: &[Waiver]) -> bool {
+    waivers
+        .iter()
+        .any(|w| (w.line == f.line || w.line + 1 == f.line) && w.rules.iter().any(|r| r == &f.rule))
+}
+
+/// Parses `// meryn-lint: allow(rule[, rule…]) — reason` comments from
+/// the raw source lines. A missing reason or an unknown rule name is
+/// itself a finding (rule `waiver`), so waivers can't rot silently.
+pub fn parse_waivers(rel_path: &str, raw_lines: &[String]) -> (Vec<Waiver>, Vec<Finding>) {
+    const MARKER: &str = "meryn-lint:";
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.find(MARKER) else {
+            continue;
+        };
+        let mut bad = |key: &str, message: String| {
+            findings.push(Finding {
+                rule: "waiver".to_owned(),
+                file: rel_path.to_owned(),
+                line: lineno,
+                key: key.to_owned(),
+                message,
+            });
+        };
+        if !line[..pos].contains("//") {
+            bad(
+                "not-a-comment",
+                "meryn-lint waivers must live in a // comment".to_owned(),
+            );
+            continue;
+        }
+        let rest = line[pos + MARKER.len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad(
+                "malformed",
+                "expected `meryn-lint: allow(rule) — reason`".to_owned(),
+            );
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad("malformed", "unclosed allow(...) in waiver".to_owned());
+            continue;
+        };
+        let names: Vec<String> = args[..close]
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut ok = !names.is_empty();
+        for name in &names {
+            if !KNOWN_RULES.contains(&name.as_str()) {
+                bad(
+                    "unknown-rule",
+                    format!("waiver names unknown rule `{name}`"),
+                );
+                ok = false;
+            }
+        }
+        let reason = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        if reason.is_empty() {
+            bad(
+                "missing-reason",
+                "waiver has no reason; `meryn-lint: allow(rule) — reason` requires one".to_owned(),
+            );
+            ok = false;
+        }
+        if ok {
+            waivers.push(Waiver {
+                line: lineno,
+                rules: names,
+            });
+        }
+    }
+    (waivers, findings)
+}
+
+/// A full workspace run.
+#[derive(Debug, Serialize)]
+pub struct LintRun {
+    pub files_scanned: usize,
+    /// Everything unwaived, baselined or not.
+    pub findings: Vec<Finding>,
+    /// Findings covered by the baseline.
+    pub baselined: usize,
+    /// The ratchet verdict.
+    pub ratchet: baseline::Ratchet,
+    /// `true` when there is nothing to fix.
+    pub ok: bool,
+}
+
+/// Scans every `.rs` file under `root` (deterministic order), applies
+/// rules, waivers and the baseline ratchet.
+pub fn run(root: &Path, cfg: &LintConfig, base: &baseline::Baseline) -> std::io::Result<LintRun> {
+    let mut findings = Vec::new();
+    let files = walk(root, cfg)?;
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        findings.extend(scan_file(&rel_to_slash(rel), &src, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.key).cmp(&(&b.file, b.line, &b.rule, &b.key))
+    });
+    let (baselined, ratchet) = baseline::check(base, &findings);
+    let ok = ratchet.clean();
+    Ok(LintRun {
+        files_scanned: files.len(),
+        findings,
+        baselined,
+        ratchet,
+        ok,
+    })
+}
+
+fn rel_to_slash(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Collects workspace `.rs` files in sorted order, skipping VCS/build
+/// output and the configured skip prefixes.
+fn walk(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel_dir) = stack.pop() {
+        let mut entries: Vec<(String, PathBuf, bool)> = Vec::new();
+        for entry in fs::read_dir(root.join(&rel_dir))? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_dir = entry.file_type()?.is_dir();
+            entries.push((name, entry.path(), is_dir));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, _, is_dir) in entries {
+            let rel = rel_dir.join(&name);
+            let slash = rel_to_slash(&rel);
+            if cfg.skip.iter().any(|p| LintConfig::path_matches(p, &slash)) {
+                continue;
+            }
+            if is_dir {
+                if name == ".git" || name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(rel);
+            } else if name.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn one_rule_cfg(rule: &str, mut rc: config::RuleConfig) -> LintConfig {
+        rc.paths = vec!["src".into()];
+        let mut rules = BTreeMap::new();
+        rules.insert(rule.to_owned(), rc);
+        LintConfig {
+            skip: vec![],
+            rules,
+        }
+    }
+
+    #[test]
+    fn waiver_on_same_or_previous_line_suppresses() {
+        let cfg = one_rule_cfg("no-wall-clock", config::RuleConfig::default());
+        let same = "let t = Instant::now(); // meryn-lint: allow(no-wall-clock) — bench only\n";
+        assert!(scan_file("src/a.rs", same, &cfg).is_empty());
+        let above = "// meryn-lint: allow(no-wall-clock) — bench only\nlet t = Instant::now();\n";
+        assert!(scan_file("src/a.rs", above, &cfg).is_empty());
+        let far = "// meryn-lint: allow(no-wall-clock) — bench only\n\nlet t = Instant::now();\n";
+        assert_eq!(
+            scan_file("src/a.rs", far, &cfg).len(),
+            1,
+            "two lines away is too far"
+        );
+    }
+
+    #[test]
+    fn waiver_reason_is_mandatory() {
+        let cfg = one_rule_cfg("no-wall-clock", config::RuleConfig::default());
+        let src = "let t = Instant::now(); // meryn-lint: allow(no-wall-clock)\n";
+        let findings = scan_file("src/a.rs", src, &cfg);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "waiver" && f.key == "missing-reason"),
+            "reasonless waiver must be flagged: {findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.rule == "no-wall-clock"),
+            "an invalid waiver must not suppress the finding"
+        );
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_flagged() {
+        let cfg = one_rule_cfg("no-wall-clock", config::RuleConfig::default());
+        let src = "// meryn-lint: allow(no-such-rule) — oops\nlet t = Instant::now();\n";
+        let findings = scan_file("src/a.rs", src, &cfg);
+        assert!(findings.iter().any(|f| f.key == "unknown-rule"));
+        assert!(findings.iter().any(|f| f.rule == "no-wall-clock"));
+    }
+
+    #[test]
+    fn waiver_for_a_different_rule_does_not_suppress() {
+        let cfg = one_rule_cfg("no-wall-clock", config::RuleConfig::default());
+        let src = "let t = Instant::now(); // meryn-lint: allow(panic-budget) — wrong rule\n";
+        assert!(scan_file("src/a.rs", src, &cfg)
+            .iter()
+            .any(|f| f.rule == "no-wall-clock"));
+    }
+}

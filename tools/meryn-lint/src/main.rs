@@ -1,0 +1,142 @@
+//! CLI: `cargo run -p meryn-lint -- [--deny] [--json PATH]
+//! [--write-baseline] [--root DIR] [--config PATH] [--baseline PATH]`.
+//!
+//! Exit codes: 0 clean (or findings tolerated without `--deny`),
+//! 1 violations under `--deny`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use meryn_lint::{baseline, config, run};
+
+struct Args {
+    deny: bool,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        json: None,
+        write_baseline: false,
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let path_arg = |it: &mut dyn Iterator<Item = String>| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{arg} needs a path argument"))
+        };
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--json" => args.json = Some(path_arg(&mut it)?),
+            "--root" => args.root = path_arg(&mut it)?,
+            "--config" => args.config = Some(path_arg(&mut it)?),
+            "--baseline" => args.baseline = Some(path_arg(&mut it)?),
+            "--help" | "-h" => {
+                println!(
+                    "meryn-lint — determinism-invariant static analysis\n\
+                     \n\
+                     USAGE: meryn-lint [--deny] [--json PATH] [--write-baseline]\n\
+                            [--root DIR] [--config PATH] [--baseline PATH]\n\
+                     \n\
+                     --deny            exit 1 on new or stale findings (CI mode)\n\
+                     --json PATH       write the full machine-readable report\n\
+                     --write-baseline  regenerate the ratchet baseline from current findings\n\
+                     --root DIR        workspace root (default: .)\n\
+                     --config PATH     rule scoping (default: <root>/lint.toml)\n\
+                     --baseline PATH   ratchet file (default: <root>/lint-baseline.json)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("meryn-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.json"));
+
+    let cfg_src = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let cfg = config::parse_toml(&cfg_src)?;
+    let base: baseline::Baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => serde_json::from_str(&src)
+            .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?,
+        Err(_) => baseline::Baseline::default(),
+    };
+
+    let report = run(&args.root, &cfg, &base).map_err(|e| format!("scanning: {e}"))?;
+
+    if args.write_baseline {
+        let next = baseline::regenerate(&base, &report.findings);
+        let mut json =
+            serde_json::to_string_pretty(&next).map_err(|e| format!("serializing: {e}"))?;
+        json.push('\n');
+        std::fs::write(&baseline_path, json)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "meryn-lint: wrote {} ({} entries)",
+            baseline_path.display(),
+            next.entries.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(json_path) = &args.json {
+        let mut json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serializing: {e}"))?;
+        json.push('\n');
+        std::fs::write(json_path, json)
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+
+    for f in &report.ratchet.new {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for e in &report.ratchet.stale {
+        println!(
+            "baseline is stale: {} / {} / {} (rerun with --write-baseline in this change)",
+            e.rule, e.file, e.key
+        );
+    }
+    println!(
+        "meryn-lint: {} files, {} findings ({} baselined), {} new, {} stale baseline entries",
+        report.files_scanned,
+        report.findings.len(),
+        report.baselined,
+        report.ratchet.new.len(),
+        report.ratchet.stale.len()
+    );
+    if !report.ok && args.deny {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

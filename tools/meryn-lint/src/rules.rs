@@ -1,0 +1,323 @@
+//! The six determinism-invariant rules.
+//!
+//! Each rule walks a file's per-line token stream (comments and string
+//! contents already stripped from ident matching by the lexer) and
+//! emits [`Finding`]s. Test code (`#[cfg(test)]` / `#[test]` spans) is
+//! exempt everywhere: the invariants guard the simulation trajectory,
+//! not its assertions.
+
+use serde::Serialize;
+
+use crate::config::{LintConfig, RuleConfig};
+use crate::lexer::{FileScan, Tok};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Rule name (`no-std-hash`, …, or `waiver` for malformed waivers).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable identity for baseline grouping — e.g. the banned path or
+    /// the panic's message — deliberately line-number-free so baselines
+    /// survive unrelated edits.
+    pub key: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Runs every configured rule over one lexed file.
+pub fn check_file(rel_path: &str, scan: &FileScan, cfg: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rule, rc) in &cfg.rules {
+        if !LintConfig::rule_applies(rc, rel_path) {
+            continue;
+        }
+        let run = match rule.as_str() {
+            "no-std-hash" => no_std_hash,
+            "no-wall-clock" => no_wall_clock,
+            "no-ambient-rng" => no_ambient_rng,
+            "effect-boundary" => effect_boundary,
+            "float-money" => float_money,
+            "panic-budget" => panic_budget,
+            _ => continue, // unreachable: parse_toml rejects unknown rules
+        };
+        run(rel_path, scan, rc, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.line, &a.rule, &a.key).cmp(&(b.line, &b.rule, &b.key)));
+    findings
+}
+
+fn finding(rule: &str, file: &str, line0: usize, key: String, message: String) -> Finding {
+    Finding {
+        rule: rule.to_owned(),
+        file: file.to_owned(),
+        line: line0 + 1,
+        key,
+        message,
+    }
+}
+
+/// True when `toks[i..]` spells `seg0::seg1::…::segN` exactly.
+fn path_at(toks: &[Tok], i: usize, segs: &[&str]) -> bool {
+    let mut idx = i;
+    for (k, seg) in segs.iter().enumerate() {
+        match toks.get(idx) {
+            Some(Tok::Ident(s)) if s == seg => idx += 1,
+            _ => return false,
+        }
+        if k + 1 < segs.len() {
+            if !(toks.get(idx).is_some_and(|t| t.is_punct(':'))
+                && toks.get(idx + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            idx += 2;
+        }
+    }
+    true
+}
+
+/// Iterates the non-test lines of a scan.
+fn prod_lines(scan: &FileScan) -> impl Iterator<Item = (usize, &[Tok])> {
+    scan.lines
+        .iter()
+        .enumerate()
+        .filter(|(ln, _)| !scan.in_test.get(*ln).copied().unwrap_or(false))
+        .map(|(ln, toks)| (ln, toks.as_slice()))
+}
+
+/// **no-std-hash** — `std::collections::HashMap`/`HashSet` anywhere in
+/// the scoped crates (full paths, `use` imports, and bare idents once
+/// imported). `DetHashMap`/`DetHashSet`/`BTreeMap` are the sanctioned
+/// replacements; the alias definitions in `meryn_sim::hash` carry
+/// inline waivers.
+fn no_std_hash(file: &str, scan: &FileScan, _rc: &RuleConfig, out: &mut Vec<Finding>) {
+    let mut imported: Vec<&str> = Vec::new();
+    for (ln, toks) in prod_lines(scan) {
+        let is_use = toks.first().is_some_and(|t| t.is_ident("use"))
+            || (toks.first().is_some_and(|t| t.is_ident("pub"))
+                && toks.iter().take(6).any(|t| t.is_ident("use")));
+        let has_std_collections =
+            (0..toks.len()).any(|i| path_at(toks, i, &["std", "collections"]));
+        let mut matched_full = vec![false; toks.len()];
+        for i in 0..toks.len() {
+            for name in ["HashMap", "HashSet"] {
+                if path_at(toks, i, &["std", "collections", name]) {
+                    matched_full[i + 6] = true; // the HashMap/HashSet ident
+                    out.push(finding(
+                        "no-std-hash",
+                        file,
+                        ln,
+                        format!("std::collections::{name}"),
+                        format!(
+                            "std::collections::{name} is banned here: RandomState iteration \
+                             order breaks byte-identical replay (use Det{name} or BTree{})",
+                            if name == "HashMap" { "Map" } else { "Set" }
+                        ),
+                    ));
+                }
+            }
+        }
+        for (i, tok) in toks.iter().enumerate() {
+            for name in ["HashMap", "HashSet"] {
+                if !tok.is_ident(name) || matched_full[i] {
+                    continue;
+                }
+                if is_use && has_std_collections {
+                    imported.push(name);
+                    out.push(finding(
+                        "no-std-hash",
+                        file,
+                        ln,
+                        format!("use std::collections::{name}"),
+                        format!("importing std::collections::{name} is banned here"),
+                    ));
+                } else if imported.contains(&name) {
+                    out.push(finding(
+                        "no-std-hash",
+                        file,
+                        ln,
+                        format!("std::collections::{name}"),
+                        format!("{name} here is std::collections::{name} (imported above)"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// **no-wall-clock** — `Instant::now` / `SystemTime::now` outside the
+/// bench harness and the criterion shim. Simulation time comes from
+/// `SimTime` only.
+fn no_wall_clock(file: &str, scan: &FileScan, _rc: &RuleConfig, out: &mut Vec<Finding>) {
+    for (ln, toks) in prod_lines(scan) {
+        for i in 0..toks.len() {
+            for clock in ["Instant", "SystemTime"] {
+                if path_at(toks, i, &[clock, "now"]) {
+                    out.push(finding(
+                        "no-wall-clock",
+                        file,
+                        ln,
+                        format!("{clock}::now"),
+                        format!(
+                            "{clock}::now() reads the wall clock; simulation code must use \
+                             SimTime (bench harness and criterion shim are the only sanctioned \
+                             timing sites)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// **no-ambient-rng** — `rand::` entry points and ambient-entropy
+/// constructors outside the seeded `SimRng` wrapper. Every draw must
+/// come from a named, seeded stream.
+fn no_ambient_rng(file: &str, scan: &FileScan, rc: &RuleConfig, out: &mut Vec<Finding>) {
+    for (ln, toks) in prod_lines(scan) {
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.is_ident("rand")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                out.push(finding(
+                    "no-ambient-rng",
+                    file,
+                    ln,
+                    "rand::".to_owned(),
+                    "direct rand:: access is banned; draw from a seeded SimRng stream".to_owned(),
+                ));
+            }
+            for banned in &rc.banned {
+                if tok.is_ident(banned) {
+                    out.push(finding(
+                        "no-ambient-rng",
+                        file,
+                        ln,
+                        banned.clone(),
+                        format!(
+                            "`{banned}` taps ambient entropy; every draw must come from a \
+                             seeded SimRng stream"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// **effect-boundary** — engine files other than the executor and the
+/// fabric itself may not name `SharedFabric` or its mutator surface:
+/// shards communicate through typed `Effect`s only.
+fn effect_boundary(file: &str, scan: &FileScan, rc: &RuleConfig, out: &mut Vec<Finding>) {
+    for (ln, toks) in prod_lines(scan) {
+        for tok in toks {
+            for banned in &rc.banned {
+                if tok.is_ident(banned) {
+                    out.push(finding(
+                        "effect-boundary",
+                        file,
+                        ln,
+                        banned.clone(),
+                        format!(
+                            "`{banned}` belongs to the SharedFabric mutator surface; shard \
+                             code must emit an Effect instead of touching the fabric"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// **float-money** — an identifier matching a money pattern on the same
+/// line as f64/f32 evidence, outside the sanctioned conversion sites.
+/// Identifiers with an allow-listed suffix (`_units`, `_pct`) are the
+/// converted-at-the-report-boundary idiom and exempt.
+fn float_money(file: &str, scan: &FileScan, rc: &RuleConfig, out: &mut Vec<Finding>) {
+    for (ln, toks) in prod_lines(scan) {
+        let float_evidence = toks.iter().any(|t| match t {
+            Tok::Ident(s) => s == "f64" || s == "f32",
+            Tok::Num(n) => n.contains('.') || n.ends_with("f64") || n.ends_with("f32"),
+            _ => false,
+        });
+        if !float_evidence {
+            continue;
+        }
+        for tok in toks {
+            let Tok::Ident(name) = tok else { continue };
+            let lower = name.to_lowercase();
+            let is_money = rc.patterns.iter().any(|p| lower.contains(p.as_str()));
+            let exempt = rc
+                .allow_suffixes
+                .iter()
+                .any(|s| lower.ends_with(s.as_str()))
+                || rc.allow_idents.iter().any(|i| i == name);
+            if is_money && !exempt {
+                out.push(finding(
+                    "float-money",
+                    file,
+                    ln,
+                    name.clone(),
+                    format!(
+                        "`{name}` looks like money in a float expression; accumulate in \
+                         integer Money and convert once at the report boundary \
+                         (as_units_f64), or use an exempt suffix if it is not money"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **panic-budget** — `.unwrap()` / `.expect(…)` / `panic!` / `todo!` /
+/// `unimplemented!` in engine hot paths. `unreachable!` and the assert
+/// family stay allowed: they are deliberate invariant markers, not
+/// error handling that gave up.
+fn panic_budget(file: &str, scan: &FileScan, _rc: &RuleConfig, out: &mut Vec<Finding>) {
+    for (ln, toks) in prod_lines(scan) {
+        for (i, tok) in toks.iter().enumerate() {
+            let dotted = i > 0 && toks[i - 1].is_punct('.');
+            let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            if dotted && called && tok.is_ident("unwrap") {
+                out.push(finding(
+                    "panic-budget",
+                    file,
+                    ln,
+                    "unwrap()".to_owned(),
+                    "unwrap() in an engine hot path; handle the None/Err or document the \
+                     invariant with expect + a waiver"
+                        .to_owned(),
+                ));
+            }
+            if dotted && called && tok.is_ident("expect") {
+                let msg = match toks.get(i + 2) {
+                    Some(Tok::Str(s)) => s.clone(),
+                    _ => "<non-literal>".to_owned(),
+                };
+                out.push(finding(
+                    "panic-budget",
+                    file,
+                    ln,
+                    format!("expect(\"{msg}\")"),
+                    format!("expect(\"{msg}\") in an engine hot path"),
+                ));
+            }
+            for mac in ["panic", "todo", "unimplemented"] {
+                if tok.is_ident(mac) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                    out.push(finding(
+                        "panic-budget",
+                        file,
+                        ln,
+                        format!("{mac}!"),
+                        format!("{mac}! in an engine hot path"),
+                    ));
+                }
+            }
+        }
+    }
+}

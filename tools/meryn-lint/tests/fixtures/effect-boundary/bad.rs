@@ -1,0 +1,7 @@
+// Seeded violation: a shard-side engine file reaching into the fabric
+// instead of emitting a typed Effect.
+use crate::engine::SharedFabric;
+
+pub fn shortcut(fabric: &mut SharedFabric, now: u64) {
+    fabric.record_usage(now);
+}

@@ -1,0 +1,10 @@
+// Sanctioned shape: shard code emits Effects; the executor applies
+// them to the fabric in canonical (due, vc_id, seq) order.
+use crate::engine::effects::Effect;
+
+pub fn on_dispatch(out: &mut Vec<Effect>) {
+    out.push(Effect::Usage {
+        private_delta: 1,
+        cloud_delta: 0,
+    });
+}

@@ -1,0 +1,6 @@
+// Seeded violation: money accumulated in floating point.
+pub fn bill(hours: f64, rate_per_hour: f64) -> f64 {
+    let cost = hours * rate_per_hour;
+    let penalty = cost * 0.1;
+    cost + penalty
+}

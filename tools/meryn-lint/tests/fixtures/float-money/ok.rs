@@ -1,0 +1,16 @@
+// Sanctioned shapes: integer Money end to end, one conversion at the
+// report boundary (`_units` suffix), integer percentages (`_pct`).
+use meryn_sla::Money;
+
+pub fn bill(seconds: u64, rate: Money) -> Money {
+    rate.scale_int(seconds)
+}
+
+pub fn report_field(total: Money) -> f64 {
+    let total_cost_units: f64 = total.as_units_f64();
+    total_cost_units
+}
+
+pub fn concession(penalty: Money, concession_pct: u32) -> Money {
+    penalty.percent(concession_pct)
+}

@@ -1,0 +1,5 @@
+// Seeded violation: ambient entropy instead of seeded SimRng streams.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen_range(&mut rng, 0..10)
+}

@@ -1,0 +1,7 @@
+// Sanctioned shape: draws from a named, seeded SimRng stream whose
+// position a checkpoint can capture.
+use meryn_sim::SimRng;
+
+pub fn jitter(rng: &mut SimRng) -> u64 {
+    rng.gen_range_u64(0, 10)
+}

@@ -1,0 +1,7 @@
+// Seeded violation: std hash tables in simulation state.
+use std::collections::HashMap;
+
+pub struct Registry {
+    by_id: HashMap<u64, String>,
+    seen: std::collections::HashSet<u64>,
+}

@@ -1,0 +1,18 @@
+// Sanctioned shapes: deterministic tables, and std maps in test code.
+use meryn_sim::hash::{DetHashMap, DetHashSet};
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    by_id: DetHashMap<u64, String>,
+    seen: DetHashSet<u64>,
+    ordered: BTreeMap<u64, String>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_tables_are_fine_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+    }
+}

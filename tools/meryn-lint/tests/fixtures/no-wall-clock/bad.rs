@@ -1,0 +1,6 @@
+// Seeded violation: wall-clock reads in simulation code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,9 @@
+// Sanctioned shapes: SimTime for the trajectory; the type name alone
+// (no ::now call) and mentions in comments or strings are fine.
+use meryn_sim::SimTime;
+
+pub fn now(sim: SimTime) -> SimTime {
+    // Instant::now() would be a violation — this comment is not.
+    let _doc = "Instant::now";
+    sim
+}

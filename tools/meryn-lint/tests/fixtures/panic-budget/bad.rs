@@ -1,0 +1,9 @@
+// Seeded violation: panics in an engine hot path.
+pub fn drain(q: &mut Vec<u64>) -> u64 {
+    if q.is_empty() {
+        panic!("empty queue");
+    }
+    let head = q.first().unwrap();
+    let tail = q.last().expect("non-empty checked above");
+    todo!("merge {head} and {tail}")
+}

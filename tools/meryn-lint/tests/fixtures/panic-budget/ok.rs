@@ -1,0 +1,19 @@
+// Sanctioned shapes: handled options, unreachable!/assert as invariant
+// markers, and panics inside test code.
+pub fn drain(q: &mut Vec<u64>) -> Option<u64> {
+    debug_assert!(q.len() < 1 << 20, "queue growth bound");
+    let head = q.first().copied()?;
+    match q.len() {
+        0 => unreachable!("first() returned Some above"),
+        _ => Some(head),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u64];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

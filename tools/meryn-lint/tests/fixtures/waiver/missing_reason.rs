@@ -1,0 +1,9 @@
+// A malformed waiver: no reason after the rule list. The waiver is
+// rejected (the underlying finding stands) and the waiver itself is
+// reported.
+use std::time::Instant;
+
+pub fn measured() -> Instant {
+    // meryn-lint: allow(no-wall-clock)
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+// A well-formed waiver: names the rule and gives a reason, either on
+// the offending line or on the line directly above it.
+use std::time::Instant;
+
+pub fn measured() -> Instant {
+    // meryn-lint: allow(no-wall-clock) — harness-side measurement, not simulation state
+    Instant::now()
+}

@@ -1,0 +1,158 @@
+//! Fixture ui-tests: every rule is demonstrated by a failing fixture
+//! and a passing one, the waiver grammar is enforced, and the shipped
+//! `lint.toml` round-trips through the serde shim.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use meryn_lint::config::{parse_toml, LintConfig, RuleConfig, KNOWN_RULES};
+use meryn_lint::rules::Finding;
+use meryn_lint::scan_file;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A config scoping `rule` (with repo-like parameters) to `fixtures/`.
+fn cfg_for(rule: &str) -> LintConfig {
+    let rc = RuleConfig {
+        paths: vec!["fixtures".into()],
+        allow: vec![],
+        banned: match rule {
+            "no-ambient-rng" => ["thread_rng", "from_entropy", "OsRng", "ThreadRng", "random"]
+                .map(String::from)
+                .to_vec(),
+            "effect-boundary" => ["SharedFabric", "cm_delay", "record_usage"]
+                .map(String::from)
+                .to_vec(),
+            _ => vec![],
+        },
+        patterns: match rule {
+            "float-money" => ["cost", "penalt", "price", "revenue", "bill", "money"]
+                .map(String::from)
+                .to_vec(),
+            _ => vec![],
+        },
+        allow_suffixes: match rule {
+            "float-money" => ["_units", "_pct"].map(String::from).to_vec(),
+            _ => vec![],
+        },
+        allow_idents: match rule {
+            "float-money" => vec!["Money".to_owned()],
+            _ => vec![],
+        },
+    };
+    let mut rules = BTreeMap::new();
+    rules.insert(rule.to_owned(), rc);
+    LintConfig {
+        skip: vec![],
+        rules,
+    }
+}
+
+fn scan_fixture(rule_dir: &str, name: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let path = fixture_dir().join(rule_dir).join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    scan_file(&format!("fixtures/{rule_dir}/{name}"), &src, cfg)
+}
+
+#[test]
+fn every_rule_has_a_failing_and_a_passing_fixture() {
+    for rule in KNOWN_RULES {
+        let cfg = cfg_for(rule);
+        let bad = scan_fixture(rule, "bad.rs", &cfg);
+        assert!(
+            bad.iter().any(|f| f.rule == rule),
+            "{rule}: bad.rs produced no {rule} finding: {bad:?}"
+        );
+        let ok = scan_fixture(rule, "ok.rs", &cfg);
+        assert!(ok.is_empty(), "{rule}: ok.rs should be clean, found {ok:?}");
+    }
+}
+
+#[test]
+fn seeded_violations_have_the_expected_shape() {
+    // Spot-check counts and keys so a rule can't silently degrade into
+    // matching less than it should.
+    let hash = scan_fixture("no-std-hash", "bad.rs", &cfg_for("no-std-hash"));
+    assert!(hash.iter().any(|f| f.key.contains("HashMap")));
+    assert!(hash.iter().any(|f| f.key.contains("HashSet")));
+
+    let clock = scan_fixture("no-wall-clock", "bad.rs", &cfg_for("no-wall-clock"));
+    assert!(clock.iter().any(|f| f.key == "Instant::now"));
+    assert!(clock.iter().any(|f| f.key == "SystemTime::now"));
+
+    let rng = scan_fixture("no-ambient-rng", "bad.rs", &cfg_for("no-ambient-rng"));
+    assert!(rng.iter().any(|f| f.key == "thread_rng"));
+
+    let money = scan_fixture("float-money", "bad.rs", &cfg_for("float-money"));
+    assert!(money.iter().any(|f| f.key == "cost"));
+    assert!(money.iter().any(|f| f.key == "penalty"));
+
+    let panics = scan_fixture("panic-budget", "bad.rs", &cfg_for("panic-budget"));
+    for key in ["unwrap()", "panic!", "todo!"] {
+        assert!(
+            panics.iter().any(|f| f.key == key),
+            "panic-budget missed {key}: {panics:?}"
+        );
+    }
+    assert!(panics
+        .iter()
+        .any(|f| f.key == "expect(\"non-empty checked above\")"));
+}
+
+#[test]
+fn a_valid_waiver_suppresses_and_a_reasonless_one_does_not() {
+    let cfg = cfg_for("no-wall-clock");
+    let waived = scan_fixture("waiver", "waived.rs", &cfg);
+    assert!(
+        waived.is_empty(),
+        "a waiver with a reason must suppress: {waived:?}"
+    );
+    let missing = scan_fixture("waiver", "missing_reason.rs", &cfg);
+    assert!(
+        missing
+            .iter()
+            .any(|f| f.rule == "waiver" && f.key == "missing-reason"),
+        "the reason is mandatory: {missing:?}"
+    );
+    assert!(
+        missing.iter().any(|f| f.rule == "no-wall-clock"),
+        "a rejected waiver must leave the finding standing: {missing:?}"
+    );
+}
+
+#[test]
+fn shipped_lint_toml_round_trips_through_the_serde_shim() {
+    let src = std::fs::read_to_string(repo_root().join("lint.toml")).expect("lint.toml exists");
+    let cfg = parse_toml(&src).expect("shipped lint.toml parses");
+    assert_eq!(
+        cfg.rules.len(),
+        KNOWN_RULES.len(),
+        "every known rule is configured"
+    );
+    let json = serde_json::to_string(&cfg).expect("config serializes");
+    let back: LintConfig = serde_json::from_str(&json).expect("config deserializes");
+    assert_eq!(back, cfg, "lint.toml must survive a serde round-trip");
+}
+
+#[test]
+fn shipped_baseline_parses_and_is_fully_justified() {
+    let path = repo_root().join("lint-baseline.json");
+    let src = std::fs::read_to_string(&path).expect("lint-baseline.json exists");
+    let base: meryn_lint::baseline::Baseline = serde_json::from_str(&src).expect("baseline parses");
+    for e in &base.entries {
+        assert!(
+            !e.why.trim().is_empty() && !e.why.starts_with("TODO"),
+            "baseline entry {}/{}/{} lacks a justification",
+            e.rule,
+            e.file,
+            e.key
+        );
+    }
+}
