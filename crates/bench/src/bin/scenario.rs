@@ -144,7 +144,10 @@ fn main() {
         let cp = platform.checkpoint();
         let mut json = serde_json::to_string(&cp).expect("checkpoint serializes");
         json.push('\n');
-        std::fs::write(&cp_path, json).expect("write checkpoint");
+        if let Err(e) = std::fs::write(&cp_path, json) {
+            eprintln!("error: cannot write checkpoint {cp_path}: {e}");
+            std::process::exit(2);
+        }
         if !quiet {
             println!(
                 "checkpointed {} at t={} s ({}): {cp_path}",
@@ -156,8 +159,23 @@ fn main() {
         return;
     }
     if let Some(cp_path) = resume_path {
-        let text = std::fs::read_to_string(&cp_path).expect("read checkpoint");
-        let cp: EngineCheckpoint = serde_json::from_str(&text).expect("checkpoint parses");
+        let text = match std::fs::read_to_string(&cp_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read checkpoint {cp_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let cp: EngineCheckpoint = match serde_json::from_str(&text) {
+            Ok(cp) => cp,
+            Err(e) => {
+                eprintln!(
+                    "error: {cp_path} is not a valid engine checkpoint \
+                     (truncated or corrupt?): {e}"
+                );
+                std::process::exit(2);
+            }
+        };
         let mut platform = single_run_resume(&scenario, cp);
         platform.run_to_completion();
         let report = platform.finalize();

@@ -1,0 +1,81 @@
+//! Drives the `scenario` binary's failure paths: a missing, truncated
+//! or corrupt checkpoint handed to `--resume` must produce a clear
+//! diagnostic and exit code 2 — never a panic backtrace.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scenario_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenario"))
+}
+
+/// A minimal spec file for the failure-path invocations (the resume
+/// paths bail before the workload ever runs). One file per test —
+/// the harness runs tests concurrently.
+fn spec_path(stem: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("meryn-scenario-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{stem}.json"));
+    let (_, scenario) = meryn_bench::catalog::shipped()
+        .into_iter()
+        .next()
+        .expect("catalog is non-empty");
+    scenario.save(&path).expect("write spec");
+    path
+}
+
+#[test]
+fn resume_from_missing_checkpoint_exits_2_with_diagnostic() {
+    let out = scenario_bin()
+        .arg(spec_path("missing"))
+        .args(["--resume", "/nonexistent/meryn-no-such-checkpoint.json"])
+        .output()
+        .expect("spawn scenario bin");
+    assert_eq!(out.status.code(), Some(2), "missing checkpoint → exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read checkpoint"),
+        "diagnostic names the failure: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic backtrace: {stderr}");
+}
+
+#[test]
+fn resume_from_garbage_checkpoint_exits_2_with_diagnostic() {
+    let spec = spec_path("garbage");
+    let garbage = spec.with_file_name("garbage-checkpoint.json");
+    std::fs::write(&garbage, "{\"this is\": \"not a checkpoint\"").expect("write garbage");
+    let out = scenario_bin()
+        .arg(spec)
+        .arg("--resume")
+        .arg(&garbage)
+        .output()
+        .expect("spawn scenario bin");
+    assert_eq!(out.status.code(), Some(2), "corrupt checkpoint → exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not a valid engine checkpoint"),
+        "diagnostic names the failure: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic backtrace: {stderr}");
+}
+
+#[test]
+fn checkpoint_to_unwritable_path_exits_2_with_diagnostic() {
+    let out = scenario_bin()
+        .arg(spec_path("unwritable"))
+        .args([
+            "--checkpoint",
+            "/nonexistent-dir/cp.json",
+            "--checkpoint-at",
+            "1",
+        ])
+        .output()
+        .expect("spawn scenario bin");
+    assert_eq!(out.status.code(), Some(2), "unwritable checkpoint → exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write checkpoint"),
+        "diagnostic names the failure: {stderr}"
+    );
+}

@@ -124,6 +124,111 @@ impl Default for Latencies {
     }
 }
 
+/// One scheduled whole-cloud outage window: cloud `cloud` refuses every
+/// lease attempt in `[from_secs, to_secs)` (control-plane outage —
+/// already-leased VMs keep running).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Index into [`PlatformConfig::clouds`].
+    pub cloud: usize,
+    /// Window start (inclusive), seconds.
+    pub from_secs: u64,
+    /// Window end (exclusive), seconds.
+    pub to_secs: u64,
+}
+
+fn default_retry_max() -> u32 {
+    3
+}
+
+fn default_backoff_base_secs() -> u64 {
+    30
+}
+
+fn default_backoff_cap_secs() -> u64 {
+    480
+}
+
+fn default_lease_rejection_secs() -> u64 {
+    60
+}
+
+/// Seeded failure processes and their recovery knobs. Fully disabled by
+/// default: with no crash hazard, no rejection probability and no
+/// outage windows the fault plane draws nothing and schedules nothing,
+/// so every fault-free trajectory is byte-identical to a build without
+/// it — existing scenario specs and goldens are untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Per-VM mean time between failures, seconds (exponential crash
+    /// hazard drawn from the per-shard fault streams). `None` disables
+    /// crashes.
+    #[serde(default)]
+    pub vm_mtbf_secs: Option<u64>,
+    /// Probability that one cloud-lease admission attempt is
+    /// transiently rejected (0.0 disables the rejection process).
+    #[serde(default)]
+    pub lease_rejection_prob: f64,
+    /// How long a transient rejection blacks the cloud out, seconds.
+    #[serde(default = "default_lease_rejection_secs")]
+    pub lease_rejection_secs: u64,
+    /// Scheduled whole-cloud outage windows.
+    #[serde(default)]
+    pub cloud_outages: Vec<OutageWindow>,
+    /// Lease-retry budget: after this many backed-off retries the
+    /// acquisition degrades to the private pool / SLA-violation pricing.
+    #[serde(default = "default_retry_max")]
+    pub retry_max: u32,
+    /// First retry delay, seconds; attempt `k` waits
+    /// `min(backoff_base_secs << k, backoff_cap_secs)` — deterministic
+    /// capped exponential backoff, no jitter draws.
+    #[serde(default = "default_backoff_base_secs")]
+    pub backoff_base_secs: u64,
+    /// Ceiling on the backoff delay, seconds.
+    #[serde(default = "default_backoff_cap_secs")]
+    pub backoff_cap_secs: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            vm_mtbf_secs: None,
+            lease_rejection_prob: 0.0,
+            lease_rejection_secs: default_lease_rejection_secs(),
+            cloud_outages: Vec::new(),
+            retry_max: default_retry_max(),
+            backoff_base_secs: default_backoff_base_secs(),
+            backoff_cap_secs: default_backoff_cap_secs(),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// True when no failure process is armed (the default): the
+    /// `skip_serializing_if` hook keeping fault-free configs
+    /// byte-identical on the wire.
+    pub fn is_disabled(&self) -> bool {
+        self.vm_mtbf_secs.is_none()
+            && self.lease_rejection_prob == 0.0
+            && self.cloud_outages.is_empty()
+    }
+
+    /// True when any failure process is armed.
+    pub fn enabled(&self) -> bool {
+        !self.is_disabled()
+    }
+
+    /// The deterministic capped exponential backoff delay before retry
+    /// attempt `attempt` (0-based).
+    pub fn backoff_delay(&self, attempt: u32) -> SimDuration {
+        let shifted = self
+            .backoff_base_secs
+            .checked_shl(attempt)
+            .unwrap_or(self.backoff_cap_secs);
+        SimDuration::from_secs(shifted.min(self.backoff_cap_secs))
+    }
+}
+
 /// Full platform configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformConfig {
@@ -184,6 +289,12 @@ pub struct PlatformConfig {
     /// `None` models unbounded front-end concurrency (the paper's
     /// Table 1 measurements are uncontended, so this is the default).
     pub client_managers: Option<usize>,
+    /// Seeded failure processes (VM crashes, cloud outages, transient
+    /// lease rejections) and their retry/backoff recovery knobs.
+    /// Defaulted off and skipped on the wire when disabled, so existing
+    /// specs and goldens are byte-identical.
+    #[serde(default, skip_serializing_if = "FaultSpec::is_disabled")]
+    pub faults: FaultSpec,
 }
 
 impl PlatformConfig {
@@ -224,6 +335,7 @@ impl PlatformConfig {
             controller_check_interval: Some(SimDuration::from_secs(30)),
             violation_policy: ViolationPolicy::Report,
             client_managers: None,
+            faults: FaultSpec::default(),
         }
     }
 
@@ -281,6 +393,25 @@ impl PlatformConfig {
             "initial VC allocation ({initial}) exceeds private capacity ({})",
             self.private_capacity
         );
+        assert!(
+            (0.0..=1.0).contains(&self.faults.lease_rejection_prob),
+            "lease_rejection_prob must be a probability"
+        );
+        if let Some(mtbf) = self.faults.vm_mtbf_secs {
+            assert!(mtbf > 0, "vm_mtbf_secs must be positive");
+        }
+        for w in &self.faults.cloud_outages {
+            assert!(
+                w.cloud < self.clouds.len(),
+                "outage window names cloud {} but only {} clouds are configured",
+                w.cloud,
+                self.clouds.len()
+            );
+            assert!(
+                w.from_secs < w.to_secs,
+                "outage window must end after it starts"
+            );
+        }
     }
 }
 
@@ -361,6 +492,66 @@ mod tests {
         let trimmed = json.replace("\"bidding\":\"standard\",", "");
         let back: PlatformConfig = serde_json::from_str(&trimmed).unwrap();
         assert_eq!(back.bidding, "standard");
+    }
+
+    #[test]
+    fn disabled_faults_are_skipped_on_the_wire() {
+        let cfg = PlatformConfig::paper("meryn");
+        assert!(cfg.faults.is_disabled());
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(
+            !json.contains("faults"),
+            "disabled fault plane must not appear in the JSON (goldens depend on it)"
+        );
+        // And it defaults back in when absent.
+        let back: PlatformConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, FaultSpec::default());
+    }
+
+    #[test]
+    fn enabled_faults_round_trip() {
+        let mut cfg = PlatformConfig::paper("meryn");
+        cfg.faults.vm_mtbf_secs = Some(3600);
+        cfg.faults.lease_rejection_prob = 0.25;
+        cfg.faults.cloud_outages = vec![OutageWindow {
+            cloud: 0,
+            from_secs: 100,
+            to_secs: 400,
+        }];
+        cfg.validate();
+        assert!(cfg.faults.enabled());
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("faults"));
+        let back: PlatformConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let spec = FaultSpec {
+            backoff_base_secs: 30,
+            backoff_cap_secs: 480,
+            ..Default::default()
+        };
+        assert_eq!(spec.backoff_delay(0), SimDuration::from_secs(30));
+        assert_eq!(spec.backoff_delay(1), SimDuration::from_secs(60));
+        assert_eq!(spec.backoff_delay(3), SimDuration::from_secs(240));
+        assert_eq!(spec.backoff_delay(4), SimDuration::from_secs(480));
+        assert_eq!(spec.backoff_delay(10), SimDuration::from_secs(480));
+        // Shift overflow saturates at the cap instead of panicking.
+        assert_eq!(spec.backoff_delay(200), SimDuration::from_secs(480));
+    }
+
+    #[test]
+    #[should_panic(expected = "outage window names cloud")]
+    fn outage_on_unknown_cloud_rejected() {
+        let mut cfg = PlatformConfig::paper("meryn");
+        cfg.faults.cloud_outages = vec![OutageWindow {
+            cloud: 5,
+            from_secs: 0,
+            to_secs: 10,
+        }];
+        cfg.validate();
     }
 
     #[test]

@@ -159,6 +159,30 @@ pub enum Effect {
         /// The provisioned VMs.
         vms: Vec<VmId>,
     },
+    /// A slave VM crashed mid-stint (fault plane). The shard already
+    /// tore the stint down (progress discarded, job requeued, usage
+    /// reversed); the executor terminates the VM on its estate — a
+    /// private victim additionally boots a replacement so the VC's
+    /// capacity is conserved, a cloud victim's lease closes billed
+    /// through the crash instant.
+    VmCrashed {
+        /// The crashed VM.
+        vm: VmId,
+        /// Where it was running.
+        location: Location,
+    },
+    /// An SLA check re-ran after a refused cloud lease (fault plane):
+    /// like [`Effect::Escalate`], but carrying the retry attempt so the
+    /// executor can apply the deterministic capped backoff and the
+    /// retry budget before degrading to the no-cloud fallback.
+    LeaseRetry {
+        /// The application re-asking to burst.
+        app: AppId,
+        /// Whether the SLA was already violated at check time.
+        violated: bool,
+        /// Which attempt this verdict belongs to (1-based).
+        attempt: u32,
+    },
 }
 
 /// An effect with its canonical key.

@@ -90,6 +90,14 @@ const PARALLEL_RUN_MIN_EVENTS: usize = 24;
 /// cloud `100 + i`) at any realistic VC count.
 const SHARD_STREAM_BASE: u64 = 1 << 32;
 
+/// Base of the per-shard *fault* stream ids: shard `i` draws its crash
+/// hazards from `SimRng::stream_seed(cfg.seed, FAULT_STREAM_BASE + i)`.
+/// A block of its own, disjoint from the latency streams — enabling
+/// the fault plane must not perturb a single latency draw, so a fault
+/// run stays comparable to its fault-free twin and faults-off runs
+/// stay byte-identical to pre-fault-plane goldens.
+const FAULT_STREAM_BASE: u64 = 2 << 32;
+
 /// The assembled engine: shards + fabric + control plane.
 pub struct ShardExecutor {
     pub(crate) cfg: PlatformConfig,
@@ -252,7 +260,21 @@ fn shard_policy(cfg: &PlatformConfig, retire_on_completion: bool) -> ShardPolicy
         check_interval: cfg.controller_check_interval,
         private_cost: cfg.private_cost,
         retire_on_completion,
+        vm_mtbf: cfg.faults.vm_mtbf_secs.map(SimDuration::from_secs),
     }
+}
+
+/// Outcome of one cloud-escalation attempt (see
+/// [`ShardExecutor::try_escalate_to_cloud`]).
+enum Escalation {
+    /// Leases are provisioning; a fresh completion prediction is coming.
+    Leased,
+    /// Nothing here will change by waiting out a backoff: no cloud has
+    /// the quota, or the job is not actually waiting in its queue.
+    NoCloud,
+    /// Every capable cloud refused transiently (fault plane: an outage
+    /// window or a rejected admission) — worth retrying after backoff.
+    Refused,
 }
 
 impl ShardExecutor {
@@ -304,6 +326,23 @@ impl ShardExecutor {
 
         let mut clouds = Vec::with_capacity(cfg.clouds.len());
         for (i, c) in cfg.clouds.iter().enumerate() {
+            // The fault wiring is unconditional: with the default
+            // (disabled) spec the outage list is empty and the
+            // rejection probability 0.0, so no draw ever happens and
+            // no lease is ever refused — faults-off runs are
+            // byte-identical to pre-fault-plane ones.
+            let outages = cfg
+                .faults
+                .cloud_outages
+                .iter()
+                .filter(|w| w.cloud == i)
+                .map(|w| {
+                    (
+                        SimTime::from_secs(w.from_secs),
+                        SimTime::from_secs(w.to_secs),
+                    )
+                })
+                .collect();
             let mut cloud = PublicCloud::new(
                 CloudId(i as u16),
                 c.name.clone(),
@@ -313,6 +352,11 @@ impl ShardExecutor {
                 c.speed,
                 c.quota,
                 master.fork(100 + i as u64),
+            )
+            .with_faults(
+                outages,
+                cfg.faults.lease_rejection_prob,
+                SimDuration::from_secs(cfg.faults.lease_rejection_secs),
             );
             for vc in &vcs {
                 cloud.stage_image(vc.image);
@@ -346,7 +390,9 @@ impl ShardExecutor {
             .enumerate()
             .map(|(i, vc)| {
                 let rng = SimRng::new(SimRng::stream_seed(seed, SHARD_STREAM_BASE + i as u64));
-                VcShard::new(vc, policy, rng)
+                let fault_rng =
+                    SimRng::new(SimRng::stream_seed(seed, FAULT_STREAM_BASE + i as u64));
+                VcShard::new(vc, policy, rng, fault_rng)
             })
             .collect();
         ShardExecutor {
@@ -688,7 +734,15 @@ impl ShardExecutor {
             // dispatch's completion): route it straight to its queue
             // instead of bouncing through the fabric's follow-up buffer.
             Effect::Schedule { due, event } => self.push_event(due, event),
-            Effect::Escalate { app, violated } => self.on_escalate(key.due, app, violated),
+            Effect::Escalate { app, violated } => self.on_escalate(key.due, app, violated, 0),
+            Effect::LeaseRetry {
+                app,
+                violated,
+                attempt,
+            } => self.on_escalate(key.due, app, violated, attempt),
+            Effect::VmCrashed { vm, location } => {
+                self.apply_vm_crashed(key.due, key.vc, vm, location);
+            }
             Effect::TransferStopped { app, vms } => {
                 self.apply_transfer_stopped(key.due, app, vms);
             }
@@ -739,33 +793,102 @@ impl ShardExecutor {
     /// Acts on a shard's escalation request: the shard already vetted
     /// everything it can see (verdict needs attention, job submitted,
     /// no acquisition in flight); the market transaction happens here.
-    /// When no cloud serves it, fall back exactly like the report-mode
-    /// path: mark a violated SLA and retire, or keep monitoring.
-    fn on_escalate(&mut self, now: SimTime, app_id: AppId, violated: bool) {
+    ///
+    /// `attempt` is 0 for a fresh [`Effect::Escalate`] and counts up
+    /// through the fault plane's backoff chain. A *transient* refusal
+    /// (outage window, rejected admission) within the retry budget arms
+    /// one [`Event::LeaseRetry`] after a deterministic capped
+    /// exponential backoff — the normal check chain stays suspended
+    /// while the retry chain owns the application, so exactly one timer
+    /// is ever armed. An exhausted budget, or a dead end no backoff can
+    /// fix, degrades exactly like the report-mode path: mark a violated
+    /// SLA and retire, or keep monitoring on the private estate.
+    fn on_escalate(&mut self, now: SimTime, app_id: AppId, violated: bool, attempt: u32) {
         let Some(interval) = self.cfg.controller_check_interval else {
             return;
         };
-        if self.try_escalate_to_cloud(now, app_id) {
-            // Escalated: a fresh completion prediction is coming; keep
-            // monitoring.
+        let outcome = self.try_escalate_to_cloud(now, app_id);
+        if matches!(outcome, Escalation::Refused) && attempt < self.cfg.faults.retry_max {
+            self.fabric.lease_retries += 1;
+            let delay = self.cfg.faults.backoff_delay(attempt);
             self.push_event(
-                next_check(now, interval),
-                Event::ControllerCheck { app: app_id },
+                now + delay,
+                Event::LeaseRetry {
+                    app: app_id,
+                    attempt: attempt + 1,
+                },
             );
             return;
         }
-        if violated {
-            let vc = self.app_vc[app_id.0 as usize];
-            let app = self.shards[vc.0].apps.get_mut(&app_id).expect("app exists");
-            if app.violation_detected.is_none() {
-                app.violation_detected = Some(now);
+        match outcome {
+            Escalation::Leased => {
+                // Escalated: a fresh completion prediction is coming;
+                // keep monitoring.
+                self.push_event(
+                    next_check(now, interval),
+                    Event::ControllerCheck { app: app_id },
+                );
             }
-            return;
+            Escalation::Refused | Escalation::NoCloud => {
+                if matches!(outcome, Escalation::Refused) {
+                    // The backoff budget is spent: this acquisition
+                    // degrades to the private pool for good.
+                    self.fabric.retries_exhausted += 1;
+                }
+                if violated {
+                    let vc = self.app_vc[app_id.0 as usize];
+                    let app = self.shards[vc.0].apps.get_mut(&app_id).expect("app exists");
+                    if app.violation_detected.is_none() {
+                        app.violation_detected = Some(now);
+                    }
+                    return;
+                }
+                self.push_event(
+                    next_check(now, interval),
+                    Event::ControllerCheck { app: app_id },
+                );
+            }
         }
-        self.push_event(
-            next_check(now, interval),
-            Event::ControllerCheck { app: app_id },
-        );
+    }
+
+    /// Applies [`Effect::VmCrashed`]: terminates the victim on its
+    /// estate. A private victim's slot immediately begins booting a
+    /// replacement with the shard's image (VMs are fungible after the
+    /// re-image, so the VC's capacity — and any lending it owes — is
+    /// conserved); a cloud victim's lease closes billed through the
+    /// crash instant.
+    fn apply_vm_crashed(&mut self, now: SimTime, vc: VcId, vm: VmId, location: Location) {
+        self.fabric.vm_crashes += 1;
+        self.fabric.jobs_reexecuted += 1;
+        match location {
+            Location::Private => {
+                self.fabric.crashed_private += 1;
+                self.fabric
+                    .pool
+                    .crash_vm(vm, now)
+                    .unwrap_or_else(|e| unreachable!("crashed slave is a live pool VM: {e:?}"));
+                let image = self.shards[vc.0].vc.image;
+                let (new_vm, boot) = self
+                    .fabric
+                    .pool
+                    .begin_start(image, now)
+                    .unwrap_or_else(|e| unreachable!("the crashed slot just freed: {e:?}"));
+                self.push_event(
+                    now + boot,
+                    Event::CrashReplacementReady {
+                        vc,
+                        vms: vec![new_vm],
+                    },
+                );
+            }
+            Location::Cloud(cloud) => {
+                self.fabric.crashed_cloud += 1;
+                let close = self.fabric.clouds[cloud.0 as usize]
+                    .crash_lease(vm, now)
+                    .unwrap_or_else(|e| unreachable!("crashed lease is live: {e:?}"));
+                self.fabric.cloud_bill += close.cost;
+            }
+        }
     }
 
     /// Expands a transfer's completed stop batch: complete each pool
@@ -824,36 +947,59 @@ impl ShardExecutor {
 
     /// Attempts the [`crate::config::ViolationPolicy::EscalateToCloud`]
     /// action: pull the application's waiting job out of the framework
-    /// queue and burst it to the cheapest cloud. Returns `false` when
-    /// the application is not actually waiting in a queue or no cloud
-    /// can serve it.
-    fn try_escalate_to_cloud(&mut self, now: SimTime, app_id: AppId) -> bool {
+    /// queue and burst it to the cheapest *available* cloud.
+    /// [`Escalation::NoCloud`] when the application is not actually
+    /// waiting in a queue or no cloud has the quota;
+    /// [`Escalation::Refused`] when capable clouds exist but all
+    /// refused transiently (fault plane) — the caller's backoff chain
+    /// decides whether to re-ask.
+    fn try_escalate_to_cloud(&mut self, now: SimTime, app_id: AppId) -> Escalation {
         let vc_id = self.app_vc[app_id.0 as usize];
         let (spec, job) = {
             let app = &self.shards[vc_id.0].apps[&app_id];
             (app.spec, app.job)
         };
         let Some(job) = job else {
-            return false; // submission pipeline still in flight
+            return Escalation::NoCloud; // submission pipeline still in flight
         };
         if self.shards[vc_id.0].pending.contains_key(&app_id) {
-            return false; // an acquisition (or escalation) is in flight
+            return Escalation::NoCloud; // an acquisition (or escalation) is in flight
         }
         let nb = spec.nb_vms();
+        // Only currently-available clouds may bid; remembering whether
+        // any cloud had the *quota* at all distinguishes a transient
+        // refusal (worth a backoff) from a dead end.
+        let mut quota_ok = false;
         let offer = self
             .fabric
             .clouds
             .iter()
             .filter(|c| c.can_lease(nb))
+            .inspect(|_| quota_ok = true)
+            .filter(|c| c.check_available(now).is_ok())
             .map(|c| (c.id, c.price_at(now)))
             .min_by_key(|&(_, r)| r);
         let Some((cloud, _)) = offer else {
-            return false;
+            if quota_ok {
+                // Every capable cloud is mid-outage or blacked out.
+                self.fabric.lease_rejections += 1;
+                return Escalation::Refused;
+            }
+            return Escalation::NoCloud;
         };
+        // The admission draw comes *before* the queue withdrawal so a
+        // rejected attempt leaves the job exactly where it was.
+        if self.fabric.clouds[cloud.0 as usize]
+            .admit_lease(now)
+            .is_err()
+        {
+            self.fabric.lease_rejections += 1;
+            return Escalation::Refused;
+        }
         // `withdraw` fails exactly when the job is not waiting in the
         // queue — running, held for lending, or done.
         if self.shards[vc_id.0].vc.framework.withdraw(job).is_err() {
-            return false;
+            return Escalation::NoCloud;
         }
         self.fabric.bursts += nb;
         self.fabric.escalations += 1;
@@ -882,7 +1028,7 @@ impl ShardExecutor {
             },
         );
         shard.apps.get_mut(&app_id).expect("app exists").placement = Placement::Cloud { cloud };
-        true
+        Escalation::Leased
     }
 
     // ---- control plane -----------------------------------------------------
@@ -1060,30 +1206,48 @@ impl ShardExecutor {
                 self.shards[src.0].recycle_vm_buf(take);
             }
             Decision::Cloud { cloud, .. } => {
-                self.fabric.bursts += nb;
-                let vc_image = self.shards[vc_id.0].vc.image;
-                let spec_shape = self.cfg.vm_spec;
-                let c = &mut self.fabric.clouds[cloud.0 as usize];
-                let speed = c.speed();
-                let mut vms = Vec::with_capacity(nb as usize);
-                let mut done = SimDuration::ZERO;
-                for _ in 0..nb {
-                    let (vm, prov, rate) = c
-                        .begin_lease(vc_image, spec_shape, now)
-                        .expect("protocol only offers clouds that can lease");
-                    done = done.max_of(prov);
-                    vms.push((vm, rate));
+                if self.fabric.clouds[cloud.0 as usize]
+                    .admit_lease(now)
+                    .is_err()
+                {
+                    // Fault plane: the chosen cloud refused the lease
+                    // (outage window or transient rejection). Degrade
+                    // to the Queue decision — the job joins its VC's
+                    // framework queue on the private estate, and the
+                    // SLA controller's escalation path (with its
+                    // retry/backoff chain) takes it from there.
+                    self.fabric.lease_rejections += 1;
+                    let Some(app) = self.shards[vc_id.0].apps.get_mut(&app_id) else {
+                        unreachable!("app was inserted above")
+                    };
+                    app.placement = Placement::Local;
+                    self.push_event(now + base, Event::SubmitToFramework { app: app_id });
+                } else {
+                    self.fabric.bursts += nb;
+                    let vc_image = self.shards[vc_id.0].vc.image;
+                    let spec_shape = self.cfg.vm_spec;
+                    let c = &mut self.fabric.clouds[cloud.0 as usize];
+                    let speed = c.speed();
+                    let mut vms = Vec::with_capacity(nb as usize);
+                    let mut done = SimDuration::ZERO;
+                    for _ in 0..nb {
+                        let (vm, prov, rate) = c
+                            .begin_lease(vc_image, spec_shape, now)
+                            .expect("protocol only offers clouds that can lease");
+                        done = done.max_of(prov);
+                        vms.push((vm, rate));
+                    }
+                    self.push_event(now + base + done, Event::CloudVmsReady { app: app_id });
+                    self.shards[vc_id.0].pending.insert(
+                        app_id,
+                        PendingAcquisition::CloudLease {
+                            cloud,
+                            vms,
+                            speed,
+                            existing_job: None,
+                        },
+                    );
                 }
-                self.push_event(now + base + done, Event::CloudVmsReady { app: app_id });
-                self.shards[vc_id.0].pending.insert(
-                    app_id,
-                    PendingAcquisition::CloudLease {
-                        cloud,
-                        vms,
-                        speed,
-                        existing_job: None,
-                    },
-                );
             }
         }
 
@@ -1309,6 +1473,24 @@ impl ShardExecutor {
         let mut series = SeriesSet::new();
         series.add(self.fabric.used_private);
         series.add(self.fabric.used_cloud);
+        // `faults` appears only when the spec armed a failure process,
+        // so a faults-off report — and every pre-fault-plane golden —
+        // serializes byte-identically.
+        let faults = self
+            .cfg
+            .faults
+            .enabled()
+            .then(|| crate::report::FaultStats {
+                vm_crashes: self.fabric.vm_crashes,
+                crashed_private: self.fabric.crashed_private,
+                crashed_cloud: self.fabric.crashed_cloud,
+                jobs_reexecuted: self.fabric.jobs_reexecuted,
+                lease_rejections: self.fabric.lease_rejections,
+                lease_retries: self.fabric.lease_retries,
+                retries_exhausted: self.fabric.retries_exhausted,
+                masked_faults: (self.fabric.vm_crashes + self.fabric.lease_rejections)
+                    .saturating_sub(self.fabric.retries_exhausted),
+            });
         RunReport {
             mode: self.cfg.policy.clone(),
             seed: self.cfg.seed,
@@ -1324,6 +1506,7 @@ impl ShardExecutor {
             escalations: self.fabric.escalations,
             cloud_bill: self.fabric.cloud_bill,
             events_processed,
+            faults,
             aggregate,
         }
     }

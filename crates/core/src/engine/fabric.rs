@@ -57,6 +57,25 @@ pub struct SharedFabric {
     pub(crate) suspensions: u64,
     pub(crate) escalations: u64,
     pub(crate) rejected: usize,
+    // Fault-plane tallies (all zero unless a failure process is armed;
+    // serialized unconditionally — checkpoints are same-version
+    // artifacts, and a faults-off *report* omits them entirely).
+    /// Slave VMs crashed mid-stint.
+    pub(crate) vm_crashes: u64,
+    /// Crash victims on the private pool (each boots a replacement).
+    pub(crate) crashed_private: u64,
+    /// Crash victims on cloud leases (the whole lease batch tears down).
+    pub(crate) crashed_cloud: u64,
+    /// Jobs whose stint was discarded and re-entered the queue.
+    pub(crate) jobs_reexecuted: u64,
+    /// Cloud-lease admissions refused (outage window or transient
+    /// rejection), counted on the arrival and escalation paths alike.
+    pub(crate) lease_rejections: u64,
+    /// Backed-off escalation retries armed.
+    pub(crate) lease_retries: u64,
+    /// Backoff chains that ran out of budget and degraded to the
+    /// private pool for good.
+    pub(crate) retries_exhausted: u64,
     /// Per-Client-Manager earliest-free instants (empty = unbounded
     /// front-end concurrency).
     cm_free_at: Vec<SimTime>,
@@ -105,6 +124,13 @@ impl SharedFabric {
             suspensions: 0,
             escalations: 0,
             rejected: 0,
+            vm_crashes: 0,
+            crashed_private: 0,
+            crashed_cloud: 0,
+            jobs_reexecuted: 0,
+            lease_rejections: 0,
+            lease_retries: 0,
+            retries_exhausted: 0,
             cm_free_at: vec![SimTime::ZERO; client_managers.unwrap_or(0)],
             lat_rng,
         }
@@ -226,13 +252,20 @@ impl SharedFabric {
                         .expect("lease completes");
                 }
             }
-            Effect::Escalate { .. } | Effect::TransferStopped { .. } | Effect::Retire { .. } => {
+            Effect::Escalate { .. }
+            | Effect::LeaseRetry { .. }
+            | Effect::TransferStopped { .. }
+            | Effect::Retire { .. } => {
                 unreachable!(
-                    "escalations, transfer batches and retirements are applied by the executor"
+                    "escalations, lease retries, transfer batches and retirements are applied \
+                     by the executor"
                 )
             }
             Effect::ReturnStopped { .. } => {
                 unreachable!("return batches are applied by the executor")
+            }
+            Effect::VmCrashed { .. } => {
+                unreachable!("crash recovery is applied by the executor")
             }
         }
     }

@@ -40,6 +40,10 @@ pub(crate) fn next_check(now: SimTime, interval: SimDuration) -> SimTime {
 pub(crate) struct Stint {
     pub(crate) started: SimTime,
     pub(crate) vms: Vec<(VmId, Location, VmRate)>,
+    /// Dispatch epoch the stint belongs to — the stale-guard for fault
+    /// events: a crash drawn for this stint is dropped if the job was
+    /// suspended and redispatched (new epoch) before it fired.
+    pub(crate) epoch: u64,
 }
 
 /// Multi-step VM acquisition in flight for an application.
@@ -78,6 +82,10 @@ pub(crate) struct ShardPolicy {
     /// the run's aggregates and drops its per-app state (O(live)
     /// memory instead of O(history)).
     pub(crate) retire_on_completion: bool,
+    /// Fault plane: mean time between failures of one slave VM, if VM
+    /// crashes are enabled. Each dispatch draws the stint's first crash
+    /// from the shard's dedicated fault stream.
+    pub(crate) vm_mtbf: Option<SimDuration>,
 }
 
 /// A lending relationship: when the borrower finishes, `victim` (held
@@ -114,6 +122,13 @@ pub struct VcShard {
     /// pure function of `(seed, vc)` — independent of every other VC's
     /// traffic.
     pub(crate) lat_rng: SimRng,
+    /// This shard's fault stream: `stream_seed(cfg.seed,
+    /// FAULT_STREAM_BASE + vc)`. Crash-hazard draws come from here, a
+    /// stream *separate* from `lat_rng` — fault injection must not
+    /// perturb the latency draw sequence, so a fault-enabled run stays
+    /// comparable to its fault-free twin and faults-off runs stay
+    /// byte-identical to pre-fault-plane baselines.
+    pub(crate) fault_rng: SimRng,
     /// Logical ticks credited beyond the queue's own count: a coalesced
     /// choreography event stands for one tick per VM in its batch, and
     /// the extra `len - 1` land here so the "events processed" unit
@@ -128,7 +143,12 @@ pub struct VcShard {
 
 impl VcShard {
     /// Wraps a deployed cluster into an empty shard.
-    pub(crate) fn new(vc: VirtualCluster, policy: ShardPolicy, lat_rng: SimRng) -> Self {
+    pub(crate) fn new(
+        vc: VirtualCluster,
+        policy: ShardPolicy,
+        lat_rng: SimRng,
+        fault_rng: SimRng,
+    ) -> Self {
         VcShard {
             vc,
             apps: AppMap::default(),
@@ -139,6 +159,7 @@ impl VcShard {
             lendings: BTreeMap::new(),
             policy,
             lat_rng,
+            fault_rng,
             extra_ticks: 0,
             vm_bufs: Vec::new(),
             stint_bufs: Vec::new(),
@@ -237,6 +258,20 @@ impl VcShard {
                 debug_assert_eq!(src, self.vc.id, "misrouted return");
                 self.on_return_ready(now, victim, vms, sink);
             }
+            Event::VmCrash {
+                vc,
+                job,
+                epoch,
+                slot,
+            } => {
+                debug_assert_eq!(vc, self.vc.id, "misrouted crash");
+                self.on_vm_crash(now, job, epoch, slot, sink);
+            }
+            Event::CrashReplacementReady { vc, vms } => {
+                debug_assert_eq!(vc, self.vc.id, "misrouted replacement");
+                self.on_crash_replacement_ready(now, vms, sink);
+            }
+            Event::LeaseRetry { app, attempt } => self.sla_verdict(now, app, Some(attempt), sink),
             other => unreachable!("control event routed to a shard: {other:?}"),
         }
     }
@@ -329,7 +364,15 @@ impl VcShard {
         app.times.start(now);
         let done = app.times.progress_t(now);
         app.times.set_exec_t(done + d.exec_total);
-        self.stints.insert(d.job, Stint { started: now, vms });
+        let stint_size = vms.len();
+        self.stints.insert(
+            d.job,
+            Stint {
+                started: now,
+                vms,
+                epoch: d.epoch,
+            },
+        );
         sink.emit(Effect::Schedule {
             due: d.finish_at,
             event: Event::JobFinished {
@@ -338,6 +381,30 @@ impl VcShard {
                 epoch: d.epoch,
             },
         });
+        if let Some(mtbf) = self.policy.vm_mtbf {
+            // The minimum of `k` independent exponential clocks with
+            // mean `mtbf` is exponential with mean `mtbf / k`; the
+            // victim slot is uniform. Exactly two fault-stream draws
+            // per dispatch, crash or not — the stream's consumption is
+            // a pure function of the dispatch sequence, never of
+            // outcomes, which keeps fault runs thread-count-invariant.
+            let delay = self
+                .fault_rng
+                .exponential(mtbf.scale(1.0 / stint_size as f64));
+            let slot = self.fault_rng.index(stint_size) as u32;
+            let crash_at = now + delay;
+            if crash_at < d.finish_at {
+                sink.emit(Effect::Schedule {
+                    due: crash_at,
+                    event: Event::VmCrash {
+                        vc: self.vc.id,
+                        job: d.job,
+                        epoch: d.epoch,
+                        slot,
+                    },
+                });
+            }
+        }
     }
 
     // ---- completion -------------------------------------------------------
@@ -578,6 +645,101 @@ impl VcShard {
         self.dispatch(now, sink);
     }
 
+    // ---- fault plane ------------------------------------------------------
+
+    /// A slave VM of `job`'s stint crashes. The stint's progress is
+    /// lost (no checkpoint survives a crashed VM): the stint closes
+    /// billed through the crash instant, the job re-enters the queue at
+    /// the front for full re-execution, and the victim leaves the
+    /// estate via [`Effect::VmCrashed`] — the executor terminates it
+    /// and, for a private victim, boots a replacement so the VC's
+    /// capacity is conserved. Stints are homogeneous, so a *cloud*
+    /// victim takes its whole lease batch down with it: the surviving
+    /// leases release and the requeued job falls back to the private
+    /// estate.
+    fn on_vm_crash(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        epoch: u64,
+        slot: u32,
+        sink: &mut EffectSink,
+    ) {
+        match self.stints.get(&job) {
+            Some(stint) if stint.epoch == epoch => {}
+            // Stale crash: the stint completed, or the job was
+            // suspended and redispatched (new epoch), before it fired.
+            _ => return,
+        }
+        let app_id = self.vc.app_of(job);
+        let stint_vms = self.close_stint(now, job, sink);
+        let freed = self
+            .vc
+            .framework
+            .fail_running(job)
+            .unwrap_or_else(|e| unreachable!("crashed stint's job is running: {e:?}"));
+        debug_assert_eq!(freed.len(), stint_vms.len(), "stint and framework agree");
+        {
+            // Bank the wasted wall time: `times` honestly reflects that
+            // the re-execution starts from scratch.
+            let Some(app) = self.apps.get_mut(&app_id) else {
+                unreachable!("crashed job's app exists")
+            };
+            app.times.suspend(now);
+        }
+        let (victim, victim_loc, _) = stint_vms[slot as usize % stint_vms.len()];
+        match victim_loc {
+            Location::Private => {
+                self.vc
+                    .remove_slave(victim)
+                    .unwrap_or_else(|e| unreachable!("crashed slave is idle: {e:?}"));
+                sink.emit(Effect::VmCrashed {
+                    vm: victim,
+                    location: victim_loc,
+                });
+            }
+            Location::Cloud(cloud) => {
+                let mut rest = Vec::with_capacity(stint_vms.len() - 1);
+                for &(vm, _, _) in &stint_vms {
+                    self.vc
+                        .remove_slave(vm)
+                        .unwrap_or_else(|e| unreachable!("crashed stint's slaves are idle: {e:?}"));
+                    if vm != victim {
+                        rest.push(vm);
+                    }
+                }
+                sink.emit(Effect::VmCrashed {
+                    vm: victim,
+                    location: victim_loc,
+                });
+                if !rest.is_empty() {
+                    sink.emit(Effect::ReleaseCloud { cloud, vms: rest });
+                }
+                let Some(app) = self.apps.get_mut(&app_id) else {
+                    unreachable!("crashed job's app exists")
+                };
+                app.placement = Placement::Local;
+            }
+        }
+        self.recycle_stint_buf(stint_vms);
+        self.dispatch(now, sink);
+    }
+
+    /// A replacement VM finished booting after a private-pool crash:
+    /// it rejoins this VC as a slave and the framework dispatches
+    /// whatever now fits — typically the job the crash requeued.
+    fn on_crash_replacement_ready(&mut self, now: SimTime, vms: Vec<VmId>, sink: &mut EffectSink) {
+        self.credit_batch(vms.len());
+        let rate = self.policy.private_cost;
+        for &vm in &vms {
+            self.vc
+                .add_slave(vm, 1.0, Location::Private, rate)
+                .unwrap_or_else(|e| unreachable!("fresh replacement slave is unique: {e:?}"));
+        }
+        sink.emit(Effect::CompleteStarts { vms });
+        self.dispatch(now, sink);
+    }
+
     // ---- SLA monitoring ---------------------------------------------------
 
     /// One Application Controller check, run entirely shard-side.
@@ -591,6 +753,24 @@ impl VcShard {
     /// recorded locally and the check retires; everything else re-arms
     /// on the next global check tick.
     pub(crate) fn check_sla(&mut self, now: SimTime, app_id: AppId, sink: &mut EffectSink) {
+        self.sla_verdict(now, app_id, None, sink);
+    }
+
+    /// The SLA decision surface behind both [`VcShard::check_sla`] and
+    /// the fault plane's [`crate::events::Event::LeaseRetry`]: identical
+    /// verdicts, but a retry re-asks the market through
+    /// [`Effect::LeaseRetry`] (carrying the attempt for the executor's
+    /// backoff budget) instead of [`Effect::Escalate`]. A retry whose
+    /// application recovered meanwhile — completed, dispatched with
+    /// margin, or mid-acquisition — simply falls through to the normal
+    /// retire/re-arm outcomes, ending the backoff chain.
+    fn sla_verdict(
+        &mut self,
+        now: SimTime,
+        app_id: AppId,
+        retry_attempt: Option<u32>,
+        sink: &mut EffectSink,
+    ) {
         let Some(interval) = self.policy.check_interval else {
             return; // unmonitored deployment: nothing ever arms a check
         };
@@ -608,10 +788,17 @@ impl VcShard {
         {
             // The market decides; on failure the executor falls back to
             // the mark-or-re-arm below using `violated`.
-            sink.emit(Effect::Escalate {
-                app: app_id,
-                violated: status.is_violated(),
-            });
+            match retry_attempt {
+                None => sink.emit(Effect::Escalate {
+                    app: app_id,
+                    violated: status.is_violated(),
+                }),
+                Some(attempt) => sink.emit(Effect::LeaseRetry {
+                    app: app_id,
+                    violated: status.is_violated(),
+                    attempt,
+                }),
+            }
             return;
         }
         if status.is_violated() {
@@ -646,6 +833,7 @@ impl VcShard {
             acquired: self.acquired.clone(),
             lendings: self.lendings.clone(),
             lat_rng: self.lat_rng.clone(),
+            fault_rng: self.fault_rng.clone(),
             extra_ticks: self.extra_ticks,
         }
     }
@@ -662,6 +850,7 @@ impl VcShard {
             lendings: snap.lendings,
             policy,
             lat_rng: snap.lat_rng,
+            fault_rng: snap.fault_rng,
             extra_ticks: snap.extra_ticks,
             vm_bufs: Vec::new(),
             stint_bufs: Vec::new(),
@@ -680,6 +869,7 @@ pub struct ShardSnapshot {
     acquired: BTreeMap<AppId, Vec<VmId>>,
     lendings: BTreeMap<AppId, Lending>,
     lat_rng: SimRng,
+    fault_rng: SimRng,
     extra_ticks: u64,
 }
 
@@ -716,8 +906,10 @@ mod tests {
                 check_interval: interval.map(d),
                 private_cost: VmRate::per_vm_second(2),
                 retire_on_completion: false,
+                vm_mtbf: None,
             },
             SimRng::new(SimRng::stream_seed(0xC0FFEE, 1 << 32)),
+            SimRng::new(SimRng::stream_seed(0xC0FFEE, 2 << 32)),
         )
     }
 

@@ -96,6 +96,38 @@ pub enum Event {
         /// The monitored application.
         app: AppId,
     },
+    /// A slave VM of a running stint crashes (fault plane, seeded from
+    /// the shard's dedicated fault stream at dispatch time). Stale
+    /// epochs are dropped exactly like [`Event::JobFinished`]: if the
+    /// stint completed or was torn down first, the crash never existed.
+    VmCrash {
+        /// The hosting VC.
+        vc: VcId,
+        /// The framework job whose stint the victim serves.
+        job: JobId,
+        /// Dispatch epoch at scheduling time.
+        epoch: u64,
+        /// Index of the victim within the stint's VM batch.
+        slot: u32,
+    },
+    /// A replacement VM finished booting after a private-pool crash;
+    /// the shard re-adds it as a slave and dispatches.
+    CrashReplacementReady {
+        /// The VC regaining capacity.
+        vc: VcId,
+        /// The freshly booted replacement VMs.
+        vms: Vec<VmId>,
+    },
+    /// A deferred retry of a refused cloud escalation (fault plane):
+    /// the backoff timer elapsed, re-run the SLA verdict and — if the
+    /// application still needs the cloud — re-attempt the lease.
+    LeaseRetry {
+        /// The application whose escalation was refused.
+        app: AppId,
+        /// Which attempt this is (1-based; drives the backoff cap and
+        /// the retry budget).
+        attempt: u32,
+    },
 }
 
 /// Which state machine owns an event under the sharded engine.
@@ -124,12 +156,15 @@ impl Event {
         match *self {
             Event::JobFinished { vc, .. }
             | Event::ReturnStopsDone { src: vc, .. }
-            | Event::ReturnReady { src: vc, .. } => EventOwner::Shard(vc),
+            | Event::ReturnReady { src: vc, .. }
+            | Event::VmCrash { vc, .. }
+            | Event::CrashReplacementReady { vc, .. } => EventOwner::Shard(vc),
             Event::SubmitToFramework { app }
             | Event::ControllerCheck { app }
             | Event::TransferStopsDone { app }
             | Event::TransferReady { app }
-            | Event::CloudVmsReady { app } => EventOwner::AppShard(app),
+            | Event::CloudVmsReady { app }
+            | Event::LeaseRetry { app, .. } => EventOwner::AppShard(app),
             Event::Arrival(_) | Event::CloudReleased { .. } => EventOwner::Control,
         }
     }

@@ -180,6 +180,35 @@ impl AggregateReport {
     }
 }
 
+/// Fault-plane tallies: what the seeded failure processes injected and
+/// what the recovery machinery absorbed. Present in a report exactly
+/// when the run's [`crate::config::FaultSpec`] armed a failure process
+/// — faults-off reports serialize byte-identically to pre-fault-plane
+/// ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Slave VMs crashed mid-stint.
+    pub vm_crashes: u64,
+    /// Crash victims on the private pool (each booted a replacement).
+    pub crashed_private: u64,
+    /// Crash victims on cloud leases (the lease batch tore down).
+    pub crashed_cloud: u64,
+    /// Jobs whose stint was discarded and re-executed from scratch.
+    pub jobs_reexecuted: u64,
+    /// Cloud-lease admissions refused (outage window or transient
+    /// rejection), on the arrival and escalation paths alike.
+    pub lease_rejections: u64,
+    /// Backed-off escalation retries armed.
+    pub lease_retries: u64,
+    /// Backoff chains that ran out of budget and degraded to the
+    /// private pool for good.
+    pub retries_exhausted: u64,
+    /// Faults the recovery machinery absorbed without giving up: every
+    /// crash re-executes, and every rejection short of an exhausted
+    /// backoff chain was retried or degraded gracefully.
+    pub masked_faults: u64,
+}
+
 /// Everything one platform run produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -213,6 +242,12 @@ pub struct RunReport {
     pub cloud_bill: Money,
     /// Events the simulation processed.
     pub events_processed: u64,
+    /// Fault-plane tallies; `Some` exactly when the run's
+    /// [`crate::config::FaultSpec`] armed a failure process. Skipped
+    /// entirely when absent so faults-off reports — and every
+    /// pre-fault-plane golden — serialize byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultStats>,
     /// Aggregate-only tallies; `Some` exactly when the run used
     /// [`ReportMode::Aggregate`] (and `apps` is then empty).
     #[serde(default)]
@@ -425,6 +460,7 @@ mod tests {
             escalations: 0,
             cloud_bill: Money::ZERO,
             events_processed: 100,
+            faults: None,
             aggregate: None,
         }
     }

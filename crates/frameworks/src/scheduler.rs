@@ -469,6 +469,34 @@ impl<M: ExecModel> DedicatedScheduler<M> {
         Ok(vms)
     }
 
+    /// Fails a running job's current stint — the fault-plane path for a
+    /// crashed slave VM. Unlike [`DedicatedScheduler::suspend`], the
+    /// stint's progress is *discarded* (`remaining_fraction` resets to
+    /// 1.0: there is no checkpoint on a crashed VM, the job re-executes
+    /// from scratch), the epoch bumps so the stale completion event is
+    /// dropped, and the job re-enters the queue at the front. Returns
+    /// the slaves the stint was occupying — including the crashed one;
+    /// the caller decides which of them still exist.
+    pub fn fail_running(&mut self, job_id: JobId) -> Result<Vec<VmId>, FrameworkError> {
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(FrameworkError::UnknownJob(job_id))?;
+        let vms = match &job.state {
+            JobState::Running { vms, .. } => vms.clone(),
+            _ => return Err(FrameworkError::NotRunning(job_id)),
+        };
+        job.remaining_fraction = 1.0;
+        job.epoch += 1;
+        job.state = JobState::Queued;
+        self.running.remove(&job_id);
+        for vm in &vms {
+            self.slaves.get_mut(vm).expect("assigned slave exists").busy = None;
+        }
+        self.queue.push_front(job_id);
+        Ok(vms)
+    }
+
     /// Withdraws a *queued* (never-started or not-currently-running) job
     /// from the queue — the hook for SLA-enforcement policies that
     /// re-place a waiting job elsewhere (e.g. burst it to a cloud).
@@ -761,6 +789,43 @@ mod tests {
         let d = s.try_dispatch(t(60));
         assert_eq!(d[0].job, a);
         let _ = b;
+    }
+
+    #[test]
+    fn fail_running_discards_progress_and_requeues_at_front() {
+        let mut s = sched();
+        s.add_slave(vid(0), 1.0, false).unwrap();
+        let a = s.submit(batch(100, 1), t(0)).unwrap();
+        let b = s.submit(batch(100, 1), t(0)).unwrap();
+        let d = s.try_dispatch(t(0));
+        // Crash at t=80: unlike suspend, the 80% progress is lost.
+        let freed = s.fail_running(a).unwrap();
+        assert_eq!(freed, vec![vid(0)]);
+        let job = s.job(a).unwrap();
+        assert_eq!(job.remaining_fraction, 1.0);
+        assert!(!job.is_running());
+        // The stale completion event is void (epoch bumped).
+        assert_eq!(s.on_finished(a, d[0].epoch, t(100)).unwrap(), None);
+        // The failed job restarts ahead of b, for its full duration.
+        let d2 = s.try_dispatch(t(80));
+        assert_eq!(d2[0].job, a);
+        assert_eq!(d2[0].exec_total, SimDuration::from_secs(100));
+        let _ = b;
+    }
+
+    #[test]
+    fn fail_running_rejects_non_running_jobs() {
+        let mut s = sched();
+        s.add_slave(vid(0), 1.0, false).unwrap();
+        let queued = s.submit(batch(100, 2), t(0)).unwrap();
+        assert_eq!(
+            s.fail_running(queued),
+            Err(FrameworkError::NotRunning(queued))
+        );
+        assert_eq!(
+            s.fail_running(JobId(99)),
+            Err(FrameworkError::UnknownJob(JobId(99)))
+        );
     }
 
     #[test]

@@ -129,6 +129,11 @@ pub trait Framework: Send {
     /// VMs are given back (the Algorithm 2 lending path).
     fn suspend_and_hold(&mut self, job: JobId, now: SimTime) -> Result<Vec<VmId>, FrameworkError>;
 
+    /// Fails a running job's stint (a slave VM crashed): progress is
+    /// discarded, the job requeues at the front for full re-execution,
+    /// and the stint's slaves — crashed one included — are returned.
+    fn fail_running(&mut self, job: JobId) -> Result<Vec<VmId>, FrameworkError>;
+
     /// Requeues a held job at the front of the queue.
     fn requeue_held(&mut self, job: JobId) -> Result<(), FrameworkError>;
 
@@ -273,6 +278,12 @@ macro_rules! delegate_framework {
                 job: crate::job::JobId,
             ) -> Result<(), crate::error::FrameworkError> {
                 self.inner.requeue_held(job)
+            }
+            fn fail_running(
+                &mut self,
+                job: crate::job::JobId,
+            ) -> Result<Vec<meryn_vmm::VmId>, crate::error::FrameworkError> {
+                self.inner.fail_running(job)
             }
             fn withdraw(
                 &mut self,

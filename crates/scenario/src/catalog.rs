@@ -5,7 +5,7 @@
 //! `tests/scenario_roundtrip.rs` byte-compares them, so the files, the
 //! experiment binaries and this catalog can never drift apart.
 
-use meryn_core::config::{PlatformConfig, VcConfig};
+use meryn_core::config::{FaultSpec, OutageWindow, PlatformConfig, VcConfig, ViolationPolicy};
 use meryn_frameworks::{FrameworkKind, ScalingLaw};
 use meryn_sim::SimDuration;
 use meryn_sla::negotiation::UserStrategy;
@@ -376,6 +376,63 @@ fn hyperscale_workload(count: usize, vcs: usize, mean_gap: SimDuration) -> Gener
     }
 }
 
+/// The fault-plane showcase: the paper workload under an aggressive —
+/// but fully deterministic — failure regime. Every VM carries a 2 h
+/// exponential crash hazard (drawn from the per-shard fault streams),
+/// a third of cloud-lease admissions are transiently refused, and the
+/// cloud market schedules a 10-minute whole-cloud outage right where
+/// the paper run's escalations cluster. Refused acquisitions retry on
+/// the deterministic capped backoff (30 s base, 240 s cap, budget 4)
+/// before degrading to the private pool. Comparing meryn against
+/// static under the *same* fault schedule shows the exchange
+/// protocol's slack absorbing faults the static split pays the cloud
+/// (or the SLA penalty) for.
+pub fn chaos_datacenter() -> Scenario {
+    let mut platform = PlatformConfig::paper("meryn");
+    // Refused leases only retry on the escalation path; the paper's
+    // report-only violation handling would leave the backoff machinery
+    // idle.
+    platform.violation_policy = ViolationPolicy::EscalateToCloud;
+    platform.faults = FaultSpec {
+        vm_mtbf_secs: Some(7_200),
+        lease_rejection_prob: 0.3,
+        lease_rejection_secs: 120,
+        cloud_outages: vec![OutageWindow {
+            cloud: 0,
+            from_secs: 600,
+            to_secs: 1_200,
+        }],
+        retry_max: 4,
+        backoff_base_secs: 30,
+        backoff_cap_secs: 240,
+    };
+    Scenario {
+        name: "chaos-datacenter".into(),
+        description: "The paper evaluation under a deterministic failure regime: 2 h per-VM \
+                      crash MTBF, 30% transient lease rejections with capped-backoff retries \
+                      (30 s base, budget 4), and a 600-1200 s whole-cloud outage — meryn vs \
+                      static on the identical fault schedule."
+            .into(),
+        platform,
+        workload: WorkloadSpec::Paper(PaperWorkloadParams::default()),
+        sweep: SweepSpec {
+            replicas: 3,
+            axes: vec![SweepAxis::Policy {
+                values: vec!["meryn".into(), "static".into()],
+            }],
+            ..Default::default()
+        },
+        outputs: OutputSpec {
+            summary: true,
+            placements: true,
+            series: false,
+            comparison: true,
+            table1_samples: None,
+            aggregate: false,
+        },
+    }
+}
+
 /// The cross-crate extension policy at work: `deadline-aware` (defined
 /// and registered in [`crate::policies`], *not* in `meryn-core`)
 /// against the two paper policies on a pressured estate. Suspensions
@@ -422,6 +479,7 @@ pub fn shipped() -> Vec<(&'static str, Scenario)> {
         ("many-vc", many_vc()),
         ("deadline-aware", deadline_aware()),
         ("hyperscale-ci", hyperscale_ci()),
+        ("chaos-datacenter", chaos_datacenter()),
     ]
 }
 

@@ -112,6 +112,11 @@ pub struct RunSummary {
     pub processing_mean_s: f64,
     /// Worst submission processing time [s].
     pub processing_max_s: f64,
+    /// Fault-plane tallies — present only when the platform armed a
+    /// failure process, so fault-free scenario reports stay
+    /// byte-identical to their pre-fault-plane goldens.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub faults: Option<meryn_core::report::FaultStats>,
     /// Per-VC aggregates, VC order.
     pub groups: Vec<GroupSummary>,
 }
@@ -158,6 +163,7 @@ impl RunSummary {
             avg_cost_units: all.avg_cost_units,
             processing_mean_s,
             processing_max_s,
+            faults: report.faults,
             groups: vc_names
                 .iter()
                 .enumerate()

@@ -139,6 +139,22 @@ pub struct PublicCloud {
     /// Serialized with the cloud so a restored checkpoint resumes its
     /// latency stream exactly where the snapshot left it.
     rng: SimRng,
+    /// Scheduled whole-cloud outage windows `[from, to)`, sorted by
+    /// start. Inside a window every lease attempt returns
+    /// [`VmmError::Unavailable`]; existing leases keep running (the
+    /// fault plane models control-plane outages, not data-plane loss).
+    outages: Vec<(SimTime, SimTime)>,
+    /// Probability that one admission attempt is transiently rejected.
+    rejection_prob: f64,
+    /// How long a transient rejection blacks the cloud out.
+    rejection_duration: SimDuration,
+    /// End of the current transient-rejection window, if one is open.
+    rejected_until: Option<SimTime>,
+    /// Dedicated fault stream (forked from the latency stream at
+    /// construction): rejection draws never perturb provisioning
+    /// latencies, so a fault-free run is byte-identical to one where
+    /// `rejection_prob == 0`.
+    fault_rng: SimRng,
 }
 
 impl PublicCloud {
@@ -158,6 +174,7 @@ impl PublicCloud {
         rng: SimRng,
     ) -> Self {
         assert!(speed > 0.0, "cloud speed factor must be positive");
+        let fault_rng = rng.fork(0xFA17);
         PublicCloud {
             id,
             name: name.into(),
@@ -175,7 +192,32 @@ impl PublicCloud {
             staged: BTreeSet::new(),
             active: 0,
             rng,
+            outages: Vec::new(),
+            rejection_prob: 0.0,
+            rejection_duration: SimDuration::ZERO,
+            rejected_until: None,
+            fault_rng,
         }
+    }
+
+    /// Arms the fault plane on this cloud: scheduled outage windows and
+    /// a per-admission transient-rejection process. With an empty window
+    /// list and `rejection_prob == 0.0` (the default) the cloud behaves
+    /// exactly as before — no draws, no rejections.
+    pub fn with_faults(
+        mut self,
+        outages: Vec<(SimTime, SimTime)>,
+        rejection_prob: f64,
+        rejection_duration: SimDuration,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rejection_prob),
+            "rejection_prob must be a probability"
+        );
+        self.outages = outages;
+        self.rejection_prob = rejection_prob;
+        self.rejection_duration = rejection_duration;
+        self
     }
 
     /// The cloud's display name.
@@ -205,11 +247,53 @@ impl PublicCloud {
     }
 
     /// True when the cloud can lease `n` more VMs under its quota.
+    /// Capacity only — availability (outages, open rejection windows)
+    /// is [`PublicCloud::check_available`], so callers can tell "full"
+    /// from "down".
     pub fn can_lease(&self, n: u64) -> bool {
         match self.quota {
             None => true,
             Some(q) => self.active_count() + n <= q,
         }
+    }
+
+    /// Checks the cloud's control plane at `now`: `Err(Unavailable)`
+    /// inside a scheduled outage window or an open transient-rejection
+    /// window. Deterministic — no draws.
+    pub fn check_available(&self, now: SimTime) -> Result<(), VmmError> {
+        for &(from, to) in &self.outages {
+            if from <= now && now < to {
+                return Err(VmmError::Unavailable {
+                    until_secs: Some(to.as_secs()),
+                });
+            }
+        }
+        if let Some(until) = self.rejected_until {
+            if now < until {
+                return Err(VmmError::Unavailable {
+                    until_secs: Some(until.as_secs()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One admission attempt against the fault plane: hard
+    /// unavailability first ([`PublicCloud::check_available`]), then —
+    /// only when a rejection process is armed — a transient-rejection
+    /// draw from the dedicated fault stream. A hit opens a rejection
+    /// window of `rejection_duration` and returns `Unavailable`.
+    /// With faults unarmed this is draw-free and always `Ok`.
+    pub fn admit_lease(&mut self, now: SimTime) -> Result<(), VmmError> {
+        self.check_available(now)?;
+        if self.rejection_prob > 0.0 && self.fault_rng.chance(self.rejection_prob) {
+            let until = now + self.rejection_duration;
+            self.rejected_until = Some(until);
+            return Err(VmmError::Unavailable {
+                until_secs: Some(until.as_secs()),
+            });
+        }
+        Ok(())
     }
 
     /// VMs currently holding resources here.
@@ -275,6 +359,7 @@ impl PublicCloud {
         if !self.staged.contains(&image) {
             return Err(VmmError::ImageNotStaged(image));
         }
+        self.check_available(now)?;
         if let Some(q) = self.quota {
             if self.active_count() >= q {
                 return Err(VmmError::CapacityExhausted { capacity: q });
@@ -331,6 +416,32 @@ impl PublicCloud {
             .remove(&id)
             .expect("released VM must have completed provisioning");
         let running_for = now.since(started);
+        Ok(LeaseClose {
+            vm: id,
+            running_for,
+            rate,
+            cost: rate.cost_for(running_for),
+        })
+    }
+
+    /// Crashes a leased VM at `now`, force-closing its lease: no
+    /// `Stopping` interval, no stop-latency draw, billed through the
+    /// crash instant at the locked rate. A lease crashed while still
+    /// provisioning never became billable and closes at zero cost. The
+    /// `active` counter stays conserved ([`PublicCloud::audit`] holds).
+    pub fn crash_lease(&mut self, id: VmId, now: SimTime) -> Result<LeaseClose, VmmError> {
+        let vm = self.vms.get_mut(&id).ok_or(VmmError::UnknownVm(id))?;
+        vm.crash(now)?;
+        self.active -= 1;
+        let rate = self
+            .lease_rates
+            .remove(&id)
+            .expect("leased VM must have a locked rate");
+        // Crashed before provisioning completed → never billable.
+        let running_for = match self.lease_started.remove(&id) {
+            Some(started) => now.since(started),
+            None => SimDuration::ZERO,
+        };
         Ok(LeaseClose {
             vm: id,
             running_for,
@@ -428,6 +539,80 @@ mod tests {
             .unwrap();
         assert_eq!(id.host(), HostTag(1));
         assert_eq!(c.vm(id).unwrap().location, Location::Cloud(CloudId(0)));
+    }
+
+    #[test]
+    fn outage_window_returns_unavailable_not_capacity() {
+        let mut c = cloud(None).with_faults(
+            vec![(SimTime::from_secs(100), SimTime::from_secs(200))],
+            0.0,
+            SimDuration::ZERO,
+        );
+        // Before the window: fine.
+        c.begin_lease(ImageId(0), VmSpec::EC2_MEDIUM_LIKE, SimTime::from_secs(50))
+            .unwrap();
+        // Inside: Unavailable naming the window end, never CapacityExhausted.
+        let err = c
+            .begin_lease(ImageId(0), VmSpec::EC2_MEDIUM_LIKE, SimTime::from_secs(150))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VmmError::Unavailable {
+                until_secs: Some(200)
+            }
+        );
+        assert!(c.can_lease(1), "capacity is a separate question");
+        // At the (half-open) window end: fine again.
+        c.begin_lease(ImageId(0), VmSpec::EC2_MEDIUM_LIKE, SimTime::from_secs(200))
+            .unwrap();
+    }
+
+    #[test]
+    fn transient_rejection_opens_a_window_then_heals() {
+        let mut c = cloud(None).with_faults(vec![], 1.0, SimDuration::from_secs(30));
+        let err = c.admit_lease(SimTime::from_secs(10)).unwrap_err();
+        assert_eq!(
+            err,
+            VmmError::Unavailable {
+                until_secs: Some(40)
+            }
+        );
+        // The open window rejects deterministically (no further draws).
+        assert!(c.check_available(SimTime::from_secs(39)).is_err());
+        assert!(c.check_available(SimTime::from_secs(40)).is_ok());
+        // Zero probability never rejects and never draws.
+        let mut quiet = cloud(None).with_faults(vec![], 0.0, SimDuration::from_secs(30));
+        for t in 0..50 {
+            quiet.admit_lease(SimTime::from_secs(t)).unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_lease_bills_through_the_crash_instant() {
+        let mut c = cloud(None);
+        let (id, _, rate) = c
+            .begin_lease(ImageId(0), VmSpec::EC2_MEDIUM_LIKE, SimTime::ZERO)
+            .unwrap();
+        c.complete_lease(id, SimTime::from_secs(50)).unwrap();
+        let close = c.crash_lease(id, SimTime::from_secs(350)).unwrap();
+        assert_eq!(close.running_for, SimDuration::from_secs(300));
+        assert_eq!(close.cost, rate.cost_for(SimDuration::from_secs(300)));
+        assert_eq!(c.active_count(), 0);
+        c.audit().expect("crash keeps the active counter conserved");
+        // Crashing again (or releasing) a dead lease fails.
+        assert!(c.crash_lease(id, SimTime::from_secs(351)).is_err());
+        assert!(c.begin_release(id, SimTime::from_secs(351)).is_err());
+    }
+
+    #[test]
+    fn crash_lease_while_provisioning_is_free() {
+        let mut c = cloud(None);
+        let (id, _, _) = c
+            .begin_lease(ImageId(0), VmSpec::EC2_MEDIUM_LIKE, SimTime::ZERO)
+            .unwrap();
+        let close = c.crash_lease(id, SimTime::from_secs(10)).unwrap();
+        assert_eq!(close.cost, Money::ZERO);
+        c.audit().unwrap();
     }
 
     #[test]

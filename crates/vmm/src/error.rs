@@ -29,6 +29,18 @@ pub enum VmmError {
     /// The image exists but was never staged to this cloud (§3.5 requires
     /// pre-saving framework images in every cloud that may be used).
     ImageNotStaged(ImageId),
+    /// The VM crashed: its resources were force-released by the fault
+    /// plane and any further lifecycle operation on it is invalid.
+    Crashed(VmId),
+    /// The host domain is temporarily refusing new leases — a scheduled
+    /// outage window or a transient rejection — as opposed to being
+    /// *full* ([`VmmError::CapacityExhausted`]). Callers retry with
+    /// backoff or degrade to the private pool.
+    Unavailable {
+        /// Earliest instant (seconds) the domain may accept leases
+        /// again, when known.
+        until_secs: Option<u64>,
+    },
 }
 
 impl fmt::Display for VmmError {
@@ -45,6 +57,11 @@ impl fmt::Display for VmmError {
             VmmError::ImageNotStaged(id) => {
                 write!(f, "image {id:?} not staged to this cloud")
             }
+            VmmError::Crashed(id) => write!(f, "VM {id} crashed"),
+            VmmError::Unavailable { until_secs } => match until_secs {
+                Some(t) => write!(f, "host domain unavailable until t={t} s"),
+                None => write!(f, "host domain unavailable"),
+            },
         }
     }
 }
@@ -70,5 +87,24 @@ mod tests {
             op: "stop",
         };
         assert_eq!(e.to_string(), "cannot stop VM vm0.3 in state Starting");
+    }
+
+    #[test]
+    fn crashed_names_the_vm() {
+        let vm = VmId::new(HostTag(0), 3);
+        assert_eq!(VmmError::Crashed(vm).to_string(), "VM vm0.3 crashed");
+    }
+
+    #[test]
+    fn unavailable_is_distinct_from_capacity() {
+        let e = VmmError::Unavailable {
+            until_secs: Some(120),
+        };
+        assert_eq!(e.to_string(), "host domain unavailable until t=120 s");
+        assert_eq!(
+            VmmError::Unavailable { until_secs: None }.to_string(),
+            "host domain unavailable"
+        );
+        assert_ne!(e, VmmError::CapacityExhausted { capacity: 120 });
     }
 }

@@ -236,6 +236,28 @@ impl PrivatePool {
         self.active -= 1;
         Ok(())
     }
+
+    /// Crashes a starting/running VM at `now`: the fault-plane path.
+    /// Resources release immediately (no `Stopping` interval, no stop
+    /// latency draw — the RNG stream is untouched, so fault-free
+    /// trajectories are byte-identical whether or not this method
+    /// exists). The `active` counter and node allocation stay conserved
+    /// exactly as in [`PrivatePool::complete_stop`], so
+    /// [`PrivatePool::audit`] holds across crashes.
+    pub fn crash_vm(&mut self, id: VmId, now: SimTime) -> Result<(), VmmError> {
+        let spec = self.spec;
+        let vm = self.vms.get_mut(&id).ok_or(VmmError::UnknownVm(id))?;
+        vm.crash(now)?;
+        let node_id = vm.node.expect("private VM must sit on a node");
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == node_id)
+            .expect("VM's node must exist");
+        node.release(spec);
+        self.active -= 1;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +355,41 @@ mod tests {
         let mut p = pool(1);
         let (id, _) = p.begin_start(ImageId(0), SimTime::ZERO).unwrap();
         assert!(p.begin_stop(id, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn crash_releases_slot_and_keeps_audit_conserved() {
+        let mut p = pool(2);
+        let (id, boot) = p.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        p.complete_start(id, SimTime::ZERO + boot).unwrap();
+        assert_eq!(p.available(), 1);
+        p.crash_vm(id, SimTime::from_secs(60)).unwrap();
+        assert_eq!(p.active_count(), 0);
+        assert_eq!(p.available(), 2, "crash releases the slot immediately");
+        assert!(!p.vm(id).unwrap().state().holds_resources());
+        p.audit().expect("crash keeps the active counter conserved");
+        // A crashed VM cannot be crashed or stopped again.
+        assert!(p.crash_vm(id, SimTime::from_secs(61)).is_err());
+        assert!(p.begin_stop(id, SimTime::from_secs(61)).is_err());
+        // The freed slot is reusable.
+        p.begin_start(ImageId(0), SimTime::from_secs(62)).unwrap();
+        p.audit().unwrap();
+    }
+
+    #[test]
+    fn crash_consumes_no_rng_draws() {
+        // Stop-latency draws after a crash must match a pool that never
+        // crashed anything: the fault path is RNG-silent.
+        let mut a = pool(4);
+        let mut b = pool(4);
+        let (ia, boot_a) = a.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        let (_ib, boot_b) = b.begin_start(ImageId(0), SimTime::ZERO).unwrap();
+        assert_eq!(boot_a, boot_b);
+        a.complete_start(ia, SimTime::ZERO + boot_a).unwrap();
+        a.crash_vm(ia, SimTime::from_secs(40)).unwrap();
+        let (_, next_a) = a.begin_start(ImageId(0), SimTime::from_secs(50)).unwrap();
+        let (_, next_b) = b.begin_start(ImageId(0), SimTime::from_secs(50)).unwrap();
+        assert_eq!(next_a, next_b, "crash must not advance the jitter stream");
     }
 
     #[test]

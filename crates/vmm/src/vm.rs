@@ -151,6 +151,25 @@ impl Vm {
         }
     }
 
+    /// Crashes the VM: `Starting | Running → Terminated`, skipping the
+    /// graceful stop protocol. Fault-plane transition — a crashed VM
+    /// releases its resources at the crash instant, with no `Stopping`
+    /// interval. Crashing a VM already shutting down (or gone) is an
+    /// [`VmmError::InvalidTransition`]: the stop protocol owns it.
+    pub fn crash(&mut self, now: SimTime) -> Result<(), VmmError> {
+        match self.state {
+            VmState::Starting { .. } | VmState::Running { .. } => {
+                self.state = VmState::Terminated { at: now };
+                Ok(())
+            }
+            s => Err(VmmError::InvalidTransition {
+                vm: self.id,
+                state: s.name(),
+                op: "crash",
+            }),
+        }
+    }
+
     /// Completes shutdown: `Stopping → Terminated`.
     pub fn complete_stop(&mut self, now: SimTime) -> Result<(), VmmError> {
         match self.state {
@@ -222,6 +241,37 @@ mod tests {
         assert!(v.complete_start(SimTime::from_secs(70)).is_err());
         assert!(v.begin_stop(SimTime::from_secs(70)).is_err());
         assert!(v.complete_stop(SimTime::from_secs(70)).is_err());
+    }
+
+    #[test]
+    fn crash_terminates_from_starting_and_running() {
+        let mut v = vm();
+        v.crash(SimTime::from_secs(20)).unwrap();
+        assert_eq!(v.state().name(), "Terminated");
+        assert!(!v.state().holds_resources());
+
+        let mut v = vm();
+        v.complete_start(SimTime::from_secs(40)).unwrap();
+        v.crash(SimTime::from_secs(50)).unwrap();
+        assert_eq!(
+            v.state(),
+            VmState::Terminated {
+                at: SimTime::from_secs(50)
+            }
+        );
+    }
+
+    #[test]
+    fn crash_rejected_while_stopping_or_terminated() {
+        let mut v = vm();
+        v.complete_start(SimTime::from_secs(40)).unwrap();
+        v.begin_stop(SimTime::from_secs(50)).unwrap();
+        assert!(matches!(
+            v.crash(SimTime::from_secs(51)),
+            Err(VmmError::InvalidTransition { op: "crash", .. })
+        ));
+        v.complete_stop(SimTime::from_secs(60)).unwrap();
+        assert!(v.crash(SimTime::from_secs(61)).is_err());
     }
 
     #[test]

@@ -88,6 +88,15 @@ fn many_vc_reproduces_its_golden() {
     reproduce("many-vc");
 }
 
+/// The fault-plane scenario: deterministic crashes, transient lease
+/// rejections and an outage window — its golden pins the whole
+/// recovery choreography (re-execution, capped backoff, degradation)
+/// byte for byte.
+#[test]
+fn chaos_datacenter_reproduces_its_golden() {
+    reproduce("chaos-datacenter");
+}
+
 /// ~100k submissions over a simulated month: minutes of work without
 /// optimizations, so the byte comparison only runs in release builds
 /// (CI additionally `cmp`s the release binary's report against this
