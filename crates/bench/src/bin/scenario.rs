@@ -47,6 +47,20 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// [`single_run_start`] with the bin's diagnostic convention: workload
+/// materialization and stream-attachment failures are user-input
+/// problems, reported on stderr with exit 2 (like an unreadable spec or
+/// a corrupt checkpoint) rather than a panic.
+fn start_single_run(scenario: &Scenario) -> meryn_core::Platform {
+    match single_run_start(scenario) {
+        Ok(platform) => platform,
+        Err(e) => {
+            eprintln!("error: cannot start {}: {e}", scenario.name);
+            std::process::exit(2);
+        }
+    }
+}
+
 fn write_run_report(report: &meryn_core::RunReport, json_path: Option<&str>, quiet: bool) {
     if let Some(path) = json_path {
         let mut json = serde_json::to_string_pretty(report).expect("report serializes");
@@ -131,7 +145,7 @@ fn main() {
 
     // The single-run checkpoint workflow.
     if single {
-        let mut platform = single_run_start(&scenario).expect("workload materializes");
+        let mut platform = start_single_run(&scenario);
         platform.run_to_completion();
         let report = platform.finalize();
         write_run_report(&report, json_path.as_deref(), quiet);
@@ -139,7 +153,7 @@ fn main() {
     }
     if let Some(cp_path) = checkpoint_path {
         let Some(secs) = checkpoint_at else { usage() };
-        let mut platform = single_run_start(&scenario).expect("workload materializes");
+        let mut platform = start_single_run(&scenario);
         let more = platform.run_until(SimTime::from_secs(secs));
         let cp = platform.checkpoint();
         let mut json = serde_json::to_string(&cp).expect("checkpoint serializes");

@@ -8,13 +8,13 @@
 
 use std::fmt;
 
-use meryn_frameworks::JobSpec;
+use meryn_frameworks::{FrameworkKind, JobSpec};
 use meryn_sim::{SimDuration, SimTime};
 use meryn_sla::negotiation::{negotiate, NegotiationFailure, UserStrategy};
 use meryn_sla::{SlaContract, SlaTerms};
 use meryn_workloads::{Submission, VcTarget};
 
-use crate::cluster_manager::{VcQuoter, VcView};
+use crate::cluster_manager::{VcQuoter, VcView, VirtualCluster};
 use crate::ids::VcId;
 
 /// Why a submission could not be admitted.
@@ -45,37 +45,46 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
-/// Resolves a submission's routing target to a VC id.
-pub fn route(target: VcTarget, shards: &[VcView<'_>]) -> Result<VcId, AdmissionError> {
+/// Resolves a submission's routing target against the deployed VC
+/// kinds alone (declaration order; the first VC of a kind wins, like
+/// the view-based [`route`]). Routing is a pure function of the
+/// deployment config, which is what lets the executor pre-route
+/// arrivals into shard queues without touching any shard state.
+pub fn route_kinds(target: VcTarget, kinds: &[FrameworkKind]) -> Result<VcId, AdmissionError> {
     match target {
         VcTarget::Index(i) => {
-            if i < shards.len() {
+            if i < kinds.len() {
                 Ok(VcId(i))
             } else {
                 Err(AdmissionError::UnknownVc(i))
             }
         }
-        VcTarget::Kind(kind) => shards
+        VcTarget::Kind(kind) => kinds
             .iter()
-            .find(|s| s.vc.kind == kind)
-            .map(|s| s.vc.id)
+            .position(|k| *k == kind)
+            .map(VcId)
             .ok_or(AdmissionError::NoVcForKind),
     }
 }
 
-/// Routes and negotiates a submission: returns the target VC, the
-/// (possibly re-allocated) job spec and the signed contract.
-pub fn admit(
+/// Resolves a submission's routing target to a VC id.
+pub fn route(target: VcTarget, shards: &[VcView<'_>]) -> Result<VcId, AdmissionError> {
+    let kinds: Vec<FrameworkKind> = shards.iter().map(|s| s.vc.kind).collect();
+    route_kinds(target, &kinds)
+}
+
+/// Negotiates an already-routed submission against its target VC:
+/// type-checks, runs the negotiation rounds and signs the contract.
+/// Needs nothing beyond the one VC, so it runs in-shard.
+pub fn admit_routed(
     sub: &Submission,
-    shards: &[VcView<'_>],
+    vc: &VirtualCluster,
     now: SimTime,
     quote_speed: f64,
     allowance: SimDuration,
     max_rounds: u32,
     max_vms: u64,
-) -> Result<(VcId, JobSpec, SlaContract, u32), AdmissionError> {
-    let vc_id = route(sub.target, shards)?;
-    let vc = shards[vc_id.0].vc;
+) -> Result<(JobSpec, SlaContract, u32), AdmissionError> {
     if sub.spec.type_name() != vc.kind.type_name() {
         return Err(AdmissionError::TypeMismatch);
     }
@@ -92,7 +101,31 @@ pub fn admit(
     let spec = sub.spec.with_nb_vms(outcome.quote.nb_vms);
     let terms = SlaTerms::from(outcome.quote);
     let contract = SlaContract::sign(terms, now, vc.pricing);
-    Ok((vc_id, spec, contract, outcome.rounds))
+    Ok((spec, contract, outcome.rounds))
+}
+
+/// Routes and negotiates a submission: returns the target VC, the
+/// (possibly re-allocated) job spec and the signed contract.
+pub fn admit(
+    sub: &Submission,
+    shards: &[VcView<'_>],
+    now: SimTime,
+    quote_speed: f64,
+    allowance: SimDuration,
+    max_rounds: u32,
+    max_vms: u64,
+) -> Result<(VcId, JobSpec, SlaContract, u32), AdmissionError> {
+    let vc_id = route(sub.target, shards)?;
+    let (spec, contract, rounds) = admit_routed(
+        sub,
+        shards[vc_id.0].vc,
+        now,
+        quote_speed,
+        allowance,
+        max_rounds,
+        max_vms,
+    )?;
+    Ok((vc_id, spec, contract, rounds))
 }
 
 /// How a user strategy applies to the paper's workload users.

@@ -171,6 +171,35 @@ pub enum Effect {
         /// Where it was running.
         location: Location,
     },
+    /// An arrival finished admission in-shard (type check, negotiation
+    /// rounds, app registration, CM-latency draw from the shard's
+    /// stream). What remains is exactly the cross-shard work: the
+    /// Algorithm 1 placement over every VC's view plus the cloud
+    /// market, the CM-pipeline serialization (`cm_free_at`) and the
+    /// decision's pool/market execution — all executor-owned, applied
+    /// at the effect's canonical position.
+    Place {
+        /// The freshly registered application.
+        app: AppId,
+        /// CM handling latency drawn from the shard's stream.
+        handling: meryn_sim::SimDuration,
+        /// The negotiated execution estimate (drives the bid duration).
+        quoted_exec: meryn_sim::SimDuration,
+        /// Extra pipeline latency if Algorithm 1 suspends a local
+        /// victim. Drawn unconditionally at admission — whether it is
+        /// consumed depends on the placement decision, but drawing it
+        /// up front keeps the shard's stream sequence identical whether
+        /// effects apply at the batch barrier or (single-step path)
+        /// immediately after each event.
+        suspend_local: meryn_sim::SimDuration,
+        /// Extra pipeline latency if Algorithm 1 suspends a remote
+        /// victim; same unconditional-draw rule as `suspend_local`.
+        suspend_remote: meryn_sim::SimDuration,
+    },
+    /// An arrival failed admission in-shard (type mismatch or
+    /// negotiation breakdown); the executor tallies the rejection on
+    /// the fabric.
+    Rejected,
     /// An SLA check re-ran after a refused cloud lease (fault plane):
     /// like [`Effect::Escalate`], but carrying the retry attempt so the
     /// executor can apply the deterministic capped backoff and the

@@ -8,17 +8,22 @@
 //! by that key ([`meryn_sim::earliest_key`]), so the *schedule* is a
 //! single total order — the same one the pre-shard monolith walked.
 //!
-//! Control events — arrivals and cloud-lease closes, nothing else —
-//! are processed sequentially: arrivals read cross-shard state
-//! (Algorithm 1 consults every VC's bids) and consume shared RNG
-//! streams, so their order *is* their semantics. Everything else is
-//! shard-owned: framework hand-off, job completion, SLA checks
-//! ([`VcShard::check_sla`]) and the coalesced VM choreography
-//! (transfer/return/lease batches expand inside their shard and send
-//! the pool work back as effects). Latency draws for a VC's arrivals
-//! and acquisitions come from that shard's own RNG stream
-//! (`stream_seed(seed, SHARD_STREAM_BASE + vc)`), so one VC's draw
-//! sequence never depends on another VC's traffic.
+//! Control events — cloud-lease closes and nothing else — are
+//! processed sequentially; the only other control-plane duty is
+//! advancing the streamed-arrival cursor. Everything else is
+//! shard-owned: admission itself (the executor pre-routes each
+//! submission to its VC from the deployment config and the shard
+//! type-checks, negotiates and registers the application —
+//! [`VcShard`]'s arrival handler), framework hand-off, job completion,
+//! SLA checks ([`VcShard::check_sla`]) and the coalesced VM
+//! choreography (transfer/return/lease batches expand inside their
+//! shard and send the pool work back as effects). The cross-shard half
+//! of an arrival — Algorithm 1 over every VC's bids plus the cloud
+//! market — travels back as [`Effect::Place`] and applies at the
+//! arrival's canonical position in the effect stream. Latency draws
+//! for a VC's arrivals and acquisitions come from that shard's own RNG
+//! stream (`stream_seed(seed, SHARD_STREAM_BASE + vc)`), so one VC's
+//! draw sequence never depends on another VC's traffic.
 //!
 //! Per time step the executor drains the maximal run of same-instant
 //! shard events up to the next control event, groups it by shard,
@@ -43,7 +48,12 @@
 //! canonical position in the run's effect stream — still identical at
 //! every thread count — while the single-step path applies it
 //! immediately after its event, which can resolve a same-instant
-//! escalation/dispatch race for one job differently.
+//! escalation/dispatch race for one job differently. [`Effect::Place`]
+//! needs no such caveat: every latency the placement might consume
+//! (CM handling plus both suspension extras) is drawn in-shard at
+//! admission, so applying the placement at the barrier or immediately
+//! after its arrival leaves each shard's stream sequence — and hence
+//! the trajectory — identical.
 
 use std::sync::Arc;
 
@@ -51,18 +61,18 @@ use meryn_frameworks::{BatchFramework, Framework, FrameworkKind, JobId, MapReduc
 use meryn_sim::metrics::SeriesSet;
 use meryn_sim::{earliest_key, EventQueue, QueueSnapshot, SimDuration, SimRng, SimTime};
 use meryn_sla::pricing::PricingParams;
-use meryn_sla::{AppTimes, Money};
+use meryn_sla::Money;
 use meryn_vmm::{CloudId, ImageRegistry, Location, PrivatePool, PublicCloud, VmId};
 use meryn_workloads::Submission;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::app::{AppPhase, Application};
+use crate::app::Application;
 use crate::bidding::BidRequest;
-use crate::client_manager::admit;
+use crate::client_manager::route_kinds;
 use crate::cluster_manager::{VcView, VirtualCluster};
 use crate::config::PlatformConfig;
-use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
+use crate::engine::effects::{Effect, EffectKey, EffectSink, SequencedEffect};
 use crate::engine::fabric::SharedFabric;
 use crate::engine::shard::{
     next_check, Lending, PendingAcquisition, ShardPolicy, ShardSnapshot, VcShard,
@@ -105,6 +115,10 @@ pub struct ShardExecutor {
     bidding: Arc<dyn BiddingPolicy>,
     /// One shard per deployed VC, `VcId` order.
     pub(crate) shards: Vec<VcShard>,
+    /// Deployed framework kinds, `VcId` order — the pure-config routing
+    /// table arrivals resolve against at enqueue/stream-dispatch time
+    /// (rebuilt from `cfg`, never serialized).
+    vc_kinds: Vec<FrameworkKind>,
     /// The shared singletons.
     pub(crate) fabric: SharedFabric,
     /// Order-sensitive events: arrivals and cloud-lease closes.
@@ -182,6 +196,28 @@ impl ArrivalSource {
         (seq, sub)
     }
 }
+
+/// Why a streamed workload could not be attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// A streamed workload is already attached to this run.
+    AlreadyAttached,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::AlreadyAttached => {
+                write!(
+                    f,
+                    "one streamed workload per run: a stream is already attached"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// The serializable cursor of an [`ArrivalSource`]: workloads are
 /// deterministic functions of their generator config and seed, so a
@@ -261,6 +297,13 @@ fn shard_policy(cfg: &PlatformConfig, retire_on_completion: bool) -> ShardPolicy
         private_cost: cfg.private_cost,
         retire_on_completion,
         vm_mtbf: cfg.faults.vm_mtbf_secs.map(SimDuration::from_secs),
+        quote_speed: cfg.quote_speed,
+        allowance: cfg.processing_allowance,
+        max_rounds: cfg.max_negotiation_rounds,
+        max_vms: cfg.private_capacity,
+        base_latency: cfg.latencies.base,
+        suspend_local: cfg.latencies.suspend_local,
+        suspend_remote: cfg.latencies.suspend_remote,
     }
 }
 
@@ -395,11 +438,13 @@ impl ShardExecutor {
                 VcShard::new(vc, policy, rng, fault_rng)
             })
             .collect();
+        let vc_kinds = cfg.vcs.iter().map(|v| v.kind).collect();
         ShardExecutor {
             cfg,
             placement,
             bidding,
             shards,
+            vc_kinds,
             fabric,
             control,
             control_extra_ticks: 0,
@@ -516,18 +561,44 @@ impl ShardExecutor {
         queue.push_tagged(due, seq, event);
     }
 
-    /// Enqueues a workload's arrivals onto the control plane.
+    /// Routes one submission to its owning shard from the deployment
+    /// config alone: pre-assigns the dense `AppId`, appends the
+    /// `AppId → VcId` entry and returns the shard-bound arrival event.
+    /// A routing failure (unknown VC index, no VC of the kind) tallies
+    /// the rejection immediately and consumes no `AppId` — the caller
+    /// still burns one sequence tag so the bulk-enqueued and streamed
+    /// schedules stay tag-for-tag identical.
+    fn route_arrival(&mut self, sub: Submission) -> Option<(VcId, Event)> {
+        match route_kinds(sub.target, &self.vc_kinds) {
+            Ok(vc) => {
+                let app = AppId(self.next_app);
+                self.next_app += 1;
+                self.app_vc.push(vc);
+                Some((vc, Event::Arrival { app, sub }))
+            }
+            Err(_) => {
+                self.fabric.rejected += 1;
+                None
+            }
+        }
+    }
+
+    /// Enqueues a workload's arrivals, pre-routed into their owning
+    /// shards' queues.
     pub fn enqueue_workload<I>(&mut self, workload: I)
     where
         I: IntoIterator,
         I::Item: std::borrow::Borrow<Submission>,
     {
         use std::borrow::Borrow as _;
-        let workload = workload.into_iter();
-        self.control.reserve(workload.size_hint().0);
         for sub in workload {
             let sub = *sub.borrow();
-            self.push_event(sub.at, Event::Arrival(sub));
+            match self.route_arrival(sub) {
+                Some((_, ev)) => self.push_event(sub.at, ev),
+                // Rejected at routing: burn the tag the arrival would
+                // have carried, matching the stream's reserved block.
+                None => self.next_seq += 1,
+            }
         }
     }
 
@@ -538,14 +609,20 @@ impl ShardExecutor {
     /// to the batch-enqueued run while holding O(1) workload memory.
     ///
     /// The iterator must yield submissions in nondecreasing `at` order
-    /// (workload generators do) and at most `count` of them. One
-    /// streamed workload per run, attached before it starts.
-    pub fn stream_workload<I>(&mut self, count: u64, workload: I)
+    /// (workload generators do) and at most `count` of them. Attach it
+    /// before the run starts.
+    ///
+    /// # Errors
+    /// One streamed workload per run: attaching a second stream returns
+    /// [`StreamError::AlreadyAttached`] and leaves the first untouched.
+    pub fn stream_workload<I>(&mut self, count: u64, workload: I) -> Result<(), StreamError>
     where
         I: IntoIterator<Item = Submission>,
         I::IntoIter: Send + 'static,
     {
-        assert!(self.arrivals.is_none(), "one streamed workload per run");
+        if self.arrivals.is_some() {
+            return Err(StreamError::AlreadyAttached);
+        }
         let first = self.next_seq;
         self.next_seq += count;
         self.arrivals = Some(ArrivalSource {
@@ -555,29 +632,63 @@ impl ShardExecutor {
             end_seq: first + count,
             emitted: 0,
         });
+        Ok(())
     }
 
     /// `(queue index, key)` of the globally next event; index 0 is the
-    /// control plane, 1 the streamed-arrival source, `2 + i` shard `i`.
+    /// control plane, `1 + i` shard `i`. Before returning, every
+    /// streamed arrival due at (or before) that key's instant is
+    /// dispatched into its owning shard's queue — see
+    /// [`Self::pump_stream`] — so the source the caller sees is never
+    /// the stream itself and streamed arrivals never split a
+    /// same-instant run the bulk-enqueued schedule would batch whole.
     fn next_source(&mut self) -> Option<(usize, (SimTime, u64))> {
-        let control_key = self.control.peek_key();
-        let stream_key = self.arrivals.as_mut().and_then(ArrivalSource::peek_key);
-        earliest_key(
-            [control_key, stream_key]
-                .into_iter()
-                .chain(self.shards.iter_mut().map(|s| s.queue.peek_key())),
-        )
+        loop {
+            let control_key = self.control.peek_key();
+            let queued = earliest_key(
+                [control_key]
+                    .into_iter()
+                    .chain(self.shards.iter_mut().map(|s| s.queue.peek_key())),
+            );
+            let stream_due = self
+                .arrivals
+                .as_mut()
+                .and_then(ArrivalSource::peek_key)
+                .map(|(due, _)| due);
+            match (queued, stream_due) {
+                (None, None) => return None,
+                (hit, Some(due)) if hit.is_none_or(|(_, (t, _))| due <= t) => {
+                    self.pump_stream(due);
+                }
+                (Some(hit), _) => return Some(hit),
+                (None, Some(_)) => unreachable!("second arm pumps when nothing is queued"),
+            }
+        }
     }
 
-    /// Pops the streamed arrival at `t` and processes it as the control
-    /// plane would, crediting the logical tick the control queue would
-    /// have counted.
-    fn step_stream(&mut self, t: SimTime) {
-        let src = self.arrivals.as_mut().expect("stream peeked");
-        let (seq, sub) = src.pop();
-        debug_assert_eq!(sub.at, t, "streamed arrivals fire at their instant");
-        self.control_extra_ticks += 1;
-        self.on_arrival(t, seq, sub);
+    /// Dispatches every streamed arrival due at `t` into its owning
+    /// shard's queue, carrying the pre-reserved sequence tags (routing
+    /// failures tally a rejection and burn their tag, like the bulk
+    /// path). The whole instant is pumped at once, so by the time the
+    /// scheduler drains a run at `t` the stream's head is strictly
+    /// later and the run's barrier is the control queue alone — exactly
+    /// the bulk-enqueued schedule.
+    fn pump_stream(&mut self, t: SimTime) {
+        loop {
+            let Some((due, _)) = self.arrivals.as_mut().and_then(ArrivalSource::peek_key) else {
+                return;
+            };
+            if due != t {
+                return;
+            }
+            let Some((seq, sub)) = self.arrivals.as_mut().map(ArrivalSource::pop) else {
+                unreachable!("stream peeked above")
+            };
+            debug_assert_eq!(sub.at, t, "streamed arrivals fire at their instant");
+            if let Some((vc, ev)) = self.route_arrival(sub) {
+                self.shards[vc.0].queue.push_tagged(t, seq, ev);
+            }
+        }
     }
 
     /// Processes exactly one event (the single-step debugging/test
@@ -591,10 +702,8 @@ impl ShardExecutor {
         if idx == 0 {
             let (_, seq, ev) = self.control.pop_keyed().expect("peeked");
             self.handle_control(t, seq, ev);
-        } else if idx == 1 {
-            self.step_stream(t);
         } else {
-            let shard = idx - 2;
+            let shard = idx - 1;
             let (_, seq, ev) = self.shards[shard].queue.pop_keyed().expect("peeked");
             let mut events = self.event_bufs.pop().unwrap_or_default();
             events.push((seq, ev));
@@ -630,23 +739,25 @@ impl ShardExecutor {
                 self.handle_control(t, seq, ev);
                 continue;
             }
-            if idx == 1 {
-                self.step_stream(t);
-                continue;
-            }
             // A shard event is next: drain the maximal same-instant run
-            // of shard events, bounded by the next control-plane event —
-            // queued or streamed — at this instant (events scheduled *by*
-            // the run get later tags and join a subsequent run — exactly
-            // the monolith's order).
-            let control_key = self.control.peek_key();
-            let stream_key = self.arrivals.as_mut().and_then(ArrivalSource::peek_key);
-            let barrier = [control_key, stream_key]
-                .into_iter()
-                .flatten()
+            // of shard events, bounded by the next control-plane event
+            // at this instant (events scheduled *by* the run get later
+            // tags and join a subsequent run — exactly the monolith's
+            // order). The streamed-arrival source never bounds a run:
+            // `next_source` already pumped every arrival at `t` into
+            // its shard queue, so the stream's head is strictly later.
+            debug_assert!(
+                self.arrivals
+                    .as_mut()
+                    .and_then(ArrivalSource::peek_key)
+                    .is_none_or(|(due, _)| due > t),
+                "same-instant streamed arrivals were pumped before the run"
+            );
+            let barrier = self
+                .control
+                .peek_key()
                 .filter(|&(due, _)| due == t)
                 .map(|(_, seq)| seq)
-                .min()
                 .unwrap_or(u64::MAX);
             let mut total = 0usize;
             let mut work: Vec<(&mut VcShard, RunSlice, Vec<SequencedEffect>)> = Vec::new();
@@ -750,6 +861,21 @@ impl ShardExecutor {
                 self.apply_return_stopped(key.due, src, victim, vms);
             }
             Effect::Retire { app, job } => self.apply_retire(app, job),
+            Effect::Place {
+                app,
+                handling,
+                quoted_exec,
+                suspend_local,
+                suspend_remote,
+            } => self.apply_place(
+                key,
+                app,
+                handling,
+                quoted_exec,
+                suspend_local,
+                suspend_remote,
+            ),
+            Effect::Rejected => self.fabric.rejected += 1,
             other => {
                 let mut out = std::mem::take(&mut self.scratch_out);
                 self.fabric.apply(key.due, other, &mut out);
@@ -1033,42 +1159,40 @@ impl ShardExecutor {
 
     // ---- control plane -----------------------------------------------------
 
-    fn handle_control(&mut self, now: SimTime, seq: u64, ev: Event) {
+    fn handle_control(&mut self, now: SimTime, _seq: u64, ev: Event) {
         match ev {
-            Event::Arrival(sub) => self.on_arrival(now, seq, sub),
             Event::CloudReleased { cloud, vms } => self.on_cloud_released(now, cloud, vms),
             other => unreachable!("shard event routed to the control plane: {other:?}"),
         }
     }
 
-    fn on_arrival(&mut self, now: SimTime, seq: u64, sub: Submission) {
-        let max_vms = self.cfg.private_capacity;
-        let (vc_id, spec, contract, rounds, quoted_exec, decision) = {
+    /// Applies [`Effect::Place`]: the cross-shard half of an arrival.
+    /// The owning shard already type-checked, negotiated, registered
+    /// the application and drew every latency the placement might
+    /// consume at the arrival's schedule position; here — at the same
+    /// canonical position in the effect stream — Algorithm 1 reads
+    /// every VC's view and the cloud market, the CM pipeline
+    /// serializes (`cm_free_at`), and the decision executes against
+    /// the pool/market.
+    fn apply_place(
+        &mut self,
+        key: EffectKey,
+        app_id: AppId,
+        handling: SimDuration,
+        quoted_exec: SimDuration,
+        suspend_local: SimDuration,
+        suspend_remote: SimDuration,
+    ) {
+        let EffectKey {
+            due: now,
+            seq,
+            vc: vc_id,
+        } = key;
+        let (nb, decision) = {
             let views: Vec<VcView<'_>> = self.shards.iter().map(VcShard::view).collect();
-            let admitted = admit(
-                &sub,
-                &views,
-                now,
-                self.cfg.quote_speed,
-                self.cfg.processing_allowance,
-                self.cfg.max_negotiation_rounds,
-                max_vms,
-            );
-            let (vc_id, spec, contract, rounds) = match admitted {
-                Ok(x) => x,
-                Err(_) => {
-                    drop(views);
-                    self.fabric.rejected += 1;
-                    return;
-                }
-            };
-            let quoted_exec = views[vc_id.0]
-                .vc
-                .framework
-                .estimate_exec(&spec, spec.nb_vms(), self.cfg.quote_speed, true)
-                .expect("admission type-checked the spec");
+            let nb = views[vc_id.0].apps[&app_id].spec.nb_vms();
             let req = BidRequest {
-                nb_vms: spec.nb_vms(),
+                nb_vms: nb,
                 duration: quoted_exec + self.cfg.processing_allowance,
             };
             let decision = select_resources(
@@ -1085,12 +1209,8 @@ impl ShardExecutor {
                     private_cost: self.cfg.private_cost,
                 },
             );
-            (vc_id, spec, contract, rounds, quoted_exec, decision)
+            (nb, decision)
         };
-
-        let app_id = AppId(self.next_app);
-        self.next_app += 1;
-        self.app_vc.push(vc_id);
 
         let placement = match decision {
             Decision::Local | Decision::Queue => Placement::Local,
@@ -1101,32 +1221,15 @@ impl ShardExecutor {
             }
             Decision::Cloud { cloud, .. } => Placement::Cloud { cloud },
         };
+        match self.shards[vc_id.0].apps.get_mut(&app_id) {
+            Some(app) => app.placement = placement,
+            None => unreachable!("placed application was registered by its shard"),
+        }
 
-        self.shards[vc_id.0].apps.insert(
-            app_id,
-            Application {
-                id: app_id,
-                vc: vc_id,
-                spec,
-                contract,
-                times: AppTimes::submitted(now, quoted_exec, contract.terms.deadline),
-                job: None,
-                placement,
-                phase: AppPhase::Acquiring,
-                framework_submitted_at: None,
-                cost: Money::ZERO,
-                negotiation_rounds: rounds,
-                suspensions: 0,
-                violation_detected: None,
-            },
-        );
-
-        // Latency draws for this arrival come from the *destination*
-        // shard's stream: the draw sequence of a VC depends only on its
-        // own arrival history, never on its neighbours' traffic.
-        let handling = self.shards[vc_id.0].sample(self.cfg.latencies.base);
+        // The handling latency was drawn in-shard; serializing it
+        // through the CM pipeline consumes shared state (`cm_free_at`)
+        // and so happens here, in canonical order.
         let base = self.fabric.cm_delay(now, handling);
-        let nb = spec.nb_vms();
 
         match decision {
             Decision::Local => {
@@ -1173,8 +1276,10 @@ impl ShardExecutor {
                         .expect("freed slave is reservable");
                 }
                 shard.acquired.insert(app_id, vms);
-                let extra = self.shards[vc_id.0].sample(self.cfg.latencies.suspend_local);
-                self.push_event(now + base + extra, Event::SubmitToFramework { app: app_id });
+                self.push_event(
+                    now + base + suspend_local,
+                    Event::SubmitToFramework { app: app_id },
+                );
             }
             Decision::FromVc { src } => {
                 self.fabric.transfers += nb;
@@ -1199,10 +1304,9 @@ impl ShardExecutor {
                 self.shards[vc_id.0]
                     .lendings
                     .insert(app_id, Lending { src, victim });
-                let extra = self.shards[vc_id.0].sample(self.cfg.latencies.suspend_remote);
                 let mut take = self.shards[src.0].take_vm_buf();
                 take.extend(freed.into_iter().take(nb as usize));
-                self.begin_transfer_stops(now, app_id, src, &take, base + extra);
+                self.begin_transfer_stops(now, app_id, src, &take, base + suspend_remote);
                 self.shards[src.0].recycle_vm_buf(take);
             }
             Decision::Cloud { cloud, .. } => {
@@ -1407,11 +1511,13 @@ impl ShardExecutor {
                 emitted: a.emitted,
             }
         });
+        let vc_kinds = cfg.vcs.iter().map(|v| v.kind).collect();
         ShardExecutor {
             cfg,
             placement,
             bidding,
             shards,
+            vc_kinds,
             fabric,
             control: EventQueue::from_snapshot(control),
             control_extra_ticks,

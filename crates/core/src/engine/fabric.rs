@@ -267,6 +267,9 @@ impl SharedFabric {
             Effect::VmCrashed { .. } => {
                 unreachable!("crash recovery is applied by the executor")
             }
+            Effect::Place { .. } | Effect::Rejected => {
+                unreachable!("admission outcomes are applied by the executor")
+            }
         }
     }
 

@@ -37,6 +37,6 @@ mod fabric;
 mod shard;
 
 pub use effects::{Effect, EffectKey, EffectSink, SequencedEffect};
-pub use executor::{EngineCheckpoint, ShardExecutor};
+pub use executor::{EngineCheckpoint, ShardExecutor, StreamError};
 pub use fabric::SharedFabric;
 pub use shard::{ShardSnapshot, VcShard};

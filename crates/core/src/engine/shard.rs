@@ -17,12 +17,15 @@ use meryn_sla::{Money, VmRate};
 use meryn_vmm::{CloudId, LatencyModel, Location, VmId};
 use serde::{Deserialize, Serialize};
 
-use crate::app::{AppMap, AppPhase};
+use crate::app::{AppMap, AppPhase, Application};
+use crate::client_manager::admit_routed;
 use crate::cluster_manager::{VcSnapshot, VcView, VirtualCluster};
 use crate::config::ViolationPolicy;
 use crate::engine::effects::{Effect, EffectSink, SequencedEffect};
 use crate::events::Event;
 use crate::ids::{AppId, Placement, VcId};
+use meryn_sla::AppTimes;
+use meryn_workloads::Submission;
 
 /// Aligns the next Application Controller check onto the global check
 /// grid: the first multiple of `interval` strictly after `now`. All
@@ -86,6 +89,24 @@ pub(crate) struct ShardPolicy {
     /// crashes are enabled. Each dispatch draws the stint's first crash
     /// from the shard's dedicated fault stream.
     pub(crate) vm_mtbf: Option<SimDuration>,
+    /// Quote-time slave speed assumption (SLA negotiation input).
+    pub(crate) quote_speed: f64,
+    /// Processing allowance added onto quoted deadlines.
+    pub(crate) allowance: SimDuration,
+    /// Negotiation round budget per submission.
+    pub(crate) max_rounds: u32,
+    /// Largest allocation a quote may propose (the private capacity).
+    pub(crate) max_vms: u64,
+    /// CM handling-latency model; arrivals draw from the shard's
+    /// latency stream at admission.
+    pub(crate) base_latency: LatencyModel,
+    /// Extra-latency model for suspending a local victim; drawn
+    /// unconditionally per arrival (see
+    /// [`crate::engine::Effect::Place`]).
+    pub(crate) suspend_local: LatencyModel,
+    /// Extra-latency model for suspending a remote victim; drawn
+    /// unconditionally per arrival.
+    pub(crate) suspend_remote: LatencyModel,
 }
 
 /// A lending relationship: when the borrower finishes, `victim` (held
@@ -240,6 +261,7 @@ impl VcShard {
     /// Dispatches one shard-owned event.
     pub(crate) fn handle(&mut self, now: SimTime, ev: Event, sink: &mut EffectSink) {
         match ev {
+            Event::Arrival { app, sub } => self.on_arrival(now, app, sub, sink),
             Event::SubmitToFramework { app } => self.on_submit(now, app, sink),
             Event::JobFinished { vc, job, epoch } => {
                 debug_assert_eq!(vc, self.vc.id, "misrouted completion");
@@ -274,6 +296,77 @@ impl VcShard {
             Event::LeaseRetry { app, attempt } => self.sla_verdict(now, app, Some(attempt), sink),
             other => unreachable!("control event routed to a shard: {other:?}"),
         }
+    }
+
+    // ---- admission (PR 10: shard-side) ------------------------------------
+
+    /// Admits a pre-routed submission entirely in-shard: type check,
+    /// negotiation rounds, contract signing, app registration and the
+    /// CM handling-latency draw (from this shard's stream). Only the
+    /// cross-shard placement — Algorithm 1 over every VC's view plus
+    /// the cloud market — travels back as [`Effect::Place`], applied by
+    /// the executor at this event's canonical position. A failed
+    /// admission emits [`Effect::Rejected`] so the fabric tally stays
+    /// executor-owned.
+    fn on_arrival(&mut self, now: SimTime, app_id: AppId, sub: Submission, sink: &mut EffectSink) {
+        let admitted = admit_routed(
+            &sub,
+            &self.vc,
+            now,
+            self.policy.quote_speed,
+            self.policy.allowance,
+            self.policy.max_rounds,
+            self.policy.max_vms,
+        );
+        let (spec, contract, rounds) = match admitted {
+            Ok(x) => x,
+            Err(_) => {
+                sink.emit(Effect::Rejected);
+                return;
+            }
+        };
+        let quoted_exec = self
+            .vc
+            .framework
+            .estimate_exec(&spec, spec.nb_vms(), self.policy.quote_speed, true)
+            .unwrap_or_else(|e| unreachable!("admission type-checked the spec: {e:?}"));
+        self.apps.insert(
+            app_id,
+            Application {
+                id: app_id,
+                vc: self.vc.id,
+                spec,
+                contract,
+                times: AppTimes::submitted(now, quoted_exec, contract.terms.deadline),
+                job: None,
+                // Provisional: Effect::Place records Algorithm 1's pick.
+                placement: Placement::Local,
+                phase: AppPhase::Acquiring,
+                framework_submitted_at: None,
+                cost: Money::ZERO,
+                negotiation_rounds: rounds,
+                suspensions: 0,
+                violation_detected: None,
+            },
+        );
+        // The latency draws stay on the *destination* shard's stream,
+        // exactly where the control-plane pipeline drew them: a VC's
+        // draw sequence is a pure function of its own arrival history.
+        // The suspension extras are drawn *unconditionally* — whether
+        // one is consumed depends on the placement decision the
+        // executor has not made yet, and drawing both here keeps the
+        // stream sequence identical between the batch barrier and the
+        // single-step path.
+        let handling = self.sample(self.policy.base_latency);
+        let suspend_local = self.sample(self.policy.suspend_local);
+        let suspend_remote = self.sample(self.policy.suspend_remote);
+        sink.emit(Effect::Place {
+            app: app_id,
+            handling,
+            quoted_exec,
+            suspend_local,
+            suspend_remote,
+        });
     }
 
     // ---- framework hand-off -----------------------------------------------
@@ -907,6 +1000,13 @@ mod tests {
                 private_cost: VmRate::per_vm_second(2),
                 retire_on_completion: false,
                 vm_mtbf: None,
+                quote_speed: 1.0,
+                allowance: d(84),
+                max_rounds: 8,
+                max_vms: 25,
+                base_latency: LatencyModel::ZERO,
+                suspend_local: LatencyModel::ZERO,
+                suspend_remote: LatencyModel::ZERO,
             },
             SimRng::new(SimRng::stream_seed(0xC0FFEE, 1 << 32)),
             SimRng::new(SimRng::stream_seed(0xC0FFEE, 2 << 32)),

@@ -23,8 +23,19 @@ use crate::ids::{AppId, VcId};
 /// One scheduled event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
-    /// A user submission reaches the Client Manager.
-    Arrival(Submission),
+    /// A user submission reaches its Client Manager. The executor
+    /// resolves the target VC (and pre-assigns the `AppId`) from the
+    /// deployment config at enqueue/stream-dispatch time, so the event
+    /// lands directly in the owning shard's queue: type-checking,
+    /// negotiation rounds and app registration all run in-shard, and
+    /// only the cross-shard placement (Algorithm 1) travels back to the
+    /// executor as an [`crate::engine::Effect`].
+    Arrival {
+        /// The pre-assigned application id (routing order).
+        app: AppId,
+        /// The user submission.
+        sub: Submission,
+    },
     /// The Cluster Manager finished processing the submission: the job
     /// enters the framework (possibly after suspension/transfer delays
     /// already elapsed).
@@ -133,9 +144,10 @@ pub enum Event {
 /// Which state machine owns an event under the sharded engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventOwner {
-    /// The executor's sequential control plane: arrivals (which read
-    /// cross-shard state and consume the shared placement inputs) and
-    /// cloud-lease closes (pure fabric billing, no shard state at all).
+    /// The executor's sequential control plane: cloud-lease closes
+    /// (pure fabric billing, no shard state at all). Arrivals moved
+    /// shard-side in PR 10; only streamed-arrival cursor advancement
+    /// and lease closes remain control-plane.
     Control,
     /// A specific VC shard's local state machine.
     Shard(VcId),
@@ -159,13 +171,14 @@ impl Event {
             | Event::ReturnReady { src: vc, .. }
             | Event::VmCrash { vc, .. }
             | Event::CrashReplacementReady { vc, .. } => EventOwner::Shard(vc),
-            Event::SubmitToFramework { app }
+            Event::Arrival { app, .. }
+            | Event::SubmitToFramework { app }
             | Event::ControllerCheck { app }
             | Event::TransferStopsDone { app }
             | Event::TransferReady { app }
             | Event::CloudVmsReady { app }
             | Event::LeaseRetry { app, .. } => EventOwner::AppShard(app),
-            Event::Arrival(_) | Event::CloudReleased { .. } => EventOwner::Control,
+            Event::CloudReleased { .. } => EventOwner::Control,
         }
     }
 }

@@ -20,7 +20,7 @@ use meryn_workloads::Submission;
 use crate::app::Application;
 use crate::cluster_manager::VirtualCluster;
 use crate::config::PlatformConfig;
-use crate::engine::{EngineCheckpoint, ShardExecutor};
+use crate::engine::{EngineCheckpoint, ShardExecutor, StreamError};
 use crate::ids::AppId;
 use crate::report::{ReportMode, RunReport};
 
@@ -107,13 +107,14 @@ impl Platform {
     /// enqueueing them up front — the event queue holds only the next
     /// pending arrival, so a 10-million-submission quarter costs O(1)
     /// arrival memory. Byte-identical to [`Self::enqueue_workload`]
-    /// with the same submissions.
-    pub fn stream_workload<I>(&mut self, count: u64, workload: I)
+    /// with the same submissions. Errs if a stream is already attached
+    /// (one streamed workload per run).
+    pub fn stream_workload<I>(&mut self, count: u64, workload: I) -> Result<(), StreamError>
     where
         I: IntoIterator<Item = Submission>,
         I::IntoIter: Send + 'static,
     {
-        self.exec.stream_workload(count, workload);
+        self.exec.stream_workload(count, workload)
     }
 
     /// Processes one event; `false` when all queues are drained.

@@ -15,8 +15,9 @@
 //! grid produces same-instant runs wide enough to clear the executor's
 //! fan-out gate at every generated case.
 
+use meryn_core::app::AppPhase;
 use meryn_core::config::{PlatformConfig, VcConfig};
-use meryn_core::Platform;
+use meryn_core::{AppId, EngineCheckpoint, Platform, ReportMode};
 use meryn_frameworks::{JobSpec, ScalingLaw};
 use meryn_sim::{SimDuration, SimTime};
 use meryn_sla::negotiation::UserStrategy;
@@ -55,20 +56,39 @@ fn case_strategy() -> impl Strategy<Value = Case> {
         .prop_map(|(vcs, seed, subs)| Case { vcs, seed, subs })
 }
 
-/// Runs the case on `threads` workers; returns the serialized report
-/// and the number of fanned-out runs.
-fn run_case(case: &Case, threads: usize) -> (String, u64) {
+/// The case's deployment. `zero_base` wipes the front-end latency so
+/// every wave's cohort lands on one instant (the widest possible
+/// same-instant runs); the streamed tests keep the paper's 7–15 s CM
+/// handling so each cohort has a genuine negotiation window to
+/// checkpoint inside.
+fn case_cfg(case: &Case, zero_base: bool) -> PlatformConfig {
     let mut cfg = PlatformConfig::paper("meryn");
     cfg.seed = case.seed;
     cfg.private_capacity = case.vcs as u64 * (VMS_PER_VC + 2);
     cfg.vcs = (0..case.vcs)
         .map(|i| VcConfig::batch(format!("vc-{i:02}"), VMS_PER_VC))
         .collect();
-    // Zero front-end latency keeps each wave's cohort on one instant;
-    // the shard streams still draw for every acquisition latency.
-    cfg.latencies.base = LatencyModel::ZERO;
-    let workload: Vec<Submission> = case
-        .subs
+    if zero_base {
+        cfg.latencies.base = LatencyModel::ZERO;
+    }
+    cfg
+}
+
+fn case_workload(case: &Case) -> Vec<Submission> {
+    build_workload(case)
+}
+
+/// The streaming contract wants arrival order (`at` nondecreasing);
+/// the stable sort keeps same-instant submissions in generation order
+/// so every run — and every resume — sees the identical sequence.
+fn case_stream(case: &Case) -> Vec<Submission> {
+    let mut workload = build_workload(case);
+    workload.sort_by_key(|sub| sub.at);
+    workload
+}
+
+fn build_workload(case: &Case) -> Vec<Submission> {
+    case.subs
         .iter()
         .map(|&(wave, target, work, nb_vms)| {
             Submission::new(
@@ -82,7 +102,14 @@ fn run_case(case: &Case, threads: usize) -> (String, u64) {
                 UserStrategy::AcceptCheapest,
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Runs the case on `threads` workers; returns the serialized report
+/// and the number of fanned-out runs.
+fn run_case(case: &Case, threads: usize) -> (String, u64) {
+    let cfg = case_cfg(case, true);
+    let workload = case_workload(case);
     at_threads(threads, || {
         let mut platform = Platform::new(cfg.clone());
         platform.enqueue_workload(&workload);
@@ -93,6 +120,55 @@ fn run_case(case: &Case, threads: usize) -> (String, u64) {
             serde_json::to_string(&report).expect("report serializes"),
             parallel_runs,
         )
+    })
+}
+
+/// The hyperscale configuration of the same case: aggregate reporting,
+/// arrivals streamed (and pumped into the shard queues with their
+/// pre-reserved tag blocks) instead of bulk-enqueued. Since PR 10 the
+/// admission those arrivals trigger runs in-shard too.
+fn streamed_platform(case: &Case) -> Platform {
+    let workload = case_stream(case);
+    let mut platform = Platform::new(case_cfg(case, false)).with_report_mode(ReportMode::Aggregate);
+    platform
+        .stream_workload(workload.len() as u64, workload)
+        .expect("a fresh platform has no stream attached");
+    platform
+}
+
+/// Full streamed run; returns the serialized report and fan-out count.
+fn run_streamed(case: &Case, threads: usize) -> (String, u64) {
+    at_threads(threads, || {
+        let mut platform = streamed_platform(case);
+        platform.run_to_completion();
+        let parallel_runs = platform.parallel_runs();
+        let report = platform.finalize();
+        (
+            serde_json::to_string(&report).expect("report serializes"),
+            parallel_runs,
+        )
+    })
+}
+
+/// Streamed run interrupted at `stop_secs`: checkpoint, JSON
+/// round-trip, resume with the same generated sequence, drain. Returns
+/// the serialized report plus how many applications were checkpointed
+/// mid-negotiation (phase [`AppPhase::Acquiring`] — between arrival
+/// and framework hand-off).
+fn run_streamed_resumed(case: &Case, threads: usize, stop_secs: u64) -> (String, usize) {
+    at_threads(threads, || {
+        let mut platform = streamed_platform(case);
+        platform.run_until(SimTime::from_secs(stop_secs));
+        let negotiating = (0..case.subs.len() as u64)
+            .filter_map(|i| platform.app(AppId(i)))
+            .filter(|app| app.phase == AppPhase::Acquiring)
+            .count();
+        let json = serde_json::to_string(&platform.checkpoint()).expect("checkpoint serializes");
+        let cp: EngineCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
+        let mut resumed = Platform::from_checkpoint_streaming(cp, case_stream(case));
+        resumed.run_to_completion();
+        let report = serde_json::to_string(&resumed.finalize()).expect("report serializes");
+        (report, negotiating)
     })
 }
 
@@ -121,5 +197,64 @@ proptest! {
                 "run batching must not depend on the thread count"
             );
         }
+    }
+
+    /// The same contract for the hyperscale configuration: aggregate
+    /// reporting with arrivals streamed through the pump (pre-reserved
+    /// seq-tag blocks, shard-side admission). Byte-identical at 1, 2
+    /// and 8 threads, with the fan-out path exercised.
+    #[test]
+    fn streamed_aggregate_runs_are_thread_count_independent(case in case_strategy()) {
+        let (sequential, runs_1) = run_streamed(&case, 1);
+        prop_assert!(
+            runs_1 > 0,
+            "no streamed run cleared the fan-out gate — the parallel path went unexercised"
+        );
+        for threads in [2usize, 8] {
+            let (threaded, runs_n) = run_streamed(&case, threads);
+            prop_assert_eq!(
+                &sequential,
+                &threaded,
+                "streamed report diverged between 1 and {} threads", threads
+            );
+            prop_assert_eq!(
+                runs_1,
+                runs_n,
+                "streamed run batching must not depend on the thread count"
+            );
+        }
+    }
+
+    /// Checkpointing a streamed run **mid-negotiation** — after a
+    /// wave's arrivals registered their applications in-shard but
+    /// inside the 7–15 s CM-handling window, so `Effect::Place` is
+    /// still in flight — then resuming through a JSON round-trip
+    /// reproduces the uninterrupted run byte for byte, sequentially
+    /// and threaded.
+    #[test]
+    fn streamed_checkpoint_mid_negotiation_resumes_byte_identically(
+        case in case_strategy(),
+        wave in 0u64..6,
+        offset in 1u64..=6,
+    ) {
+        // 1–6 s past a wave instant is strictly below the minimum CM
+        // handling draw, so every application that arrived on that
+        // wave is still negotiating when the checkpoint is cut.
+        let stop_secs = 5 + wave * 120 + offset;
+        let (full, _) = run_streamed(&case, 1);
+        let (resumed, negotiating) = run_streamed_resumed(&case, 1, stop_secs);
+        prop_assert!(
+            negotiating > 0 || !case.subs.iter().any(|&(w, ..)| w == wave),
+            "a populated wave arrived {offset} s ago yet nothing is mid-negotiation"
+        );
+        prop_assert_eq!(
+            &resumed, &full,
+            "sequential mid-negotiation resume from t={} diverged", stop_secs
+        );
+        let (threaded, _) = run_streamed_resumed(&case, 8, stop_secs);
+        prop_assert_eq!(
+            &threaded, &full,
+            "threaded mid-negotiation resume from t={} diverged", stop_secs
+        );
     }
 }

@@ -359,7 +359,9 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<ScenarioReport> {
             JobInput::Stream(gen_cfg, seed) => {
                 let count = gen_cfg.count as u64;
                 let subs = GeneratedChunks::new(&gen_cfg, seed, DEFAULT_CHUNK).submissions();
-                platform.stream_workload(count, subs);
+                platform
+                    .stream_workload(count, subs)
+                    .expect("a fresh platform has no stream attached");
             }
         }
         platform.run_to_completion();
@@ -459,7 +461,9 @@ pub fn single_run_start(scenario: &Scenario) -> io::Result<Platform> {
         Some((gen_cfg, seed)) => {
             let count = gen_cfg.count as u64;
             let subs = GeneratedChunks::new(&gen_cfg, seed, DEFAULT_CHUNK).submissions();
-            platform.stream_workload(count, subs);
+            platform
+                .stream_workload(count, subs)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         }
         None => {
             let workload = scenario.workload.materialize(&variant.modifier)?;

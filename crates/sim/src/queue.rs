@@ -188,22 +188,29 @@ impl<E> EventQueue<E> {
     /// `due` is earlier than the current instant. Scheduling *at* the
     /// current instant is fine and common (zero-latency hops).
     pub fn push(&mut self, due: SimTime, event: E) {
-        assert!(
-            due >= self.now,
-            "cannot schedule event in the past: due={due:?} now={:?}",
-            self.now
-        );
         let seq = self.seq;
         self.seq += 1;
+        self.insert(Scheduled { due, seq, event });
+    }
+
+    /// Places one tagged event into the right calendar level.
+    fn insert(&mut self, sched: Scheduled<E>) {
+        assert!(
+            sched.due >= self.now,
+            "cannot schedule event in the past: due={:?} now={:?}",
+            sched.due,
+            self.now
+        );
         self.len += 1;
-        let sched = Scheduled { due, seq, event };
         let tick = sched.tick();
         if tick <= self.cursor {
-            // Into the drain buffer, keeping `(due, seq)` order. The new
-            // event carries the largest seq ever issued, so the upper
-            // bound by due alone is its exact sorted position — and in
-            // the common same-instant cascade that position is the tail.
-            let at = self.drain.partition_point(|s| s.due <= due);
+            // Into the drain buffer, keeping `(due, seq)` order. The
+            // `(due, seq)` upper bound is the exact sorted position for
+            // any tag — and in the common same-instant cascade (a fresh
+            // internal tag, the largest ever issued) it is the tail.
+            let at = self
+                .drain
+                .partition_point(|s| (s.due, s.seq) <= (sched.due, sched.seq));
             self.drain.insert(at, sched);
         } else if tick - self.cursor < NUM_BUCKETS as u64 {
             // Strictly inside the window (cursor, cursor + NUM_BUCKETS):
@@ -228,17 +235,16 @@ impl<E> EventQueue<E> {
     /// This is the multi-queue entry point: when several queues (e.g.
     /// per-shard queues plus a control queue) share one global ordering,
     /// a single external counter hands out the tags and the queues are
-    /// merged by [`EventQueue::peek_key`]. Tags must be handed to any
-    /// one queue in increasing order — the same monotonicity `push`
-    /// maintains internally — so the drain-buffer fast path stays exact.
+    /// merged by [`EventQueue::peek_key`]. Tags may arrive out of order
+    /// — a streamed-arrival block reserves its tags up front and is
+    /// dispatched later, after larger runtime tags already entered the
+    /// queue — but each `(due, seq)` pair is globally unique and every
+    /// level orders by the full pair, so placement stays exact. The
+    /// only obligation on the caller is the same as [`EventQueue::push`]'s:
+    /// never schedule below an already-popped `(due, seq)`.
     pub fn push_tagged(&mut self, due: SimTime, seq: u64, event: E) {
-        assert!(
-            seq >= self.seq,
-            "externally-assigned seq must not go backwards: got {seq}, queue at {}",
-            self.seq
-        );
-        self.seq = seq;
-        self.push(due, event);
+        self.seq = self.seq.max(seq + 1);
+        self.insert(Scheduled { due, seq, event });
     }
 
     /// Advances `cursor` to the tick of the next pending event and fills
@@ -617,11 +623,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must not go backwards")]
-    fn tagged_push_rejects_seq_regression() {
+    fn tagged_push_accepts_out_of_order_tags() {
+        // A streamed-arrival block reserves its tags up front, so a
+        // small tag can arrive after larger runtime tags entered the
+        // queue; pops still come out in exact (due, seq) order.
         let mut q = EventQueue::new();
-        q.push_tagged(SimTime::from_secs(1), 5, ());
-        q.push_tagged(SimTime::from_secs(2), 3, ());
+        q.push_tagged(SimTime::from_secs(1), 5, "runtime");
+        q.push_tagged(SimTime::from_secs(1), 3, "pumped arrival");
+        q.push_tagged(SimTime::from_secs(2), 4, "later");
+        assert_eq!(
+            q.pop_keyed(),
+            Some((SimTime::from_secs(1), 3, "pumped arrival"))
+        );
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(1), 5, "runtime")));
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(2), 4, "later")));
+        // Internal tags resume above the largest external tag ever seen.
+        q.push(SimTime::from_secs(3), "internal");
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(3), 6, "internal")));
+    }
+
+    #[test]
+    fn tagged_push_lands_mid_drain_buffer() {
+        // The drain buffer is already filled for the tick when a
+        // pumped arrival with a mid-range tag lands at the same
+        // instant: it must slot between the pending events, not at the
+        // tail.
+        let mut q = EventQueue::new();
+        q.push_tagged(SimTime::from_secs(1), 10, "first");
+        q.push_tagged(SimTime::from_secs(1), 20, "last");
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(1), 10)));
+        q.push_tagged(SimTime::from_secs(1), 15, "mid");
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(1), 10, "first")));
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(1), 15, "mid")));
+        assert_eq!(q.pop_keyed(), Some((SimTime::from_secs(1), 20, "last")));
     }
 
     #[test]
